@@ -1,0 +1,42 @@
+"""F1 -- Figure 1: a slow chain C1 spanning a fast chain C2.
+
+Paper claim: the two chains close a relevant cycle with |Z-| = 5 backward
+and |Z+| = 4 forward messages (ratio 5/4); zero-delay messages (m3) are
+allowed.  Measured: the exact worst relevant ratio of the constructed
+graph, plus checker latency, and a zero-delay assignment existence check.
+"""
+
+from fractions import Fraction
+
+from repro.core import check_abc, normalized_assignment, worst_relevant_ratio
+from repro.scenarios import fig1_graph
+
+
+def test_fig1_ratio_and_admissibility(benchmark):
+    graph, expected = fig1_graph()
+
+    def measure():
+        return worst_relevant_ratio(graph)
+
+    worst = benchmark(measure)
+    assert worst == expected == Fraction(5, 4)
+    assert not check_abc(graph, Fraction(5, 4)).admissible
+    assert check_abc(graph, Fraction(4, 3)).admissible
+    benchmark.extra_info["worst_ratio"] = str(worst)
+    benchmark.extra_info["admissible_at_4_3"] = True
+
+
+def test_fig1_zero_delay_messages_are_realizable(benchmark):
+    """The figure shows m3 with zero delay: the graph indeed admits a
+    normalized assignment (Theorem 7) once Xi exceeds 5/4 -- delays can
+    then be *scaled* so that m3's share is arbitrarily small."""
+    graph, _ = fig1_graph()
+
+    def assign():
+        return normalized_assignment(graph, Fraction(3, 2))
+
+    assignment = benchmark(assign)
+    assert assignment is not None
+    ratio = assignment.message_delay_ratio(graph)
+    assert ratio < Fraction(3, 2)
+    benchmark.extra_info["effective_theta"] = str(ratio)

@@ -1,0 +1,51 @@
+"""F2 -- Figure 2: the combined cycle X (+) Y cancels the shared edge e.
+
+Paper claim: a message can be forward in one relevant cycle and backward
+in another; adding the cycle vectors cancels it, and the mixed-free
+decomposition (Theorem 11) rewrites the sum without cancellations.
+"""
+
+from repro.core import (
+    CycleVector,
+    combine,
+    consistency,
+    mixed_free_decomposition,
+    relevant_cycles,
+    vector_of,
+    walk_vector,
+)
+from repro.scenarios import fig2_graph
+
+
+def _xy():
+    graph, e = fig2_graph()
+    infos = [i for i in relevant_cycles(graph) if vector_of(i)[e] != 0]
+    x = next(i for i in infos if vector_of(i)[e] == -1)
+    y = next(i for i in infos if vector_of(i)[e] == 1)
+    return graph, e, x, y
+
+
+def test_fig2_shared_edge_cancellation(benchmark):
+    graph, e, x, y = _xy()
+    assert consistency(x, y) == "o"
+
+    def combined():
+        return combine([x, y])
+
+    vec = benchmark(combined)
+    assert vec[e] == 0
+    benchmark.extra_info["x_ratio"] = str(x.ratio)
+    benchmark.extra_info["y_ratio"] = str(y.ratio)
+
+
+def test_fig2_mixed_free_decomposition(benchmark):
+    _graph, e, x, y = _xy()
+
+    def decompose():
+        return mixed_free_decomposition([x, y])
+
+    pieces = benchmark(decompose)
+    total = sum((walk_vector(p) for p in pieces), CycleVector({}))
+    assert total == combine([x, y])
+    assert all(all(s.edge != e for s in p.steps) for p in pieces)
+    benchmark.extra_info["n_pieces"] = len(pieces)

@@ -1,0 +1,58 @@
+"""F3 -- Figure 3: timing out p_slow after Xi ping-pong round trips.
+
+Paper claim: if the reply arrived after the 2 Xi-message chain, it would
+close a relevant cycle with |Z-|/|Z+| = 2 Xi / 2 = Xi, violating (2); so
+the monitor may suspect p_slow, and in admissible executions it never
+suspects a correct process.  Measured: the constructed cycle's exact
+ratio for a sweep of Xi, plus a live failure-detector run.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import PingPongMonitor, PongResponder
+from repro.core import check_abc, worst_relevant_ratio
+from repro.scenarios import fig3_graph
+from repro.sim import (
+    Network,
+    SimulationLimits,
+    Simulator,
+    ThetaBandDelay,
+    Topology,
+)
+from repro.sim.faults import CrashAfter
+
+
+@pytest.mark.parametrize("xi", [2, 3, 4, 5])
+def test_fig3_cycle_ratio_equals_xi(benchmark, xi):
+    graph, ratio = fig3_graph(xi)
+
+    def worst():
+        return worst_relevant_ratio(graph)
+
+    measured = benchmark(worst)
+    assert measured == ratio == xi
+    assert not check_abc(graph, xi).admissible
+    benchmark.extra_info["xi"] = xi
+    benchmark.extra_info["cycle_ratio"] = str(measured)
+
+
+def test_fig3_live_failure_detection(benchmark):
+    """End-to-end: detection works, with neither false positives nor
+    misses, over an admissible (Theta-band) execution."""
+
+    def run():
+        monitor = PingPongMonitor(targets=[1, 2, 3], xi=Fraction(2),
+                                  max_probes=6)
+        procs: list = [monitor, PongResponder(),
+                       CrashAfter(PongResponder(), steps=0), PongResponder()]
+        net = Network(Topology.fully_connected(4), ThetaBandDelay(1.0, 1.5))
+        Simulator(procs, net, faulty={2}, seed=1).run(
+            SimulationLimits(max_events=20_000)
+        )
+        return monitor.suspected
+
+    suspected = benchmark(run)
+    assert suspected == {2}
+    benchmark.extra_info["suspected"] = sorted(suspected)

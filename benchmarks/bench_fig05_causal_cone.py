@@ -1,0 +1,45 @@
+"""F5 -- Figure 5 / Lemma 4: the causal-cone property in live runs.
+
+Paper claim: whenever a correct process's clock reaches k + 2 Xi, it has
+already received (tick l) from *every* correct process for all l <= k --
+the key lemma behind Theorems 2 and 5.  Measured: the property checked
+over Algorithm-1 runs for a sweep of (n, f), with Byzantine senders.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import ByzantineTickSpammer
+from repro.analysis import ClockAnalysis, verify_causal_cone
+from repro.scenarios.generators import clock_sync_run
+
+XI = Fraction(2)
+
+
+@pytest.mark.parametrize("n,f", [(4, 1), (7, 2), (10, 3)])
+def test_lemma4_causal_cone(benchmark, n, f):
+    trace, procs = clock_sync_run(n=n, f=f, theta=1.5, max_tick=8, seed=n)
+    analysis = ClockAnalysis.from_run(trace, procs)
+
+    def check():
+        return verify_causal_cone(analysis, XI)
+
+    assert benchmark(check)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["f"] = f
+    benchmark.extra_info["events"] = len(trace.records)
+
+
+def test_lemma4_with_byzantine_sender(benchmark):
+    spammer = ByzantineTickSpammer(spread=12, burst=2, seed=2)
+    trace, procs = clock_sync_run(
+        n=4, f=1, theta=1.5, max_tick=8, seed=5, faulty_procs=[spammer]
+    )
+    analysis = ClockAnalysis.from_run(trace, procs)
+
+    def check():
+        return verify_causal_cone(analysis, XI)
+
+    assert benchmark(check)
+    benchmark.extra_info["byzantine"] = "tick spammer"

@@ -1,0 +1,30 @@
+"""F8 -- Figure 8 / Section 5.1: the ABC-vs-ParSync separation game.
+
+Paper claim: the Prover (choosing Xi first) beats any Adversary-chosen
+(Phi, Delta): an execution exists that satisfies the ABC condition for
+*any* Xi > 1 while violating the DLS bounds -- processes p and q make
+progress bounded only by |Z-| while r takes no step.  Measured: the
+realized Phi and Delta of the prover's execution for an adversary sweep.
+"""
+
+import pytest
+
+from repro.models import play_fig8_game
+from repro.scenarios import fig8_trace
+
+
+@pytest.mark.parametrize("phi,delta", [(3, 3), (8, 8), (16, 4), (4, 16)])
+def test_prover_wins(benchmark, phi, delta):
+    def play():
+        trace = fig8_trace(phi, delta)
+        return play_fig8_game(trace, phi, delta)
+
+    outcome = benchmark(play)
+    assert outcome.prover_wins
+    assert outcome.parsync.phi > phi
+    assert outcome.parsync.delta > delta
+    assert outcome.worst_ratio is not None and outcome.worst_ratio <= 1
+    benchmark.extra_info["adversary"] = f"phi={phi}, delta={delta}"
+    benchmark.extra_info["realized_phi"] = outcome.parsync.phi
+    benchmark.extra_info["realized_delta"] = outcome.parsync.delta
+    benchmark.extra_info["worst_ratio"] = str(outcome.worst_ratio)

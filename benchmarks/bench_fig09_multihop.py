@@ -1,0 +1,67 @@
+"""F9 -- Figure 9: multi-hop delay compensation.
+
+Paper claim: for the cycle formed by 1-hop q-p round trips spanning the
+2-hop path q-r-s-r-q, only the *cumulative* delay ratio matters -- the
+individual q-r and r-s delays are irrelevant ("a long delay on one link
+is compensated by a fast one on the other").  Measured: the cycle ratio
+as a function of the number of fast round trips, and a simulation where
+wildly skewed per-link delays still keep the execution admissible.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import PingPongMonitor, PongResponder
+from repro.core import check_abc, worst_relevant_ratio
+from repro.scenarios import fig9_graph
+from repro.sim import (
+    FixedDelay,
+    Network,
+    PerLinkDelay,
+    SimulationLimits,
+    Simulator,
+    Topology,
+)
+
+
+@pytest.mark.parametrize("round_trips", [2, 3, 4, 6])
+def test_fig9_cumulative_ratio(benchmark, round_trips):
+    graph, expected = fig9_graph(round_trips)
+
+    def worst():
+        return worst_relevant_ratio(graph)
+
+    measured = benchmark(worst)
+    assert measured == expected == Fraction(2 * round_trips, 4)
+    benchmark.extra_info["round_trips"] = round_trips
+    benchmark.extra_info["ratio"] = str(measured)
+
+
+def test_fig9_skewed_link_delays_compensate(benchmark):
+    """q-r is 10x slower than r-s; the cumulative 2-hop delay is what the
+    relevant cycles see, so admissibility is unaffected."""
+    q, p, r, s = 0, 1, 2, 3
+    delays = PerLinkDelay(
+        {
+            (q, r): FixedDelay(10.0), (r, q): FixedDelay(10.0),
+            (r, s): FixedDelay(1.0), (s, r): FixedDelay(1.0),
+        },
+        default=FixedDelay(5.0),
+    )
+
+    def run():
+        monitor = PingPongMonitor(targets=[p, r], xi=Fraction(4),
+                                  max_probes=4)
+        procs = [monitor, PongResponder(), PongResponder(), PongResponder()]
+        net = Network(Topology.fully_connected(4), delays)
+        sim = Simulator(procs, net, seed=2)
+        trace = sim.run(SimulationLimits(max_events=5_000))
+        from repro.sim import build_execution_graph
+
+        return build_execution_graph(trace), monitor
+
+    graph, monitor = benchmark(run)
+    assert check_abc(graph, 4).admissible
+    assert monitor.suspected == set()
+    benchmark.extra_info["worst_ratio"] = str(worst_relevant_ratio(graph))

@@ -1,0 +1,82 @@
+"""F10 -- Figure 10: ABC-enforced FIFO channels with unbounded delays.
+
+Paper claim: with Xi = 4, reordering the two messages from p2 to q1
+would close a relevant cycle with ratio 5 -- inadmissible -- so the
+channel is FIFO even though its delays are unbounded (and may grow).
+Measured: admissibility of both orders for a sweep of Xi, plus observed
+FIFO behaviour of a growing-delay simulation.
+"""
+
+import pytest
+
+from repro.core import check_abc, worst_relevant_ratio
+from repro.scenarios import fig10_graphs
+from repro.sim import (
+    FixedDelay,
+    GrowingDelay,
+    Network,
+    PerLinkDelay,
+    SimulationLimits,
+    Simulator,
+    Topology,
+)
+from repro.sim.process import Process, StepContext
+
+
+@pytest.mark.parametrize("xi", [2, 4, 6])
+def test_fig10_reordering_violates(benchmark, xi):
+    def build():
+        return fig10_graphs(xi)
+
+    in_order, reordered = benchmark(build)
+    assert check_abc(in_order, xi).admissible
+    assert not check_abc(reordered, xi).admissible
+    assert worst_relevant_ratio(reordered) == xi + 1
+    benchmark.extra_info["xi"] = xi
+    benchmark.extra_info["violating_ratio"] = str(xi + 1)
+
+
+class _Streamer(Process):
+    """p2: streams numbered messages to q1 while ping-ponging with p1."""
+
+    def __init__(self, peer: int, sink: int, count: int) -> None:
+        self.peer, self.sink, self.count = peer, sink, count
+        self._i = 0
+
+    def on_wakeup(self, ctx: StepContext) -> None:
+        ctx.send(self.sink, ("data", self._i))
+        ctx.send(self.peer, "ping")
+        self._i += 1
+
+    def on_message(self, ctx: StepContext, payload, sender: int) -> None:
+        if payload == "pong" and self._i < self.count:
+            ctx.send(self.sink, ("data", self._i))
+            ctx.send(self.peer, "ping")
+            self._i += 1
+
+
+class _Responder(Process):
+    def on_message(self, ctx: StepContext, payload, sender: int) -> None:
+        if payload == "ping":
+            ctx.send(sender, "pong")
+
+
+def test_fig10_growing_delay_stream_stays_fifo(benchmark):
+    p1, p2, q1 = 0, 1, 2
+    delays = PerLinkDelay(
+        {(p2, q1): GrowingDelay(FixedDelay(5.0), rate=0.5)},
+        default=FixedDelay(1.0),
+    )
+
+    def run():
+        procs = [_Responder(), _Streamer(p1, q1, count=10), Process()]
+        net = Network(Topology.fully_connected(3), delays)
+        sim = Simulator(procs, net, seed=0)
+        return sim.run(SimulationLimits(max_events=5_000))
+
+    trace = benchmark(run)
+    data = [r.payload[1] for r in trace.records
+            if r.event.process == q1 and isinstance(r.payload, tuple)]
+    assert len(data) == 10
+    assert data == sorted(data)  # FIFO despite delays growing 5 -> 50+
+    benchmark.extra_info["received_order"] = data

@@ -1,0 +1,46 @@
+"""Ablation -- the polynomial admissibility checker vs. enumeration.
+
+Design choice called out in DESIGN.md: "for every relevant cycle" is
+decided by negative-cycle detection instead of exhaustive enumeration.
+Measured: wall-clock scaling of both deciders on growing executions (the
+exhaustive one is capped at small sizes -- it is exponential), plus
+checker throughput on a large trace.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import check_abc, check_abc_exhaustive
+from repro.scenarios.generators import theta_band_trace
+from repro.sim import build_execution_graph
+
+XI = Fraction(2)
+
+
+@pytest.mark.parametrize("max_tick", [2, 3, 4])
+def test_exhaustive_checker_small(benchmark, max_tick):
+    trace = theta_band_trace(n=3, f=0, theta=1.5, max_tick=max_tick, seed=0)
+    graph = build_execution_graph(trace)
+
+    def run():
+        return check_abc_exhaustive(graph, XI, max_length=10)
+
+    result = benchmark(run)
+    assert result.admissible
+    benchmark.extra_info["events"] = graph.n_events
+    benchmark.extra_info["messages"] = len(graph.messages)
+
+
+@pytest.mark.parametrize("max_tick", [4, 16, 48])
+def test_polynomial_checker_scaling(benchmark, max_tick):
+    trace = theta_band_trace(n=4, f=1, theta=1.5, max_tick=max_tick, seed=0)
+    graph = build_execution_graph(trace)
+
+    def run():
+        return check_abc(graph, XI)
+
+    result = benchmark(run)
+    assert result.admissible
+    benchmark.extra_info["events"] = graph.n_events
+    benchmark.extra_info["messages"] = len(graph.messages)

@@ -1,0 +1,88 @@
+"""T8 -- consensus on top of the ABC model (Sections 2 and 6).
+
+Paper claim: lock-step rounds make any synchronous Byzantine consensus
+algorithm work in the ABC model.  Measured: phase-king (n > 4f) and EIG
+(n > 3f, optimal resilience) decide with agreement and validity over the
+lock-step simulation, for an f sweep; decisions match the native
+synchronous executor in deterministic settings.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import (
+    ExponentialInformationGathering,
+    LockstepProcess,
+    PhaseKing,
+    eig_rounds,
+    phase_king_rounds,
+    round_phases_for,
+    run_synchronous,
+)
+from repro.sim import (
+    Network,
+    SimulationLimits,
+    Simulator,
+    ThetaBandDelay,
+    Topology,
+)
+
+XI = Fraction(2)
+
+
+def run_over_lockstep(make_app, n, f, rounds, seed=0):
+    phases = round_phases_for(XI)
+    apps = [make_app(pid) for pid in range(n)]
+    procs = [
+        LockstepProcess(f, phases, apps[pid], max_rounds=rounds + 1)
+        for pid in range(n)
+    ]
+    net = Network(Topology.fully_connected(n), ThetaBandDelay(1.0, 1.5))
+    sim = Simulator(procs, net, seed=seed)
+    trace = sim.run(SimulationLimits(max_events=500_000))
+    return apps, trace
+
+
+@pytest.mark.parametrize("n,f", [(5, 1), (9, 2)])
+def test_phase_king_over_lockstep(benchmark, n, f):
+    initials = [pid % 2 for pid in range(n)]
+
+    def run():
+        apps, trace = run_over_lockstep(
+            lambda pid: PhaseKing(pid, n, f, initials[pid]),
+            n, f, phase_king_rounds(f), seed=n,
+        )
+        return apps, trace
+
+    apps, trace = benchmark(run)
+    decisions = [a.decision for a in apps]
+    assert None not in decisions and len(set(decisions)) == 1
+    sync_apps = [PhaseKing(pid, n, f, initials[pid]) for pid in range(n)]
+    run_synchronous(sync_apps, phase_king_rounds(f))
+    assert decisions == [a.decision for a in sync_apps]
+    benchmark.extra_info["n,f"] = f"{n},{f}"
+    benchmark.extra_info["rounds"] = phase_king_rounds(f)
+    benchmark.extra_info["events"] = len(trace.records)
+    benchmark.extra_info["decision"] = decisions[0]
+
+
+@pytest.mark.parametrize("n,f", [(4, 1)])
+def test_eig_over_lockstep_optimal_resilience(benchmark, n, f):
+    initials = [1, 1, 0, 1]
+
+    def run():
+        apps, trace = run_over_lockstep(
+            lambda pid: ExponentialInformationGathering(
+                pid, n, f, initials[pid]
+            ),
+            n, f, eig_rounds(f) + 1, seed=4,
+        )
+        return apps, trace
+
+    apps, trace = benchmark(run)
+    decisions = [a.decision for a in apps]
+    assert None not in decisions and len(set(decisions)) == 1
+    benchmark.extra_info["n,f"] = f"{n},{f} (n = 3f + 1)"
+    benchmark.extra_info["decision"] = decisions[0]
+    benchmark.extra_info["events"] = len(trace.records)

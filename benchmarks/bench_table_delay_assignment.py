@@ -1,0 +1,63 @@
+"""T7 -- Theorems 7 / 12: existence of normalized delay assignments.
+
+Paper claim: *every* finite ABC-admissible execution graph admits message
+delays in (1, Xi) preserving causal equivalence -- and (converse) no
+inadmissible graph does.  Measured: the equivalence rate over random
+graphs (must be 100% in both directions) and the exact-arithmetic
+construction cost.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    assignment_exists,
+    check_abc,
+    normalized_assignment,
+    verify_normalized,
+    worst_relevant_ratio,
+)
+from repro.scenarios.generators import random_execution_graph
+
+
+@pytest.mark.parametrize("xi", [Fraction(3, 2), Fraction(2), Fraction(3)])
+def test_equivalence_rate(benchmark, xi):
+    rng = random.Random(int(xi * 6))
+    graphs = [
+        random_execution_graph(rng, 3, rng.randint(3, 9)) for _ in range(12)
+    ]
+
+    def sweep():
+        agree = 0
+        admissible_count = 0
+        for graph in graphs:
+            admissible = check_abc(graph, xi).admissible
+            admissible_count += admissible
+            if assignment_exists(graph, xi) == admissible:
+                agree += 1
+        return agree, admissible_count
+
+    agree, admissible_count = benchmark(sweep)
+    assert agree == len(graphs)  # 100% in both directions
+    benchmark.extra_info["xi"] = str(xi)
+    benchmark.extra_info["graphs"] = len(graphs)
+    benchmark.extra_info["admissible"] = admissible_count
+
+
+def test_certified_construction(benchmark):
+    rng = random.Random(99)
+    graph = random_execution_graph(rng, 4, 20)
+    worst = worst_relevant_ratio(graph) or Fraction(1)
+    xi = worst + Fraction(1, 2)
+
+    def construct():
+        return normalized_assignment(graph, xi)
+
+    assignment = benchmark(construct)
+    assert assignment is not None
+    assert verify_normalized(graph, assignment)
+    benchmark.extra_info["messages"] = len(graph.messages)
+    benchmark.extra_info["xi"] = str(xi)
+    benchmark.extra_info["epsilon"] = str(assignment.epsilon)

@@ -1,0 +1,96 @@
+"""T11+ -- Section 6 extension features built on the ABC condition.
+
+Paper sketches reproduced as working systems:
+
+* the **restricted-condition Omega**: "the ABC synchrony condition could
+  be restricted to a fixed subset of f + 2 processes, which elect a
+  leader among themselves and disseminate its id" -- implemented in
+  `repro.algorithms.leader_election`;
+* an **admissibility-enforcing scheduler** (the model's semantics made
+  operational): with wildly skewed delays a plain scheduler produces
+  inadmissible executions, the enforcer keeps them admissible by pulling
+  stranded slow messages forward.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import CoreElector, LeaderFollower, PingPongMonitor, PongResponder
+from repro.core import check_abc
+from repro.sim import (
+    AbcEnforcingSimulator,
+    FixedDelay,
+    Network,
+    PerLinkDelay,
+    SimulationLimits,
+    Simulator,
+    ThetaBandDelay,
+    Topology,
+    build_execution_graph,
+)
+from repro.sim.faults import CrashAfter
+
+XI = Fraction(2)
+
+
+@pytest.mark.parametrize("crashed_leader", [False, True])
+def test_omega_leader_election(benchmark, crashed_leader):
+    n, f = 6, 1
+    core = tuple(range(f + 2))
+    others = tuple(range(f + 2, n))
+
+    def run():
+        procs: list = []
+        for pid in range(n):
+            if pid in core:
+                elect = CoreElector(core, others, xi=XI, max_probes=8)
+                if crashed_leader and pid == 0:
+                    procs.append(CrashAfter(elect, steps=0))
+                else:
+                    procs.append(elect)
+            else:
+                procs.append(LeaderFollower())
+        net = Network(Topology.fully_connected(n), ThetaBandDelay(1.0, 1.5))
+        faulty = {0} if crashed_leader else set()
+        Simulator(procs, net, faulty=faulty, seed=2).run(
+            SimulationLimits(max_events=60_000)
+        )
+        return procs
+
+    procs = benchmark(run)
+    expected = 1 if crashed_leader else 0
+    correct = [p for pid, p in enumerate(procs)
+               if not (crashed_leader and pid == 0)]
+    assert all(p.leader == expected for p in correct)
+    benchmark.extra_info["crashed_leader"] = crashed_leader
+    benchmark.extra_info["elected"] = expected
+
+
+def test_enforcing_scheduler_vs_plain(benchmark):
+    def setup():
+        monitor = PingPongMonitor(targets=[1, 2], xi=XI, max_probes=3)
+        procs = [monitor, PongResponder(), PongResponder()]
+        delays = PerLinkDelay(
+            {(0, 2): FixedDelay(30.0), (2, 0): FixedDelay(30.0)},
+            default=FixedDelay(1.0),
+        )
+        net = Network(Topology.fully_connected(3), delays)
+        return monitor, procs, net
+
+    def run_both():
+        _m1, procs1, net1 = setup()
+        plain = Simulator(procs1, net1, seed=0)
+        plain_trace = plain.run(SimulationLimits(max_events=400))
+        m2, procs2, net2 = setup()
+        enforcing = AbcEnforcingSimulator(procs2, net2, seed=0, xi=XI)
+        enforced_trace = enforcing.run(SimulationLimits(max_events=400))
+        return plain_trace, enforced_trace, enforcing.pulled_forward, m2
+
+    plain_trace, enforced_trace, pulled, monitor = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    assert not check_abc(build_execution_graph(plain_trace), XI).admissible
+    assert check_abc(build_execution_graph(enforced_trace), XI).admissible
+    assert monitor.suspected == set()  # enforced accuracy
+    benchmark.extra_info["pulled_forward"] = pulled

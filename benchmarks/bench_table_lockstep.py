@@ -1,0 +1,79 @@
+"""T5 -- Theorem 5: correctness of the lock-step round simulation.
+
+Paper claim: every correct process receives the round-r messages of all
+correct processes before entering round r + 1.  Measured: the input
+snapshots of every entered round over (n, f, Xi) sweeps with faults,
+plus the cost per simulated round.
+"""
+
+from fractions import Fraction
+from typing import Any, Mapping
+
+import pytest
+
+from repro.algorithms import (
+    ByzantineTickSpammer,
+    LockstepProcess,
+    round_phases_for,
+)
+from repro.analysis import verify_lockstep
+from repro.sim import (
+    Network,
+    SimulationLimits,
+    Simulator,
+    ThetaBandDelay,
+    Topology,
+)
+
+
+class _Echo:
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+
+    def initial_message(self) -> Any:
+        return (self.pid, 0)
+
+    def on_round(self, r: int, received: Mapping[int, Any]) -> Any:
+        return (self.pid, r)
+
+
+def run(n, f, xi, rounds, byzantine=False, seed=0):
+    phases = round_phases_for(xi)
+    procs: list = [
+        LockstepProcess(f, phases, _Echo(i), max_rounds=rounds)
+        for i in range(n)
+    ]
+    faulty = set()
+    if byzantine:
+        procs[n - 1] = ByzantineTickSpammer(
+            spread=phases * rounds, burst=2, seed=seed
+        )
+        faulty = {n - 1}
+    net = Network(Topology.fully_connected(n), ThetaBandDelay(1.0, 1.5))
+    sim = Simulator(procs, net, faulty=faulty, seed=seed)
+    trace = sim.run(SimulationLimits(max_events=300_000))
+    return trace, procs
+
+
+@pytest.mark.parametrize("n,f,xi", [(4, 1, Fraction(2)), (7, 2, Fraction(2)),
+                                    (4, 1, Fraction(5, 2))])
+def test_theorem5_lockstep(benchmark, n, f, xi):
+    def simulate():
+        return run(n, f, xi, rounds=4, seed=n)
+
+    trace, procs = benchmark(simulate)
+    holds, checked = verify_lockstep(trace, procs)
+    assert holds
+    benchmark.extra_info["n,f,Xi"] = f"{n},{f},{xi}"
+    benchmark.extra_info["round_entries_checked"] = checked
+    benchmark.extra_info["events"] = len(trace.records)
+
+
+def test_theorem5_with_byzantine(benchmark):
+    def simulate():
+        return run(4, 1, Fraction(2), rounds=4, byzantine=True, seed=9)
+
+    trace, procs = benchmark(simulate)
+    holds, checked = verify_lockstep(trace, procs)
+    assert holds and checked > 0
+    benchmark.extra_info["fault"] = "byzantine ticker"

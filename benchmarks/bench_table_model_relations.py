@@ -1,0 +1,87 @@
+"""T6 -- Theorems 6 and 9: the Theta-Model / ABC-model inclusion.
+
+Paper claims: (i) every Theta-admissible execution is ABC-admissible for
+Xi > Theta; (ii) the converse fails -- zero-delay (and growing-delay)
+ABC executions violate (3) for every Theta; (iii) via Theorem 7, every
+finite ABC graph *can* be re-timed into a Theta execution.  Measured:
+all three directions over simulated runs.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.models import (
+    abc_strictly_weaker_witness,
+    verify_theorem6,
+    verify_theorem7_on_graph,
+)
+from repro.scenarios.generators import theta_band_trace
+from repro.sim import build_execution_graph
+
+
+@pytest.mark.parametrize("theta,xi", [(1.3, Fraction(3, 2)),
+                                      (1.5, Fraction(2)),
+                                      (2.5, Fraction(3))])
+def test_theta_subset_abc(benchmark, theta, xi):
+    def check():
+        results = []
+        for seed in range(3):
+            trace = theta_band_trace(
+                n=4, f=1, theta=theta, max_tick=6, seed=seed
+            )
+            results.append(verify_theorem6(trace, theta, xi))
+        return results
+
+    reports = benchmark(check)
+    assert all(r.theta_admissible and r.abc_admissible for r in reports)
+    benchmark.extra_info["theta"] = theta
+    benchmark.extra_info["xi"] = str(xi)
+    benchmark.extra_info["runs"] = len(reports)
+
+
+def test_abc_not_subset_theta(benchmark):
+    """Strictness: an admissible ABC execution with a zero-delay message
+    is not Theta-admissible for any Theta."""
+    from repro.sim import (
+        FixedDelay,
+        Network,
+        PerLinkDelay,
+        SimulationLimits,
+        Simulator,
+        Topology,
+        ZeroDelay,
+    )
+    from repro.sim.process import Process, StepContext
+
+    class OneShot(Process):
+        def on_wakeup(self, ctx: StepContext) -> None:
+            if ctx.pid == 0:
+                ctx.send(1, "a")
+                ctx.send(1, "b")
+
+    def run():
+        delays = PerLinkDelay({(0, 1): ZeroDelay()}, FixedDelay(1.0))
+        net = Network(Topology.fully_connected(2), delays)
+        sim = Simulator([OneShot(), OneShot()], net, seed=0)
+        trace = sim.run(SimulationLimits(max_events=10))
+        return abc_strictly_weaker_witness(trace)
+
+    is_witness, report = benchmark(run)
+    assert is_witness
+    benchmark.extra_info["zero_delay_messages"] = report.has_zero_delay
+
+
+def test_theorem9_retiming(benchmark):
+    """Theorem 7/9: an ABC execution graph can be assigned delays that a
+    Theta-Model scheduler could have produced (Theta = Xi works since the
+    assigned ratio is strictly below Xi)."""
+    trace = theta_band_trace(n=4, f=1, theta=1.5, max_tick=5, seed=6)
+    graph = build_execution_graph(trace)
+
+    def retime():
+        return verify_theorem7_on_graph(graph, Fraction(2))
+
+    exists, ratio = benchmark(retime)
+    assert exists and ratio < Fraction(2)
+    benchmark.extra_info["effective_theta"] = str(ratio)

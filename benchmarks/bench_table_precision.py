@@ -1,0 +1,58 @@
+"""T2 -- Theorems 2 and 3: clock synchrony |C_p - C_q| <= 2 Xi.
+
+Paper claim: on every consistent cut (Thm 2) and at every real time
+(Thm 3) correct clocks differ by at most 2 Xi.  Measured: the worst
+observed spread over cut families and real-time sweeps for a grid of
+(n, f, Xi), with the admissibility precondition Theta < Xi.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    ClockAnalysis,
+    verify_cut_synchrony,
+    verify_realtime_precision,
+)
+from repro.scenarios.generators import clock_sync_run
+
+GRID = [
+    (4, 1, Fraction(2)),
+    (7, 2, Fraction(2)),
+    (4, 1, Fraction(3)),
+    (10, 3, Fraction(3, 2)),
+]
+
+
+@pytest.mark.parametrize("n,f,xi", GRID)
+def test_cut_synchrony(benchmark, n, f, xi):
+    theta = float(xi) * 0.7 if xi > Fraction(3, 2) else 1.4
+    trace, procs = clock_sync_run(n=n, f=f, theta=theta, max_tick=10, seed=n)
+    analysis = ClockAnalysis.from_run(trace, procs)
+
+    def check():
+        return verify_cut_synchrony(analysis, xi, extra_samples=20)
+
+    report = benchmark(check)
+    assert report.holds
+    benchmark.extra_info["n,f,Xi"] = f"{n},{f},{xi}"
+    benchmark.extra_info["bound_2xi"] = str(report.bound)
+    benchmark.extra_info["worst_spread"] = report.worst_spread
+    benchmark.extra_info["cuts_checked"] = report.n_cuts
+
+
+@pytest.mark.parametrize("n,f,xi", GRID)
+def test_realtime_precision(benchmark, n, f, xi):
+    theta = float(xi) * 0.7 if xi > Fraction(3, 2) else 1.4
+    trace, procs = clock_sync_run(n=n, f=f, theta=theta, max_tick=10, seed=n + 1)
+    analysis = ClockAnalysis.from_run(trace, procs)
+
+    def check():
+        return verify_realtime_precision(analysis, xi)
+
+    report = benchmark(check)
+    assert report.holds
+    benchmark.extra_info["n,f,Xi"] = f"{n},{f},{xi}"
+    benchmark.extra_info["bound_2xi"] = str(report.bound)
+    benchmark.extra_info["worst_spread"] = report.worst_spread

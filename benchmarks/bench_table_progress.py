@@ -1,0 +1,65 @@
+"""T1 / T4 -- Theorem 1 (progress) and Theorem 4 (bounded progress).
+
+Paper claims: every correct clock grows without bound, and whenever a
+correct process performs rho = 4 Xi + 1 distinguished events in a cut
+interval, every correct process performs at least one there.  Measured:
+both properties over (n, f) sweeps with crash and Byzantine faults.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import ByzantineTickSpammer, ClockSyncProcess
+from repro.analysis import (
+    ClockAnalysis,
+    verify_bounded_progress,
+    verify_progress,
+)
+from repro.scenarios.generators import clock_sync_run
+from repro.sim.faults import CrashAfter
+
+XI = Fraction(2)
+
+
+def faulty_for(kind: str):
+    if kind == "crash":
+        return [CrashAfter(ClockSyncProcess(1, max_tick=12), steps=4)]
+    if kind == "byzantine":
+        return [ByzantineTickSpammer(spread=14, burst=2, seed=3)]
+    return []
+
+
+@pytest.mark.parametrize("kind", ["none", "crash", "byzantine"])
+def test_theorem1_progress(benchmark, kind):
+    trace, procs = clock_sync_run(
+        n=4, f=1, theta=1.5, max_tick=12, seed=2, faulty_procs=faulty_for(kind)
+    )
+    analysis = ClockAnalysis.from_run(trace, procs)
+
+    def check():
+        return verify_progress(analysis, target=12)
+
+    assert benchmark(check)
+    benchmark.extra_info["fault"] = kind
+    benchmark.extra_info["final_clocks"] = str(analysis.final_clocks())
+
+
+@pytest.mark.parametrize("kind", ["none", "crash", "byzantine"])
+def test_theorem4_bounded_progress(benchmark, kind):
+    trace, procs = clock_sync_run(
+        n=4, f=1, theta=1.5, max_tick=14, seed=3, faulty_procs=faulty_for(kind)
+    )
+    analysis = ClockAnalysis.from_run(trace, procs)
+    distinguished = {
+        pid: procs[pid].distinguished_steps for pid in analysis.correct
+    }
+
+    def check():
+        return verify_bounded_progress(analysis, XI, distinguished)
+
+    report = benchmark(check)
+    assert report.holds
+    benchmark.extra_info["fault"] = kind
+    benchmark.extra_info["rho"] = report.rho
+    benchmark.extra_info["windows_checked"] = report.n_windows

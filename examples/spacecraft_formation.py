@@ -1,0 +1,100 @@
+"""Spacecraft formation with continuously growing inter-cluster delays.
+
+Sections 5.1-5.3 motivate the ABC model with a formation of spacecraft
+clusters that drift apart: inter-cluster delays grow without bound, which
+no bounded-delay model (and not even the FAR model's finite averages) can
+express -- yet delay *ratios* along relevant cycles stay flat, so the ABC
+condition keeps holding and single-source FIFO order (Figure 10) is
+preserved for free.
+
+This script simulates two clusters whose link delays grow by 30% per time
+unit and reports what each model family sees.
+
+Run:  python examples/spacecraft_formation.py
+"""
+
+from fractions import Fraction
+
+from repro.algorithms import ClockSyncProcess
+from repro.core import check_abc, worst_relevant_ratio
+from repro.models import (
+    measure_far,
+    measure_theta_static,
+)
+from repro.sim import (
+    ClusterDelay,
+    GrowingDelay,
+    Network,
+    SimulationLimits,
+    Simulator,
+    Topology,
+    UniformDelay,
+    build_execution_graph,
+)
+
+
+def run_formation(max_tick: int, rate: float, seed: int = 3):
+    n, f = 6, 1
+    cluster_of = {0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1}
+    # Intra-cluster: a tight band.  Inter-cluster: the same band scaled by
+    # an unbounded growth factor -- the formation drifts apart.
+    delays = ClusterDelay(
+        cluster_of,
+        intra=UniformDelay(1.0, 1.3),
+        inter=GrowingDelay(UniformDelay(1.0, 1.3), rate=rate),
+    )
+    procs = [ClockSyncProcess(f, max_tick=max_tick) for _ in range(n)]
+    net = Network(Topology.fully_connected(n), delays)
+    trace = Simulator(procs, net, seed=seed).run(
+        SimulationLimits(max_events=50_000)
+    )
+    return trace, procs
+
+
+def main() -> None:
+    rate = 0.3
+    print(f"two 3-spacecraft clusters, inter-cluster delays growing "
+          f"{rate:.0%} per time unit\n")
+
+    # The drift makes every delay-based model's parameter diverge with
+    # the horizon, while the ABC worst ratio saturates: only the message
+    # *pattern* (how many fast hops a slow hop spans) matters.
+    print(f"{'horizon':>8} {'theta (tau+/tau-)':>18} {'FAR avg delay':>14} "
+          f"{'ABC worst ratio':>16}")
+    worst_ratios = []
+    for max_tick in (6, 10, 14, 18):
+        trace, _procs = run_formation(max_tick, rate)
+        theta = measure_theta_static(trace)
+        far = measure_far(trace)
+        graph = build_execution_graph(trace)
+        worst = worst_relevant_ratio(graph)
+        worst_ratios.append(worst)
+        print(f"{max_tick:>8} {theta.ratio:>18.1f} {far.final_average:>14.2f} "
+              f"{str(worst):>16}")
+
+    xi = max(worst_ratios) + 1
+    trace, procs = run_formation(18, rate)
+    graph = build_execution_graph(trace)
+    print(
+        f"\nABC model: choosing Xi = {xi} (one above the pattern's "
+        f"saturated ratio) keeps every horizon admissible: "
+        f"{check_abc(graph, xi).admissible}"
+    )
+    print("Theta and FAR have no such fixed parameter: their measured "
+          "values keep growing with the drift.")
+
+    # Figure 10's payoff: FIFO order on every link, despite unbounded and
+    # growing delays, because a reordering would close a relevant cycle.
+    n = 6
+    reorderings = 0
+    for src in range(n):
+        for dst in range(n):
+            records = trace.messages_between(src, dst)
+            send_times = [r.send_time for r in records]
+            if send_times != sorted(send_times):
+                reorderings += 1
+    print(f"links with observed FIFO violations: {reorderings}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline environment used for this reproduction lacks ``wheel``, which
+PEP 517 editable installs require; keeping a ``setup.py`` lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+Project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro: a reproduction of Robinson & Schmid's Asynchronous
+Bounded-Cycle (ABC) model.
+
+The package is organized as:
+
+* :mod:`repro.core` -- the ABC model itself: execution graphs, relevant
+  cycles, the synchrony condition and its polynomial decision procedure,
+  consistent cuts, the Section-4.1 cycle space, and the Theorem-7 delay
+  assignment.
+* :mod:`repro.sim` -- a discrete-event simulator for message-driven
+  algorithms with crash/Byzantine fault injection and trace recording.
+* :mod:`repro.algorithms` -- Algorithm 1 (Byzantine clock sync),
+  Algorithm 2 (lock-step rounds), consensus on top, the Figure-3 failure
+  detector, and the Section-6 eventual/adaptive variants.
+* :mod:`repro.models` -- the related partially synchronous models
+  (Theta, ParSync/DLS, Archimedean, FAR, MCM, MMR, WTL) as trace
+  checkers, plus the model-relation theorems.
+* :mod:`repro.analysis` -- property checkers for Theorems 1-5.
+* :mod:`repro.scenarios` -- the paper's figures as executable
+  constructions, plus random workload generators.
+
+Quickstart::
+
+    from fractions import Fraction
+    from repro.sim import Simulator, Network, Topology, ThetaBandDelay
+    from repro.sim import SimulationLimits, build_execution_graph
+    from repro.algorithms import ClockSyncProcess
+    from repro.core import check_abc
+
+    n, f, xi = 4, 1, Fraction(2)
+    procs = [ClockSyncProcess(f, max_tick=20) for _ in range(n)]
+    net = Network(Topology.fully_connected(n), ThetaBandDelay(1.0, 1.5))
+    trace = Simulator(procs, net, seed=1).run(SimulationLimits(max_events=10_000))
+    assert check_abc(build_execution_graph(trace), xi).admissible
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,67 @@
+"""The paper's algorithms: clock sync, lock-step rounds, consensus, FD."""
+
+from repro.algorithms.clock_sync import (
+    ByzantineTickEquivocator,
+    ByzantineTickSpammer,
+    ClockSyncProcess,
+    Tick,
+)
+from repro.algorithms.consensus import (
+    ConflictingLiar,
+    ExponentialInformationGathering,
+    PhaseKing,
+    RandomLiar,
+    eig_rounds,
+    phase_king_rounds,
+)
+from repro.algorithms.eventual import (
+    AdaptiveXiMonitor,
+    DoublingLockstepProcess,
+    doubling_round_start,
+)
+from repro.algorithms.failure_detector import (
+    Ping,
+    PingPongMonitor,
+    Pong,
+    PongResponder,
+)
+from repro.algorithms.leader_election import (
+    CoreElector,
+    LeaderAnnouncement,
+    LeaderFollower,
+)
+from repro.algorithms.lockstep import (
+    LockstepProcess,
+    RoundAlgorithm,
+    RoundPayload,
+    round_phases_for,
+    run_synchronous,
+)
+
+__all__ = [
+    "ByzantineTickEquivocator",
+    "ByzantineTickSpammer",
+    "ClockSyncProcess",
+    "Tick",
+    "ConflictingLiar",
+    "ExponentialInformationGathering",
+    "PhaseKing",
+    "RandomLiar",
+    "eig_rounds",
+    "phase_king_rounds",
+    "AdaptiveXiMonitor",
+    "DoublingLockstepProcess",
+    "doubling_round_start",
+    "Ping",
+    "PingPongMonitor",
+    "Pong",
+    "PongResponder",
+    "CoreElector",
+    "LeaderAnnouncement",
+    "LeaderFollower",
+    "LockstepProcess",
+    "RoundAlgorithm",
+    "RoundPayload",
+    "round_phases_for",
+    "run_synchronous",
+]

@@ -1,0 +1,214 @@
+"""Algorithm 1: Byzantine fault-tolerant clock synchronization.
+
+The tick-generation algorithm of Widder & Schmid, proved correct in the
+ABC model in Section 3 of the paper.  It tolerates up to ``f`` Byzantine
+failures among ``n >= 3f + 1`` fully connected processes:
+
+* every process starts by broadcasting ``(tick 0)`` (also to itself);
+* **catch-up rule** (line 3): on ``(tick l)`` from ``f + 1`` distinct
+  processes with ``l > k``, send ``(tick k+1) ... (tick l)`` [once] and
+  set ``k = l``;
+* **advance rule** (line 6): on ``(tick k)`` from ``n - f`` distinct
+  processes, send ``(tick k+1)`` [once] and set ``k = k + 1``.
+
+The guarantees reproduced by :mod:`repro.analysis.properties`:
+
+* Theorem 1 (progress): every correct clock grows without bound;
+* Theorem 2 (synchrony): ``|C_p(S) - C_q(S)| <= 2 Xi`` on every
+  consistent cut;
+* Theorem 3 (precision): the same bound at every real time;
+* Theorem 4 (bounded progress): ``rho = 4 Xi + 1``.
+
+Byzantine adversaries tailored to this algorithm live at the bottom of
+the module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sim.process import Process, StepContext
+
+__all__ = [
+    "Tick",
+    "ClockSyncProcess",
+    "ByzantineTickSpammer",
+    "ByzantineTickEquivocator",
+]
+
+
+@dataclass(frozen=True)
+class Tick:
+    """A ``(tick value)`` message; ``payload`` carries piggybacked data.
+
+    Algorithm 2 piggybacks its round ``r`` messages on the ``(tick k)``
+    broadcasts with ``k = r * round_phases``, which is why the payload
+    slot lives here rather than in the lock-step layer.
+    """
+
+    value: int
+    payload: Any = None
+
+
+class ClockSyncProcess(Process):
+    """A correct process running Algorithm 1.
+
+    Args:
+        f: resilience parameter (at most ``f`` Byzantine processes).
+        max_tick: stop broadcasting beyond this clock value so that runs
+            quiesce; the algorithm itself never terminates.  Properties
+            are checked on the resulting finite prefix.
+
+    Attributes:
+        k: the local clock (the paper's variable ``k``).
+        clock_after_step: ``clock_after_step[i]`` is the clock value after
+            the process's ``i``-th computing step -- exactly ``C_p(phi)``
+            for the event ``phi = Event(pid, i)``, since every receive
+            event of a correct process triggers one step.
+        distinguished_steps: indices of steps that incremented the clock
+            and broadcast (the distinguished events of Theorem 4; the
+            initial ``(tick 0)`` broadcast counts as one).
+    """
+
+    def __init__(self, f: int, max_tick: int | None = None) -> None:
+        if f < 0:
+            raise ValueError("f must be non-negative")
+        self.f = f
+        self.max_tick = max_tick
+        self.k = 0
+        self._received: dict[int, set[int]] = {}
+        self._max_sent = -1
+        self.clock_after_step: list[int] = []
+        self.distinguished_steps: list[int] = []
+        self._step_index = -1
+
+    # -- hooks for Algorithm 2 -----------------------------------------
+
+    def tick_payload(self, value: int) -> Any:
+        """Payload piggybacked on the ``(tick value)`` broadcast.
+
+        Plain clock synchronization sends no payload; the lock-step layer
+        overrides this to attach round messages.
+        """
+        return None
+
+    def on_tick_received(self, tick: Tick, sender: int) -> None:
+        """Called for every received tick before the rules run."""
+
+    # -- Algorithm 1 -----------------------------------------------------
+
+    def on_wakeup(self, ctx: StepContext) -> None:
+        self._step_index += 1
+        self._broadcast_up_to(ctx, 0)
+        self.distinguished_steps.append(self._step_index)
+        self.clock_after_step.append(self.k)
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        self._step_index += 1
+        old_k = self.k
+        if isinstance(payload, Tick) and isinstance(payload.value, int) \
+                and payload.value >= 0:
+            self.on_tick_received(payload, sender)
+            self._received.setdefault(payload.value, set()).add(sender)
+            self._apply_rules(ctx)
+        if self.k > old_k:
+            self.distinguished_steps.append(self._step_index)
+        self.clock_after_step.append(self.k)
+
+    def _apply_rules(self, ctx: StepContext) -> None:
+        # Run catch-up and advance to fixpoint: a single reception can
+        # enable the advance rule for several successive values when
+        # higher ticks arrived out of order.
+        while True:
+            # Catch-up rule (line 3).
+            candidates = [
+                value
+                for value, senders in self._received.items()
+                if value > self.k and len(senders) >= self.f + 1
+            ]
+            if candidates:
+                target = max(candidates)
+                self._broadcast_up_to(ctx, target)
+                self.k = target
+                continue
+            # Advance rule (line 6).
+            senders = self._received.get(self.k, ())
+            if len(senders) >= self.n - self.f:
+                self._broadcast_up_to(ctx, self.k + 1)
+                self.k += 1
+                continue
+            return
+
+    def _broadcast_up_to(self, ctx: StepContext, value: int) -> None:
+        """Send ``(tick j)`` for all unsent ``j <= value`` [once]."""
+        top = value if self.max_tick is None else min(value, self.max_tick)
+        for j in range(self._max_sent + 1, top + 1):
+            ctx.broadcast(Tick(j, self.tick_payload(j)))
+        self._max_sent = max(self._max_sent, top)
+
+    # -- analysis helpers -------------------------------------------------
+
+    def clock_at_step(self, index: int) -> int | None:
+        """``C_p(phi)`` for the event with local index ``index``."""
+        if 0 <= index < len(self.clock_after_step):
+            return self.clock_after_step[index]
+        return None
+
+
+class ByzantineTickSpammer(Process):
+    """Byzantine adversary: broadcasts arbitrary tick values.
+
+    Sends ``burst`` random ticks from ``[0, spread]`` on every step,
+    trying to drive correct clocks apart.  Its messages are dropped from
+    the execution graph per Section 2, so it cannot manufacture relevant
+    cycles -- but its ticks do reach the catch-up rule's counters.
+    """
+
+    def __init__(self, spread: int = 20, burst: int = 3, seed: int = 0) -> None:
+        import random
+
+        self.spread = spread
+        self.burst = burst
+        self.rng = random.Random(seed)
+
+    def _spam(self, ctx: StepContext) -> None:
+        for _ in range(self.burst):
+            ctx.broadcast(Tick(self.rng.randint(0, self.spread)))
+
+    def on_wakeup(self, ctx: StepContext) -> None:
+        self._spam(ctx)
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        # React only occasionally so the run quiesces.
+        if self.rng.random() < 0.2:
+            self._spam(ctx)
+
+
+class ByzantineTickEquivocator(Process):
+    """Byzantine adversary: reports different clocks to different halves.
+
+    Sends ``(tick low)`` to the first half of its neighbors and
+    ``(tick high)`` to the second half on every step, pushing the halves
+    apart -- the catch-up rule's ``f + 1`` threshold is exactly what
+    defuses it.
+    """
+
+    def __init__(self, low: int = 0, high: int = 10) -> None:
+        self.low = low
+        self.high = high
+        self._steps = 0
+
+    def _equivocate(self, ctx: StepContext) -> None:
+        half = len(ctx.neighbors) // 2
+        for i, dest in enumerate(ctx.neighbors):
+            value = self.low if i < half else self.high
+            ctx.send(dest, Tick(value))
+
+    def on_wakeup(self, ctx: StepContext) -> None:
+        self._equivocate(ctx)
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        self._steps += 1
+        if self._steps <= 3:  # bounded so runs quiesce
+            self._equivocate(ctx)

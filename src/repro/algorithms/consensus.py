@@ -1,0 +1,227 @@
+"""Byzantine consensus on top of simulated lock-step rounds.
+
+Section 2 of the paper: "the ABC synchrony condition is sufficient for
+simulating lock-step rounds, and hence for solving e.g. consensus by
+means of any synchronous consensus algorithm".  This module provides two
+classic synchronous algorithms in the :class:`~repro.algorithms.lockstep.
+RoundAlgorithm` shape, so they run unchanged on the lock-step simulation
+(Algorithm 2) *and* on the native synchronous executor
+(:func:`~repro.algorithms.lockstep.run_synchronous`) -- the test-suite
+checks that both executions decide identically:
+
+* :class:`PhaseKing` -- the 2-rounds-per-phase king algorithm (Attiya &
+  Welch's variant); simple, ``f + 1`` phases, requires ``n > 4f``.
+* :class:`ExponentialInformationGathering` -- EIG with ``f + 1`` rounds
+  and optimal resilience ``n > 3f`` (matching the clock-sync layer's
+  ``n >= 3f + 1``), at the price of exponentially sized messages.
+
+Byzantine round behaviours for tests live here too.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "PhaseKing",
+    "ExponentialInformationGathering",
+    "RandomLiar",
+    "ConflictingLiar",
+    "phase_king_rounds",
+    "eig_rounds",
+]
+
+
+def phase_king_rounds(f: int) -> int:
+    """Rounds needed by :class:`PhaseKing`: two per phase, f+1 phases."""
+    return 2 * (f + 1)
+
+
+def eig_rounds(f: int) -> int:
+    """Rounds needed by EIG: f+1 value-relay rounds."""
+    return f + 1
+
+
+class PhaseKing:
+    """Phase-king binary consensus (``n > 4f``).
+
+    Round layout (round 0 is the initial broadcast of Algorithm 2):
+
+    * even round ``2(k-1)``: phase ``k`` value exchange -- broadcast the
+      current preference;
+    * odd round ``2k - 1``: phase ``k`` king round -- the king (process
+      ``k - 1``) broadcasts the majority it saw; everyone else sends
+      ``None``.
+
+    After processing the king round of phase ``f + 1`` the process
+    decides.  Invalid or missing payloads (Byzantine senders) are treated
+    as ``0``, missing kings as ``0``.
+
+    Guarantees (with at most ``f`` Byzantine processes, ``n >= 4f + 1``):
+    agreement, validity, termination after ``2(f + 1)`` rounds; all are
+    checked by the test-suite on both executors.
+    """
+
+    def __init__(self, pid: int, n: int, f: int, initial: int) -> None:
+        if n <= 4 * f:
+            raise ValueError(f"phase king needs n > 4f, got n={n}, f={f}")
+        if initial not in (0, 1):
+            raise ValueError("binary consensus: initial value must be 0 or 1")
+        self.pid = pid
+        self.n = n
+        self.f = f
+        self.preference = initial
+        self.decision: int | None = None
+        self._majority = 0
+        self._multiplicity = 0
+
+    # -- RoundAlgorithm --------------------------------------------------
+
+    def initial_message(self) -> Any:
+        return self.preference
+
+    def on_round(self, round_index: int, received: Mapping[int, Any]) -> Any:
+        if round_index % 2 == 1:
+            return self._after_exchange(round_index, received)
+        return self._after_king(round_index, received)
+
+    # -- internals ---------------------------------------------------------
+
+    def _after_exchange(self, round_index: int, received: Mapping[int, Any]) -> Any:
+        """Process a value-exchange round; emit the king-round message."""
+        ones = sum(1 for v in received.values() if v == 1)
+        zeros = sum(1 for v in received.values() if v == 0)
+        # Missing senders count as 0, mirroring "no message -> default".
+        zeros += self.n - len(received)
+        if ones >= zeros:
+            self._majority, self._multiplicity = 1, ones
+        else:
+            self._majority, self._multiplicity = 0, zeros
+        king = (round_index - 1) // 2  # phase k has king k - 1
+        return self._majority if self.pid == king else None
+
+    def _after_king(self, round_index: int, received: Mapping[int, Any]) -> Any:
+        """Process a king round; emit the next exchange (or decide)."""
+        phase = round_index // 2  # just finished phase `phase`
+        king = phase - 1
+        king_value = received.get(king)
+        if king_value not in (0, 1):
+            king_value = 0
+        if self._multiplicity > self.n // 2 + self.f:
+            self.preference = self._majority
+        else:
+            self.preference = king_value
+        if phase == self.f + 1:
+            self.decision = self.preference
+        return self.preference
+
+
+class ExponentialInformationGathering:
+    """EIG Byzantine consensus with optimal resilience (``n > 3f``).
+
+    Each process maintains the EIG tree: node ``sigma = (i_1, ..., i_r)``
+    holds the value that ``i_r`` relayed for node ``(i_1, ..., i_{r-1})``.
+    Round ``r`` broadcasts all level-``r`` values; after round ``f + 1``
+    the tree is resolved bottom-up by majority (default 0) and the root
+    resolution is the decision.
+    """
+
+    def __init__(self, pid: int, n: int, f: int, initial: int) -> None:
+        if n <= 3 * f:
+            raise ValueError(f"EIG needs n > 3f, got n={n}, f={f}")
+        if initial not in (0, 1):
+            raise ValueError("binary consensus: initial value must be 0 or 1")
+        self.pid = pid
+        self.n = n
+        self.f = f
+        self.initial = initial
+        self.decision: int | None = None
+        # tree[sigma] for sigma a tuple of distinct pids, 1 <= len <= f+1.
+        self.tree: dict[tuple[int, ...], int] = {}
+
+    def initial_message(self) -> Any:
+        # Level-0 relay: "my value is `initial`".
+        return {(): self.initial}
+
+    def on_round(self, round_index: int, received: Mapping[int, Any]) -> Any:
+        """Incorporate level ``round_index`` relays; emit the next level."""
+        level = round_index
+        for sender, payload in received.items():
+            if not isinstance(payload, dict):
+                continue
+            for sigma, value in payload.items():
+                if not self._valid_label(sigma, level - 1, sender):
+                    continue
+                if value not in (0, 1):
+                    value = 0
+                self.tree[(*sigma, sender)] = value
+        if level >= self.f + 1:
+            self.decision = self._resolve(())
+            return None
+        return {
+            sigma: value
+            for sigma, value in self.tree.items()
+            if len(sigma) == level and self.pid not in sigma
+        }
+
+    def _valid_label(self, sigma: Any, expected_len: int, sender: int) -> bool:
+        if not isinstance(sigma, tuple) or len(sigma) != expected_len:
+            return False
+        if any(not isinstance(i, int) or not 0 <= i < self.n for i in sigma):
+            return False
+        if len(set(sigma)) != len(sigma) or sender in sigma:
+            return False
+        return True
+
+    def _resolve(self, sigma: tuple[int, ...]) -> int:
+        if len(sigma) == self.f + 1:
+            return self.tree.get(sigma, 0)
+        children = [j for j in range(self.n) if j not in sigma]
+        values = [self._resolve((*sigma, j)) for j in children]
+        ones = sum(values)
+        return 1 if ones * 2 > len(values) else 0
+
+
+class RandomLiar:
+    """Byzantine round behaviour: sends random bits / garbage."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self.decision: int | None = None
+
+    def initial_message(self) -> Any:
+        return self.rng.randint(0, 1)
+
+    def on_round(self, round_index: int, received: Mapping[int, Any]) -> Any:
+        roll = self.rng.random()
+        if roll < 0.3:
+            return self.rng.randint(0, 1)
+        if roll < 0.5:
+            return "garbage"
+        if roll < 0.7:
+            return None
+        return {("nonsense",): 42}
+
+
+class ConflictingLiar:
+    """Byzantine round behaviour: always sends the most disruptive bit.
+
+    Tracks the counts it receives and reports the minority value, keeping
+    the system as close to a split as it can manage.
+    """
+
+    def __init__(self) -> None:
+        self.decision: int | None = None
+        self._bit = 1
+
+    def initial_message(self) -> Any:
+        return self._bit
+
+    def on_round(self, round_index: int, received: Mapping[int, Any]) -> Any:
+        ones = sum(1 for v in received.values() if v == 1)
+        zeros = sum(1 for v in received.values() if v == 0)
+        self._bit = 1 if ones < zeros else 0
+        return self._bit

@@ -1,0 +1,174 @@
+"""Algorithms for the weaker ABC variants of Section 6.
+
+Two mechanisms are implemented:
+
+* :class:`AdaptiveXiMonitor` -- the ?ABC idea sketched at the end of
+  Section 6: run the Figure-3 timeout with an *estimate* ``Xihat``; when
+  a reply arrives from a process that the estimate had already timed
+  out, the estimate was wrong (or the process crashed) -- so increase
+  ``Xihat`` to just above the ratio actually observed and rehabilitate
+  the suspect.  In a ?ABC execution (some unknown ``Xi`` holds
+  perpetually) the estimate increases at most finitely often and the
+  detector converges to eventually-perfect behaviour.
+
+* :class:`DoublingLockstepProcess` -- eventual lock-step rounds for the
+  <>ABC / ?<>ABC models in the style the paper attributes to Widder &
+  Schmid: rounds double in length (round ``r`` spans ``X_0 * 2^r``
+  phases of the Algorithm 1 clock), so once the (eventually holding,
+  possibly unknown) synchrony bound is dominated, every later round is
+  lock-step.  "A more clever algorithm could exploit the ABC synchrony
+  condition to eventually learn a feasible value for Xi" -- that cleverer
+  route is :class:`AdaptiveXiMonitor`; the doubling construction is the
+  robust baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Mapping
+
+from repro.algorithms.clock_sync import ClockSyncProcess, Tick
+from repro.algorithms.failure_detector import Ping, PingPongMonitor, Pong
+from repro.algorithms.lockstep import RoundAlgorithm, RoundPayload
+from repro.sim.process import StepContext
+
+__all__ = [
+    "AdaptiveXiMonitor",
+    "DoublingLockstepProcess",
+    "doubling_round_start",
+]
+
+
+class AdaptiveXiMonitor(PingPongMonitor):
+    """A Figure-3 monitor that learns ``Xi`` (the ?ABC model).
+
+    Behaves like :class:`PingPongMonitor` with estimate ``Xihat``, but
+    keeps counting chain progress after a timeout.  If a suspected
+    target's reply arrives later, the monitor:
+
+    * computes the observed ratio (completed chain length over the
+      2-message reply chain) at arrival,
+    * raises ``Xihat`` strictly above it, and
+    * removes the suspicion.
+
+    Attributes:
+        xi_hat: the current estimate (a ``Fraction``).
+        revisions: log of ``(old, observed_ratio, new)`` estimate bumps.
+    """
+
+    def __init__(
+        self,
+        targets: tuple[int, ...] | list[int],
+        initial_xi_hat: Fraction | int | float = Fraction(3, 2),
+        max_probes: int = 10,
+    ) -> None:
+        super().__init__(targets, initial_xi_hat, max_probes=max_probes)
+        self.xi_hat = Fraction(initial_xi_hat)
+        self.revisions: list[tuple[Fraction, Fraction, Fraction]] = []
+        self._ping_issue_point: dict[int, int] = {}
+
+    def _issued_ping(self, target: int) -> None:
+        self._ping_issue_point[target] = self.total_trips
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        if isinstance(payload, Pong) and sender in self.suspected:
+            # A late reply from a suspect -- typically from an earlier
+            # probe round whose timeout fired: the estimate was too low.
+            self._learn_from_late_reply(sender)
+        super().on_message(ctx, payload, sender)
+
+    def _learn_from_late_reply(self, sender: int) -> None:
+        """A suspected target answered: the estimate was too small.
+
+        The observed ratio is the number of round trips (chains of two
+        messages each) completed between issuing the outstanding ping and
+        the reply's arrival -- exactly the ``|Z-| / |Z+|`` of the cycle
+        the reply closed.
+        """
+        issued_at = self._ping_issue_point.get(sender, 0)
+        observed = Fraction(max(self.total_trips - issued_at, 1))
+        old = self.xi_hat
+        self.xi_hat = max(self.xi_hat, observed) + 1
+        self.trips_needed = math.ceil(self.xi_hat)
+        self.revisions.append((old, observed, self.xi_hat))
+        self.suspected.discard(sender)
+        self.suspicion_step.pop(sender, None)
+
+
+def doubling_round_start(base_phases: int, round_index: int) -> int:
+    """First clock value of round ``round_index`` under doubling rounds.
+
+    Round ``r`` spans ``base_phases * 2^r`` phases, so it starts at
+    ``base_phases * (2^r - 1)``.
+    """
+    return base_phases * ((1 << round_index) - 1)
+
+
+class DoublingLockstepProcess(ClockSyncProcess):
+    """Eventual lock-step rounds via doubling round durations.
+
+    Identical piggybacking discipline to
+    :class:`~repro.algorithms.lockstep.LockstepProcess`, but the round
+    boundaries are ``base_phases * (2^r - 1)`` instead of ``r * 2 Xi``.
+    No synchrony parameter is consumed at all -- suitable for the ?<>ABC
+    model.  Eventual lock-step: once ``2^r`` exceeds the (unknown,
+    eventually holding) ``2 Xi``, round ``r`` messages of correct
+    processes arrive before any correct process enters round ``r + 1``;
+    the analysis module measures the first such round.
+    """
+
+    def __init__(
+        self,
+        f: int,
+        base_phases: int,
+        algorithm: RoundAlgorithm,
+        max_rounds: int,
+    ) -> None:
+        if base_phases < 1:
+            raise ValueError("base_phases must be positive")
+        max_tick = doubling_round_start(base_phases, max_rounds + 1)
+        super().__init__(f, max_tick=max_tick)
+        self.base_phases = base_phases
+        self.algorithm = algorithm
+        self.max_rounds = max_rounds
+        self.r = 0
+        self.round_entry_step: dict[int, int] = {0: 0}
+        self.received_rounds: dict[int, dict[int, Any]] = {}
+        self.round_inputs: dict[int, dict[int, Any]] = {}
+        self._emitted: dict[int, Any] = {}
+        self._boundaries = {
+            doubling_round_start(base_phases, r): r
+            for r in range(max_rounds + 1)
+        }
+
+    def tick_payload(self, value: int) -> Any:
+        round_index = self._boundaries.get(value)
+        if round_index is None:
+            return None
+        return RoundPayload(round_index, self._message_for(round_index))
+
+    def _message_for(self, round_index: int) -> Any:
+        if round_index in self._emitted:
+            return self._emitted[round_index]
+        if round_index == 0:
+            message = self.algorithm.initial_message()
+        else:
+            received = dict(self.received_rounds.get(round_index - 1, {}))
+            self.round_inputs[round_index] = received
+            message = self.algorithm.on_round(round_index, received)
+            self.r = round_index
+            self.round_entry_step[round_index] = self._step_index
+        self._emitted[round_index] = message
+        return message
+
+    def on_tick_received(self, tick: Tick, sender: int) -> None:
+        payload = tick.payload
+        if not isinstance(payload, RoundPayload):
+            return
+        if self._boundaries.get(tick.value) != payload.round_index:
+            return  # malformed piggyback
+        bucket = self.received_rounds.setdefault(payload.round_index, {})
+        if sender not in bucket:
+            bucket[sender] = payload.data

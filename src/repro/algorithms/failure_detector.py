@@ -1,0 +1,148 @@
+"""Failure detection by timing out relevant message chains (Figure 3).
+
+The ABC synchrony condition enables a time-free timeout: a correct
+process ``p`` ping-pongs with a partner; once a causal chain of ``2 Xi``
+messages (``ceil(Xi)`` round trips) has completed since ``p`` broadcast a
+probe, any outstanding reply would close a relevant cycle with ratio
+``>= 2 Xi / 2 = Xi`` -- which condition (2) forbids.  So ``p`` can safely
+suspect the silent process: *the absence of a reply allows the timeout,
+because a later arrival would violate the ABC synchrony condition*.
+
+:class:`PingPongMonitor` implements this as a repeating probe protocol
+against a set of monitored targets (crash faults, as in the paper's
+example).  Every correct process also answers pings
+(:class:`PongResponder` behaviour is built into both classes), so any
+correct target doubles as the "fast" chain partner.
+
+In every ABC-admissible execution the resulting detector is *perfect*:
+
+* strong accuracy -- a correct process is never suspected (its reply
+  arriving after the timeout would make the execution inadmissible);
+* strong completeness -- a crashed process is eventually suspected by
+  every correct monitor (probe rounds repeat forever).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any
+
+from repro.sim.process import Process, StepContext
+
+__all__ = ["Ping", "Pong", "PingPongMonitor", "PongResponder"]
+
+
+@dataclass(frozen=True)
+class Ping:
+    """A probe; ``probe`` identifies the round, ``trip`` the round trip."""
+
+    probe: int
+    trip: int
+
+
+@dataclass(frozen=True)
+class Pong:
+    """The immediate reply to a :class:`Ping`."""
+
+    probe: int
+    trip: int
+
+
+class PongResponder(Process):
+    """A correct process that immediately echoes pings with pongs."""
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        if isinstance(payload, Ping):
+            ctx.send(sender, Pong(payload.probe, payload.trip))
+
+
+class PingPongMonitor(PongResponder):
+    """The monitor ``p`` of Figure 3, generalized to many targets.
+
+    Per probe round, the monitor broadcasts ``Ping(probe, 0)`` to every
+    target.  Each pong from target ``t`` is immediately re-ponged until
+    ``t`` has completed ``trips_needed = ceil(Xi)`` round trips (a causal
+    chain of ``2 ceil(Xi) >= 2 Xi`` messages).  The moment the *first*
+    target completes its chain, every target whose round-0 pong is still
+    outstanding is suspected, and the next probe round starts.
+
+    Args:
+        targets: processes to monitor (and use as chain partners).
+        xi: the ABC synchrony parameter.
+        max_probes: stop probing after this many rounds (so runs
+            quiesce); completeness needs at least one full round after
+            the crash.
+
+    Attributes:
+        suspected: the (monotonically growing) suspicion set.
+        suspicion_step: local step index at which each suspicion
+            happened, for causal analysis in tests.
+    """
+
+    def __init__(
+        self,
+        targets: tuple[int, ...] | list[int],
+        xi: Fraction | int | float,
+        max_probes: int = 10,
+    ) -> None:
+        xi_frac = Fraction(xi)
+        if xi_frac <= 1:
+            raise ValueError(f"the ABC model requires Xi > 1, got {xi_frac}")
+        self.targets = tuple(targets)
+        self.xi = xi_frac
+        self.trips_needed = math.ceil(xi_frac)
+        self.max_probes = max_probes
+        self.suspected: set[int] = set()
+        self.suspicion_step: dict[int, int] = {}
+        self.total_trips = 0  # completed round trips, across all probes
+        self._probe = -1
+        self._replied: set[int] = set()
+        self._pinged: set[int] = set()
+        self._trips: dict[int, int] = {}
+        self._steps = 0
+
+    def on_wakeup(self, ctx: StepContext) -> None:
+        self._start_probe(ctx)
+
+    def _issued_ping(self, target: int) -> None:
+        """Hook for subclasses: a round-0 probe ping went to ``target``."""
+
+    def _start_probe(self, ctx: StepContext) -> None:
+        self._probe += 1
+        if self._probe >= self.max_probes:
+            return
+        self._replied = set()
+        self._pinged = set()
+        self._trips = {t: 0 for t in self.targets}
+        for t in self.targets:
+            if t not in self.suspected:
+                ctx.send(t, Ping(self._probe, 0))
+                self._pinged.add(t)
+                self._issued_ping(t)
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        self._steps += 1
+        if isinstance(payload, Ping):
+            ctx.send(sender, Pong(payload.probe, payload.trip))
+            return
+        if not isinstance(payload, Pong) or payload.probe != self._probe:
+            return
+        if sender not in self._trips or sender in self.suspected:
+            return
+        self._replied.add(sender)
+        self._trips[sender] += 1
+        self.total_trips += 1
+        if self._trips[sender] < self.trips_needed:
+            ctx.send(sender, Ping(self._probe, payload.trip + 1))
+            return
+        # ``sender`` completed a chain of 2 * trips_needed >= 2 Xi
+        # messages.  Any target pinged in this probe round and still
+        # silent can be suspected: its reply would now close a relevant
+        # cycle with |Z-| >= 2 Xi and |Z+| = 2, violating condition (2).
+        for t in self._pinged:
+            if t not in self._replied and t not in self.suspected:
+                self.suspected.add(t)
+                self.suspicion_step[t] = self._steps
+        self._start_probe(ctx)

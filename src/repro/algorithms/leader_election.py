@@ -1,0 +1,131 @@
+"""Omega (eventual leader election) from a restricted ABC condition.
+
+Section 6 of the paper sketches how to chase weaker models: "the ABC
+synchrony condition could be restricted to a fixed subset of f + 2
+processes in the system, which elect a leader among themselves and
+disseminate its id to the remaining processes".  This module implements
+that construction for crash faults:
+
+* the ``core`` (any f + 2 processes) run the Figure-3 ping-pong failure
+  detector among themselves -- only *their* message chains need to obey
+  the ABC condition (messages outside the core can be exempted from the
+  execution graph via ``build_execution_graph(keep_message=...)``);
+* every core member elects the smallest core process it does not
+  suspect, and piggybacks the current leader id on its probe traffic;
+* non-core processes adopt the most recent leader id they hear.
+
+Under a restricted-ABC execution the detector is perfect within the
+core, so all correct processes eventually and permanently agree on the
+smallest correct core member -- the Omega guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any
+
+from repro.algorithms.failure_detector import Ping, PingPongMonitor, Pong
+from repro.sim.process import Process, StepContext
+
+__all__ = ["LeaderAnnouncement", "CoreElector", "LeaderFollower"]
+
+
+@dataclass(frozen=True)
+class LeaderAnnouncement:
+    """Broadcast by core members: their current leader choice.
+
+    ``epoch`` counts the sender's probe rounds so stale announcements can
+    be recognized by followers.
+    """
+
+    leader: int
+    epoch: int
+
+
+class CoreElector(PingPongMonitor):
+    """A core member: monitors its core peers and announces a leader.
+
+    Args:
+        core: the f + 2 core processes (must include this process).
+        others: the non-core processes to notify.
+        xi: the (restricted) ABC synchrony parameter.
+        max_probes: probe rounds before quiescing.
+    """
+
+    def __init__(
+        self,
+        core: tuple[int, ...] | list[int],
+        others: tuple[int, ...] | list[int],
+        xi: Fraction | int | float,
+        max_probes: int = 10,
+    ) -> None:
+        self.core = tuple(sorted(core))
+        self.others = tuple(sorted(others))
+        self._ready = False
+        super().__init__(
+            targets=[],  # filled in attach(), when pid is known
+            xi=xi,
+            max_probes=max_probes,
+        )
+        self.leader: int | None = None
+        self.leader_history: list[int] = []
+
+    def attach(self, pid: int, n: int) -> None:
+        super().attach(pid, n)
+        if pid not in self.core:
+            raise ValueError(f"process {pid} is not in the core {self.core}")
+        self.targets = tuple(t for t in self.core if t != pid)
+        self._ready = True
+
+    # -- election ---------------------------------------------------------
+
+    def current_leader(self) -> int:
+        candidates = [p for p in self.core if p not in self.suspected]
+        # The process itself is never self-suspected.
+        return min(candidates) if candidates else self.pid
+
+    def _announce(self, ctx: StepContext) -> None:
+        new_leader = self.current_leader()
+        if new_leader != self.leader:
+            self.leader = new_leader
+            self.leader_history.append(new_leader)
+        announcement = LeaderAnnouncement(self.leader, self._probe)
+        for dest in self.others:
+            ctx.send(dest, announcement)
+
+    def on_wakeup(self, ctx: StepContext) -> None:
+        super().on_wakeup(ctx)
+        self._announce(ctx)
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        before = set(self.suspected)
+        probe_before = self._probe
+        super().on_message(ctx, payload, sender)
+        # Re-announce whenever the suspicion set or probe round changed.
+        if self.suspected != before or self._probe != probe_before:
+            self._announce(ctx)
+
+
+class LeaderFollower(Process):
+    """A non-core process: trusts the freshest announcement per sender,
+    and follows the announcement of the smallest non-stale sender."""
+
+    def __init__(self) -> None:
+        self.leader: int | None = None
+        self._latest: dict[int, LeaderAnnouncement] = {}
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        if not isinstance(payload, LeaderAnnouncement):
+            return
+        current = self._latest.get(sender)
+        if current is None or payload.epoch >= current.epoch:
+            self._latest[sender] = payload
+        freshest = max(a.epoch for a in self._latest.values())
+        recent = [
+            a.leader
+            for a in self._latest.values()
+            if a.epoch >= freshest - 1
+        ]
+        if recent:
+            self.leader = min(recent)

@@ -1,0 +1,186 @@
+"""Algorithm 2: lock-step round simulation on top of Algorithm 1.
+
+Clocks are treated as phase counters and a round consists of ``2 Xi``
+phases: whenever the clock ``k`` reaches ``(r + 1) * round_phases`` the
+process starts round ``r + 1``, reading the round ``r`` messages,
+executing the round ``r + 1`` computation and sending the round ``r + 1``
+messages.  Round messages are *piggybacked* on the ``(tick k)`` broadcast
+with ``k = r * round_phases`` -- this is essential: a separate message
+could arrive late, while Lemma 4 (causal cone) guarantees that the tick
+itself is received by every correct process before it enters the next
+round, which is exactly Theorem 5.
+
+Since clock values are integers, ``round_phases`` must be an integer
+``>= 2 Xi``; use ``ceil(2 Xi)`` for fractional ``Xi`` (a longer round
+keeps Theorem 5's argument valid a fortiori).
+
+The computation executed in each round is supplied as a
+:class:`RoundAlgorithm`; :mod:`repro.algorithms.consensus` provides the
+phase-king Byzantine consensus instance, and
+:func:`run_synchronous` executes the same interface on a native
+synchronous executor for baseline comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Mapping, Protocol, Sequence
+
+from repro.algorithms.clock_sync import ClockSyncProcess, Tick
+
+__all__ = [
+    "RoundAlgorithm",
+    "RoundPayload",
+    "LockstepProcess",
+    "round_phases_for",
+    "run_synchronous",
+]
+
+
+class RoundAlgorithm(Protocol):
+    """A synchronous full-information round-based algorithm.
+
+    The contract matches classic synchronous executions: in round ``r``
+    each process receives the round ``r - 1`` messages of all processes
+    (possibly missing or garbled entries for faulty senders), updates its
+    state, and emits its round ``r`` message.
+    """
+
+    def initial_message(self) -> Any:
+        """The round 0 message, sent before any reception."""
+        ...
+
+    def on_round(self, round_index: int, received: Mapping[int, Any]) -> Any:
+        """Execute round ``round_index`` and return its outgoing message.
+
+        ``received`` maps sender pid to the round ``round_index - 1``
+        payload received from that sender.
+        """
+        ...
+
+
+@dataclass(frozen=True)
+class RoundPayload:
+    """The piggybacked content of a round-boundary tick."""
+
+    round_index: int
+    data: Any
+
+
+def round_phases_for(xi: Fraction | int | float) -> int:
+    """``ceil(2 Xi)``: the number of phases per simulated round."""
+    xi_frac = Fraction(xi)
+    if xi_frac <= 1:
+        raise ValueError(f"the ABC model requires Xi > 1, got {xi_frac}")
+    return math.ceil(2 * xi_frac)
+
+
+class LockstepProcess(ClockSyncProcess):
+    """Algorithm 2 merged with Algorithm 1.
+
+    Args:
+        f: resilience parameter of the clock-sync layer.
+        round_phases: phases per round (``ceil(2 Xi)``).
+        algorithm: the round computation to run on top.
+        max_rounds: stop piggybacking after this round so runs quiesce.
+
+    Attributes:
+        r: the current round (the paper's variable ``r``).
+        round_entry_step: local step index at which each round was
+            entered (for the lock-step verification in the analysis
+            package).
+        received_rounds: per round, the payload received from each
+            sender, exactly as handed to the algorithm.
+    """
+
+    def __init__(
+        self,
+        f: int,
+        round_phases: int,
+        algorithm: RoundAlgorithm,
+        max_rounds: int,
+    ) -> None:
+        if round_phases < 2:
+            raise ValueError("a round needs at least 2 phases (Xi > 1)")
+        max_tick = round_phases * max_rounds
+        super().__init__(f, max_tick=max_tick)
+        self.round_phases = round_phases
+        self.algorithm = algorithm
+        self.max_rounds = max_rounds
+        self.r = 0
+        self.round_entry_step: dict[int, int] = {0: 0}
+        self.received_rounds: dict[int, dict[int, Any]] = {}
+        self.round_inputs: dict[int, dict[int, Any]] = {}
+        self._emitted: dict[int, Any] = {}
+
+    # -- piggybacking ----------------------------------------------------
+
+    def tick_payload(self, value: int) -> Any:
+        if value % self.round_phases != 0:
+            return None
+        round_index = value // self.round_phases
+        if round_index > self.max_rounds:
+            return None
+        return RoundPayload(round_index, self._message_for(round_index))
+
+    def _message_for(self, round_index: int) -> Any:
+        """Compute (once) the round message emitted at this boundary.
+
+        Entering round ``round_index`` means reading the round
+        ``round_index - 1`` messages and producing the round
+        ``round_index`` message (procedure ``start(r)`` of Algorithm 2).
+        """
+        if round_index in self._emitted:
+            return self._emitted[round_index]
+        if round_index == 0:
+            message = self.algorithm.initial_message()
+        else:
+            received = dict(self.received_rounds.get(round_index - 1, {}))
+            self.round_inputs[round_index] = received
+            message = self.algorithm.on_round(round_index, received)
+            self.r = round_index
+            self.round_entry_step[round_index] = self._step_index
+        self._emitted[round_index] = message
+        return message
+
+    def on_tick_received(self, tick: Tick, sender: int) -> None:
+        payload = tick.payload
+        if not isinstance(payload, RoundPayload):
+            return
+        expected = tick.value // self.round_phases
+        if tick.value % self.round_phases != 0 or payload.round_index != expected:
+            return  # malformed piggyback (Byzantine sender)
+        bucket = self.received_rounds.setdefault(payload.round_index, {})
+        if sender not in bucket:
+            bucket[sender] = payload.data
+
+
+def run_synchronous(
+    algorithms: Sequence[RoundAlgorithm | None],
+    rounds: int,
+) -> list[dict[int, Any]]:
+    """Native synchronous executor: the baseline Algorithm 2 simulates.
+
+    ``algorithms[pid]`` may be ``None`` for a crashed/absent process (it
+    sends nothing).  Byzantine behaviours are just ``RoundAlgorithm``
+    implementations that lie.  Returns, per round ``r`` in ``0..rounds``,
+    the map of messages sent in that round.
+    """
+    n = len(algorithms)
+    messages: dict[int, Any] = {
+        pid: algo.initial_message()
+        for pid, algo in enumerate(algorithms)
+        if algo is not None
+    }
+    history = [dict(messages)]
+    for r in range(1, rounds + 1):
+        new_messages: dict[int, Any] = {}
+        for pid, algo in enumerate(algorithms):
+            if algo is None:
+                continue
+            new_messages[pid] = algo.on_round(r, dict(messages))
+        messages = new_messages
+        history.append(dict(messages))
+    return history

@@ -1,0 +1,29 @@
+"""Property checkers for the paper's theorems, over recorded traces."""
+
+from repro.analysis.properties import (
+    BoundedProgressReport,
+    ClockAnalysis,
+    PrecisionReport,
+    first_lockstep_round,
+    verify_bounded_progress,
+    verify_causal_chain_length,
+    verify_causal_cone,
+    verify_cut_synchrony,
+    verify_lockstep,
+    verify_progress,
+    verify_realtime_precision,
+)
+
+__all__ = [
+    "BoundedProgressReport",
+    "ClockAnalysis",
+    "PrecisionReport",
+    "first_lockstep_round",
+    "verify_bounded_progress",
+    "verify_causal_chain_length",
+    "verify_causal_cone",
+    "verify_cut_synchrony",
+    "verify_lockstep",
+    "verify_progress",
+    "verify_realtime_precision",
+]

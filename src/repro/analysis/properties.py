@@ -1,0 +1,342 @@
+"""Property checkers for the Section 3 theorems.
+
+Each checker takes a recorded trace (plus the algorithm instances, for
+clock values) and decides whether the corresponding guarantee held:
+
+* Theorem 1 (progress): correct clocks grow without bound -- checked as
+  "every correct clock reached the run's tick horizon".
+* Theorem 2 (synchrony): ``|C_p(S) - C_q(S)| <= 2 Xi`` on consistent
+  cuts; checked over a family of cuts (event closures and, optionally,
+  randomly sampled closures).
+* Theorem 3 (precision): the same bound on real-time (Mattern) cuts, at
+  every event time of the run.
+* Theorem 4 (bounded progress): whenever a correct ``p`` performs
+  ``rho = 4 Xi + 1`` distinguished events in a cut interval, every
+  correct process performs at least one there.
+* Theorem 5 (lock-step): every correct process enters round ``r + 1``
+  only after having received the round ``r`` message of every correct
+  process (via the lock-step layer's input snapshots).
+* Lemma 4 (causal cone): at any event with ``C_p = k + 2 Xi``, process
+  ``p`` has already received ``(tick l)`` from every correct process for
+  all ``l <= k``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from repro.algorithms.clock_sync import ClockSyncProcess, Tick
+from repro.core.cuts import Cut, clock_values_at_cut, real_time_cut
+from repro.core.events import Event, ProcessId
+from repro.core.execution_graph import ExecutionGraph
+from repro.sim.trace import Trace, build_execution_graph
+
+__all__ = [
+    "ClockAnalysis",
+    "PrecisionReport",
+    "BoundedProgressReport",
+    "verify_progress",
+    "verify_cut_synchrony",
+    "verify_realtime_precision",
+    "verify_bounded_progress",
+    "verify_causal_cone",
+    "verify_lockstep",
+    "first_lockstep_round",
+]
+
+
+@dataclass
+class ClockAnalysis:
+    """Bundles a trace with the per-event clock values of Algorithm 1."""
+
+    trace: Trace
+    clocks: dict[ProcessId, Sequence[int]]
+    graph: ExecutionGraph
+
+    @staticmethod
+    def from_run(
+        trace: Trace, processes: Sequence[object]
+    ) -> "ClockAnalysis":
+        """Collect clock histories from :class:`ClockSyncProcess` runs.
+
+        Faulty pids (per the trace metadata) are skipped even if their
+        process object happens to expose a clock.
+        """
+        clocks: dict[ProcessId, Sequence[int]] = {}
+        for pid, proc in enumerate(processes):
+            if pid in trace.faulty:
+                continue
+            history = getattr(proc, "clock_after_step", None)
+            if history is not None:
+                clocks[pid] = list(history)
+        return ClockAnalysis(trace, clocks, build_execution_graph(trace))
+
+    def clock_of(self, event: Event) -> int | None:
+        """``C_p(phi)``: clock value after the step of ``event``."""
+        history = self.clocks.get(event.process)
+        if history is None or event.index >= len(history):
+            return None
+        return history[event.index]
+
+    @property
+    def correct(self) -> frozenset[ProcessId]:
+        return frozenset(self.clocks)
+
+    def final_clocks(self) -> dict[ProcessId, int]:
+        return {p: history[-1] for p, history in self.clocks.items() if history}
+
+
+@dataclass(frozen=True)
+class PrecisionReport:
+    """Outcome of a synchrony/precision check."""
+
+    bound: Fraction
+    worst_spread: int
+    n_cuts: int
+    holds: bool
+
+
+def verify_progress(analysis: ClockAnalysis, target: int) -> bool:
+    """Theorem 1 on a finite prefix: every correct clock reached
+    ``target``."""
+    finals = analysis.final_clocks()
+    return bool(finals) and all(k >= target for k in finals.values())
+
+
+def _cut_spread(analysis: ClockAnalysis, cut: Cut) -> int | None:
+    values = clock_values_at_cut(cut, analysis.clock_of, analysis.correct)
+    if len(values) < len(analysis.correct):
+        return None  # cut does not cover every correct process
+    return max(values.values()) - min(values.values())
+
+
+def verify_cut_synchrony(
+    analysis: ClockAnalysis,
+    xi: Fraction | int | float,
+    extra_samples: int = 50,
+    seed: int = 0,
+) -> PrecisionReport:
+    """Theorem 2: ``|C_p(S) - C_q(S)| <= 2 Xi`` over consistent cuts.
+
+    Checked cuts: the closure of every single event (unioned with every
+    process's first event so the cut covers all correct processes), plus
+    ``extra_samples`` closures of random event subsets.
+    """
+    xi_frac = Fraction(xi)
+    bound = 2 * xi_frac
+    graph = analysis.graph
+    base = [Event(p, 0) for p in analysis.correct]
+    cuts: list[Cut] = []
+    for ev in graph.events():
+        cuts.append(Cut(graph.causal_past([ev] + base)))
+    rng = random.Random(seed)
+    events = list(graph.events())
+    for _ in range(extra_samples):
+        sample = rng.sample(events, k=min(len(events), rng.randint(1, 5)))
+        cuts.append(Cut(graph.causal_past(sample + base)))
+    worst = 0
+    for cut in cuts:
+        spread = _cut_spread(analysis, cut)
+        if spread is not None:
+            worst = max(worst, spread)
+    return PrecisionReport(bound, worst, len(cuts), Fraction(worst) <= bound)
+
+
+def verify_realtime_precision(
+    analysis: ClockAnalysis, xi: Fraction | int | float
+) -> PrecisionReport:
+    """Theorem 3: ``|C_p(t) - C_q(t)| <= 2 Xi`` at every event time.
+
+    ``C_p(t)`` is the clock after ``p``'s last step at time ``<= t``; a
+    process that has not stepped yet is skipped (its clock is undefined
+    until the wake-up, which occurs at the first instant it could count).
+    """
+    xi_frac = Fraction(xi)
+    bound = 2 * xi_frac
+    times = analysis.trace.times()
+    checkpoints = sorted({t for t in times.values()})
+    worst = 0
+    n = 0
+    for t in checkpoints:
+        cut = real_time_cut(times, t)
+        values = clock_values_at_cut(cut, analysis.clock_of, analysis.correct)
+        if len(values) == len(analysis.correct):
+            n += 1
+            spread = max(values.values()) - min(values.values())
+            worst = max(worst, spread)
+    return PrecisionReport(bound, worst, n, Fraction(worst) <= bound)
+
+
+@dataclass(frozen=True)
+class BoundedProgressReport:
+    """Outcome of the Theorem 4 check."""
+
+    rho: int
+    n_windows: int
+    violations: int
+
+    @property
+    def holds(self) -> bool:
+        return self.violations == 0
+
+
+def verify_bounded_progress(
+    analysis: ClockAnalysis,
+    xi: Fraction | int | float,
+    distinguished: Mapping[ProcessId, Sequence[int]],
+) -> BoundedProgressReport:
+    """Theorem 4 with ``rho = 4 Xi + 1`` for the given distinguished
+    steps (clock-increment-and-broadcast steps of Algorithm 1).
+
+    For every correct ``p`` and every minimal window of ``p``-events
+    containing ``rho`` distinguished events, every correct ``q`` must
+    have a distinguished event inside the cut interval.  Minimal windows
+    suffice: any larger window contains a minimal one's interval.
+    """
+    xi_frac = Fraction(xi)
+    rho = math.floor(4 * xi_frac) + 1
+    graph = analysis.graph
+    n_windows = 0
+    violations = 0
+    for p in analysis.correct:
+        marks = sorted(distinguished.get(p, ()))
+        events = graph.events_of(p)
+        if len(marks) <= rho:
+            continue
+        for start_pos in range(len(marks) - rho):
+            # Window from just before distinguished step #start_pos+1 to
+            # the step of distinguished event #start_pos+rho.
+            phi = events[marks[start_pos]]
+            phi_prime = events[marks[start_pos + rho]]
+            n_windows += 1
+            past_hi = graph.causal_past([phi_prime])
+            past_lo = graph.causal_past([phi])
+            interval = past_hi - past_lo
+            for q in analysis.correct:
+                if q == p:
+                    continue
+                q_marks = set(distinguished.get(q, ()))
+                hit = any(
+                    ev.process == q and ev.index in q_marks
+                    for ev in interval
+                )
+                if not hit:
+                    violations += 1
+    return BoundedProgressReport(rho, n_windows, violations)
+
+
+def verify_causal_cone(
+    analysis: ClockAnalysis, xi: Fraction | int | float
+) -> bool:
+    """Lemma 4: ``C_p(phi') = k + 2 Xi`` implies ``p`` has received
+    ``(tick l)`` from every correct process for all ``l <= k``.
+
+    Tick receptions are read off the trace payloads; only messages from
+    correct senders count (the execution graph drops faulty ones).
+    """
+    xi_frac = Fraction(xi)
+    two_xi = 2 * xi_frac
+    correct = analysis.correct
+    records_by_process: dict[ProcessId, list] = {p: [] for p in correct}
+    for record in analysis.trace.records:
+        p = record.event.process
+        if p in correct:
+            records_by_process[p].append(record)
+    for p in correct:
+        have: dict[int, set[ProcessId]] = {}
+        for record in records_by_process[p]:
+            payload = record.payload
+            if isinstance(payload, Tick) and record.sender in correct:
+                have.setdefault(payload.value, set()).add(record.sender)
+            clock = analysis.clock_of(record.event)
+            if clock is None:
+                continue
+            # Check the lemma whenever C_p >= k + 2 Xi for the max k.
+            k_limit = Fraction(clock) - two_xi
+            if k_limit < 0:
+                continue
+            k_max = math.floor(k_limit)
+            for l in range(k_max + 1):
+                if have.get(l, set()) != correct:
+                    return False
+    return True
+
+
+def verify_causal_chain_length(
+    analysis: ClockAnalysis,
+) -> bool:
+    """Lemma 3: a correct process with clock ``k + m`` ends a causal chain
+    of length ``>= m`` through correct processes.
+
+    Checked in the contrapositive-free form: for every event ``phi'`` of
+    a correct process with ``C_p(phi') = v``, the longest message chain
+    (through the execution graph, which only contains correct messages)
+    ending at ``phi'`` must have at least ``v`` messages -- the ``k = 0``
+    instance of the lemma, which is the strongest one.
+    """
+    from repro.core.chains import longest_incoming_chain
+
+    longest = longest_incoming_chain(analysis.graph)
+    for p in analysis.correct:
+        for ev in analysis.graph.events_of(p):
+            clock = analysis.clock_of(ev)
+            if clock is None:
+                continue
+            if longest.get(ev, 0) < clock:
+                return False
+    return True
+
+
+def verify_lockstep(
+    trace: Trace, processes: Sequence[object]
+) -> tuple[bool, int]:
+    """Theorem 5: round inputs of every correct process cover every
+    correct process, for every round it entered.
+
+    Returns (holds, number of (process, round) entries checked).
+    """
+    correct = trace.correct
+    checked = 0
+    for pid, proc in enumerate(processes):
+        if pid in correct:
+            inputs = getattr(proc, "round_inputs", None)
+            if inputs is None:
+                continue
+            for round_index, received in inputs.items():
+                checked += 1
+                if not correct <= set(received) | trace.faulty:
+                    return False, checked
+    return True, checked
+
+
+def first_lockstep_round(
+    trace: Trace, processes: Sequence[object]
+) -> int | None:
+    """Earliest round from which on all correct round inputs are complete.
+
+    The eventual lock-step guarantee of the Section 6 variants: returns
+    the smallest ``r0`` such that for every entered round ``r >= r0``
+    every correct process's input covers all correct processes, or
+    ``None`` if no such round exists in the trace.
+    """
+    correct = trace.correct
+    bad_rounds: set[int] = set()
+    max_round = 0
+    for pid, proc in enumerate(processes):
+        if pid not in correct:
+            continue
+        inputs = getattr(proc, "round_inputs", None)
+        if inputs is None:
+            continue
+        for round_index, received in inputs.items():
+            max_round = max(max_round, round_index)
+            if not correct <= set(received) | trace.faulty:
+                bad_rounds.add(round_index)
+    if not bad_rounds:
+        return 1
+    first = max(bad_rounds) + 1
+    return first if first <= max_round else None

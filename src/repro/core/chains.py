@@ -1,0 +1,77 @@
+"""Causal chains (Definition 2) and chain-length computations.
+
+A *causal chain* is a directed path in the execution graph; its *length*
+``|D|`` is the number of messages (non-local edges) on it.  Chain lengths
+drive the ABC failure-detection mechanism (Figure 3: a chain of ``2 Xi``
+messages times out a missing reply) and Lemma 3 (a process with clock
+``k + m`` sits at the end of a correct-process chain of length ``>= m``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.events import Event
+from repro.core.execution_graph import Edge, ExecutionGraph
+
+__all__ = [
+    "is_causal_chain",
+    "chain_length",
+    "longest_incoming_chain",
+    "longest_chain_between",
+]
+
+
+def is_causal_chain(graph: ExecutionGraph, events: Sequence[Event]) -> bool:
+    """Whether the event sequence follows edges of the graph forward."""
+    if not events:
+        return False
+    for a, b in zip(events, events[1:]):
+        if not any(edge.dst == b for edge in graph.out_edges(a)):
+            return False
+    return True
+
+
+def chain_length(graph: ExecutionGraph, events: Sequence[Event]) -> int:
+    """``|D|``: the number of messages along the chain."""
+    if not is_causal_chain(graph, events):
+        raise ValueError("event sequence is not a causal chain of the graph")
+    count = 0
+    for a, b in zip(events, events[1:]):
+        if any(e.dst == b and e.is_message for e in graph.out_edges(a)):
+            count += 1
+    return count
+
+
+def longest_incoming_chain(graph: ExecutionGraph) -> dict[Event, int]:
+    """For every event, the maximum message count over chains ending there.
+
+    Computed by dynamic programming over a topological order; linear in
+    the size of the graph.
+    """
+    longest: dict[Event, int] = {}
+    for ev in graph.topological_order():
+        best = 0
+        for edge in graph.in_edges(ev):
+            candidate = longest[edge.src] + (1 if edge.is_message else 0)
+            best = max(best, candidate)
+        longest[ev] = best
+    return longest
+
+
+def longest_chain_between(
+    graph: ExecutionGraph, start: Event, end: Event
+) -> int | None:
+    """Maximum message count over chains ``start ->* end``; ``None`` if
+    ``end`` is unreachable from ``start``."""
+    if start not in graph or end not in graph:
+        raise KeyError("both events must belong to the graph")
+    best: dict[Event, int] = {start: 0}
+    for ev in graph.topological_order():
+        if ev not in best:
+            continue
+        for edge in graph.out_edges(ev):
+            candidate = best[ev] + (1 if edge.is_message else 0)
+            if candidate > best.get(edge.dst, -1):
+                best[edge.dst] = candidate
+    return best.get(end)

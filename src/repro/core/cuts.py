@@ -1,0 +1,163 @@
+"""Consistent cuts and cut intervals (Definitions 5 and 6).
+
+The ABC model is time-free, so Algorithm 1's synchrony guarantee (Theorem
+2) is stated over *consistent cuts* rather than points in real time: a set
+``S`` of events that is left-closed under the reflexive-transitive
+happens-before relation and contains at least one event of every correct
+process.  Definition 6 additionally defines the *consistent cut interval*
+``[<phi>, <psi>] = <psi> \\ <phi>`` used by the bounded-progress condition
+(Definition 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.core.events import Event, ProcessId
+from repro.core.execution_graph import ExecutionGraph
+
+__all__ = [
+    "Cut",
+    "left_closure",
+    "is_left_closed",
+    "is_consistent_cut",
+    "cut_interval",
+    "frontier",
+    "clock_values_at_cut",
+    "real_time_cut",
+]
+
+
+@dataclass(frozen=True)
+class Cut:
+    """A set of events of an execution graph, with cut-related queries.
+
+    A ``Cut`` does not enforce consistency on construction; use
+    :meth:`is_consistent` (Definition 5) to check it.  This mirrors the
+    paper, which also works with not-necessarily-consistent cuts (e.g. the
+    cut ``S''`` in the proof of Lemma 1) and closes them when needed.
+    """
+
+    events: frozenset[Event]
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def frontier(self) -> dict[ProcessId, Event]:
+        """The last event of each process inside the cut."""
+        last: dict[ProcessId, Event] = {}
+        for ev in self.events:
+            if ev.process not in last or ev.index > last[ev.process].index:
+                last[ev.process] = ev
+        return last
+
+    def left_closure(self, graph: ExecutionGraph) -> "Cut":
+        """The smallest left-closed cut containing this one."""
+        if not self.events:
+            return self
+        return Cut(graph.causal_past(self.events))
+
+    def is_left_closed(self, graph: ExecutionGraph) -> bool:
+        return self.events == graph.causal_past(self.events) if self.events else True
+
+    def is_consistent(
+        self, graph: ExecutionGraph, correct: Iterable[ProcessId]
+    ) -> bool:
+        """Definition 5: left-closed and covering every correct process."""
+        covered = {ev.process for ev in self.events}
+        if any(p not in covered for p in correct):
+            return False
+        return self.is_left_closed(graph)
+
+    def union(self, other: "Cut") -> "Cut":
+        return Cut(self.events | other.events)
+
+    def difference(self, other: "Cut") -> "Cut":
+        return Cut(self.events - other.events)
+
+    def restricted_to(self, process: ProcessId) -> tuple[Event, ...]:
+        """The events of ``process`` inside the cut, in local order."""
+        return tuple(
+            sorted(ev for ev in self.events if ev.process == process)
+        )
+
+
+def left_closure(graph: ExecutionGraph, events: Iterable[Event]) -> Cut:
+    """``<events>``: the causal past of ``events`` (Definition 6)."""
+    events = list(events)
+    if not events:
+        return Cut(frozenset())
+    return Cut(graph.causal_past(events))
+
+
+def is_left_closed(graph: ExecutionGraph, events: Iterable[Event]) -> bool:
+    return Cut(frozenset(events)).is_left_closed(graph)
+
+
+def is_consistent_cut(
+    graph: ExecutionGraph,
+    events: Iterable[Event],
+    correct: Iterable[ProcessId],
+) -> bool:
+    """Definition 5, on a plain event set."""
+    return Cut(frozenset(events)).is_consistent(graph, correct)
+
+
+def cut_interval(graph: ExecutionGraph, phi: Event, psi: Event) -> Cut:
+    """The consistent cut interval ``[<phi>, <psi>] = <psi> \\ <phi>``.
+
+    Definition 6 requires ``phi -> psi``; we accept any pair of events and
+    simply take the set difference of the two closures, which coincides
+    with the paper's definition whenever ``phi ->* psi``.
+    """
+    past_psi = graph.causal_past([psi])
+    past_phi = graph.causal_past([phi])
+    return Cut(frozenset(past_psi - past_phi))
+
+
+def frontier(graph: ExecutionGraph, cut: Cut) -> dict[ProcessId, Event]:
+    """The frontier of a cut (last event per process)."""
+    return cut.frontier()
+
+
+def clock_values_at_cut(
+    cut: Cut,
+    clock_of: Callable[[Event], int | None],
+    processes: Iterable[ProcessId],
+) -> dict[ProcessId, int]:
+    """``C_p(S)`` for each process: the last clock value within the cut.
+
+    ``clock_of`` maps an event to the clock value after executing the
+    corresponding computing step (``C_p(phi_p)``), or ``None`` when the
+    step did not touch the clock.  Since clock values of correct processes
+    are monotonically increasing (Algorithm 1), the last value within the
+    cut is also the maximum; we return the maximum over the cut, matching
+    the paper's definition of ``C_p(S)``.
+    """
+    values: dict[ProcessId, int] = {}
+    wanted = set(processes)
+    for ev in cut.events:
+        if ev.process not in wanted:
+            continue
+        value = clock_of(ev)
+        if value is None:
+            continue
+        if ev.process not in values or value > values[ev.process]:
+            values[ev.process] = value
+    return values
+
+
+def real_time_cut(
+    times: Mapping[Event, float], t: float
+) -> Cut:
+    """All events with occurrence time ``<= t`` (Mattern real-time cut).
+
+    With non-negative message delays such a cut is automatically
+    left-closed, which is how Theorem 2 transfers to the real-time
+    precision bound of Theorem 3.
+    """
+    return Cut(frozenset(ev for ev, time in times.items() if time <= t))

@@ -1,0 +1,369 @@
+"""The non-standard cycle space of Section 4.1.
+
+The proof of Theorem 7 works in a vector space spanned by the *cycle
+vectors* of an execution graph: for a cycle ``Z`` walked along its
+orientation, the coefficient of message ``e`` is ``+1`` when ``e`` is a
+backward edge of ``Z``, ``-1`` when forward, and ``0`` when absent.  (The
+space differs from the classic graph-theoretic cycle space because
+"cycles" are cycles of the undirected shadow graph that still carry edge
+orientation - footnote 13 of the paper.)
+
+This module implements
+
+* cycle vectors and the addition ``(+)`` of cycle-space elements,
+* consistency of cycle pairs (Definition 10),
+* the constructive *mixed-edge removal* of Lemmas 8-10 via walk splicing,
+* the *mixed-free decomposition* of Theorem 11, and
+* the sum properties of Lemma 7 (non-relevant) and Lemma 11 / Corollary 1
+  (relevant), which together drive the Farkas argument of Theorem 12.
+
+The decomposition here is algorithmic rather than proof-shaped: cancelling
+an oppositely-traversed message between two closed walks splices them into
+one walk (Lemma 8's chain surgery), cancelling within a single walk splits
+it in two, and the final walks are cut at repeated events into simple
+cycles (the ``M_1, ..., M_l`` of Theorem 11).  All three operations
+preserve the multiset of non-cancelled steps, hence the vector sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Literal, Mapping, Sequence
+
+from repro.core.cycles import AGAINST, ALONG, Cycle, CycleClassification, Step
+from repro.core.execution_graph import MessageEdge
+
+__all__ = [
+    "CycleVector",
+    "walk_vector",
+    "vector_of",
+    "combine",
+    "consistency",
+    "mixed_free_decomposition",
+    "farkas_sum_property",
+    "relevant_sum_property",
+    "nonrelevant_sum_property",
+]
+
+
+@dataclass(frozen=True)
+class CycleVector:
+    """A cycle-space element: integer coefficients indexed by message.
+
+    Coefficients follow the paper's matrix convention: ``+1`` for a
+    backward message, ``-1`` for a forward message (Figure 7).  Linear
+    combinations produce arbitrary integer coefficients (multi-edges).
+    """
+
+    coefficients: Mapping[MessageEdge, int]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "coefficients",
+            {e: c for e, c in self.coefficients.items() if c != 0},
+        )
+
+    def __getitem__(self, edge: MessageEdge) -> int:
+        return self.coefficients.get(edge, 0)
+
+    def __add__(self, other: "CycleVector") -> "CycleVector":
+        merged = dict(self.coefficients)
+        for edge, coeff in other.coefficients.items():
+            merged[edge] = merged.get(edge, 0) + coeff
+        return CycleVector(merged)
+
+    def __mul__(self, scalar: int) -> "CycleVector":
+        return CycleVector({e: scalar * c for e, c in self.coefficients.items()})
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "CycleVector":
+        return self * -1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CycleVector):
+            return NotImplemented
+        return dict(self.coefficients) == dict(other.coefficients)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.coefficients.items()))
+
+    @property
+    def s_minus(self) -> int:
+        """``s-``: the sum of the non-negative coefficients.
+
+        For a vector representing a single relevant cycle this equals
+        ``|Z-|`` (footnote 12 of the paper).
+        """
+        return sum(c for c in self.coefficients.values() if c > 0)
+
+    @property
+    def s_plus(self) -> int:
+        """``s+``: the sum of the negative coefficients (a non-positive
+        number); ``-s_plus`` equals ``|Z+|`` for a single relevant cycle."""
+        return sum(c for c in self.coefficients.values() if c < 0)
+
+    def is_mixed_free_with(self, other: "CycleVector") -> bool:
+        """No message carries opposite signs in the two vectors."""
+        for edge, coeff in self.coefficients.items():
+            if coeff * other[edge] < 0:
+                return False
+        return True
+
+    def messages(self) -> frozenset[MessageEdge]:
+        return frozenset(self.coefficients)
+
+
+def walk_vector(cycle: Cycle | Sequence[Step]) -> CycleVector:
+    """The cycle vector of a walk, relative to its own walk direction.
+
+    A message traversed ``AGAINST`` the walk direction is a backward edge
+    (coefficient ``+1``); traversed ``ALONG`` it is forward (``-1``).
+    For the canonical cycle stored in a :class:`CycleClassification` the
+    walk direction *is* the orientation, so this matches the paper's cycle
+    vector exactly.
+    """
+    steps = cycle.steps if isinstance(cycle, Cycle) else tuple(cycle)
+    coeffs: dict[MessageEdge, int] = {}
+    for step in steps:
+        if not step.edge.is_message:
+            continue
+        assert isinstance(step.edge, MessageEdge)
+        delta = 1 if step.direction == AGAINST else -1
+        coeffs[step.edge] = coeffs.get(step.edge, 0) + delta
+    return CycleVector(coeffs)
+
+
+def vector_of(info: CycleClassification) -> CycleVector:
+    """The paper's cycle vector of a classified cycle."""
+    return walk_vector(info.cycle)
+
+
+def combine(
+    cycles: Iterable[CycleClassification | Cycle],
+    coefficients: Iterable[int] | None = None,
+) -> CycleVector:
+    """The vector of ``lambda_1 Z_1 (+) ... (+) lambda_n Z_n``."""
+    cycles = list(cycles)
+    coeffs = list(coefficients) if coefficients is not None else [1] * len(cycles)
+    if len(coeffs) != len(cycles):
+        raise ValueError("need one coefficient per cycle")
+    total = CycleVector({})
+    for item, lam in zip(cycles, coeffs):
+        vec = vector_of(item) if isinstance(item, CycleClassification) else walk_vector(item)
+        total = total + lam * vec
+    return total
+
+
+def consistency(
+    a: CycleVector | CycleClassification | Cycle,
+    b: CycleVector | CycleClassification | Cycle,
+) -> Literal["i", "o", "disjoint", "inconsistent"]:
+    """Definition 10: how two cycles relate on their shared messages.
+
+    Returns ``"i"`` (identically consistent), ``"o"`` (oppositely
+    consistent), ``"disjoint"`` (no shared message; i-consistent by
+    definition), or ``"inconsistent"`` (shared messages with both signs).
+    """
+
+    def as_vector(x) -> CycleVector:
+        if isinstance(x, CycleVector):
+            return x
+        if isinstance(x, CycleClassification):
+            return vector_of(x)
+        return walk_vector(x)
+
+    va, vb = as_vector(a), as_vector(b)
+    products = {
+        va[e] * vb[e]
+        for e in va.messages() & vb.messages()
+        if va[e] * vb[e] != 0
+    }
+    signs = {1 if p > 0 else -1 for p in products}
+    if not signs:
+        return "disjoint"
+    if signs == {1}:
+        return "i"
+    if signs == {-1}:
+        return "o"
+    return "inconsistent"
+
+
+# ----------------------------------------------------------------------
+# Mixed-free decomposition (Lemmas 8-10, Theorem 11)
+# ----------------------------------------------------------------------
+
+_Walk = list[Step]
+
+
+def _rotate_to_last(walk: _Walk, position: int) -> _Walk:
+    """Rotate a closed walk so the step at ``position`` comes last."""
+    return walk[position + 1 :] + walk[: position + 1]
+
+
+def _find_opposite_pair(walk_a: _Walk, walk_b: _Walk) -> tuple[int, int] | None:
+    """Positions of an oppositely-traversed shared message, if any."""
+    directions: dict[MessageEdge, list[tuple[int, int]]] = {}
+    for i, step in enumerate(walk_a):
+        if step.edge.is_message:
+            directions.setdefault(step.edge, []).append((i, step.direction))
+    for j, step in enumerate(walk_b):
+        if not step.edge.is_message:
+            continue
+        for i, direction in directions.get(step.edge, ()):
+            if direction == -step.direction:
+                return i, j
+    return None
+
+
+def _splice(walk_a: _Walk, walk_b: _Walk, i: int, j: int) -> _Walk:
+    """Cancel the opposite steps ``walk_a[i]``/``walk_b[j]`` (Lemma 8).
+
+    Rotating both walks so the cancelled step comes last leaves two open
+    paths with swapped endpoints; their concatenation is again a closed
+    walk and contains every step except the cancelled pair.
+    """
+    a = _rotate_to_last(walk_a, i)[:-1]
+    b = _rotate_to_last(walk_b, j)[:-1]
+    return a + b
+
+
+def _cancel_within(walk: _Walk) -> tuple[_Walk, _Walk] | None:
+    """Cancel an opposite message pair inside one walk, splitting it."""
+    seen: dict[MessageEdge, list[tuple[int, int]]] = {}
+    for i, step in enumerate(walk):
+        if not step.edge.is_message:
+            continue
+        for k, direction in seen.get(step.edge, ()):
+            if direction == -step.direction:
+                inner = walk[k + 1 : i]
+                outer = walk[i + 1 :] + walk[:k]
+                return inner, outer
+        seen.setdefault(step.edge, []).append((i, step.direction))
+    return None
+
+
+def _split_simple(walk: _Walk) -> list[_Walk]:
+    """Cut a closed walk at repeated events into vertex-simple cycles."""
+    result: list[_Walk] = []
+    remaining = list(walk)
+    # Iterate until the walk is simple; each pass extracts one loop.
+    progress = True
+    while progress and remaining:
+        progress = False
+        seen_at: dict[object, int] = {}
+        start_events = [step.start for step in remaining]
+        for idx, ev in enumerate(start_events):
+            if ev in seen_at:
+                loop = remaining[seen_at[ev] : idx]
+                if loop:
+                    result.append(loop)
+                remaining = remaining[: seen_at[ev]] + remaining[idx:]
+                progress = True
+                break
+            seen_at[ev] = idx
+    if remaining:
+        result.append(remaining)
+    return result
+
+
+def mixed_free_decomposition(
+    cycles: Sequence[CycleClassification | Cycle],
+) -> list[Cycle]:
+    """Theorem 11: rewrite ``Z_1 (+) ... (+) Z_n`` without cancellations.
+
+    Returns cycles ``M_1, ..., M_l`` (as closed walks; vertex-simple) such
+    that no message is traversed with opposite directions by two of them,
+    and the sum of their walk vectors equals the sum of the inputs'.
+
+    The input cycles must be supplied in oriented form (the canonical
+    cycles of :func:`repro.core.cycles.classify`, or any walk whose
+    direction should count as the orientation).
+    """
+    walks: list[_Walk] = []
+    for item in cycles:
+        cyc = item.cycle if isinstance(item, CycleClassification) else item
+        walks.append(list(cyc.steps))
+
+    changed = True
+    while changed:
+        changed = False
+        # Cancel within single walks first.
+        for idx, walk in enumerate(walks):
+            split = _cancel_within(walk)
+            if split is not None:
+                del walks[idx]
+                walks.extend(w for w in split if w)
+                changed = True
+                break
+        if changed:
+            continue
+        # Then cancel across pairs of walks.
+        for ai in range(len(walks)):
+            for bi in range(ai + 1, len(walks)):
+                pair = _find_opposite_pair(walks[ai], walks[bi])
+                if pair is None:
+                    continue
+                spliced = _splice(walks[ai], walks[bi], *pair)
+                del walks[bi]
+                del walks[ai]
+                if spliced:
+                    walks.append(spliced)
+                changed = True
+                break
+            if changed:
+                break
+
+    simple: list[Cycle] = []
+    for walk in walks:
+        for piece in _split_simple(walk):
+            if len(piece) >= 2:
+                simple.append(Cycle(tuple(piece)))
+    return simple
+
+
+# ----------------------------------------------------------------------
+# Sum properties (Lemma 7, Lemma 11 / Corollary 1)
+# ----------------------------------------------------------------------
+
+
+def farkas_sum_property(vector: CycleVector, xi: Fraction | int | float) -> bool:
+    """Condition (9): ``Xi * s+ + s- < 0`` for a combined cycle vector.
+
+    This is exactly ``ybar^T b > 0`` for the canonical Farkas certificate
+    built from the combination (Section 4.1): the negative coefficients of
+    the sum vector force upper-bound multipliers (weighted ``Xi``), the
+    positive ones force lower-bound multipliers (weighted ``1``).
+    """
+    xi_frac = Fraction(xi)
+    return xi_frac * vector.s_plus + vector.s_minus < 0
+
+
+def relevant_sum_property(
+    vector: CycleVector, xi: Fraction | int | float
+) -> bool:
+    """Lemma 11: condition (9) for combinations of *relevant* vectors.
+
+    Holds for every non-negative integer combination of relevant cycle
+    vectors of an ABC-admissible execution graph; equivalently (footnote
+    12 / Corollary 1) the combination behaves like a relevant cycle whose
+    ratio ``s- / (-s+)`` stays below ``Xi``.
+    """
+    return farkas_sum_property(vector, xi)
+
+
+def nonrelevant_sum_property(
+    vector: CycleVector, xi: Fraction | int | float
+) -> bool:
+    """Lemma 7: condition (9) for combinations of *flipped* non-relevant
+    vectors.
+
+    Non-relevant cycles enter the Farkas matrix with the sign-flipped
+    vector (the sums in (6) get the opposite sign, cp. Figure 4).  Each
+    flipped vector has coefficient sum ``|Z+| - |Z-| <= 0``, so any
+    non-negative combination has ``s- <= |s+|`` and, with ``Xi > 1``,
+    satisfies ``Xi * s+ + s- < 0``.  Callers pass the flipped combination.
+    """
+    return farkas_sum_property(vector, xi)

@@ -1,0 +1,265 @@
+"""Cycles in execution graphs and their classification (Definitions 2-3).
+
+A *cycle* ``Z`` in an execution graph ``G`` is a subgraph corresponding to
+a simple cycle in the undirected shadow graph of ``G`` (Definition 2).
+Since the shadow graph is a multigraph (a self-message runs in parallel
+with the local edges of its process), cycles are represented at the edge
+level: a cyclic sequence of *steps*, each step being an edge together with
+the direction in which the cycle traverses it.
+
+Definition 3 partitions the edges of a cycle into forward and backward
+classes by traversal direction, requires ``|Z+| <= |Z-|`` for the message
+restrictions of the two classes, and calls a cycle *relevant* when all
+local edges are backward.  :func:`classify` implements exactly that.
+
+The exhaustive :func:`enumerate_cycles` is exponential and intended for
+small graphs (tests, paper figures, cross-validation); the polynomial
+admissibility checker lives in :mod:`repro.core.synchrony`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Sequence
+
+from repro.core.events import Event
+from repro.core.execution_graph import Edge, ExecutionGraph, MessageEdge
+
+__all__ = [
+    "Step",
+    "Cycle",
+    "CycleClassification",
+    "classify",
+    "enumerate_cycles",
+    "relevant_cycles",
+]
+
+ALONG = 1
+"""Direction flag: the step traverses its edge from ``src`` to ``dst``."""
+
+AGAINST = -1
+"""Direction flag: the step traverses its edge from ``dst`` to ``src``."""
+
+
+@dataclass(frozen=True)
+class Step:
+    """One traversal step of a cycle: an edge plus traversal direction."""
+
+    edge: Edge
+    direction: int  # ALONG or AGAINST
+
+    def __post_init__(self) -> None:
+        if self.direction not in (ALONG, AGAINST):
+            raise ValueError(f"direction must be +-1, got {self.direction}")
+
+    @property
+    def start(self) -> Event:
+        return self.edge.src if self.direction == ALONG else self.edge.dst
+
+    @property
+    def end(self) -> Event:
+        return self.edge.dst if self.direction == ALONG else self.edge.src
+
+    def reversed(self) -> "Step":
+        return Step(self.edge, -self.direction)
+
+
+@dataclass(frozen=True)
+class Cycle:
+    """A closed walk of steps; simple cycles visit each event once.
+
+    The step order defines the walk direction.  For a *relevant* cycle the
+    canonical form produced by :func:`classify` walks along the cycle's
+    orientation (forward edges traversed ``ALONG``-orientation).
+    """
+
+    steps: tuple[Step, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.steps) < 2:
+            raise ValueError("a cycle needs at least two steps")
+        for a, b in zip(self.steps, self.steps[1:] + self.steps[:1]):
+            if a.end != b.start:
+                raise ValueError(
+                    f"steps do not form a closed walk: {a} then {b}"
+                )
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        return tuple(step.start for step in self.steps)
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        return tuple(step.edge for step in self.steps)
+
+    def message_steps(self) -> tuple[Step, ...]:
+        return tuple(s for s in self.steps if s.edge.is_message)
+
+    def local_steps(self) -> tuple[Step, ...]:
+        return tuple(s for s in self.steps if not s.edge.is_message)
+
+    @property
+    def length(self) -> int:
+        """Number of messages in the cycle (chain length counts messages)."""
+        return len(self.message_steps())
+
+    def reversed(self) -> "Cycle":
+        return Cycle(tuple(s.reversed() for s in reversed(self.steps)))
+
+    def is_simple(self) -> bool:
+        events = self.events
+        return len(set(events)) == len(events)
+
+    def canonical_key(self) -> frozenset[tuple[Edge, int]]:
+        """A direction-insensitive identity for deduplication."""
+        return frozenset((s.edge, 1) for s in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+@dataclass(frozen=True)
+class CycleClassification:
+    """The Definition 3 analysis of one cycle.
+
+    Attributes:
+        cycle: the cycle, re-walked along its orientation when one exists.
+        relevant: whether all local edges are backward (``Z^+ = Zhat^+``).
+        forward_messages: ``|Z+|`` under the chosen orientation.
+        backward_messages: ``|Z-|`` under the chosen orientation.
+    """
+
+    cycle: Cycle
+    relevant: bool
+    forward_messages: int
+    backward_messages: int
+
+    @property
+    def ratio(self) -> Fraction | None:
+        """``|Z-| / |Z+|``, or ``None`` when no orientation satisfies (1).
+
+        Only meaningful for relevant cycles: the ABC synchrony condition
+        (Definition 4) requires ``ratio < Xi`` for every relevant cycle.
+        """
+        if self.forward_messages == 0:
+            return None
+        return Fraction(self.backward_messages, self.forward_messages)
+
+    def violates(self, xi: Fraction | float | int) -> bool:
+        """Whether this cycle violates the ABC condition for ``xi``."""
+        if not self.relevant:
+            return False
+        ratio = self.ratio
+        if ratio is None:  # pragma: no cover - impossible in valid graphs
+            return True
+        return ratio >= Fraction(xi)
+
+
+def classify(cycle: Cycle) -> CycleClassification:
+    """Classify a cycle per Definition 3.
+
+    The walk direction of ``cycle`` splits its edges into the class
+    traversed ``ALONG`` the walk and the class traversed ``AGAINST`` it.
+    The *orientation* must be the direction of the forward class, subject
+    to ``|Z+| <= |Z-|`` on messages; the cycle is relevant iff all local
+    edges end up backward.  Concretely:
+
+    * if local edges appear in both classes no orientation makes them all
+      backward -> non-relevant;
+    * if all local edges go against the walk, the orientation candidate is
+      the walk direction; condition (1) then needs ``#msgs along <= #msgs
+      against``;
+    * symmetrically when all local edges go along the walk.
+
+    A cycle consisting only of message edges cannot occur in a valid
+    execution graph (each event has at most one incoming message, so such
+    a cycle would be a directed cycle, contradicting acyclicity).
+    """
+    msgs_along = sum(1 for s in cycle.message_steps() if s.direction == ALONG)
+    msgs_against = cycle.length - msgs_along
+    local_dirs = {s.direction for s in cycle.local_steps()}
+
+    if not local_dirs:
+        raise ValueError(
+            "cycle without local edges cannot occur in an execution graph"
+        )
+    if local_dirs == {ALONG, AGAINST}:
+        # Local edges split between both classes: non-relevant under any
+        # orientation.  Report counts for the orientation satisfying (1).
+        fwd = min(msgs_along, msgs_against)
+        bwd = max(msgs_along, msgs_against)
+        oriented = cycle if msgs_along <= msgs_against else cycle.reversed()
+        return CycleClassification(oriented, False, fwd, bwd)
+
+    if local_dirs == {AGAINST}:
+        # Candidate orientation = walk direction.
+        if msgs_along <= msgs_against:
+            return CycleClassification(cycle, True, msgs_along, msgs_against)
+        # (1) forces the opposite orientation, turning locals forward.
+        return CycleClassification(cycle.reversed(), False, msgs_against, msgs_along)
+
+    # local_dirs == {ALONG}: mirror image of the previous case.
+    if msgs_against <= msgs_along:
+        return CycleClassification(cycle.reversed(), True, msgs_against, msgs_along)
+    return CycleClassification(cycle, False, msgs_along, msgs_against)
+
+
+def _incident_steps(graph: ExecutionGraph, event: Event) -> list[Step]:
+    steps = [Step(e, ALONG) for e in graph.out_edges(event)]
+    steps += [Step(e, AGAINST) for e in graph.in_edges(event)]
+    return steps
+
+
+def enumerate_cycles(
+    graph: ExecutionGraph, max_length: int | None = None
+) -> Iterator[Cycle]:
+    """Enumerate all simple cycles of the undirected shadow multigraph.
+
+    Exponential in general; meant for small graphs.  Each cycle is
+    reported exactly once (up to direction and rotation): the enumeration
+    roots every cycle at its smallest event and breaks the direction
+    symmetry by comparing the first and last edges.
+
+    Args:
+        graph: the execution graph.
+        max_length: optional bound on the number of steps per cycle.
+    """
+    edge_rank: dict[Edge, int] = {e: i for i, e in enumerate(graph.edges())}
+    events = sorted(graph.events())
+
+    def extend(
+        root: Event,
+        current: Event,
+        walk: list[Step],
+        visited: set[Event],
+    ) -> Iterator[Cycle]:
+        for step in _incident_steps(graph, current):
+            nxt = step.end
+            if max_length is not None and len(walk) + 1 > max_length:
+                continue
+            if nxt == root:
+                if len(walk) >= 1 and step.edge != walk[0].edge:
+                    if edge_rank[walk[0].edge] < edge_rank[step.edge]:
+                        yield Cycle(tuple(walk + [step]))
+                continue
+            if nxt in visited or nxt < root:
+                continue
+            visited.add(nxt)
+            walk.append(step)
+            yield from extend(root, nxt, walk, visited)
+            walk.pop()
+            visited.remove(nxt)
+
+    for root in events:
+        yield from extend(root, root, [], {root})
+
+
+def relevant_cycles(
+    graph: ExecutionGraph, max_length: int | None = None
+) -> Iterator[CycleClassification]:
+    """All relevant cycles of ``graph`` (exhaustive; small graphs only)."""
+    for cycle in enumerate_cycles(graph, max_length=max_length):
+        info = classify(cycle)
+        if info.relevant:
+            yield info

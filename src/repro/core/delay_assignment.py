@@ -1,0 +1,410 @@
+"""Delay assignments for ABC execution graphs (Theorems 7 and 12).
+
+Theorem 7 is the technical heart of the paper's model-indistinguishability
+result: every finite ABC-admissible execution graph admits a *normalized
+assignment* ``tau`` of end-to-end delays with
+
+    1 < tau(e) < Xi        for every message ``e``,            (4)
+    0 < tau(ebar) < inf    for every local edge ``ebar``,      (5)
+
+such that the weighted graph ``G^tau`` is causally equivalent to ``G``
+(all cycle sums are zero).  Messages of ``G^tau`` then satisfy the
+Theta-Model condition (3) for every ``Theta > Xi``.
+
+Two constructions are provided:
+
+* :func:`normalized_assignment` - the *potential* method.  Assign an
+  occurrence time ``t(phi)`` to every event with ``1 + eps <= t(head) -
+  t(tail) <= Xi - eps`` per message and ``t(head) - t(tail) >= eps`` per
+  local edge.  Any potential zeroes every cycle sum automatically, so
+  feasibility of this difference-constraint system (a Bellman-Ford
+  shortest-path computation, done in exact rational arithmetic) is
+  equivalent to the existence of a normalized assignment.  The margin
+  ``eps`` is located by an LP (scipy) and certified exactly.
+
+* :func:`build_farkas_system` - the explicit ``A x < b`` system of
+  Figure 6, with one row per message bound and per cycle, solved via LP
+  and accompanied by the canonical-solution machinery of Theorem 12
+  (:func:`canonical_solution`, :func:`farkas_certificate_value`).  This
+  reproduces Section 4.1 literally and is exponential, hence only for
+  small graphs.
+
+Implementation note on the cycle rows: a cycle constrains the message
+weights only when all its local edges lie in one traversal class.  For a
+relevant cycle (all local edges backward) the zero-sum condition forces
+condition (6); for the mirror-image cycles whose local edges are all
+forward under the Definition-3 orientation (non-relevant because (1)
+flipped the orientation), it forces the sign-swapped inequality - these
+are the paper's non-relevant rows, cp. Figure 4.  Cycles whose local
+edges appear in *both* classes impose no sign constraint on the message
+weights (their zero-sum can always be balanced by choosing the positive
+local weights on either side), so they contribute no row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.cycles import AGAINST, Cycle, classify, enumerate_cycles
+from repro.core.events import Event
+from repro.core.execution_graph import Edge, ExecutionGraph, MessageEdge
+from repro.core.synchrony import check_abc
+
+__all__ = [
+    "DelayAssignment",
+    "normalized_assignment",
+    "assignment_exists",
+    "verify_normalized",
+    "max_margin",
+    "FarkasSystem",
+    "build_farkas_system",
+    "solve_farkas_lp",
+    "canonical_solution",
+    "farkas_certificate_value",
+]
+
+
+@dataclass(frozen=True)
+class DelayAssignment:
+    """A normalized assignment ``tau`` together with its potential.
+
+    Attributes:
+        times: exact rational occurrence time per event (the potential).
+        xi: the synchrony parameter the assignment was built for.
+        epsilon: the certified margin: every message delay lies in
+            ``[1 + epsilon, Xi - epsilon]`` and every local delay is at
+            least ``epsilon``.
+    """
+
+    times: Mapping[Event, Fraction]
+    xi: Fraction
+    epsilon: Fraction
+
+    def delay(self, edge: Edge) -> Fraction:
+        """``tau(e)``: the assigned end-to-end delay of an edge."""
+        return self.times[edge.dst] - self.times[edge.src]
+
+    def delays(self, graph: ExecutionGraph) -> dict[Edge, Fraction]:
+        return {edge: self.delay(edge) for edge in graph.edges()}
+
+    def message_delay_ratio(self, graph: ExecutionGraph) -> Fraction | None:
+        """``max tau / min tau`` over messages: the effective Theta."""
+        delays = [self.delay(m) for m in graph.messages]
+        if not delays:
+            return None
+        return max(delays) / min(delays)
+
+
+def _feasible_potential(
+    graph: ExecutionGraph, xi: Fraction, eps: Fraction
+) -> dict[Event, Fraction] | None:
+    """Solve the difference-constraint system at a fixed margin ``eps``.
+
+    Constraints (as ``t[v] - t[u] <= c`` edges of a constraint graph):
+
+    * message ``u -> v``: ``t[v] - t[u] <= Xi - eps`` and
+      ``t[u] - t[v] <= -(1 + eps)``;
+    * local edge ``u -> v``: ``t[u] - t[v] <= -eps``.
+
+    Bellman-Ford from a virtual source in exact rational arithmetic;
+    returns the potential or ``None`` on a negative cycle (infeasible).
+    """
+    events = list(graph.events())
+    index = {ev: i for i, ev in enumerate(events)}
+    constraint_edges: list[tuple[int, int, Fraction]] = []
+    upper = xi - eps
+    lower = -(Fraction(1) + eps)
+    for m in graph.messages:
+        u, v = index[m.src], index[m.dst]
+        constraint_edges.append((u, v, upper))
+        constraint_edges.append((v, u, lower))
+    for loc in graph.local_edges:
+        u, v = index[loc.src], index[loc.dst]
+        constraint_edges.append((v, u, -eps))
+
+    n = len(events)
+    dist = [Fraction(0)] * n
+    for _ in range(n):
+        changed = False
+        for tail, head, weight in constraint_edges:
+            candidate = dist[tail] + weight
+            if candidate < dist[head]:
+                dist[head] = candidate
+                changed = True
+        if not changed:
+            return {ev: dist[index[ev]] for ev in events}
+    return None
+
+
+def max_margin(graph: ExecutionGraph, xi: Fraction | int | float) -> float:
+    """The LP-optimal margin ``eps*`` of the potential system (float).
+
+    Positive iff a normalized assignment exists (iff the graph is
+    ABC-admissible for ``xi``).  Used to pick a good rational ``eps`` for
+    the exact construction in :func:`normalized_assignment`.
+    """
+    xi_frac = Fraction(xi)
+    events = list(graph.events())
+    index = {ev: i for i, ev in enumerate(events)}
+    n = len(events)
+    # Variables: t_0 .. t_{n-1}, eps.  Maximize eps.
+    rows: list[list[float]] = []
+    rhs: list[float] = []
+
+    def add(con: dict[int, float], eps_coeff: float, bound: float) -> None:
+        row = [0.0] * (n + 1)
+        for var, coeff in con.items():
+            row[var] = coeff
+        row[n] = eps_coeff
+        rows.append(row)
+        rhs.append(bound)
+
+    for m in graph.messages:
+        u, v = index[m.src], index[m.dst]
+        add({v: 1.0, u: -1.0}, 1.0, float(xi_frac))     # t_v - t_u + eps <= Xi
+        add({u: 1.0, v: -1.0}, 1.0, -1.0)               # t_u - t_v + eps <= -1
+    for loc in graph.local_edges:
+        u, v = index[loc.src], index[loc.dst]
+        add({u: 1.0, v: -1.0}, 1.0, 0.0)                # t_u - t_v + eps <= 0
+    if not rows:
+        return float(xi_frac - 1) / 2
+    c = [0.0] * n + [-1.0]  # maximize eps
+    bounds = [(None, None)] * n + [(0.0, float(xi_frac - 1) / 2)]
+    result = linprog(c, A_ub=np.array(rows), b_ub=np.array(rhs), bounds=bounds,
+                     method="highs")
+    if not result.success:
+        return 0.0
+    return float(result.x[-1])
+
+
+def normalized_assignment(
+    graph: ExecutionGraph, xi: Fraction | int | float
+) -> DelayAssignment | None:
+    """An exact normalized assignment for ``graph``, or ``None``.
+
+    By Theorem 7 the result is not ``None`` exactly when the graph is
+    ABC-admissible for ``xi`` (both directions are enforced by the test
+    suite).  The returned potential is exact: every constraint holds in
+    rational arithmetic with margin at least ``epsilon``.
+    """
+    xi_frac = Fraction(xi)
+    if xi_frac <= 1:
+        raise ValueError(f"the ABC model requires Xi > 1, got {xi_frac}")
+    eps_star = max_margin(graph, xi_frac)
+    candidates = []
+    if eps_star > 0:
+        candidates.append(Fraction(eps_star).limit_denominator(10**9) / 2)
+    # Fallback halving search in case the LP margin was optimistic.
+    fallback = (xi_frac - 1) / 4
+    for _ in range(8):
+        candidates.append(fallback)
+        fallback /= 16
+    for eps in candidates:
+        if eps <= 0:
+            continue
+        times = _feasible_potential(graph, xi_frac, eps)
+        if times is not None:
+            return DelayAssignment(times, xi_frac, eps)
+    return None
+
+
+def assignment_exists(
+    graph: ExecutionGraph, xi: Fraction | int | float
+) -> bool:
+    """Whether a normalized assignment exists (Theorem 7's conclusion)."""
+    return normalized_assignment(graph, xi) is not None
+
+
+def verify_normalized(
+    graph: ExecutionGraph,
+    assignment: DelayAssignment,
+    check_cycle_sums: bool = False,
+) -> bool:
+    """Check conditions (4) and (5) exactly; optionally re-verify that all
+    enumerated cycle sums vanish (they do by construction for potentials;
+    the flag exists for cross-validation on small graphs)."""
+    xi = assignment.xi
+    for m in graph.messages:
+        tau = assignment.delay(m)
+        if not (1 < tau < xi):
+            return False
+    for loc in graph.local_edges:
+        if assignment.delay(loc) <= 0:
+            return False
+    if check_cycle_sums:
+        for cycle in enumerate_cycles(graph):
+            total = Fraction(0)
+            for step in cycle.steps:
+                total += step.direction * assignment.delay(step.edge)
+            if total != 0:
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# The explicit Farkas system of Figure 6 (Section 4.1)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FarkasSystem:
+    """The linear system ``A x < b`` of Figure 6.
+
+    Rows: ``k`` lower bounds (``-tau(e) < -1``), ``k`` upper bounds
+    (``tau(e) < Xi``), ``l`` relevant-cycle rows (condition (6)) and ``m``
+    non-relevant-cycle rows (sign-flipped (6)).  Columns: one per message.
+
+    Attributes:
+        matrix: the ``(2k + l + m) x k`` coefficient matrix ``A``.
+        rhs: the right-hand side ``b``.
+        messages: column order.
+        n_relevant / n_nonrelevant: the counts ``l`` and ``m``.
+    """
+
+    matrix: np.ndarray
+    rhs: np.ndarray
+    messages: tuple[MessageEdge, ...]
+    n_relevant: int
+    n_nonrelevant: int
+    xi: Fraction
+
+    @property
+    def n_messages(self) -> int:
+        return len(self.messages)
+
+    def cycle_rows(self) -> np.ndarray:
+        """The cycle part of ``A`` (relevant rows first)."""
+        return self.matrix[2 * self.n_messages :]
+
+
+def build_farkas_system(
+    graph: ExecutionGraph,
+    xi: Fraction | int | float,
+    max_cycle_length: int | None = None,
+) -> FarkasSystem:
+    """Construct the explicit system of Figure 6 (small graphs only).
+
+    Cycle rows are generated for every enumerated cycle whose local edges
+    all lie in one traversal class (see the module docstring): relevant
+    cycles contribute ``+1`` per backward / ``-1`` per forward message
+    (condition (6)); all-locals-forward cycles contribute the sign-flipped
+    row.  Messages on no such cycle are still bounded by the ``2k`` box
+    rows.
+    """
+    xi_frac = Fraction(xi)
+    messages = graph.messages
+    col = {m: i for i, m in enumerate(messages)}
+    k = len(messages)
+    relevant_rows: list[np.ndarray] = []
+    nonrelevant_rows: list[np.ndarray] = []
+    for cycle in enumerate_cycles(graph, max_length=max_cycle_length):
+        info = classify(cycle)
+        local_dirs = {s.direction for s in info.cycle.local_steps()}
+        if len(local_dirs) != 1:
+            continue  # mixed-local cycles impose no sign constraint
+        row = np.zeros(k)
+        for step in info.cycle.message_steps():
+            row[col[step.edge]] += 1 if step.direction == AGAINST else -1
+        if info.relevant:
+            relevant_rows.append(row)
+        else:
+            # Locals all forward under the Definition-3 orientation: the
+            # canonical walk has them ALONG, so flip to get the row.
+            nonrelevant_rows.append(-row)
+    lower = -np.eye(k)
+    upper = np.eye(k)
+    blocks = [lower, upper]
+    if relevant_rows:
+        blocks.append(np.array(relevant_rows))
+    if nonrelevant_rows:
+        blocks.append(np.array(nonrelevant_rows))
+    matrix = np.vstack(blocks) if k else np.zeros((0, 0))
+    rhs = np.concatenate(
+        [
+            -np.ones(k),
+            np.full(k, float(xi_frac)),
+            np.zeros(len(relevant_rows) + len(nonrelevant_rows)),
+        ]
+    )
+    return FarkasSystem(
+        matrix, rhs, messages, len(relevant_rows), len(nonrelevant_rows), xi_frac
+    )
+
+
+def solve_farkas_lp(system: FarkasSystem) -> np.ndarray | None:
+    """A strict solution of ``A x < b`` via a maximized slack, or ``None``.
+
+    Solves ``A x <= b - eps`` with ``eps`` maximized; a positive optimum
+    certifies strict feasibility (Theorem 12).
+    """
+    n = system.n_messages
+    if n == 0:
+        return np.zeros(0)
+    a_ub = np.hstack([system.matrix, np.ones((system.matrix.shape[0], 1))])
+    c = np.zeros(n + 1)
+    c[-1] = -1.0
+    bounds = [(None, None)] * n + [(0.0, float(system.xi))]
+    result = linprog(c, A_ub=a_ub, b_ub=system.rhs, bounds=bounds, method="highs")
+    if not result.success or result.x[-1] <= 1e-9:
+        return None
+    return result.x[:-1]
+
+
+def canonical_solution(system: FarkasSystem, y: np.ndarray) -> np.ndarray:
+    """The canonical certificate ``ybar`` of Theorem 12.
+
+    Given ``y >= 0`` with ``y^T A = 0``, produce ``ybar`` with the same
+    cycle coefficients, complementary upper coefficients (``ybar_j = 0``
+    or ``ybar_{k+j} = 0``) and integer entries (after clearing rational
+    denominators the caller is responsible for; the construction here
+    keeps the values as given).
+    """
+    k = system.n_messages
+    y = np.asarray(y, dtype=float)
+    if y.shape[0] != system.matrix.shape[0]:
+        raise ValueError("certificate length does not match the system")
+    ybar = y.copy()
+    for j in range(k):
+        low, up = y[j], y[k + j]
+        if low > up:
+            ybar[j], ybar[k + j] = low - up, 0.0
+        else:
+            ybar[j], ybar[k + j] = 0.0, up - low
+    return ybar
+
+
+def farkas_certificate_value(system: FarkasSystem, y: np.ndarray) -> float:
+    """``y^T b``; Theorem 10 (Carver) requires this to be positive for all
+    ``y > 0`` with ``y^T A = 0`` when ``A x < b`` is solvable."""
+    return float(np.dot(np.asarray(y, dtype=float), system.rhs))
+
+
+def certificate_from_cycle_coefficients(
+    system: FarkasSystem, cycle_coefficients: Iterable[float]
+) -> np.ndarray:
+    """Build ``y >= 0`` with ``y^T A = 0`` from given cycle multipliers.
+
+    Equation (7) determines the upper coefficients from the combined
+    cycle row ``s``: ``y_{k+j} - y_j + s_j = 0`` with the canonical choice
+    ``y_j = max(s_j, 0)`` and ``y_{k+j} = max(-s_j, 0)``.  This is how the
+    test-suite generates arbitrarily many Farkas certificates to check
+    Lemmas 7 and 11 against the matrix.
+    """
+    coeffs = np.asarray(list(cycle_coefficients), dtype=float)
+    n_cycles = system.n_relevant + system.n_nonrelevant
+    if coeffs.shape[0] != n_cycles:
+        raise ValueError(f"expected {n_cycles} cycle coefficients")
+    if np.any(coeffs < 0):
+        raise ValueError("cycle coefficients must be non-negative")
+    k = system.n_messages
+    s = coeffs @ system.cycle_rows() if n_cycles else np.zeros(k)
+    y = np.zeros(2 * k + n_cycles)
+    y[:k] = np.maximum(s, 0.0)
+    y[k : 2 * k] = np.maximum(-s, 0.0)
+    y[2 * k :] = coeffs
+    return y

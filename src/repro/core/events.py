@@ -1,0 +1,56 @@
+"""Receive events: the nodes of an execution graph.
+
+The ABC model (Robinson & Schmid, Definition 1) represents an admissible
+execution as a digraph whose nodes are the *receive events* of the
+execution.  Because algorithms in the model are message driven with atomic
+receive + compute + send steps, every send is attributed to the receive
+event that triggered it, so receive events are the only nodes needed.
+
+An event is identified by the process it occurs at and its index in the
+total order of receive events at that process (the paper notes that there
+is a total order on receive events at every process, even faulty ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProcessId", "Event"]
+
+ProcessId = int
+"""Processes are identified by small non-negative integers."""
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A receive event ``phi`` at ``process``, the ``index``-th one there.
+
+    Events are ordered lexicographically by ``(process, index)``; within a
+    single process this coincides with the local happens-before order.
+
+    Attributes:
+        process: the process at which the event occurs.
+        index: zero-based position among the receive events of ``process``.
+    """
+
+    process: ProcessId
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.process < 0:
+            raise ValueError(f"process id must be >= 0, got {self.process}")
+        if self.index < 0:
+            raise ValueError(f"event index must be >= 0, got {self.index}")
+
+    def local_predecessor(self) -> "Event | None":
+        """The previous receive event at the same process, if any."""
+        if self.index == 0:
+            return None
+        return Event(self.process, self.index - 1)
+
+    def local_successor(self) -> "Event":
+        """The next receive event at the same process."""
+        return Event(self.process, self.index + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"p{self.process}:{self.index}"

@@ -1,0 +1,360 @@
+"""Execution graphs (Definition 1 of the paper).
+
+The execution graph ``G_alpha`` of an admissible execution ``alpha`` is the
+digraph corresponding to the space-time diagram of ``alpha``:
+
+* nodes are the receive events of ``alpha``;
+* a *non-local edge* (a "message") connects the receive event that
+  triggered the sending step to the receive event of the sent message;
+* a *local edge* connects consecutive receive events at the same process.
+
+Messages sent by faulty processes are dropped from the graph (along with
+their receive events) before it is analysed — see Section 2 of the paper.
+That filtering happens in :mod:`repro.sim.trace` when a graph is built from
+a recorded simulation; this module only deals with the resulting digraph.
+
+The graph must be acyclic as a digraph (messages cannot be sent backwards
+in time), and every event may have at most one incoming message edge
+(computing steps are triggered by exactly one message; events without an
+incoming message are externally triggered wake-ups or receive events whose
+triggering message was dropped because its sender is faulty).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.events import Event, ProcessId
+
+__all__ = [
+    "MessageEdge",
+    "LocalEdge",
+    "Edge",
+    "ExecutionGraph",
+    "GraphBuilder",
+]
+
+
+@dataclass(frozen=True, order=True)
+class MessageEdge:
+    """A non-local edge: a message from the step at ``src`` to event ``dst``."""
+
+    src: Event
+    dst: Event
+
+    @property
+    def is_message(self) -> bool:
+        return True
+
+    def endpoints(self) -> tuple[Event, Event]:
+        return (self.src, self.dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"msg({self.src!r}->{self.dst!r})"
+
+
+@dataclass(frozen=True, order=True)
+class LocalEdge:
+    """A local edge between consecutive receive events at one process."""
+
+    src: Event
+    dst: Event
+
+    @property
+    def is_message(self) -> bool:
+        return False
+
+    def endpoints(self) -> tuple[Event, Event]:
+        return (self.src, self.dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"loc({self.src!r}->{self.dst!r})"
+
+
+Edge = MessageEdge | LocalEdge
+
+
+class ExecutionGraph:
+    """An immutable execution graph per Definition 1.
+
+    Construct instances through :class:`GraphBuilder` (for hand-crafted
+    scenarios and tests) or :func:`repro.sim.trace.build_execution_graph`
+    (from a recorded simulation).
+    """
+
+    def __init__(
+        self,
+        events_by_process: Mapping[ProcessId, Sequence[Event]],
+        messages: Iterable[MessageEdge],
+    ) -> None:
+        self._events_by_process: dict[ProcessId, tuple[Event, ...]] = {
+            p: tuple(evs) for p, evs in sorted(events_by_process.items())
+        }
+        self._messages: tuple[MessageEdge, ...] = tuple(sorted(set(messages)))
+        self._validate()
+        self._local_edges: tuple[LocalEdge, ...] = tuple(
+            LocalEdge(a, b)
+            for evs in self._events_by_process.values()
+            for a, b in zip(evs, evs[1:])
+        )
+        self._out: dict[Event, list[Edge]] = defaultdict(list)
+        self._in: dict[Event, list[Edge]] = defaultdict(list)
+        for edge in self.edges():
+            self._out[edge.src].append(edge)
+            self._in[edge.dst].append(edge)
+        self._assert_acyclic()
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def processes(self) -> tuple[ProcessId, ...]:
+        """Processes that have at least a declared event sequence."""
+        return tuple(self._events_by_process)
+
+    def events_of(self, process: ProcessId) -> tuple[Event, ...]:
+        """Receive events of ``process`` in local order."""
+        return self._events_by_process.get(process, ())
+
+    def events(self) -> Iterator[Event]:
+        """All events, grouped by process in local order."""
+        for evs in self._events_by_process.values():
+            yield from evs
+
+    @property
+    def n_events(self) -> int:
+        return sum(len(evs) for evs in self._events_by_process.values())
+
+    @property
+    def messages(self) -> tuple[MessageEdge, ...]:
+        """All non-local edges."""
+        return self._messages
+
+    @property
+    def local_edges(self) -> tuple[LocalEdge, ...]:
+        return self._local_edges
+
+    def edges(self) -> Iterator[Edge]:
+        yield from self._local_edges
+        yield from self._messages
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._local_edges) + len(self._messages)
+
+    def out_edges(self, event: Event) -> tuple[Edge, ...]:
+        return tuple(self._out.get(event, ()))
+
+    def in_edges(self, event: Event) -> tuple[Edge, ...]:
+        return tuple(self._in.get(event, ()))
+
+    def trigger_of(self, event: Event) -> MessageEdge | None:
+        """The message whose reception is ``event``, or ``None``.
+
+        ``None`` means the event is externally triggered (the wake-up that
+        starts a process) or that its triggering message was dropped
+        because it was sent by a faulty process.
+        """
+        for edge in self._in.get(event, ()):
+            if edge.is_message:
+                return edge
+        return None
+
+    def __contains__(self, event: Event) -> bool:
+        evs = self._events_by_process.get(event.process, ())
+        return event.index < len(evs)
+
+    # ------------------------------------------------------------------
+    # causality
+    # ------------------------------------------------------------------
+
+    def causal_past(self, events: Iterable[Event]) -> frozenset[Event]:
+        """The left closure of ``events`` under the reflexive-transitive
+        happens-before relation (the ``<events>`` of Definition 6)."""
+        seed = list(events)
+        for ev in seed:
+            if ev not in self:
+                raise KeyError(f"event {ev!r} not in graph")
+        seen: set[Event] = set()
+        stack = list(seed)
+        while stack:
+            ev = stack.pop()
+            if ev in seen:
+                continue
+            seen.add(ev)
+            for edge in self._in.get(ev, ()):
+                if edge.src not in seen:
+                    stack.append(edge.src)
+        return frozenset(seen)
+
+    def causal_future(self, events: Iterable[Event]) -> frozenset[Event]:
+        """All events reachable from ``events`` (reflexive)."""
+        seen: set[Event] = set()
+        stack = [ev for ev in events]
+        for ev in stack:
+            if ev not in self:
+                raise KeyError(f"event {ev!r} not in graph")
+        while stack:
+            ev = stack.pop()
+            if ev in seen:
+                continue
+            seen.add(ev)
+            for edge in self._out.get(ev, ()):
+                if edge.dst not in seen:
+                    stack.append(edge.dst)
+        return frozenset(seen)
+
+    def happens_before(self, a: Event, b: Event) -> bool:
+        """Reflexive-transitive reachability ``a ->* b``."""
+        return a in self.causal_past([b])
+
+    def topological_order(self) -> list[Event]:
+        """Events in some topological order of the digraph."""
+        indeg = {ev: len(self._in.get(ev, ())) for ev in self.events()}
+        queue = deque(sorted(ev for ev, d in indeg.items() if d == 0))
+        order: list[Event] = []
+        while queue:
+            ev = queue.popleft()
+            order.append(ev)
+            for edge in self._out.get(ev, ()):
+                indeg[edge.dst] -= 1
+                if indeg[edge.dst] == 0:
+                    queue.append(edge.dst)
+        return order
+
+    # ------------------------------------------------------------------
+    # prefixes
+    # ------------------------------------------------------------------
+
+    def prefix(self, events: Iterable[Event]) -> "ExecutionGraph":
+        """The execution graph restricted to the left closure of ``events``.
+
+        Model indistinguishability (Section 4) reasons about finite
+        prefixes of executions; a prefix of an execution graph is again an
+        execution graph.
+        """
+        keep = self.causal_past(events)
+        by_process: dict[ProcessId, list[Event]] = defaultdict(list)
+        for ev in sorted(keep):
+            by_process[ev.process].append(ev)
+        messages = [m for m in self._messages if m.src in keep and m.dst in keep]
+        return ExecutionGraph(by_process, messages)
+
+    def restricted_to_messages(
+        self, keep: Iterable[MessageEdge]
+    ) -> "ExecutionGraph":
+        """A copy of the graph with only the given message edges retained.
+
+        Section 2 notes that dropping messages from the space-time diagram
+        can be used to exempt certain messages from the ABC synchrony
+        condition; Section 6 uses the same device for length-restricted
+        variants.  Events are kept unchanged.
+        """
+        keep_set = set(keep)
+        for edge in keep_set:
+            if edge not in self._messages:
+                raise KeyError(f"{edge!r} is not a message of this graph")
+        return ExecutionGraph(self._events_by_process, keep_set)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        for process, evs in self._events_by_process.items():
+            for i, ev in enumerate(evs):
+                if ev.process != process or ev.index != i:
+                    raise ValueError(
+                        f"event sequence of process {process} must be "
+                        f"Event({process}, 0..n-1); found {ev!r} at slot {i}"
+                    )
+        all_events = {ev for evs in self._events_by_process.values() for ev in evs}
+        incoming: set[Event] = set()
+        for edge in self._messages:
+            if edge.src not in all_events or edge.dst not in all_events:
+                raise ValueError(f"message {edge!r} references unknown event")
+            if edge.src == edge.dst:
+                raise ValueError(f"message {edge!r} may not be a self loop")
+            if edge.dst in incoming:
+                raise ValueError(
+                    f"event {edge.dst!r} has more than one incoming message; "
+                    "computing steps are triggered by exactly one message"
+                )
+            incoming.add(edge.dst)
+
+    def _assert_acyclic(self) -> None:
+        if len(self.topological_order()) != self.n_events:
+            raise ValueError(
+                "execution graph contains a directed cycle; messages cannot "
+                "be sent backwards in time"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExecutionGraph(processes={len(self._events_by_process)}, "
+            f"events={self.n_events}, messages={len(self._messages)})"
+        )
+
+
+@dataclass
+class GraphBuilder:
+    """Convenience builder for hand-crafted execution graphs.
+
+    Events are created implicitly: ``event(p, i)`` declares that process
+    ``p`` has at least ``i + 1`` receive events.  Messages are added
+    between declared events.  ``build()`` validates and freezes the graph.
+
+    Example (two ping-pong messages between processes 0 and 1)::
+
+        b = GraphBuilder()
+        b.message((0, 0), (1, 0))
+        b.message((1, 0), (0, 1))
+        g = b.build()
+    """
+
+    _n_events: dict[ProcessId, int] = field(default_factory=dict)
+    _messages: list[MessageEdge] = field(default_factory=list)
+
+    def event(self, process: ProcessId, index: int) -> Event:
+        """Declare (idempotently) the event ``index`` at ``process``."""
+        current = self._n_events.get(process, 0)
+        self._n_events[process] = max(current, index + 1)
+        return Event(process, index)
+
+    def events(self, process: ProcessId, count: int) -> list[Event]:
+        """Declare ``count`` consecutive events at ``process``."""
+        return [self.event(process, i) for i in range(count)]
+
+    def message(
+        self,
+        src: tuple[ProcessId, int] | Event,
+        dst: tuple[ProcessId, int] | Event,
+    ) -> MessageEdge:
+        """Add a message edge; endpoints may be ``(process, index)`` pairs."""
+        src_ev = src if isinstance(src, Event) else self.event(*src)
+        dst_ev = dst if isinstance(dst, Event) else self.event(*dst)
+        if isinstance(src, Event):
+            self.event(src.process, src.index)
+        if isinstance(dst, Event):
+            self.event(dst.process, dst.index)
+        edge = MessageEdge(src_ev, dst_ev)
+        self._messages.append(edge)
+        return edge
+
+    def chain(
+        self, hops: Sequence[tuple[ProcessId, int]]
+    ) -> list[MessageEdge]:
+        """Add a causal chain of messages through the given events."""
+        return [
+            self.message(a, b) for a, b in zip(hops, hops[1:])
+        ]
+
+    def build(self) -> ExecutionGraph:
+        events_by_process = {
+            p: [Event(p, i) for i in range(n)]
+            for p, n in sorted(self._n_events.items())
+        }
+        return ExecutionGraph(events_by_process, self._messages)

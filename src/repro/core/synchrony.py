@@ -1,0 +1,302 @@
+"""The ABC synchrony condition (Definition 4) and its decision procedures.
+
+An execution is admissible in the ABC model with parameter ``Xi > 1`` iff
+every *relevant* cycle ``Z`` of its execution graph satisfies
+
+    |Z-| / |Z+|  <  Xi.                                            (2)
+
+"For every relevant cycle" quantifies over exponentially many subgraphs,
+but the condition can be decided in polynomial time.  Build the *traversal
+digraph* ``H`` over the events of ``G``:
+
+* a message ``u -> v`` may be traversed forward (H-edge ``u -> v``) or
+  backward (H-edge ``v -> u``);
+* a local edge ``u -> v`` may only be traversed backward (H-edge
+  ``v -> u``) -- relevant cycles have all local edges backward.
+
+Walking a relevant cycle along its orientation is then exactly a simple
+cycle in ``H``, and conversely every simple cycle of ``H`` is a relevant
+cycle of ``G`` except for two degenerate shapes:
+
+* the 2-cycle using both traversal directions of one message (not a
+  shadow-graph cycle), and
+* cycles whose forward messages outnumber the backward ones (Definition 3
+  then forces the opposite orientation, making the local edges forward).
+
+Both degeneracies are eliminated by weighting.  For a violation test
+against ``Xi = p/q`` (``ratio >= p/q``), give each H-edge the weight
+
+* message forward:  ``+p * M``
+* message backward: ``-q * M``
+* local backward:   ``-1``
+
+with ``M = (number of local edges) + 1``.  A simple H-cycle has weight
+``(p*|Z+| - q*|Z-|) * M - #locals``; since every genuine cycle contains at
+least one and at most ``M - 1`` local edges, the weight is negative iff
+``q*|Z-| - p*|Z+| >= 0``, i.e. iff the cycle witnesses ``ratio >= p/q``.
+The degenerate 2-cycle weighs ``(p - q) * M >= 0`` and cycles with more
+forward than backward messages weigh at least ``M - #locals > 0``, so
+neither can be reported.  Violation detection is therefore exactly
+negative-cycle detection (Bellman-Ford).
+
+On top of the oracle, :func:`worst_relevant_ratio` finds the exact maximum
+``|Z-|/|Z+|`` over all relevant cycles by Stern-Brocot search: the ratio
+is a fraction with numerator and denominator bounded by the message count,
+so the search terminates with the exact rational.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.core.cycles import (
+    AGAINST,
+    ALONG,
+    Cycle,
+    CycleClassification,
+    Step,
+    classify,
+    enumerate_cycles,
+)
+from repro.core.events import Event
+from repro.core.execution_graph import ExecutionGraph
+
+__all__ = [
+    "AdmissibilityResult",
+    "check_abc",
+    "check_abc_exhaustive",
+    "has_relevant_cycle_with_ratio_at_least",
+    "find_violating_cycle",
+    "worst_relevant_ratio",
+    "worst_relevant_ratio_exhaustive",
+]
+
+
+@dataclass(frozen=True)
+class AdmissibilityResult:
+    """Outcome of an ABC admissibility check.
+
+    Attributes:
+        admissible: whether every relevant cycle satisfies (2).
+        xi: the synchrony parameter the graph was checked against.
+        witness: a violating relevant cycle when one exists.
+    """
+
+    admissible: bool
+    xi: Fraction
+    witness: CycleClassification | None = None
+
+    def __bool__(self) -> bool:
+        return self.admissible
+
+
+class _TraversalDigraph:
+    """The weighted digraph ``H`` described in the module docstring."""
+
+    def __init__(self, graph: ExecutionGraph, p: int, q: int) -> None:
+        self.nodes: list[Event] = list(graph.events())
+        self.index: dict[Event, int] = {ev: i for i, ev in enumerate(self.nodes)}
+        scale = len(graph.local_edges) + 1
+        # H-edges as (tail, head, weight, step).
+        self.edges: list[tuple[int, int, int, Step]] = []
+        for m in graph.messages:
+            u, v = self.index[m.src], self.index[m.dst]
+            self.edges.append((u, v, p * scale, Step(m, ALONG)))
+            self.edges.append((v, u, -q * scale, Step(m, AGAINST)))
+        for loc in graph.local_edges:
+            u, v = self.index[loc.src], self.index[loc.dst]
+            self.edges.append((v, u, -1, Step(loc, AGAINST)))
+
+    def find_negative_cycle(self) -> list[Step] | None:
+        """Bellman-Ford from a virtual source connected to every node.
+
+        Returns the steps of one simple negative cycle (in traversal
+        order), or ``None`` when no negative cycle exists.
+        """
+        n = len(self.nodes)
+        if n == 0 or not self.edges:
+            return None
+        dist = [0] * n
+        pred: list[int | None] = [None] * n  # index into self.edges
+        updated_node: int | None = None
+        for _ in range(n):
+            updated_node = None
+            for eidx, (tail, head, weight, _step) in enumerate(self.edges):
+                if dist[tail] + weight < dist[head]:
+                    dist[head] = dist[tail] + weight
+                    pred[head] = eidx
+                    updated_node = head
+            if updated_node is None:
+                return None
+        # A node updated in round n is reachable from a negative cycle;
+        # walking n predecessor links is guaranteed to land on the cycle.
+        assert updated_node is not None
+        node = updated_node
+        for _ in range(n):
+            eidx = pred[node]
+            assert eidx is not None
+            node = self.edges[eidx][0]
+        # Collect the cycle through the predecessor links.
+        cycle_edges: list[int] = []
+        start = node
+        while True:
+            eidx = pred[node]
+            assert eidx is not None
+            cycle_edges.append(eidx)
+            node = self.edges[eidx][0]
+            if node == start:
+                break
+        cycle_edges.reverse()
+        return [self.edges[eidx][3] for eidx in cycle_edges]
+
+
+def _as_ratio(xi: Fraction | float | int | str) -> Fraction:
+    ratio = Fraction(xi)
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return ratio
+
+
+def has_relevant_cycle_with_ratio_at_least(
+    graph: ExecutionGraph, ratio: Fraction | float | int | str
+) -> bool:
+    """Polynomial oracle: does some relevant cycle have ``|Z-|/|Z+| >= ratio``?
+
+    Only ratios ``>= 1`` are meaningful (every relevant cycle has ratio at
+    least 1 by Definition 3); smaller ratios reduce to testing whether any
+    relevant cycle exists at all.
+    """
+    r = max(_as_ratio(ratio), Fraction(1))
+    digraph = _TraversalDigraph(graph, r.numerator, r.denominator)
+    return digraph.find_negative_cycle() is not None
+
+
+def find_violating_cycle(
+    graph: ExecutionGraph, xi: Fraction | float | int | str
+) -> CycleClassification | None:
+    """A relevant cycle violating (2) for ``xi``, or ``None``.
+
+    Violation means ``|Z-|/|Z+| >= xi``; the returned classification is
+    guaranteed relevant with ``ratio >= xi``.
+    """
+    xi_frac = _as_ratio(xi)
+    if xi_frac <= 1:
+        raise ValueError(f"the ABC model requires Xi > 1, got {xi_frac}")
+    digraph = _TraversalDigraph(graph, xi_frac.numerator, xi_frac.denominator)
+    steps = digraph.find_negative_cycle()
+    if steps is None:
+        return None
+    info = classify(Cycle(tuple(steps)))
+    if not info.relevant or info.ratio is None or info.ratio < xi_frac:
+        raise AssertionError(
+            f"internal error: extracted cycle {info} is not a violation "
+            f"witness for Xi={xi_frac}"
+        )
+    return info
+
+
+def check_abc(
+    graph: ExecutionGraph, xi: Fraction | float | int | str
+) -> AdmissibilityResult:
+    """Decide ABC admissibility (Definition 4) in polynomial time."""
+    xi_frac = _as_ratio(xi)
+    witness = find_violating_cycle(graph, xi_frac)
+    return AdmissibilityResult(witness is None, xi_frac, witness)
+
+
+def check_abc_exhaustive(
+    graph: ExecutionGraph,
+    xi: Fraction | float | int | str,
+    max_length: int | None = None,
+) -> AdmissibilityResult:
+    """Decide admissibility by enumerating all cycles (small graphs only).
+
+    Used to cross-validate :func:`check_abc` in the test suite, and to
+    implement the length-restricted ABC variants of Section 6 (via
+    ``max_length``).
+    """
+    xi_frac = _as_ratio(xi)
+    for cycle in enumerate_cycles(graph, max_length=max_length):
+        info = classify(cycle)
+        if info.violates(xi_frac):
+            return AdmissibilityResult(False, xi_frac, info)
+    return AdmissibilityResult(True, xi_frac, None)
+
+
+def worst_relevant_ratio(graph: ExecutionGraph) -> Fraction | None:
+    """The exact maximum ``|Z-|/|Z+|`` over all relevant cycles.
+
+    Returns ``None`` when the graph has no relevant cycle.  The result is
+    the infimum of admissible ``Xi`` values: the graph is ABC-admissible
+    for ``Xi`` iff ``Xi > worst_relevant_ratio(graph)``.
+
+    Implemented as a Stern-Brocot (mediant) search with run-length
+    acceleration around the monotone oracle
+    :func:`has_relevant_cycle_with_ratio_at_least`.  The maximum is a
+    fraction with numerator and denominator bounded by the number of
+    messages, so once the two bracketing tree nodes have denominator sum
+    exceeding that bound, the lower bracket is exact.
+    """
+    if not has_relevant_cycle_with_ratio_at_least(graph, Fraction(1)):
+        return None
+    max_den = max(len(graph.messages), 1)
+
+    def oracle(num: int, den: int) -> bool:
+        return has_relevant_cycle_with_ratio_at_least(graph, Fraction(num, den))
+
+    def max_k(true_for: int, probe) -> int:
+        """Largest k >= true_for with ``probe(k)`` true (gallop + bisect).
+
+        ``probe`` must be monotone: true up to some k, false afterwards,
+        and guaranteed to turn false before denominators exceed max_den.
+        """
+        k = max(true_for, 1)
+        while probe(2 * k):
+            k *= 2
+        lo, hi = k, 2 * k  # probe(lo) true, probe(hi) false
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if probe(mid):
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    lo_num, lo_den = 1, 1  # oracle true: some relevant cycle has ratio >= 1
+    hi_num, hi_den = 1, 0  # +infinity; oracle false beyond the max ratio
+    while lo_den + hi_den <= max_den:
+        if oracle(lo_num + hi_num, lo_den + hi_den):
+            # Walk lo towards hi while the oracle stays true.  The ratio is
+            # bounded by the message count, so the walk must stop.
+            k = max_k(1, lambda k: oracle(lo_num + k * hi_num, lo_den + k * hi_den))
+            lo_num, lo_den = lo_num + k * hi_num, lo_den + k * hi_den
+        else:
+            # Walk hi towards lo while the oracle stays false.  If it never
+            # turns true again before the denominator bound, lo is exact.
+            def still_false(k: int) -> bool:
+                num, den = k * lo_num + hi_num, k * lo_den + hi_den
+                return den <= max_den and not oracle(num, den)
+
+            if not still_false(1):
+                hi_num, hi_den = lo_num + hi_num, lo_den + hi_den
+                continue
+            k = max_k(1, still_false)
+            hi_num, hi_den = k * lo_num + hi_num, k * lo_den + hi_den
+    # Any fraction strictly between lo and hi has denominator greater than
+    # max_den, so the maximum ratio is exactly the lower bracket.
+    return Fraction(lo_num, lo_den)
+
+
+def worst_relevant_ratio_exhaustive(
+    graph: ExecutionGraph, max_length: int | None = None
+) -> Fraction | None:
+    """Exhaustive counterpart of :func:`worst_relevant_ratio` (tests)."""
+    worst: Fraction | None = None
+    for cycle in enumerate_cycles(graph, max_length=max_length):
+        info = classify(cycle)
+        if info.relevant and info.ratio is not None:
+            if worst is None or info.ratio > worst:
+                worst = info.ratio
+    return worst

@@ -1,0 +1,101 @@
+"""Export execution graphs as Graphviz DOT or ASCII space-time diagrams.
+
+Small tooling for inspecting executions: the DOT output mirrors the
+paper's space-time figures (one horizontal rank per process, local edges
+along the rank, message edges across), and the ASCII renderer gives a
+quick terminal view of small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.cycles import CycleClassification
+from repro.core.events import Event
+from repro.core.execution_graph import ExecutionGraph
+
+__all__ = ["to_dot", "to_ascii"]
+
+
+def to_dot(
+    graph: ExecutionGraph,
+    highlight: CycleClassification | None = None,
+    label_of: Callable[[Event], str] | None = None,
+    times: Mapping[Event, float] | None = None,
+) -> str:
+    """Render the execution graph in Graphviz DOT format.
+
+    Args:
+        graph: the execution graph.
+        highlight: optionally a classified cycle; its forward messages
+            are drawn red, backward messages blue, and local edges bold.
+        label_of: optional per-event label (defaults to ``p0:3`` ids).
+        times: optional occurrence times appended to labels.
+    """
+    hi_forward = set()
+    hi_backward = set()
+    hi_local = set()
+    if highlight is not None:
+        from repro.core.cycles import ALONG
+
+        for step in highlight.cycle.message_steps():
+            (hi_forward if step.direction == ALONG else hi_backward).add(
+                step.edge
+            )
+        for step in highlight.cycle.local_steps():
+            hi_local.add(step.edge)
+
+    def node_id(ev: Event) -> str:
+        return f"e_{ev.process}_{ev.index}"
+
+    def node_label(ev: Event) -> str:
+        base = label_of(ev) if label_of is not None else repr(ev)
+        if times is not None and ev in times:
+            base += f"\\nt={times[ev]:.2f}"
+        return base
+
+    lines = [
+        "digraph execution {",
+        "  rankdir=LR;",
+        '  node [shape=circle, fontsize=10, width=0.35];',
+    ]
+    for p in graph.processes:
+        events = graph.events_of(p)
+        if not events:
+            continue
+        lines.append(f"  subgraph cluster_p{p} {{")
+        lines.append(f'    label="process {p}"; style=invis;')
+        lines.append("    rank=same;")
+        for ev in events:
+            lines.append(
+                f'    {node_id(ev)} [label="{node_label(ev)}"];'
+            )
+        lines.append("  }")
+    for loc in graph.local_edges:
+        style = ' [style=bold, color=gray30]' if loc in hi_local else \
+            " [color=gray60]"
+        lines.append(f"  {node_id(loc.src)} -> {node_id(loc.dst)}{style};")
+    for msg in graph.messages:
+        if msg in hi_forward:
+            attr = ' [color=red, penwidth=2, label="Z+"]'
+        elif msg in hi_backward:
+            attr = ' [color=blue, penwidth=2, label="Z-"]'
+        else:
+            attr = ""
+        lines.append(f"  {node_id(msg.src)} -> {node_id(msg.dst)}{attr};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_ascii(graph: ExecutionGraph, width: int = 72) -> str:
+    """A compact textual space-time view: one line per process, events in
+    local order, plus one line per message."""
+    lines = []
+    for p in graph.processes:
+        events = graph.events_of(p)
+        cells = " -- ".join(f"[{ev.index}]" for ev in events)
+        lines.append(f"p{p}: {cells}"[:width])
+    lines.append("messages:")
+    for msg in graph.messages:
+        lines.append(f"  {msg.src!r} -> {msg.dst!r}")
+    return "\n".join(lines)

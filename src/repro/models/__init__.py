@@ -1,0 +1,70 @@
+"""The partially synchronous model family of Sections 1 and 5, as
+measurements over recorded traces, plus the ABC-relation theorems."""
+
+from repro.models.others import (
+    ArchimedeanReport,
+    FARReport,
+    MCMReport,
+    WTLReport,
+    measure_archimedean,
+    measure_far,
+    measure_mcm,
+    measure_wtl,
+    mmr_holds,
+    mmr_orderings_from_rank_lists,
+)
+from repro.models.parsync import (
+    ParSyncReport,
+    measure_parsync,
+    parsync_admissible,
+)
+from repro.models.relations import (
+    Fig8Outcome,
+    Theorem6Report,
+    abc_strictly_weaker_witness,
+    play_fig8_game,
+    verify_theorem6,
+    verify_theorem7_on_graph,
+)
+from repro.models.taxonomy import (
+    ABC_TAXONOMY_CASE,
+    TaxonomyCase,
+    consensus_solvable,
+)
+from repro.models.theta import (
+    ThetaReport,
+    check_theta_dynamic,
+    check_theta_static,
+    measure_theta_dynamic,
+    measure_theta_static,
+)
+
+__all__ = [
+    "ArchimedeanReport",
+    "FARReport",
+    "MCMReport",
+    "WTLReport",
+    "measure_archimedean",
+    "measure_far",
+    "measure_mcm",
+    "measure_wtl",
+    "mmr_holds",
+    "mmr_orderings_from_rank_lists",
+    "ParSyncReport",
+    "measure_parsync",
+    "parsync_admissible",
+    "Fig8Outcome",
+    "Theorem6Report",
+    "abc_strictly_weaker_witness",
+    "play_fig8_game",
+    "verify_theorem6",
+    "verify_theorem7_on_graph",
+    "ABC_TAXONOMY_CASE",
+    "TaxonomyCase",
+    "consensus_solvable",
+    "ThetaReport",
+    "check_theta_dynamic",
+    "check_theta_static",
+    "measure_theta_dynamic",
+    "measure_theta_static",
+]

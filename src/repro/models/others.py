@@ -1,0 +1,252 @@
+"""Trace checkers for the remaining partially synchronous models of
+Sections 1 and 5.2: Archimedean, FAR, MCM, MMR and WTL.
+
+All of these refer to quantities the ABC model deliberately avoids
+(individual delays, step times, global bounds), so the checkers are
+*measurements over recorded traces*: they report the realized parameters
+and whether given bounds hold.  The model-family benchmark runs them all
+on the same executions to reproduce the comparison discussion of
+Section 5.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.sim.trace import Trace
+
+__all__ = [
+    "ArchimedeanReport",
+    "measure_archimedean",
+    "FARReport",
+    "measure_far",
+    "MCMReport",
+    "measure_mcm",
+    "mmr_holds",
+    "mmr_orderings_from_rank_lists",
+    "WTLReport",
+    "measure_wtl",
+]
+
+
+# ----------------------------------------------------------------------
+# Archimedean model (Vitanyi)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArchimedeanReport:
+    """Realized Archimedean ratio ``s >= u / c``.
+
+    Computing steps are zero-time in our (and the paper's) execution
+    model, so the step time of a process is read as the interval between
+    its consecutive receive events -- the rate at which it can observably
+    act.  ``c`` is the minimum such interval over correct processes,
+    ``u`` the maximum step-interval-plus-delay; ``ratio = u / c`` is the
+    smallest ``s`` making the trace Archimedean-admissible, or ``None``
+    when ``c = 0`` (simultaneous events), which no finite ``s`` covers.
+    """
+
+    min_step: float
+    max_step_plus_delay: float
+    ratio: float | None
+
+    def admissible(self, s: float) -> bool:
+        return self.ratio is not None and self.ratio <= s
+
+
+def measure_archimedean(trace: Trace) -> ArchimedeanReport:
+    correct = trace.correct
+    steps: list[float] = []
+    by_process: dict[int, list[float]] = defaultdict(list)
+    for record in trace.records:
+        if record.event.process in correct and record.processed:
+            by_process[record.event.process].append(record.time)
+    for times in by_process.values():
+        steps.extend(b - a for a, b in zip(times, times[1:]))
+    delays = [
+        record.time - record.send_time
+        for record in trace.records
+        if record.sender in correct and record.send_time is not None
+    ]
+    if not steps or not delays:
+        return ArchimedeanReport(0.0, 0.0, None)
+    min_step = min(steps)
+    u = max(steps) + max(delays)
+    ratio = (u / min_step) if min_step > 0 else None
+    return ArchimedeanReport(min_step, u, ratio)
+
+
+# ----------------------------------------------------------------------
+# FAR model (Fetzer, Schmid, Suesskraut)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FARReport:
+    """Finite-average-response-time measurement.
+
+    ``prefix_averages[i]`` is the average delay of the first ``i + 1``
+    correct-sender messages (in send order).  The FAR model requires the
+    averages to stay finite (bounded); continuously growing delays --
+    which the ABC model tolerates -- drive the running average up without
+    bound, which is how the model-family benchmark separates the two.
+    """
+
+    prefix_averages: tuple[float, ...]
+
+    @property
+    def final_average(self) -> float | None:
+        return self.prefix_averages[-1] if self.prefix_averages else None
+
+    @property
+    def max_average(self) -> float | None:
+        return max(self.prefix_averages) if self.prefix_averages else None
+
+    def bounded_by(self, bound: float) -> bool:
+        return self.max_average is not None and self.max_average <= bound
+
+
+def measure_far(trace: Trace) -> FARReport:
+    correct = trace.correct
+    deliveries = [
+        (record.send_time, record.time - record.send_time)
+        for record in trace.records
+        if record.sender in correct and record.send_time is not None
+    ]
+    deliveries.sort()
+    averages: list[float] = []
+    total = 0.0
+    for i, (_send, delay) in enumerate(deliveries, start=1):
+        total += delay
+        averages.append(total / i)
+    return FARReport(tuple(averages))
+
+
+# ----------------------------------------------------------------------
+# MCM: the message classification model (Fetzer)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MCMReport:
+    """Whether a valid slow/fast classification exists.
+
+    The MCM assumes every received message is correctly flagged slow or
+    fast such that every slow delay exceeds *twice* every fast delay.  On
+    a trace this holds iff the delay multiset splits at some threshold
+    with ``min_slow > 2 * max_fast`` (the all-slow split is excluded:
+    Fetzer requires fast round trips to exist).  ``best_gap`` is the
+    largest achievable ``min_slow / max_fast`` over nonempty-fast splits.
+    """
+
+    classifiable: bool
+    best_gap: float | None
+    n_messages: int
+
+
+def measure_mcm(trace: Trace) -> MCMReport:
+    correct = trace.correct
+    delays = sorted(
+        record.time - record.send_time
+        for record in trace.records
+        if record.sender in correct and record.send_time is not None
+    )
+    if len(delays) < 2:
+        return MCMReport(bool(delays), None, len(delays))
+    best_gap = 0.0
+    classifiable = False
+    for i in range(len(delays) - 1):  # fast = delays[: i + 1] (nonempty)
+        max_fast, min_slow = delays[i], delays[i + 1]
+        if max_fast <= 0:
+            continue
+        gap = min_slow / max_fast
+        best_gap = max(best_gap, gap)
+        if min_slow > 2 * max_fast:
+            classifiable = True
+    return MCMReport(classifiable, best_gap if best_gap > 0 else None, len(delays))
+
+
+# ----------------------------------------------------------------------
+# MMR: the query-response order model (Mostefaoui, Mourgaya, Raynal)
+# ----------------------------------------------------------------------
+
+
+def mmr_holds(
+    orderings: Sequence[Sequence[int]], n: int, f: int
+) -> tuple[bool, frozenset[int]]:
+    """The MMR winning-quorum condition over recorded query rounds.
+
+    ``orderings[r]`` lists the responders of query round ``r`` in arrival
+    order.  MMR requires a fixed set ``Q`` of ``f + 1`` processes whose
+    responses are always among the first ``n - f`` received.  Returns the
+    verdict and the set of always-fast responders.
+    """
+    if not orderings:
+        return False, frozenset()
+    always_fast: set[int] | None = None
+    for ordering in orderings:
+        fast = set(ordering[: n - f])
+        always_fast = fast if always_fast is None else (always_fast & fast)
+    assert always_fast is not None
+    return len(always_fast) >= f + 1, frozenset(always_fast)
+
+
+def mmr_orderings_from_rank_lists(
+    rounds: Iterable[Iterable[int]],
+) -> list[list[int]]:
+    """Normalize iterables of responder pids into ordering lists."""
+    return [list(r) for r in rounds]
+
+
+# ----------------------------------------------------------------------
+# WTL: weak timely links (Aguilera et al., Malkhi et al., Hutle et al.)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WTLReport:
+    """Eventually timely sources found in a trace.
+
+    For bound ``delta`` and suffix start ``after``, a link ``(p, q)`` is
+    *eventually timely* when every message ``p -> q`` sent at or after
+    ``after`` is delivered within ``delta``.  A correct process with at
+    least ``f`` eventually timely outgoing links to distinct correct
+    receivers is an (eventual) *timely f-source*; the weakest WTL models
+    require one to exist.
+    """
+
+    sources: frozenset[int]
+    timely_links: frozenset[tuple[int, int]]
+
+    def has_f_source(self) -> bool:
+        return bool(self.sources)
+
+
+def measure_wtl(
+    trace: Trace, f: int, delta: float, after: float = 0.0
+) -> WTLReport:
+    correct = trace.correct
+    worst: dict[tuple[int, int], float] = {}
+    for record in trace.records:
+        if record.sender is None or record.send_time is None:
+            continue
+        if record.send_time < after:
+            continue
+        if record.sender not in correct or record.event.process not in correct:
+            continue
+        link = (record.sender, record.event.process)
+        delay = record.time - record.send_time
+        worst[link] = max(worst.get(link, 0.0), delay)
+    timely = frozenset(
+        link for link, delay in worst.items()
+        if delay <= delta and link[0] != link[1]
+    )
+    sources = frozenset(
+        p
+        for p in correct
+        if sum(1 for (src, _dst) in timely if src == p) >= f
+    )
+    return WTLReport(sources, timely)

@@ -1,0 +1,84 @@
+"""The classic partially synchronous model of Dwork, Lynch & Stockmeyer.
+
+ParSync stipulates a bound ``Phi`` on relative computing speeds and a
+bound ``Delta`` on message delays, relative to a discrete *global clock*
+that ticks whenever any process takes a step: during ``Phi`` ticks every
+correct process takes at least one step, and a message sent at tick ``k``
+is received by tick ``k + Delta`` (if the receiver steps).
+
+On a recorded trace the global clock is the sequence of receive events in
+delivery order.  :func:`measure_parsync` reports the realized ``Phi`` and
+``Delta``; an execution can be *modelled* in ParSync with parameters
+``(Phi, Delta)`` iff the realized values are below them.  Section 5.1's
+separation (Figure 8): for every ``(Phi, Delta)`` there are
+ABC-admissible executions whose realized values exceed both -- built in
+:mod:`repro.scenarios.figures` and exercised by the Fig. 8 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import Event
+from repro.sim.trace import Trace
+
+__all__ = ["ParSyncReport", "measure_parsync", "parsync_admissible"]
+
+
+@dataclass(frozen=True)
+class ParSyncReport:
+    """Realized DLS parameters of a trace.
+
+    Attributes:
+        phi: the largest number of global ticks any correct process went
+            without taking a step (within its active lifetime).
+        delta: the largest number of global ticks any correct-sender
+            message spent in transit.
+        ticks: total number of global clock ticks (= receive events).
+    """
+
+    phi: int
+    delta: int
+    ticks: int
+
+    def admissible(self, phi: int, delta: int) -> bool:
+        return self.phi <= phi and self.delta <= delta
+
+
+def measure_parsync(trace: Trace) -> ParSyncReport:
+    correct = trace.correct
+    tick_of: dict[Event, int] = {}
+    last_step: dict[int, int] = {}
+    max_gap = 0
+    for tick, record in enumerate(trace.records, start=1):
+        tick_of[record.event] = tick
+        p = record.event.process
+        if p in correct and record.processed:
+            gap = tick - last_step.get(p, 0)
+            max_gap = max(max_gap, gap)
+            last_step[p] = tick
+    total = len(trace.records)
+    # A correct process silent from its last step to the end of the trace
+    # also exhibits a gap (it "takes no step" during those ticks).
+    for p in correct:
+        if p in last_step:
+            max_gap = max(max_gap, total - last_step[p])
+        else:
+            max_gap = max(max_gap, total)
+
+    max_delta = 0
+    for record in trace.records:
+        if record.sender is None or record.send_event is None:
+            continue
+        if record.sender not in correct:
+            continue
+        send_tick = tick_of.get(record.send_event)
+        if send_tick is None:
+            continue
+        max_delta = max(max_delta, tick_of[record.event] - send_tick)
+    return ParSyncReport(max_gap, max_delta, total)
+
+
+def parsync_admissible(trace: Trace, phi: int, delta: int) -> bool:
+    """Whether the trace can be modelled in ParSync with ``(Phi, Delta)``."""
+    return measure_parsync(trace).admissible(phi, delta)

@@ -1,0 +1,139 @@
+"""Relations between the ABC model and the other models (Sections 4-5).
+
+* :func:`verify_theorem6` -- Theorem 6 on concrete traces: an execution
+  admissible in the (static) Theta-Model is ABC-admissible for every
+  ``Xi > Theta``.
+* :func:`verify_theorem7_on_graph` -- Theorem 7: an ABC-admissible finite
+  graph admits a normalized delay assignment whose message delays are a
+  valid static Theta-Model assignment for any ``Theta > Xi`` (this is the
+  engine behind the indistinguishability Theorem 9).
+* :func:`abc_strictly_weaker_witness` -- the converse of Theorem 6 fails:
+  an ABC-admissible execution with a zero-delay message violates (3) for
+  every ``Theta``.
+* :func:`play_fig8_game` -- the prover-adversary game of Section 5.1
+  (Figure 8): for any adversary-chosen ``(Phi, Delta)`` the prover
+  produces an execution satisfying the ABC condition for *any* ``Xi > 1``
+  that cannot be modelled in ParSync with those parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.execution_graph import ExecutionGraph
+from repro.core.synchrony import check_abc, worst_relevant_ratio
+from repro.core.delay_assignment import normalized_assignment
+from repro.models.parsync import ParSyncReport, measure_parsync
+from repro.models.theta import ThetaReport, measure_theta_static
+from repro.sim.trace import Trace, build_execution_graph
+
+__all__ = [
+    "Theorem6Report",
+    "verify_theorem6",
+    "verify_theorem7_on_graph",
+    "abc_strictly_weaker_witness",
+    "Fig8Outcome",
+    "play_fig8_game",
+]
+
+
+@dataclass(frozen=True)
+class Theorem6Report:
+    """Outcome of checking ``M_Theta subseteq M_ABC`` on one trace."""
+
+    theta_report: ThetaReport
+    theta: float
+    xi: Fraction
+    theta_admissible: bool
+    abc_admissible: bool
+
+    @property
+    def consistent_with_theorem6(self) -> bool:
+        """Theorem 6 predicts: Theta-admissible implies ABC-admissible."""
+        return (not self.theta_admissible) or self.abc_admissible
+
+
+def verify_theorem6(
+    trace: Trace, theta: float, xi: Fraction | int | float
+) -> Theorem6Report:
+    xi_frac = Fraction(xi)
+    if xi_frac <= Fraction(theta).limit_denominator():
+        raise ValueError("Theorem 6 needs Xi > Theta")
+    report = measure_theta_static(trace)
+    graph = build_execution_graph(trace)
+    return Theorem6Report(
+        theta_report=report,
+        theta=theta,
+        xi=xi_frac,
+        theta_admissible=report.admissible(theta),
+        abc_admissible=check_abc(graph, xi_frac).admissible,
+    )
+
+
+def verify_theorem7_on_graph(
+    graph: ExecutionGraph, xi: Fraction | int | float
+) -> tuple[bool, Fraction | None]:
+    """Theorem 7 on one graph: (assignment exists, its effective Theta).
+
+    For an ABC-admissible graph the assignment must exist and its message
+    delay ratio must be strictly below ``Xi`` (hence below any
+    ``Theta > Xi``, satisfying (3)).
+    """
+    assignment = normalized_assignment(graph, xi)
+    if assignment is None:
+        return False, None
+    return True, assignment.message_delay_ratio(graph)
+
+
+def abc_strictly_weaker_witness(trace: Trace) -> tuple[bool, ThetaReport]:
+    """Whether a trace witnesses ``M_ABC not subseteq M_Theta``.
+
+    True when the trace's execution graph is ABC-admissible for some
+    ``Xi`` (finite worst ratio) while its delays violate (3) for every
+    ``Theta`` (a zero-delay message among correct processes).
+    """
+    report = measure_theta_static(trace)
+    graph = build_execution_graph(trace)
+    worst = worst_relevant_ratio(graph)
+    abc_ok_for_some_xi = worst is None or worst < Fraction(10**9)
+    return (abc_ok_for_some_xi and report.has_zero_delay), report
+
+
+@dataclass(frozen=True)
+class Fig8Outcome:
+    """Result of one round of the Section 5.1 prover-adversary game."""
+
+    phi: int
+    delta: int
+    parsync: ParSyncReport
+    worst_ratio: Fraction | None
+    abc_admissible_for_any_xi: bool
+
+    @property
+    def prover_wins(self) -> bool:
+        """The execution is ABC-admissible (for every ``Xi > 1``) but not
+        ParSync-admissible for the adversary's ``(Phi, Delta)``."""
+        return self.abc_admissible_for_any_xi and not self.parsync.admissible(
+            self.phi, self.delta
+        )
+
+
+def play_fig8_game(trace: Trace, phi: int, delta: int) -> Fig8Outcome:
+    """Evaluate a prover-provided execution against adversary parameters.
+
+    The canonical prover strategy is built by
+    :func:`repro.scenarios.figures.fig8_trace`: two processes ping-pong
+    (creating only ratio-1 relevant cycles, admissible for *every*
+    ``Xi > 1``) for more than ``max(Phi, Delta)`` global ticks while a
+    message to a third, never-stepping process stays in transit.
+    """
+    graph = build_execution_graph(trace)
+    worst = worst_relevant_ratio(graph)
+    return Fig8Outcome(
+        phi=phi,
+        delta=delta,
+        parsync=measure_parsync(trace),
+        worst_ratio=worst,
+        abc_admissible_for_any_xi=(worst is None or worst <= 1),
+    )

@@ -1,0 +1,74 @@
+"""The Dolev-Dwork-Stockmeyer synchrony taxonomy (Section 5.1).
+
+DDS classify partially synchronous models by five binary parameters:
+
+* ``c`` -- communication synchronous (a delay bound ``Delta`` holds);
+* ``p`` -- processes synchronous (a speed bound ``Phi`` holds);
+* ``s`` -- steps atomic (send + receive in one step);
+* ``b`` -- send steps can broadcast;
+* ``m`` -- message delivery globally FIFO-ordered.
+
+Section 5.1 embeds the ABC model at ``(c=0, p=0, s=1, b=1, m=0)`` and
+notes that consensus is *not* solvable in that taxonomy entry -- the ABC
+synchrony condition restricts asynchrony in a way the five parameters
+cannot express, so the taxonomy necessarily over-approximates the ABC
+model by full asynchrony.
+
+Only the entries with documented provenance are encoded; querying an
+unknown combination raises ``KeyError`` rather than guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TaxonomyCase", "ABC_TAXONOMY_CASE", "consensus_solvable"]
+
+
+@dataclass(frozen=True)
+class TaxonomyCase:
+    """One (c, p, s, b, m) cell of DDS Table 1."""
+
+    c: int
+    p: int
+    s: int
+    b: int
+    m: int
+
+    def __post_init__(self) -> None:
+        for name in ("c", "p", "s", "b", "m"):
+            if getattr(self, name) not in (0, 1):
+                raise ValueError(f"parameter {name} must be 0 or 1")
+
+
+ABC_TAXONOMY_CASE = TaxonomyCase(c=0, p=0, s=1, b=1, m=0)
+"""Where Section 5.1 places the ABC model in the DDS taxonomy."""
+
+
+def consensus_solvable(case: TaxonomyCase) -> bool:
+    """Consensus solvability of a taxonomy cell, where documented.
+
+    Encoded entries and their sources:
+
+    * ``p = 1 and c = 1``: fully synchronous -- solvable (classic).
+    * ``p = 0 and c = 0 and m = 0``: *all four* cells over ``(s, b)`` are
+      "consensus impossible"; this is exactly the row of DDS Table 1 the
+      paper quotes ("all the entries corresponding to p = 0, c = 0,
+      m = 0 are the same, irrespectively of the choice of b and s").
+    * ``p = 0 and c = 0 and m = 1 and s = 1 and b = 1``: solvable --
+      DDS's celebrated minimal case (atomic broadcast + FIFO order
+      compensates fully asynchronous processes and communication).
+
+    Raises:
+        KeyError: for combinations this reproduction does not encode.
+    """
+    if case.p == 1 and case.c == 1:
+        return True
+    if case.p == 0 and case.c == 0 and case.m == 0:
+        return False
+    if case == TaxonomyCase(c=0, p=0, s=1, b=1, m=1):
+        return True
+    raise KeyError(
+        f"taxonomy entry {case} not encoded in this reproduction; see the "
+        "DDS paper for the full table"
+    )

@@ -1,0 +1,133 @@
+"""The Theta-Model (Le Lann & Schmid; Widder & Schmid).
+
+A message-driven model without clocks: with ``tau+(t)`` / ``tau-(t)`` the
+maximum / minimum end-to-end delay of all messages from correct processes
+in transit system-wide at time ``t``, the model assumes some ``Theta > 1``
+with
+
+    tau+(t) / tau-(t) <= Theta      at all times.                   (3)
+
+The *static* variant assumes global bounds ``tau- <= delay <= tau+`` with
+``tau+/tau- = Theta``; the paper's indistinguishability argument uses the
+static model, which Widder & Schmid showed equivalent to the general one
+from the algorithms' point of view.
+
+This module measures both variants on recorded traces.  Together with
+:func:`repro.core.synchrony.check_abc` it reproduces Theorem 6 (every
+Theta-admissible execution is ABC-admissible for ``Xi > Theta``) and the
+strictness examples (zero-delay ABC executions violate (3) for every
+``Theta``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
+
+from repro.sim.trace import Trace
+
+__all__ = [
+    "ThetaReport",
+    "measure_theta_static",
+    "measure_theta_dynamic",
+    "check_theta_static",
+    "check_theta_dynamic",
+]
+
+
+@dataclass(frozen=True)
+class ThetaReport:
+    """Measured delay extremes and the implied Theta of a trace.
+
+    ``ratio`` is ``None`` when no two correct messages constrain it (or a
+    zero delay makes it infinite; then ``has_zero_delay`` is set).
+    """
+
+    tau_minus: float | None
+    tau_plus: float | None
+    ratio: float | None
+    has_zero_delay: bool
+    n_messages: int
+
+    def admissible(self, theta: float) -> bool:
+        """Whether the measured execution satisfies (3) for ``theta``."""
+        if self.n_messages == 0:
+            return True
+        if self.has_zero_delay:
+            return False
+        assert self.ratio is not None
+        return self.ratio <= theta
+
+
+def _correct_message_intervals(
+    trace: Trace,
+) -> list[tuple[float, float]]:
+    """(send_time, receive_time) of messages between correct processes."""
+    correct = trace.correct
+    intervals = []
+    for record in trace.records:
+        if record.sender is None or record.send_time is None:
+            continue
+        if record.sender in correct and record.event.process in correct:
+            intervals.append((record.send_time, record.time))
+    return intervals
+
+
+def measure_theta_static(trace: Trace) -> ThetaReport:
+    """Global delay extremes over all correct-to-correct messages."""
+    intervals = _correct_message_intervals(trace)
+    if not intervals:
+        return ThetaReport(None, None, None, False, 0)
+    delays = [recv - send for send, recv in intervals]
+    tau_minus, tau_plus = min(delays), max(delays)
+    if tau_minus <= 0:
+        return ThetaReport(tau_minus, tau_plus, None, True, len(delays))
+    return ThetaReport(
+        tau_minus, tau_plus, tau_plus / tau_minus, False, len(delays)
+    )
+
+
+def measure_theta_dynamic(trace: Trace) -> ThetaReport:
+    """The supremum of ``tau+(t) / tau-(t)`` over the whole trace.
+
+    Only instants with at least two messages simultaneously in transit
+    constrain the ratio.  The maximum over a time interval between
+    consecutive send/receive boundaries is attained anywhere inside it,
+    so a sweep over boundary points suffices.
+    """
+    intervals = _correct_message_intervals(trace)
+    if not intervals:
+        return ThetaReport(None, None, None, False, 0)
+    delays = [recv - send for send, recv in intervals]
+    if min(delays) <= 0:
+        return ThetaReport(min(delays), max(delays), None, True, len(delays))
+
+    events: list[tuple[float, int, int]] = []  # (time, kind, interval idx)
+    for idx, (send, recv) in enumerate(intervals):
+        events.append((send, 1, idx))   # arrival into transit
+        events.append((recv, 0, idx))   # departure (receive first on ties)
+    events.sort()
+    active: set[int] = set()
+    worst_ratio = 1.0
+    worst_lo: float | None = None
+    worst_hi: float | None = None
+    for _time, kind, idx in events:
+        if kind == 1:
+            active.add(idx)
+            if len(active) >= 2:
+                lo = min(delays[i] for i in active)
+                hi = max(delays[i] for i in active)
+                if hi / lo > worst_ratio:
+                    worst_ratio, worst_lo, worst_hi = hi / lo, lo, hi
+        else:
+            active.discard(idx)
+    return ThetaReport(worst_lo, worst_hi, worst_ratio, False, len(delays))
+
+
+def check_theta_static(trace: Trace, theta: float | Fraction) -> bool:
+    return measure_theta_static(trace).admissible(float(theta))
+
+
+def check_theta_dynamic(trace: Trace, theta: float | Fraction) -> bool:
+    return measure_theta_dynamic(trace).admissible(float(theta))

@@ -1,0 +1,31 @@
+"""Paper-figure constructions and random workload generators."""
+
+from repro.scenarios.figures import (
+    fig1_graph,
+    fig2_graph,
+    fig3_graph,
+    fig4_graph,
+    fig8_trace,
+    fig9_graph,
+    fig10_graphs,
+    ping_pong_chain,
+)
+from repro.scenarios.generators import (
+    clock_sync_run,
+    random_execution_graph,
+    theta_band_trace,
+)
+
+__all__ = [
+    "fig1_graph",
+    "fig2_graph",
+    "fig3_graph",
+    "fig4_graph",
+    "fig8_trace",
+    "fig9_graph",
+    "fig10_graphs",
+    "ping_pong_chain",
+    "clock_sync_run",
+    "random_execution_graph",
+    "theta_band_trace",
+]

@@ -1,0 +1,102 @@
+"""Random workload generators for tests and benchmarks.
+
+Two kinds of randomness are useful:
+
+* :func:`random_execution_graph` -- synthetic execution graphs built
+  directly (no simulation): messages attach a fresh receive event to a
+  random earlier step, so validity (DAG, one trigger per event) holds by
+  construction while the ABC condition may or may not.  Ideal for
+  property-based testing of the checkers and the Theorem 7 equivalence.
+* :func:`theta_band_trace` -- simulated Algorithm-1 executions under a
+  Theta-band delay model; ABC-admissible for any ``Xi > Theta`` by
+  Theorem 6, with realistic message patterns.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Sequence
+
+from repro.algorithms.clock_sync import ClockSyncProcess
+from repro.core.events import Event
+from repro.core.execution_graph import ExecutionGraph, GraphBuilder
+from repro.sim.delays import ThetaBandDelay
+from repro.sim.engine import SimulationLimits, Simulator
+from repro.sim.network import Network, Topology
+from repro.sim.trace import Trace
+
+__all__ = [
+    "random_execution_graph",
+    "theta_band_trace",
+    "clock_sync_run",
+]
+
+
+def random_execution_graph(
+    rng: random.Random,
+    n_processes: int = 3,
+    n_messages: int = 8,
+    locality: float = 0.5,
+) -> ExecutionGraph:
+    """A random valid execution graph.
+
+    Events are created in causal order: each new message picks an
+    already-existing event as its sending step (biased towards recent
+    events by ``locality``) and appends a fresh receive event at a random
+    process, so every event has at most one incoming message and the
+    digraph is acyclic by construction.
+    """
+    if n_processes < 1:
+        raise ValueError("need at least one process")
+    builder = GraphBuilder()
+    next_index = [1 for _ in range(n_processes)]
+    events: list[Event] = [builder.event(p, 0) for p in range(n_processes)]
+    for _ in range(n_messages):
+        if rng.random() < locality and len(events) > n_processes:
+            src = events[rng.randrange(len(events) // 2, len(events))]
+        else:
+            src = events[rng.randrange(len(events))]
+        dst_process = rng.randrange(n_processes)
+        dst = builder.event(dst_process, next_index[dst_process])
+        next_index[dst_process] += 1
+        builder.message(src, dst)
+        events.append(dst)
+    return builder.build()
+
+
+def clock_sync_run(
+    n: int,
+    f: int,
+    theta: float,
+    max_tick: int,
+    seed: int = 0,
+    faulty_procs: Sequence[object] = (),
+) -> tuple[Trace, list[object]]:
+    """Run Algorithm 1 under a Theta-band network; returns (trace,
+    processes).  ``faulty_procs`` replace the *last* ``len(faulty_procs)``
+    correct processes and are reported as faulty in the trace."""
+    processes: list[object] = [
+        ClockSyncProcess(f, max_tick=max_tick) for _ in range(n)
+    ]
+    faulty_ids = set()
+    for i, proc in enumerate(faulty_procs):
+        pid = n - 1 - i
+        processes[pid] = proc
+        faulty_ids.add(pid)
+    network = Network(Topology.fully_connected(n), ThetaBandDelay(1.0, theta))
+    sim = Simulator(processes, network, faulty=faulty_ids, seed=seed)
+    trace = sim.run(SimulationLimits(max_events=200_000))
+    return trace, processes
+
+
+def theta_band_trace(
+    n: int = 4,
+    f: int = 1,
+    theta: float = 1.5,
+    max_tick: int = 10,
+    seed: int = 0,
+) -> Trace:
+    """A Theta-band Algorithm-1 trace (ABC-admissible for ``Xi > theta``)."""
+    trace, _processes = clock_sync_run(n, f, theta, max_tick, seed=seed)
+    return trace

@@ -1,0 +1,57 @@
+"""Discrete-event simulation substrate for message-driven algorithms."""
+
+from repro.sim.delays import (
+    ClusterDelay,
+    DelayModel,
+    DriftingBandDelay,
+    FixedDelay,
+    GrowingDelay,
+    LognormalDelay,
+    PerLinkDelay,
+    ScaledDelay,
+    ThetaBandDelay,
+    UniformDelay,
+    ZeroDelay,
+)
+from repro.sim.abc_scheduler import AbcEnforcingSimulator
+from repro.sim.engine import SimulationLimits, Simulator
+from repro.sim.faults import (
+    BabblingProcess,
+    CrashAfter,
+    MirrorProcess,
+    SilentProcess,
+    TwoFacedProcess,
+)
+from repro.sim.network import Network, Topology
+from repro.sim.process import Process, StepContext
+from repro.sim.trace import ReceiveRecord, SendRecord, Trace, build_execution_graph
+
+__all__ = [
+    "ClusterDelay",
+    "DelayModel",
+    "DriftingBandDelay",
+    "FixedDelay",
+    "GrowingDelay",
+    "LognormalDelay",
+    "PerLinkDelay",
+    "ScaledDelay",
+    "ThetaBandDelay",
+    "UniformDelay",
+    "ZeroDelay",
+    "AbcEnforcingSimulator",
+    "SimulationLimits",
+    "Simulator",
+    "BabblingProcess",
+    "CrashAfter",
+    "MirrorProcess",
+    "SilentProcess",
+    "TwoFacedProcess",
+    "Network",
+    "Topology",
+    "Process",
+    "StepContext",
+    "ReceiveRecord",
+    "SendRecord",
+    "Trace",
+    "build_execution_graph",
+]

@@ -1,0 +1,143 @@
+"""An ABC-enforcing simulator: admissibility by construction.
+
+Theta-band delay models give ABC-admissible executions via Theorem 6,
+but they cannot produce the executions that make the ABC model strictly
+weaker (huge delay spreads, zero delays, long silences).  The
+:class:`AbcEnforcingSimulator` takes the model's own view instead:
+condition (2) is a property of the *schedule*, so an admissible scheduler
+simply never realizes a violating event order.
+
+Before realizing the earliest delivery ``d``, the scheduler asks the
+polynomial admissibility oracle whether any pending message ``s`` would
+be *stranded* by ``d``:
+
+* delivering ``s`` right after ``d`` would close a relevant cycle of
+  ratio ``>= Xi``, or
+* delivering ``s`` and then an immediate reply from ``s``'s receiver
+  back to its sender would -- the round-trip lookahead that covers
+  ping-pong protocols, where the cycle is closed by a reply that does
+  not exist yet while the fast chain runs (Figure 3).
+
+Any stranded message is pulled forward and delivered now, which is
+exactly the "the sum of the delays along C2 must not become so small
+that C1 could span k1 Xi or more messages" reading of Figure 1: the slow
+chain arrives before the fast chain outruns it.  Since the check runs
+before every delivery, one step of lookahead preserves the invariant
+that every pending message (and its immediate reply) remains safely
+deliverable.
+
+Deeper multi-hop relay patterns would need deeper lookahead; for those,
+admissibility should be validated post-hoc with
+:func:`repro.core.check_abc` (the enforcer still greatly extends the
+range of delay regimes that stay admissible).
+"""
+
+from __future__ import annotations
+
+import heapq
+from fractions import Fraction
+
+from repro.core.events import Event
+from repro.core.execution_graph import ExecutionGraph, MessageEdge
+from repro.core.synchrony import has_relevant_cycle_with_ratio_at_least
+from repro.sim.engine import Simulator, _Delivery
+from repro.sim.trace import build_execution_graph
+
+__all__ = ["AbcEnforcingSimulator"]
+
+
+class AbcEnforcingSimulator(Simulator):
+    """A simulator that refuses to realize inadmissible event orders.
+
+    Attributes:
+        pulled_forward: number of deliveries expedited by the enforcer
+            (how often raw delays would have broken admissibility).
+    """
+
+    def __init__(self, *args, xi: Fraction | int | float, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.xi = Fraction(xi)
+        if self.xi <= 1:
+            raise ValueError(f"the ABC model requires Xi > 1, got {self.xi}")
+        self.pulled_forward = 0
+
+    # -- oracle helpers ----------------------------------------------------
+
+    def _base_graph(self) -> tuple[dict[int, list[Event]], list[MessageEdge]]:
+        graph = build_execution_graph(self.trace)
+        return (
+            {p: list(graph.events_of(p)) for p in range(self.n)},
+            list(graph.messages),
+        )
+
+    def _strands(
+        self,
+        base: tuple[dict[int, list[Event]], list[MessageEdge]],
+        first: _Delivery,
+        pending: _Delivery,
+    ) -> bool:
+        """Would ``first`` strand ``pending`` (or its immediate reply)?"""
+        base_events, base_messages = base
+        events = {p: list(evs) for p, evs in base_events.items()}
+        messages = list(base_messages)
+        counts = {p: len(evs) for p, evs in events.items()}
+
+        def add(dest: int, sender: int | None, send_event: Event | None) -> Event:
+            new_event = Event(dest, counts[dest])
+            counts[dest] += 1
+            events[dest] = events[dest] + [new_event]
+            if (
+                sender is not None
+                and send_event is not None
+                and sender not in self.faulty
+            ):
+                messages.append(MessageEdge(send_event, new_event))
+            return new_event
+
+        add(first.dest, first.sender, first.send_event)
+        pending_event = add(pending.dest, pending.sender, pending.send_event)
+        if has_relevant_cycle_with_ratio_at_least(
+            ExecutionGraph(events, messages), self.xi
+        ):
+            return True
+        # Round-trip lookahead: an immediate reply back to the sender.
+        if pending.sender is not None and pending.sender != pending.dest:
+            add(pending.sender, pending.dest, pending_event)
+            if has_relevant_cycle_with_ratio_at_least(
+                ExecutionGraph(events, messages), self.xi
+            ):
+                return True
+        return False
+
+    # -- the enforcing step -------------------------------------------------
+
+    def _step(self) -> None:
+        delivery = heapq.heappop(self._queue)
+        base = self._base_graph()
+        stranded: list[_Delivery] = []
+        for pending in self._queue:
+            if pending.sender is None or pending.sender in self.faulty:
+                continue
+            if self._strands(base, delivery, pending):
+                stranded.append(pending)
+        if not stranded:
+            self._process_delivery(delivery)
+            return
+        # Pull the earliest-sent stranded message forward: it is
+        # delivered now (its "real" delay shrinks); the tentative
+        # delivery goes back into the queue and is retried next step.
+        heapq.heappush(self._queue, delivery)
+        rescue = min(stranded, key=lambda d: (d.send_time or 0.0, d.seq))
+        self._queue.remove(rescue)
+        heapq.heapify(self._queue)
+        self.pulled_forward += 1
+        expedited = _Delivery(
+            self.now,
+            rescue.seq,
+            rescue.dest,
+            rescue.sender,
+            rescue.send_event,
+            rescue.send_time,
+            rescue.payload,
+        )
+        self._process_delivery(expedited)

@@ -1,0 +1,221 @@
+"""End-to-end delay models for the simulated network.
+
+The ABC model puts no constraints on individual message delays, so the
+simulator accepts arbitrary delay models.  The models here cover the
+regimes the paper discusses:
+
+* :class:`ThetaBandDelay` keeps all delays inside a band of ratio
+  ``Theta``; by Theorem 6 the resulting executions are ABC-admissible for
+  every ``Xi > Theta``.
+* :class:`GrowingDelay` scales delays by an unbounded function of time
+  (the spacecraft-formation example of Sections 5.1/5.3: delays may grow
+  forever, which no bounded-delay model can express, while delay *ratios*
+  along relevant cycles stay put).
+* :class:`ClusterDelay` gives intra-cluster and inter-cluster traffic
+  different models (Figure 9: only cumulative ratios over multi-hop paths
+  matter).
+* :class:`ZeroDelay` exercises the paper's observation that the ABC model
+  even tolerates zero-delay messages (Figure 1, message ``m3``).
+
+All models draw from the :class:`random.Random` instance owned by the
+simulator, so runs are reproducible from the seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Protocol
+
+__all__ = [
+    "DelayModel",
+    "FixedDelay",
+    "UniformDelay",
+    "ThetaBandDelay",
+    "DriftingBandDelay",
+    "LognormalDelay",
+    "GrowingDelay",
+    "ScaledDelay",
+    "PerLinkDelay",
+    "ClusterDelay",
+    "ZeroDelay",
+]
+
+
+class DelayModel(Protocol):
+    """Samples the end-to-end delay of one message."""
+
+    def sample(self, src: int, dst: int, time: float, rng: random.Random) -> float:
+        """The delay of a message sent from ``src`` to ``dst`` at ``time``."""
+        ...
+
+
+@dataclass(frozen=True)
+class FixedDelay:
+    """Every message takes exactly ``value`` time units."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("delays must be non-negative")
+
+    def sample(self, src: int, dst: int, time: float, rng: random.Random) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class UniformDelay:
+    """Delays drawn uniformly from ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise ValueError(f"need 0 <= low <= high, got [{self.low}, {self.high}]")
+
+    def sample(self, src: int, dst: int, time: float, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class ThetaBandDelay:
+    """Delays uniform in ``[tau_minus, tau_minus * theta]``.
+
+    The static Theta-Model band: the ratio of any two delays is at most
+    ``theta``, so by Theorem 6 every execution produced under this model
+    is ABC-admissible for any ``Xi > theta``.
+    """
+
+    tau_minus: float
+    theta: float
+
+    def __post_init__(self) -> None:
+        if self.tau_minus <= 0:
+            raise ValueError("tau_minus must be positive")
+        if self.theta < 1:
+            raise ValueError("theta must be at least 1")
+
+    @property
+    def tau_plus(self) -> float:
+        return self.tau_minus * self.theta
+
+    def sample(self, src: int, dst: int, time: float, rng: random.Random) -> float:
+        return rng.uniform(self.tau_minus, self.tau_plus)
+
+
+@dataclass(frozen=True)
+class LognormalDelay:
+    """Heavy-tailed delays, optionally clipped to ``[clip_low, clip_high]``."""
+
+    median: float
+    sigma: float
+    clip_low: float = 0.0
+    clip_high: float = math.inf
+
+    def sample(self, src: int, dst: int, time: float, rng: random.Random) -> float:
+        value = self.median * math.exp(rng.gauss(0.0, self.sigma))
+        return min(max(value, self.clip_low), self.clip_high)
+
+
+@dataclass(frozen=True)
+class GrowingDelay:
+    """Delays of ``inner`` scaled by ``1 + rate * time``.
+
+    Models continuously increasing delays (spacecraft drifting apart).
+    The scale factor is common to all messages sent at the same time, so
+    ratios along relevant cycles stay close to the inner model's ratios.
+    """
+
+    inner: DelayModel
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("growth rate must be non-negative")
+
+    def sample(self, src: int, dst: int, time: float, rng: random.Random) -> float:
+        return self.inner.sample(src, dst, time, rng) * (1.0 + self.rate * time)
+
+
+@dataclass(frozen=True)
+class ScaledDelay:
+    """Delays of ``inner`` multiplied by a constant ``factor``."""
+
+    inner: DelayModel
+    factor: float
+
+    def sample(self, src: int, dst: int, time: float, rng: random.Random) -> float:
+        return self.inner.sample(src, dst, time, rng) * self.factor
+
+
+@dataclass(frozen=True)
+class ZeroDelay:
+    """Messages arrive instantly (delay 0); allowed by the ABC model."""
+
+    def sample(self, src: int, dst: int, time: float, rng: random.Random) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class DriftingBandDelay:
+    """A Theta band whose base delay drifts sinusoidally over time.
+
+    Models the *dynamic* Theta-Model of Widder & Schmid: the band
+    ``[tau-(t), theta * tau-(t)]`` moves with
+    ``tau-(t) = tau_minus * (1 + amplitude * sin(t / period))``, so the
+    simultaneously-in-transit delay ratio stays near ``theta`` while the
+    static (whole-run) ratio can be much larger.  Used to exercise the
+    static-vs-dynamic distinction of :mod:`repro.models.theta`.
+    """
+
+    tau_minus: float
+    theta: float
+    amplitude: float = 0.5
+    period: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.amplitude < 1:
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.theta < 1:
+            raise ValueError("theta must be at least 1")
+        if self.tau_minus <= 0 or self.period <= 0:
+            raise ValueError("tau_minus and period must be positive")
+
+    def sample(self, src: int, dst: int, time: float, rng: random.Random) -> float:
+        base = self.tau_minus * (
+            1.0 + self.amplitude * math.sin(time / self.period)
+        )
+        return rng.uniform(base, base * self.theta)
+
+
+@dataclass(frozen=True)
+class PerLinkDelay:
+    """A different model per directed link, with a default fallback."""
+
+    models: Mapping[tuple[int, int], DelayModel]
+    default: DelayModel
+
+    def sample(self, src: int, dst: int, time: float, rng: random.Random) -> float:
+        model = self.models.get((src, dst), self.default)
+        return model.sample(src, dst, time, rng)
+
+
+@dataclass(frozen=True)
+class ClusterDelay:
+    """Intra-cluster vs. inter-cluster delay models (Figure 9 scenarios).
+
+    ``cluster_of`` maps each process to its cluster id; messages between
+    processes of the same cluster use ``intra``, others use ``inter``.
+    """
+
+    cluster_of: Mapping[int, int]
+    intra: DelayModel
+    inter: DelayModel
+
+    def sample(self, src: int, dst: int, time: float, rng: random.Random) -> float:
+        same = self.cluster_of.get(src) == self.cluster_of.get(dst)
+        model = self.intra if same else self.inter
+        return model.sample(src, dst, time, rng)

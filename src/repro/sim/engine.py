@@ -1,0 +1,227 @@
+"""The discrete-event simulation kernel.
+
+The kernel owns a virtual clock and a priority queue of pending message
+deliveries.  Each delivery produces a receive event at its destination
+and -- unless the destination has crashed -- an atomic zero-time
+computing step whose sends are scheduled with delays sampled from the
+network's delay model.  Ties in delivery time are broken by send order
+(a deterministic sequence number), so a run is fully reproducible from
+its seed.
+
+The admissibility conditions of Section 2 hold by construction:
+
+1. every sent message is eventually delivered (the queue is drained), so
+   a correct process receiving infinitely many messages steps infinitely
+   often;
+2. receive events occur even at crashed/faulty processes (reception is
+   under the network's control), establishing the total order on receive
+   events the paper relies on.
+
+The kernel never exposes the clock to processes; time exists only in the
+trace, mirroring the time-free character of the ABC model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.events import Event
+from repro.sim.network import Network
+from repro.sim.process import Process, StepContext
+from repro.sim.trace import ReceiveRecord, SendRecord, Trace
+
+__all__ = ["Simulator", "SimulationLimits"]
+
+
+@dataclass(frozen=True)
+class SimulationLimits:
+    """Stop conditions for a run.
+
+    The first limit reached ends the run; with no limits the run ends at
+    quiescence (empty delivery queue).
+
+    Attributes:
+        max_events: total number of receive events across all processes.
+        max_time: virtual-time horizon.
+        stop: arbitrary predicate on the simulator, checked after every
+            step.
+    """
+
+    max_events: int | None = None
+    max_time: float | None = None
+    stop: Callable[["Simulator"], bool] | None = None
+
+
+@dataclass(order=True)
+class _Delivery:
+    time: float
+    seq: int
+    dest: int = field(compare=False)
+    sender: int | None = field(compare=False)
+    send_event: Event | None = field(compare=False)
+    send_time: float | None = field(compare=False)
+    payload: Any = field(compare=False)
+
+
+class Simulator:
+    """Runs a set of processes over a network and records the trace.
+
+    Args:
+        processes: one :class:`Process` per pid, in pid order.  Byzantine
+            behaviours are ordinary ``Process`` implementations; list
+            their pids in ``faulty`` so that analysis drops their
+            messages.
+        network: topology and delay model.
+        faulty: ground-truth set of faulty processes (crashed or
+            Byzantine); used for trace metadata, not for scheduling.
+        seed: seed of the run's private random generator.
+        start_times: wake-up time per process (default: all at 0).
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        network: Network,
+        faulty: Iterable[int] = (),
+        seed: int = 0,
+        start_times: Sequence[float] | None = None,
+    ) -> None:
+        self.processes = list(processes)
+        self.network = network
+        if network.topology.n != len(self.processes):
+            raise ValueError(
+                f"topology is for {network.topology.n} processes, got "
+                f"{len(self.processes)}"
+            )
+        self.n = len(self.processes)
+        self.faulty = frozenset(faulty)
+        for pid in self.faulty:
+            if not 0 <= pid < self.n:
+                raise ValueError(f"faulty pid {pid} out of range")
+        self.rng = random.Random(seed)
+        self.now = 0.0
+        self.trace = Trace(self.n, self.faulty)
+        self._queue: list[_Delivery] = []
+        self._seq = itertools.count()
+        self._event_counts = [0] * self.n
+        self._crashed = [False] * self.n
+        if start_times is None:
+            start_times = [0.0] * self.n
+        if len(start_times) != self.n:
+            raise ValueError("need one start time per process")
+        for pid, process in enumerate(self.processes):
+            process.attach(pid, self.n)
+        for pid, t0 in enumerate(start_times):
+            heapq.heappush(
+                self._queue,
+                _Delivery(t0, next(self._seq), pid, None, None, None, "wakeup"),
+            )
+
+    # ------------------------------------------------------------------
+
+    def crash(self, pid: int) -> None:
+        """Crash ``pid`` now: it completes no further computing steps.
+
+        Messages addressed to it keep being received (receive events
+        belong to the network), matching the paper's fault model.
+        """
+        self._crashed[pid] = True
+
+    def is_crashed(self, pid: int) -> bool:
+        return self._crashed[pid]
+
+    @property
+    def pending_messages(self) -> int:
+        return len(self._queue)
+
+    def events_at(self, pid: int) -> int:
+        """Number of receive events recorded at ``pid`` so far."""
+        return self._event_counts[pid]
+
+    # ------------------------------------------------------------------
+
+    def run(self, limits: SimulationLimits | None = None) -> Trace:
+        """Drain the delivery queue subject to ``limits``; returns the
+        trace (also available as ``self.trace``)."""
+        limits = limits or SimulationLimits()
+        while self._queue:
+            if (
+                limits.max_events is not None
+                and len(self.trace.records) >= limits.max_events
+            ):
+                break
+            if (
+                limits.max_time is not None
+                and self._queue[0].time > limits.max_time
+            ):
+                break
+            self._step()
+            if limits.stop is not None and limits.stop(self):
+                break
+        return self.trace
+
+    def _step(self) -> None:
+        self._process_delivery(heapq.heappop(self._queue))
+
+    def _process_delivery(self, delivery: _Delivery) -> None:
+        self.now = max(self.now, delivery.time)
+        dest = delivery.dest
+        event = Event(dest, self._event_counts[dest])
+        self._event_counts[dest] += 1
+
+        processed = not self._crashed[dest]
+        send_records: tuple[SendRecord, ...] = ()
+        if processed:
+            ctx = StepContext(
+                pid=dest,
+                n=self.n,
+                neighbors=self.network.topology.neighbors(dest),
+            )
+            process = self.processes[dest]
+            if delivery.sender is None:
+                process.on_wakeup(ctx)
+            else:
+                process.on_message(ctx, delivery.payload, delivery.sender)
+            send_records = self._dispatch(dest, event, ctx.sends)
+
+        self.trace.records.append(
+            ReceiveRecord(
+                event=event,
+                time=self.now,
+                sender=delivery.sender,
+                send_event=delivery.send_event,
+                send_time=delivery.send_time,
+                payload=delivery.payload,
+                processed=processed,
+                sends=send_records,
+            )
+        )
+
+    def _dispatch(
+        self,
+        src: int,
+        send_event: Event,
+        sends: Sequence[tuple[int, Any]],
+    ) -> tuple[SendRecord, ...]:
+        records = []
+        for dest, payload in sends:
+            delay = self.network.delay(src, dest, self.now, self.rng)
+            deliver_time = self.now + delay
+            heapq.heappush(
+                self._queue,
+                _Delivery(
+                    deliver_time,
+                    next(self._seq),
+                    dest,
+                    src,
+                    send_event,
+                    self.now,
+                    payload,
+                ),
+            )
+            records.append(SendRecord(dest, payload, delay, deliver_time))
+        return tuple(records)

@@ -1,0 +1,134 @@
+"""Fault injection: crash and Byzantine process behaviours.
+
+Among the ``n`` processes at most ``f`` may be Byzantine faulty; a faulty
+process may deviate arbitrarily from the algorithm, and in particular is
+not assumed to obey any synchrony requirement (footnote 2 of the paper).
+A crash is the special case of completing some step and then taking no
+further ones.
+
+Crash faults are modelled by :class:`CrashAfter` (a wrapper that stops
+*processing* after a trigger; reception continues, since receive events
+belong to the network).  Byzantine behaviours are ordinary
+:class:`~repro.sim.process.Process` implementations; generic adversaries
+live here, algorithm-specific ones (e.g. malicious tick senders for
+Algorithm 1) next to their algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sim.process import Process, StepContext
+
+__all__ = [
+    "CrashAfter",
+    "SilentProcess",
+    "BabblingProcess",
+    "MirrorProcess",
+    "TwoFacedProcess",
+]
+
+
+class CrashAfter(Process):
+    """Runs ``inner`` normally for ``steps`` computing steps, then crashes.
+
+    ``steps`` counts processed steps including the wake-up; ``steps=0``
+    is crash-on-start (the process never executes any step, not even its
+    wake-up -- "it possibly fails to complete some computing step and does
+    not take further steps later on").
+    """
+
+    def __init__(self, inner: Process, steps: int) -> None:
+        if steps < 0:
+            raise ValueError("steps must be >= 0")
+        self.inner = inner
+        self.steps_remaining = steps
+
+    def attach(self, pid: int, n: int) -> None:
+        super().attach(pid, n)
+        self.inner.attach(pid, n)
+
+    @property
+    def crashed(self) -> bool:
+        return self.steps_remaining <= 0
+
+    def on_wakeup(self, ctx: StepContext) -> None:
+        if self.crashed:
+            return
+        self.steps_remaining -= 1
+        self.inner.on_wakeup(ctx)
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        if self.crashed:
+            return
+        self.steps_remaining -= 1
+        self.inner.on_message(ctx, payload, sender)
+
+
+class SilentProcess(Process):
+    """Byzantine behaviour: receives everything, never sends anything."""
+
+
+class BabblingProcess(Process):
+    """Byzantine behaviour: floods with arbitrary payloads.
+
+    Sends ``fanout`` messages with payloads drawn from ``payload_factory``
+    on every step.  The payload factory receives a private RNG so runs
+    stay reproducible.
+    """
+
+    def __init__(
+        self,
+        payload_factory: Callable[[random.Random], Any],
+        fanout: int = 1,
+        seed: int = 0,
+    ) -> None:
+        self.payload_factory = payload_factory
+        self.fanout = fanout
+        self.rng = random.Random(seed)
+
+    def _babble(self, ctx: StepContext) -> None:
+        targets = list(ctx.neighbors) or [ctx.pid]
+        for _ in range(self.fanout):
+            dest = self.rng.choice(targets)
+            ctx.send(dest, self.payload_factory(self.rng))
+
+    def on_wakeup(self, ctx: StepContext) -> None:
+        self._babble(ctx)
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        self._babble(ctx)
+
+
+class MirrorProcess(Process):
+    """Byzantine behaviour: echoes every received payload back."""
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        if sender != ctx.pid:
+            ctx.send(sender, payload)
+
+
+class TwoFacedProcess(Process):
+    """Byzantine equivocation: tells different stories to two halves.
+
+    On every step, sends ``payload_a`` to the first half of its neighbors
+    and ``payload_b`` to the rest -- the classic adversary against
+    agreement protocols.
+    """
+
+    def __init__(self, payload_a: Any, payload_b: Any) -> None:
+        self.payload_a = payload_a
+        self.payload_b = payload_b
+
+    def _equivocate(self, ctx: StepContext) -> None:
+        half = len(ctx.neighbors) // 2
+        for i, dest in enumerate(ctx.neighbors):
+            ctx.send(dest, self.payload_a if i < half else self.payload_b)
+
+    def on_wakeup(self, ctx: StepContext) -> None:
+        self._equivocate(ctx)
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        self._equivocate(ctx)

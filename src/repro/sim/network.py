@@ -1,0 +1,92 @@
+"""Network topology and delivery (point-to-point, not necessarily fully
+connected -- Section 2 of the paper).
+
+The paper assumes a point-to-point network with finite but unbounded
+message delays, no FIFO guarantee and no authentication, but receivers
+know the sender of each message.  :class:`Network` pairs a
+:class:`Topology` with a :class:`~repro.sim.delays.DelayModel`; delivery
+order is purely a consequence of sampled delays (ties broken by send
+order), so out-of-order delivery arises naturally.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.sim.delays import DelayModel, FixedDelay
+
+__all__ = ["Topology", "Network"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A directed communication graph over processes ``0 .. n-1``.
+
+    Self-links are always present: the paper's algorithms send messages
+    to themselves, which travel through the network like any others.
+    """
+
+    n: int
+    links: frozenset[tuple[int, int]]
+
+    @staticmethod
+    def fully_connected(n: int) -> "Topology":
+        links = frozenset(
+            (i, j) for i in range(n) for j in range(n) if i != j
+        )
+        return Topology(n, links)
+
+    @staticmethod
+    def ring(n: int, bidirectional: bool = True) -> "Topology":
+        links: set[tuple[int, int]] = set()
+        for i in range(n):
+            links.add((i, (i + 1) % n))
+            if bidirectional:
+                links.add(((i + 1) % n, i))
+        return Topology(n, frozenset(links))
+
+    @staticmethod
+    def from_links(n: int, links: Iterable[tuple[int, int]]) -> "Topology":
+        return Topology(n, frozenset(links))
+
+    @staticmethod
+    def star(n: int, center: int = 0) -> "Topology":
+        """Every process connected bidirectionally to ``center`` only."""
+        links: set[tuple[int, int]] = set()
+        for i in range(n):
+            if i != center:
+                links.add((center, i))
+                links.add((i, center))
+        return Topology(n, frozenset(links))
+
+    def has_link(self, src: int, dst: int) -> bool:
+        return src == dst or (src, dst) in self.links
+
+    def neighbors(self, pid: int) -> tuple[int, ...]:
+        return tuple(sorted(dst for (src, dst) in self.links if src == pid))
+
+    def __post_init__(self) -> None:
+        for src, dst in self.links:
+            if not (0 <= src < self.n and 0 <= dst < self.n):
+                raise ValueError(f"link ({src}, {dst}) out of range for n={self.n}")
+
+
+@dataclass
+class Network:
+    """Topology plus delay model; asked by the simulator per message."""
+
+    topology: Topology
+    delay_model: DelayModel = field(default_factory=lambda: FixedDelay(1.0))
+
+    def delay(self, src: int, dst: int, time: float, rng: random.Random) -> float:
+        if not self.topology.has_link(src, dst):
+            raise ValueError(f"no link from {src} to {dst}")
+        value = self.delay_model.sample(src, dst, time, rng)
+        if value < 0:
+            raise ValueError(
+                f"delay model produced a negative delay {value} on "
+                f"({src}, {dst})"
+            )
+        return value

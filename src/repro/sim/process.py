@@ -1,0 +1,91 @@
+"""Message-driven processes (Section 2 of the paper).
+
+Every process is a state machine whose local execution is a sequence of
+atomic, zero-time computing steps, each consisting of the reception of
+exactly one message, a state transition, and the sending of zero or more
+messages.  Steps are exclusively triggered by incoming messages; an
+external *wake-up message* initiates the very first step.
+
+Algorithms subclass :class:`Process` and implement :meth:`on_wakeup` and
+:meth:`on_message`.  Handlers interact with the system only through the
+:class:`StepContext` (sending messages); in particular the context does
+not expose the current time, keeping algorithms honestly time-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Sequence
+
+__all__ = ["StepContext", "Process"]
+
+
+@dataclass
+class StepContext:
+    """The interface a computing step may use.
+
+    Attributes:
+        pid: the process taking the step.
+        n: the number of processes in the system.
+        neighbors: processes reachable over the network from ``pid``.
+    """
+
+    pid: int
+    n: int
+    neighbors: tuple[int, ...]
+    _sends: list[tuple[int, Any]] = field(default_factory=list)
+
+    def send(self, dest: int, payload: Any) -> None:
+        """Send ``payload`` to ``dest`` at the end of this step."""
+        if dest != self.pid and dest not in self.neighbors:
+            raise ValueError(
+                f"process {self.pid} has no link to {dest}; "
+                f"neighbors are {self.neighbors}"
+            )
+        self._sends.append((dest, payload))
+
+    def broadcast(self, payload: Any, include_self: bool = True) -> None:
+        """Send ``payload`` to every neighbor (and, by default, to self).
+
+        Algorithm 1 assumes "a process sends messages also to itself";
+        self-delivery is modelled as a regular message over a zero-hop
+        link, so it appears in the execution graph like any other message.
+        """
+        targets = list(self.neighbors)
+        if include_self and self.pid not in targets:
+            targets.append(self.pid)
+        for dest in sorted(targets):
+            if dest == self.pid and not include_self:
+                continue
+            self._sends.append((dest, payload))
+
+    @property
+    def sends(self) -> tuple[tuple[int, Any], ...]:
+        return tuple(self._sends)
+
+
+class Process:
+    """Base class for message-driven algorithms.
+
+    The simulator calls :meth:`attach` once before the run, then
+    :meth:`on_wakeup` for the externally triggered first step and
+    :meth:`on_message` for every subsequent message delivery.
+    """
+
+    pid: int = -1
+    n: int = 0
+
+    def attach(self, pid: int, n: int) -> None:
+        """Bind the process to its identity; called by the simulator."""
+        self.pid = pid
+        self.n = n
+
+    def on_wakeup(self, ctx: StepContext) -> None:
+        """The externally triggered initial computing step."""
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        """A computing step triggered by ``payload`` arriving from
+        ``sender``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(pid={self.pid})"

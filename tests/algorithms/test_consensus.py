@@ -1,0 +1,178 @@
+"""Tests for Byzantine consensus (phase-king and EIG).
+
+Both algorithms are exercised on the native synchronous executor and on
+the ABC lock-step simulation; agreement and validity must hold under the
+Byzantine round behaviours, and the two executors must decide identically
+in deterministic settings.
+"""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.consensus import (
+    ConflictingLiar,
+    ExponentialInformationGathering,
+    PhaseKing,
+    RandomLiar,
+    eig_rounds,
+    phase_king_rounds,
+)
+from repro.algorithms.lockstep import LockstepProcess, run_synchronous
+from repro.sim.delays import ThetaBandDelay
+from repro.sim.engine import SimulationLimits, Simulator
+from repro.sim.network import Network, Topology
+
+
+def make_phase_king_panel(n, f, initials, liars=()):
+    apps = []
+    liar_map = dict(liars)
+    for pid in range(n):
+        if pid in liar_map:
+            apps.append(liar_map[pid])
+        else:
+            apps.append(PhaseKing(pid, n, f, initials[pid]))
+    return apps
+
+
+def correct_decisions(apps, liar_pids):
+    return [
+        app.decision for pid, app in enumerate(apps) if pid not in liar_pids
+    ]
+
+
+class TestPhaseKingSynchronous:
+    N, F = 5, 1
+
+    @pytest.mark.parametrize(
+        "initials", list(itertools.product([0, 1], repeat=5))[::3]
+    )
+    def test_agreement_and_validity_failure_free(self, initials):
+        apps = make_phase_king_panel(self.N, self.F, initials)
+        run_synchronous(apps, phase_king_rounds(self.F))
+        decisions = [a.decision for a in apps]
+        assert len(set(decisions)) == 1
+        if len(set(initials)) == 1:
+            assert decisions[0] == initials[0]  # validity
+
+    @pytest.mark.parametrize("liar_pid", [0, 2, 4])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_agreement_with_random_liar(self, liar_pid, seed):
+        initials = [1, 0, 1, 0, 1]
+        liar = RandomLiar(seed)
+        apps = make_phase_king_panel(
+            self.N, self.F, initials, liars=[(liar_pid, liar)]
+        )
+        run_synchronous(apps, phase_king_rounds(self.F))
+        decisions = correct_decisions(apps, {liar_pid})
+        assert len(set(decisions)) == 1
+
+    @pytest.mark.parametrize("liar_pid", [1, 3])
+    def test_agreement_with_conflicting_liar(self, liar_pid):
+        initials = [0, 1, 0, 1, 0]
+        apps = make_phase_king_panel(
+            self.N, self.F, initials, liars=[(liar_pid, ConflictingLiar())]
+        )
+        run_synchronous(apps, phase_king_rounds(self.F))
+        decisions = correct_decisions(apps, {liar_pid})
+        assert len(set(decisions)) == 1
+
+    def test_validity_with_liar(self):
+        # All correct processes start with 1: must decide 1 despite liar.
+        initials = [1, 1, 1, 1, 1]
+        apps = make_phase_king_panel(
+            self.N, self.F, initials, liars=[(4, ConflictingLiar())]
+        )
+        run_synchronous(apps, phase_king_rounds(self.F))
+        assert correct_decisions(apps, {4}) == [1, 1, 1, 1]
+
+    def test_needs_n_over_4f(self):
+        with pytest.raises(ValueError):
+            PhaseKing(0, 4, 1, 0)
+
+
+class TestEIGSynchronous:
+    N, F = 4, 1
+
+    @pytest.mark.parametrize(
+        "initials", list(itertools.product([0, 1], repeat=4))[::2]
+    )
+    def test_agreement_and_validity(self, initials):
+        apps = [
+            ExponentialInformationGathering(i, self.N, self.F, initials[i])
+            for i in range(self.N)
+        ]
+        run_synchronous(apps, eig_rounds(self.F) + 1)
+        decisions = [a.decision for a in apps]
+        assert len(set(decisions)) == 1
+        if len(set(initials)) == 1:
+            assert decisions[0] == initials[0]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_agreement_with_liar_at_optimal_resilience(self, seed):
+        # n = 4 = 3f + 1: beyond phase-king's reach, EIG handles it.
+        initials = [1, 0, 1, 0]
+        apps = [
+            ExponentialInformationGathering(i, self.N, self.F, initials[i])
+            for i in range(3)
+        ] + [RandomLiar(seed)]
+        run_synchronous(apps, eig_rounds(self.F) + 1)
+        decisions = [a.decision for a in apps[:3]]
+        assert len(set(decisions)) == 1
+
+    def test_needs_n_over_3f(self):
+        with pytest.raises(ValueError):
+            ExponentialInformationGathering(0, 3, 1, 0)
+
+
+class TestConsensusOverLockstep:
+    """The headline claim: synchronous consensus runs unchanged on the
+    ABC lock-step simulation."""
+
+    N, F, XI = 5, 1, Fraction(2)
+
+    def run_abc(self, initials, seed=0, liar_pid=None):
+        from repro.algorithms.lockstep import round_phases_for
+
+        phases = round_phases_for(self.XI)
+        rounds = phase_king_rounds(self.F) + 1
+        apps = []
+        procs = []
+        faulty = set()
+        for pid in range(self.N):
+            if pid == liar_pid:
+                app = ConflictingLiar()
+                faulty.add(pid)
+            else:
+                app = PhaseKing(pid, self.N, self.F, initials[pid])
+            apps.append(app)
+            procs.append(LockstepProcess(self.F, phases, app, max_rounds=rounds))
+        net = Network(
+            Topology.fully_connected(self.N), ThetaBandDelay(1.0, 1.5)
+        )
+        sim = Simulator(procs, net, faulty=faulty, seed=seed)
+        sim.run(SimulationLimits(max_events=200_000))
+        return apps
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_failure_free_matches_synchronous_executor(self, seed):
+        initials = [1, 0, 1, 1, 0]
+        abc_apps = self.run_abc(initials, seed=seed)
+        sync_apps = make_phase_king_panel(self.N, self.F, initials)
+        run_synchronous(sync_apps, phase_king_rounds(self.F))
+        assert [a.decision for a in abc_apps] == [
+            a.decision for a in sync_apps
+        ]
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_agreement_with_round_level_byzantine(self, seed):
+        initials = [1, 0, 1, 0, 1]
+        apps = self.run_abc(initials, seed=seed, liar_pid=2)
+        decisions = [a.decision for i, a in enumerate(apps) if i != 2]
+        assert None not in decisions
+        assert len(set(decisions)) == 1
+
+    def test_validity_over_lockstep(self):
+        apps = self.run_abc([1, 1, 1, 1, 1], seed=3)
+        assert [a.decision for a in apps] == [1] * 5

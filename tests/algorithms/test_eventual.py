@@ -1,0 +1,126 @@
+"""Tests for the Section-6 variants: Xi learning and doubling rounds."""
+
+from fractions import Fraction
+from typing import Any, Mapping
+
+import pytest
+
+from repro.algorithms.eventual import (
+    AdaptiveXiMonitor,
+    DoublingLockstepProcess,
+    doubling_round_start,
+)
+from repro.algorithms.failure_detector import PongResponder
+from repro.analysis.properties import first_lockstep_round, verify_lockstep
+from repro.sim.delays import PerLinkDelay, ThetaBandDelay, UniformDelay
+from repro.sim.engine import SimulationLimits, Simulator
+from repro.sim.faults import CrashAfter
+from repro.sim.network import Network, Topology
+
+
+class EchoRounds:
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+
+    def initial_message(self) -> Any:
+        return (self.pid, 0)
+
+    def on_round(self, round_index: int, received: Mapping[int, Any]) -> Any:
+        return (self.pid, round_index)
+
+
+class TestDoublingBoundaries:
+    def test_round_starts(self):
+        assert doubling_round_start(2, 0) == 0
+        assert doubling_round_start(2, 1) == 2
+        assert doubling_round_start(2, 2) == 6
+        assert doubling_round_start(2, 3) == 14
+
+    def test_base_phase_validation(self):
+        with pytest.raises(ValueError):
+            DoublingLockstepProcess(1, 0, EchoRounds(0), max_rounds=2)
+
+
+def run_doubling(n=4, f=1, rounds=5, theta=4.0, seed=0):
+    """A network whose delay band is far wider than the first rounds'
+    duration: early rounds miss messages, later (longer) rounds don't."""
+    procs = [
+        DoublingLockstepProcess(f, 1, EchoRounds(i), max_rounds=rounds)
+        for i in range(n)
+    ]
+    net = Network(Topology.fully_connected(n), ThetaBandDelay(1.0, theta))
+    sim = Simulator(procs, net, seed=seed)
+    trace = sim.run(SimulationLimits(max_events=300_000))
+    return trace, procs
+
+
+class TestEventualLockstep:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_eventually_lockstep(self, seed):
+        trace, procs = run_doubling(seed=seed)
+        r0 = first_lockstep_round(trace, procs)
+        assert r0 is not None
+
+    def test_rounds_progress(self):
+        _trace, procs = run_doubling()
+        assert all(p.r >= 4 for p in procs)
+
+    def test_lockstep_from_start_under_tight_band(self):
+        # With Theta close to 1 and base phases comfortably large, even
+        # round 1 is already lock-step.
+        procs = [
+            DoublingLockstepProcess(1, 4, EchoRounds(i), max_rounds=4)
+            for i in range(4)
+        ]
+        net = Network(Topology.fully_connected(4), ThetaBandDelay(1.0, 1.2))
+        sim = Simulator(procs, net, seed=5)
+        trace = sim.run(SimulationLimits(max_events=300_000))
+        assert first_lockstep_round(trace, procs) == 1
+        assert verify_lockstep(trace, procs)[0]
+
+
+class TestAdaptiveXi:
+    def run_monitor(self, initial_xi, slow_factor, seed=0, crashed=False):
+        """Monitor with two targets; target 2's link is `slow_factor`
+        times slower than the band, so small estimates time it out."""
+        n = 3
+        monitor = AdaptiveXiMonitor(
+            targets=[1, 2], initial_xi_hat=initial_xi, max_probes=12
+        )
+        procs: list = [monitor, PongResponder(), PongResponder()]
+        faulty = set()
+        if crashed:
+            procs[2] = CrashAfter(PongResponder(), steps=0)
+            faulty = {2}
+        delays = PerLinkDelay(
+            {
+                (0, 2): UniformDelay(slow_factor, slow_factor * 1.1),
+                (2, 0): UniformDelay(slow_factor, slow_factor * 1.1),
+            },
+            default=UniformDelay(1.0, 1.2),
+        )
+        net = Network(Topology.fully_connected(n), delays)
+        sim = Simulator(procs, net, faulty=faulty, seed=seed)
+        sim.run(SimulationLimits(max_events=30_000))
+        return monitor
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_estimate_grows_and_rehabilitates(self, seed):
+        monitor = self.run_monitor(
+            initial_xi=Fraction(3, 2), slow_factor=8.0, seed=seed
+        )
+        # The slow (but correct) target must not stay suspected.
+        assert 2 not in monitor.suspected
+        assert monitor.revisions  # the estimate was bumped at least once
+        assert monitor.xi_hat > Fraction(3, 2)
+
+    def test_no_revision_when_estimate_sufficient(self):
+        monitor = self.run_monitor(initial_xi=Fraction(20), slow_factor=3.0)
+        assert monitor.revisions == []
+        assert monitor.suspected == set()
+
+    def test_crashed_target_stays_suspected(self):
+        monitor = self.run_monitor(
+            initial_xi=Fraction(3, 2), slow_factor=1.0, crashed=True
+        )
+        assert 2 in monitor.suspected

@@ -1,0 +1,72 @@
+"""Tests for the Figure-3 failure detector: perfection under ABC."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.failure_detector import PingPongMonitor, PongResponder
+from repro.sim.delays import ThetaBandDelay
+from repro.sim.engine import SimulationLimits, Simulator
+from repro.sim.faults import CrashAfter
+from repro.sim.network import Network, Topology
+
+
+def run_fd(n=4, xi=Fraction(2), theta=1.5, crashed=(), seed=0, max_probes=8):
+    monitor = PingPongMonitor(
+        targets=list(range(1, n)), xi=xi, max_probes=max_probes
+    )
+    procs: list = [monitor]
+    for pid in range(1, n):
+        base = PongResponder()
+        if pid in crashed:
+            procs.append(CrashAfter(base, steps=0))
+        else:
+            procs.append(base)
+    net = Network(Topology.fully_connected(n), ThetaBandDelay(1.0, theta))
+    sim = Simulator(procs, net, faulty=set(crashed), seed=seed)
+    sim.run(SimulationLimits(max_events=50_000))
+    return monitor
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_no_false_suspicions_failure_free(self, seed):
+        monitor = run_fd(seed=seed)
+        assert monitor.suspected == set()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_no_false_suspicions_with_crash(self, seed):
+        monitor = run_fd(crashed={2}, seed=seed)
+        assert monitor.suspected <= {2}
+
+    @pytest.mark.parametrize("xi", [Fraction(3, 2), 2, 3])
+    def test_accuracy_across_xi(self, xi):
+        # Theta must stay below Xi for admissibility (Theorem 6).
+        monitor = run_fd(xi=xi, theta=float(Fraction(xi)) * 0.9)
+        assert monitor.suspected == set()
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_crashed_process_suspected(self, seed):
+        monitor = run_fd(crashed={2}, seed=seed)
+        assert 2 in monitor.suspected
+
+    def test_multiple_crashes_suspected(self):
+        monitor = run_fd(n=5, crashed={2, 4}, seed=1)
+        assert monitor.suspected == {2, 4}
+
+    def test_suspicion_is_permanent(self):
+        monitor = run_fd(crashed={3}, seed=2, max_probes=10)
+        assert 3 in monitor.suspected
+        assert 3 in monitor.suspicion_step
+
+
+class TestValidation:
+    def test_xi_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            PingPongMonitor(targets=[1], xi=1)
+
+    def test_trips_needed_is_ceil_xi(self):
+        assert PingPongMonitor([1], Fraction(5, 2)).trips_needed == 3
+        assert PingPongMonitor([1], 2).trips_needed == 2

@@ -1,0 +1,94 @@
+"""Tests for Omega leader election from the restricted ABC condition."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.leader_election import (
+    CoreElector,
+    LeaderAnnouncement,
+    LeaderFollower,
+)
+from repro.sim import (
+    Network,
+    SimulationLimits,
+    Simulator,
+    ThetaBandDelay,
+    Topology,
+)
+from repro.sim.faults import CrashAfter
+
+
+def run_election(n=6, f=1, crashed_core=(), seed=0):
+    """Core = processes 0..f+1; the rest follow announcements."""
+    core = tuple(range(f + 2))
+    others = tuple(range(f + 2, n))
+    procs: list = []
+    for pid in range(n):
+        if pid in core:
+            elect = CoreElector(core, others, xi=Fraction(2), max_probes=8)
+            if pid in crashed_core:
+                procs.append(CrashAfter(elect, steps=0))
+            else:
+                procs.append(elect)
+        else:
+            procs.append(LeaderFollower())
+    net = Network(Topology.fully_connected(n), ThetaBandDelay(1.0, 1.5))
+    sim = Simulator(procs, net, faulty=set(crashed_core), seed=seed)
+    sim.run(SimulationLimits(max_events=60_000))
+    return procs, core, others, set(crashed_core)
+
+
+class TestElection:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_failure_free_elects_smallest_core_member(self, seed):
+        procs, core, others, _ = run_election(seed=seed)
+        for pid in core:
+            assert procs[pid].leader == 0
+        for pid in others:
+            assert procs[pid].leader == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_crashed_leader_replaced(self, seed):
+        procs, core, others, crashed = run_election(
+            crashed_core={0}, seed=seed
+        )
+        for pid in set(core) - crashed:
+            assert procs[pid].leader == 1  # smallest surviving core member
+        for pid in others:
+            assert procs[pid].leader == 1
+
+    def test_leader_is_always_a_core_member(self):
+        procs, core, others, _ = run_election(n=7, f=2, seed=3)
+        for pid in others:
+            assert procs[pid].leader in core
+
+    def test_agreement_across_all_correct(self):
+        procs, core, others, crashed = run_election(
+            n=7, f=2, crashed_core={1}, seed=5
+        )
+        leaders = {
+            procs[pid].leader
+            for pid in set(core) | set(others)
+            if pid not in crashed
+        }
+        assert len(leaders) == 1
+        assert next(iter(leaders)) not in crashed
+
+    def test_attach_validates_core_membership(self):
+        elect = CoreElector((0, 1, 2), (3,), xi=Fraction(2))
+        with pytest.raises(ValueError):
+            elect.attach(5, 6)
+
+    def test_follower_ignores_garbage(self):
+        follower = LeaderFollower()
+        follower.on_message(None, "junk", 0)  # ctx unused for garbage
+        assert follower.leader is None
+
+    def test_follower_prefers_fresh_announcements(self):
+        follower = LeaderFollower()
+        follower.on_message(None, LeaderAnnouncement(leader=0, epoch=1), 0)
+        assert follower.leader == 0
+        # A newer epoch announcing a different leader wins.
+        follower.on_message(None, LeaderAnnouncement(leader=1, epoch=9), 1)
+        assert follower.leader == 1

@@ -1,0 +1,131 @@
+"""Tests for Algorithm 2: lock-step round simulation (Theorem 5)."""
+
+from fractions import Fraction
+from typing import Any, Mapping
+
+import pytest
+
+from repro.algorithms.clock_sync import ByzantineTickSpammer
+from repro.algorithms.lockstep import (
+    LockstepProcess,
+    RoundPayload,
+    round_phases_for,
+    run_synchronous,
+)
+from repro.analysis.properties import verify_lockstep
+from repro.sim.delays import ThetaBandDelay
+from repro.sim.engine import SimulationLimits, Simulator
+from repro.sim.faults import CrashAfter
+from repro.sim.network import Network, Topology
+
+
+class EchoRounds:
+    """A trivial round algorithm: emits (pid, round); logs what it saw."""
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self.log: dict[int, dict[int, Any]] = {}
+
+    def initial_message(self) -> Any:
+        return (self.pid, 0)
+
+    def on_round(self, round_index: int, received: Mapping[int, Any]) -> Any:
+        self.log[round_index] = dict(received)
+        return (self.pid, round_index)
+
+
+def run_lockstep(n=4, f=1, xi=Fraction(2), rounds=4, seed=0, faulty=None):
+    phases = round_phases_for(xi)
+    apps = [EchoRounds(i) for i in range(n)]
+    procs: list = [
+        LockstepProcess(f, phases, apps[i], max_rounds=rounds)
+        for i in range(n)
+    ]
+    faulty_ids = set()
+    if faulty is not None:
+        for pid, proc in faulty.items():
+            procs[pid] = proc
+            faulty_ids.add(pid)
+    net = Network(Topology.fully_connected(n), ThetaBandDelay(1.0, 1.5))
+    sim = Simulator(procs, net, faulty=faulty_ids, seed=seed)
+    trace = sim.run(SimulationLimits(max_events=100_000))
+    return trace, procs, apps
+
+
+class TestRoundPhases:
+    def test_round_phases_for(self):
+        assert round_phases_for(2) == 4
+        assert round_phases_for(Fraction(3, 2)) == 3
+        assert round_phases_for(Fraction(5, 2)) == 5
+
+    def test_xi_validation(self):
+        with pytest.raises(ValueError):
+            round_phases_for(1)
+
+
+class TestTheorem5:
+    def test_lockstep_holds_failure_free(self):
+        trace, procs, _apps = run_lockstep()
+        holds, checked = verify_lockstep(trace, procs)
+        assert holds and checked >= 4 * 3  # 4 processes, >= 3 rounds
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_lockstep_holds_across_seeds(self, seed):
+        trace, procs, _apps = run_lockstep(seed=seed)
+        holds, _checked = verify_lockstep(trace, procs)
+        assert holds
+
+    def test_lockstep_with_byzantine_ticker(self):
+        spam = ByzantineTickSpammer(spread=30, burst=2, seed=1)
+        trace, procs, _apps = run_lockstep(faulty={3: spam})
+        holds, checked = verify_lockstep(trace, procs)
+        assert holds and checked > 0
+
+    def test_lockstep_with_crash(self):
+        crashed = CrashAfter(
+            LockstepProcess(1, 4, EchoRounds(3), max_rounds=4), steps=2
+        )
+        trace, procs, _apps = run_lockstep(faulty={3: crashed})
+        holds, _ = verify_lockstep(trace, procs)
+        assert holds
+
+    def test_all_correct_processes_complete_rounds(self):
+        _trace, procs, _apps = run_lockstep(rounds=4)
+        assert all(p.r >= 3 for p in procs)
+
+    def test_round_inputs_carry_correct_payloads(self):
+        _trace, _procs, apps = run_lockstep()
+        for app in apps:
+            for r, received in app.log.items():
+                for sender, payload in received.items():
+                    assert payload == (sender, r - 1)
+
+
+class TestPiggybackValidation:
+    def test_malformed_piggyback_ignored(self):
+        proc = LockstepProcess(1, 4, EchoRounds(0), max_rounds=3)
+        proc.attach(0, 4)
+        from repro.algorithms.clock_sync import Tick
+
+        # Payload claims round 2 but rides on tick 4 (= round 1 boundary).
+        bad = Tick(4, RoundPayload(2, "junk"))
+        proc.on_tick_received(bad, sender=1)
+        assert 2 not in proc.received_rounds
+
+    def test_round_phases_minimum(self):
+        with pytest.raises(ValueError):
+            LockstepProcess(1, 1, EchoRounds(0), max_rounds=2)
+
+
+class TestSynchronousExecutor:
+    def test_history_shape(self):
+        apps = [EchoRounds(i) for i in range(3)]
+        history = run_synchronous(apps, rounds=3)
+        assert len(history) == 4  # rounds 0..3
+        assert set(history[0]) == {0, 1, 2}
+
+    def test_none_algorithm_is_silent(self):
+        apps = [EchoRounds(0), None, EchoRounds(2)]
+        history = run_synchronous(apps, rounds=2)
+        assert 1 not in history[0]
+        assert all(1 not in msgs for msgs in history)

@@ -1,0 +1,78 @@
+"""Tests for the Lemma 3 checker and the drifting-band delay model."""
+
+import pytest
+
+from repro.analysis import ClockAnalysis, verify_causal_chain_length
+from repro.models import measure_theta_dynamic, measure_theta_static
+from repro.scenarios.generators import clock_sync_run
+from repro.sim import (
+    DriftingBandDelay,
+    Network,
+    SimulationLimits,
+    Simulator,
+    Topology,
+)
+from repro.algorithms import ClockSyncProcess
+
+
+class TestLemma3:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_chain_length_holds_on_real_runs(self, seed):
+        trace, procs = clock_sync_run(
+            n=4, f=1, theta=1.5, max_tick=10, seed=seed
+        )
+        analysis = ClockAnalysis.from_run(trace, procs)
+        assert verify_causal_chain_length(analysis)
+
+    def test_detects_fabricated_violation(self):
+        """A clock value exceeding every incoming chain length violates
+        Lemma 3 -- fabricate one and the checker must flag it."""
+        from repro.analysis.properties import ClockAnalysis
+        from repro.core.events import Event
+        from repro.sim.trace import ReceiveRecord, Trace
+        from repro.sim.trace import build_execution_graph
+
+        trace = Trace(2, frozenset())
+        trace.records.append(
+            ReceiveRecord(Event(0, 0), 0.0, None, None, None, "w", True, ())
+        )
+        trace.records.append(
+            ReceiveRecord(Event(1, 0), 0.0, None, None, None, "w", True, ())
+        )
+
+        class Fake:
+            clock_after_step = [7]  # clock 7 with zero incoming messages
+
+        analysis = ClockAnalysis(
+            trace, {0: [7], 1: [0]}, build_execution_graph(trace)
+        )
+        assert not verify_causal_chain_length(analysis)
+
+
+class TestDriftingBand:
+    def run_drifting(self, amplitude):
+        procs = [ClockSyncProcess(1, max_tick=30) for _ in range(4)]
+        model = DriftingBandDelay(
+            1.0, theta=1.3, amplitude=amplitude, period=20.0
+        )
+        net = Network(Topology.fully_connected(4), model)
+        sim = Simulator(procs, net, seed=5)
+        return sim.run(SimulationLimits(max_events=30_000))
+
+    def test_static_ratio_exceeds_dynamic(self):
+        trace = self.run_drifting(amplitude=0.6)
+        static = measure_theta_static(trace).ratio
+        dynamic = measure_theta_dynamic(trace).ratio
+        # The band drifts by +-60%, so whole-run extremes are far apart
+        # while simultaneously-in-transit delays stay near theta.
+        assert static > dynamic
+        assert static > 1.8
+        assert dynamic < static
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftingBandDelay(1.0, theta=1.3, amplitude=1.5)
+        with pytest.raises(ValueError):
+            DriftingBandDelay(1.0, theta=0.5)
+        with pytest.raises(ValueError):
+            DriftingBandDelay(-1.0, theta=1.3)

@@ -1,0 +1,190 @@
+"""Tests for the theorem checkers, including negative cases.
+
+A verifier that cannot fail is no verifier: each checker is also fed a
+violating input and must flag it.
+"""
+
+from fractions import Fraction
+
+from repro.analysis.properties import (
+    ClockAnalysis,
+    first_lockstep_round,
+    verify_bounded_progress,
+    verify_causal_cone,
+    verify_cut_synchrony,
+    verify_lockstep,
+    verify_progress,
+    verify_realtime_precision,
+)
+from repro.algorithms.clock_sync import Tick
+from repro.core.events import Event
+from repro.sim.trace import ReceiveRecord, Trace
+
+
+def synthetic_clock_trace(clock_histories, tick_deliveries=(), n=None):
+    """Build a trace + fake process objects with given clock histories.
+
+    clock_histories: dict pid -> list of clock values (one per step).
+    tick_deliveries: (dest, step_index, sender, value) extra tick payload
+    annotations; by default every step carries no tick.
+    """
+    n = n or len(clock_histories)
+    trace = Trace(n, frozenset())
+    ticks = {
+        (dest, idx): (sender, value)
+        for dest, idx, sender, value in tick_deliveries
+    }
+    t = 0.0
+    max_len = max(len(h) for h in clock_histories.values())
+    for idx in range(max_len):
+        for pid in sorted(clock_histories):
+            if idx >= len(clock_histories[pid]):
+                continue
+            sender, value = ticks.get((pid, idx), (None, None))
+            payload = Tick(value) if value is not None else "wakeup"
+            send_event = Event(sender, 0) if sender is not None else None
+            send_time = t - 0.5 if sender is not None else None
+            trace.records.append(
+                ReceiveRecord(
+                    Event(pid, idx), t, sender, send_event, send_time,
+                    payload, True, (),
+                )
+            )
+            t += 1.0
+
+    class FakeProc:
+        def __init__(self, history):
+            self.clock_after_step = history
+
+    procs = [FakeProc(clock_histories.get(p, [])) for p in range(n)]
+    return trace, procs
+
+
+class TestProgress:
+    def test_progress_holds(self):
+        trace, procs = synthetic_clock_trace({0: [0, 1, 2], 1: [0, 2, 3]})
+        analysis = ClockAnalysis.from_run(trace, procs)
+        assert verify_progress(analysis, target=2)
+
+    def test_progress_fails_below_target(self):
+        trace, procs = synthetic_clock_trace({0: [0, 1], 1: [0, 5]})
+        analysis = ClockAnalysis.from_run(trace, procs)
+        assert not verify_progress(analysis, target=3)
+
+
+class TestSynchrony:
+    def test_detects_spread_violation(self):
+        # Clocks drift apart by 10 with no communication: the checker
+        # must catch |C_p - C_q| > 2 Xi on some cut.
+        trace, procs = synthetic_clock_trace({0: [0, 10], 1: [0, 0]})
+        analysis = ClockAnalysis.from_run(trace, procs)
+        report = verify_cut_synchrony(analysis, Fraction(2), extra_samples=5)
+        assert not report.holds
+        assert report.worst_spread == 10
+
+    def test_accepts_tight_clocks(self):
+        trace, procs = synthetic_clock_trace({0: [0, 1, 2], 1: [0, 1, 2]})
+        analysis = ClockAnalysis.from_run(trace, procs)
+        assert verify_cut_synchrony(analysis, Fraction(2)).holds
+
+
+class TestRealtimePrecision:
+    def test_detects_realtime_violation(self):
+        trace, procs = synthetic_clock_trace({0: [8], 1: [0, 0, 0]})
+        analysis = ClockAnalysis.from_run(trace, procs)
+        report = verify_realtime_precision(analysis, Fraction(2))
+        assert not report.holds
+
+    def test_accepts_synchronized(self):
+        trace, procs = synthetic_clock_trace({0: [0, 1], 1: [1, 2]})
+        analysis = ClockAnalysis.from_run(trace, procs)
+        assert verify_realtime_precision(analysis, Fraction(2)).holds
+
+
+class TestBoundedProgress:
+    def test_flags_stalled_process(self):
+        # p0 performs many distinguished events; p1 none after its start.
+        history0 = list(range(30))
+        trace, procs = synthetic_clock_trace({0: history0, 1: [0] * 30})
+        analysis = ClockAnalysis.from_run(trace, procs)
+        report = verify_bounded_progress(
+            analysis,
+            Fraction(2),
+            {0: list(range(30)), 1: [0]},
+        )
+        assert report.rho == 9  # 4 * 2 + 1
+        assert not report.holds
+
+    def test_quiet_when_too_few_events(self):
+        trace, procs = synthetic_clock_trace({0: [0, 1], 1: [0, 1]})
+        analysis = ClockAnalysis.from_run(trace, procs)
+        report = verify_bounded_progress(
+            analysis, Fraction(2), {0: [0, 1], 1: [0, 1]}
+        )
+        assert report.n_windows == 0 and report.holds
+
+
+class TestCausalCone:
+    def test_detects_missing_tick(self):
+        # p0 reaches clock 4 = 0 + 2*2 without any tick from p1.
+        trace, procs = synthetic_clock_trace({0: [0, 4], 1: [0, 0]})
+        analysis = ClockAnalysis.from_run(trace, procs)
+        assert not verify_causal_cone(analysis, Fraction(2))
+
+    def test_accepts_complete_cone(self):
+        # p0 reaches 4 having received (tick 0) from both p0 and p1.
+        trace, procs = synthetic_clock_trace(
+            {0: [0, 0, 0, 4], 1: [0, 0]},
+            tick_deliveries=[(0, 1, 0, 0), (0, 2, 1, 0)],
+        )
+        analysis = ClockAnalysis.from_run(trace, procs)
+        assert verify_causal_cone(analysis, Fraction(2))
+
+
+class TestLockstepChecker:
+    class FakeLockstep:
+        def __init__(self, inputs):
+            self.round_inputs = inputs
+
+    def test_complete_inputs_pass(self):
+        trace = Trace(2, frozenset())
+        procs = [
+            self.FakeLockstep({1: {0: "a", 1: "b"}}),
+            self.FakeLockstep({1: {0: "a", 1: "b"}}),
+        ]
+        holds, checked = verify_lockstep(trace, procs)
+        assert holds and checked == 2
+
+    def test_missing_input_fails(self):
+        trace = Trace(2, frozenset())
+        procs = [
+            self.FakeLockstep({1: {0: "a"}}),  # missing sender 1
+            self.FakeLockstep({1: {0: "a", 1: "b"}}),
+        ]
+        holds, _ = verify_lockstep(trace, procs)
+        assert not holds
+
+    def test_faulty_senders_excused(self):
+        trace = Trace(2, frozenset({1}))
+        procs = [self.FakeLockstep({1: {0: "a"}}), None]
+        procs = [procs[0], self.FakeLockstep({})]
+        holds, _ = verify_lockstep(trace, procs)
+        assert holds
+
+    def test_first_lockstep_round(self):
+        trace = Trace(2, frozenset())
+        procs = [
+            self.FakeLockstep({1: {0: "a"}, 2: {0: "a", 1: "b"},
+                               3: {0: "a", 1: "b"}}),
+            self.FakeLockstep({1: {0: "a", 1: "b"}, 2: {0: "a", 1: "b"},
+                               3: {0: "a", 1: "b"}}),
+        ]
+        assert first_lockstep_round(trace, procs) == 2
+
+    def test_never_lockstep_returns_none(self):
+        trace = Trace(2, frozenset())
+        procs = [
+            self.FakeLockstep({1: {0: "a", 1: "b"}, 2: {0: "a"}}),
+            self.FakeLockstep({1: {0: "a", 1: "b"}, 2: {0: "a", 1: "b"}}),
+        ]
+        assert first_lockstep_round(trace, procs) is None

@@ -1,0 +1,55 @@
+"""Shared fixtures: canonical graphs and cached simulation runs."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.execution_graph import ExecutionGraph, GraphBuilder
+from repro.scenarios.generators import clock_sync_run
+
+
+@pytest.fixture
+def fig3_like_graph() -> ExecutionGraph:
+    """The Figure-3 pattern: 4 fast messages spanning a 2-message chain
+    (worst relevant ratio exactly 2)."""
+    b = GraphBuilder()
+    b.message((0, 0), (1, 0))
+    b.message((1, 0), (0, 1))
+    b.message((0, 1), (1, 1))
+    b.message((1, 1), (0, 2))
+    b.message((0, 0), (2, 0))
+    b.message((2, 0), (0, 3))
+    return b.build()
+
+
+@pytest.fixture
+def broadcast_graph() -> ExecutionGraph:
+    """Two messages from one step to the same process: ratio-1 cycle."""
+    b = GraphBuilder()
+    b.message((0, 0), (1, 0))
+    b.message((0, 0), (1, 1))
+    return b.build()
+
+
+@pytest.fixture
+def chain_only_graph() -> ExecutionGraph:
+    """A pure ping-pong chain: no relevant cycle at all."""
+    b = GraphBuilder()
+    b.message((0, 0), (1, 0))
+    b.message((1, 0), (0, 1))
+    b.message((0, 1), (1, 1))
+    return b.build()
+
+
+@pytest.fixture(scope="session")
+def small_clock_run():
+    """A cached Algorithm-1 run: n=4, f=1 (no actual faults), Theta=1.5."""
+    trace, processes = clock_sync_run(n=4, f=1, theta=1.5, max_tick=10, seed=11)
+    return trace, processes
+
+
+@pytest.fixture(scope="session")
+def xi() -> Fraction:
+    return Fraction(2)

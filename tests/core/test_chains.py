@@ -1,0 +1,73 @@
+"""Tests for causal chains (Definition 2)."""
+
+import pytest
+
+from repro.core.chains import (
+    chain_length,
+    is_causal_chain,
+    longest_chain_between,
+    longest_incoming_chain,
+)
+from repro.core.events import Event
+from repro.core.execution_graph import GraphBuilder
+
+
+def pingpong_graph():
+    b = GraphBuilder()
+    b.message((0, 0), (1, 0))
+    b.message((1, 0), (0, 1))
+    b.message((0, 1), (1, 1))
+    return b.build()
+
+
+class TestChainPredicates:
+    def test_valid_chain(self):
+        g = pingpong_graph()
+        chain = [Event(0, 0), Event(1, 0), Event(0, 1), Event(1, 1)]
+        assert is_causal_chain(g, chain)
+        assert chain_length(g, chain) == 3
+
+    def test_chain_with_local_edge(self):
+        g = pingpong_graph()
+        chain = [Event(0, 0), Event(0, 1), Event(1, 1)]
+        assert is_causal_chain(g, chain)
+        assert chain_length(g, chain) == 1  # one message, one local edge
+
+    def test_invalid_chain(self):
+        g = pingpong_graph()
+        assert not is_causal_chain(g, [Event(1, 1), Event(0, 0)])
+        with pytest.raises(ValueError):
+            chain_length(g, [Event(1, 1), Event(0, 0)])
+
+    def test_empty_is_not_a_chain(self):
+        assert not is_causal_chain(pingpong_graph(), [])
+
+
+class TestLongestChains:
+    def test_longest_incoming(self):
+        g = pingpong_graph()
+        longest = longest_incoming_chain(g)
+        assert longest[Event(0, 0)] == 0
+        assert longest[Event(1, 0)] == 1
+        assert longest[Event(1, 1)] == 3
+
+    def test_longest_between(self):
+        g = pingpong_graph()
+        assert longest_chain_between(g, Event(0, 0), Event(1, 1)) == 3
+        assert longest_chain_between(g, Event(1, 1), Event(0, 0)) is None
+
+    def test_longest_between_prefers_message_heavy_path(self):
+        # Two routes from (0,0) to (1,1): direct message vs. a two-message
+        # detour; the longest chain counts the detour.
+        b = GraphBuilder()
+        b.message((0, 0), (1, 1))
+        b.message((0, 0), (2, 0))
+        b.message((2, 0), (1, 0))
+        g = b.build()
+        # (1,0) -> (1,1) via local edge: 2 messages beat the direct 1.
+        assert longest_chain_between(g, Event(0, 0), Event(1, 1)) == 2
+
+    def test_unknown_events_raise(self):
+        g = pingpong_graph()
+        with pytest.raises(KeyError):
+            longest_chain_between(g, Event(9, 9), Event(0, 0))

@@ -1,0 +1,118 @@
+"""Tests for consistent cuts and cut intervals (Definitions 5-6)."""
+
+from repro.core.cuts import (
+    Cut,
+    clock_values_at_cut,
+    cut_interval,
+    is_consistent_cut,
+    left_closure,
+    real_time_cut,
+)
+from repro.core.events import Event
+from repro.core.execution_graph import GraphBuilder
+
+
+def diamond_graph():
+    """p0 broadcasts to p1 and p2; both reply to p0."""
+    b = GraphBuilder()
+    b.message((0, 0), (1, 0))
+    b.message((0, 0), (2, 0))
+    b.message((1, 0), (0, 1))
+    b.message((2, 0), (0, 2))
+    return b.build()
+
+
+class TestClosure:
+    def test_left_closure_adds_causal_past(self):
+        g = diamond_graph()
+        cut = left_closure(g, [Event(0, 1)])
+        assert cut.events == {Event(0, 0), Event(1, 0), Event(0, 1)}
+
+    def test_closure_is_idempotent(self):
+        g = diamond_graph()
+        once = left_closure(g, [Event(0, 2)])
+        twice = once.left_closure(g)
+        assert once.events == twice.events
+
+    def test_empty_closure(self):
+        g = diamond_graph()
+        assert left_closure(g, []).events == frozenset()
+
+    def test_is_left_closed(self):
+        g = diamond_graph()
+        assert Cut(frozenset({Event(0, 0)})).is_left_closed(g)
+        assert not Cut(frozenset({Event(0, 1)})).is_left_closed(g)
+
+
+class TestConsistency:
+    def test_consistent_cut_needs_coverage(self):
+        g = diamond_graph()
+        closed_but_partial = {Event(0, 0), Event(1, 0)}
+        assert is_consistent_cut(g, closed_but_partial, correct=[0, 1])
+        assert not is_consistent_cut(g, closed_but_partial, correct=[0, 1, 2])
+
+    def test_consistent_cut_needs_left_closure(self):
+        g = diamond_graph()
+        not_closed = {Event(0, 0), Event(1, 0), Event(2, 0), Event(0, 2)}
+        assert not is_consistent_cut(g, not_closed, correct=[0, 1, 2])
+        closed = g.causal_past(not_closed)
+        assert is_consistent_cut(g, closed, correct=[0, 1, 2])
+
+
+class TestFrontier:
+    def test_frontier_is_last_event_per_process(self):
+        g = diamond_graph()
+        cut = left_closure(g, [Event(0, 2)])
+        frontier = cut.frontier()
+        assert frontier[0] == Event(0, 2)
+        assert frontier[2] == Event(2, 0)
+
+    def test_restricted_to(self):
+        g = diamond_graph()
+        cut = left_closure(g, [Event(0, 2)])
+        assert cut.restricted_to(2) == (Event(2, 0),)
+
+
+class TestCutInterval:
+    def test_interval_is_difference_of_closures(self):
+        g = diamond_graph()
+        interval = cut_interval(g, Event(0, 1), Event(0, 2))
+        assert Event(0, 2) in interval
+        assert Event(2, 0) in interval
+        assert Event(0, 0) not in interval
+
+    def test_interval_of_same_event_empty(self):
+        g = diamond_graph()
+        assert len(cut_interval(g, Event(0, 1), Event(0, 1))) == 0
+
+
+class TestClockValues:
+    def test_clock_values_take_maximum(self):
+        g = diamond_graph()
+        cut = left_closure(g, [Event(0, 2)])
+        clocks = {Event(0, 0): 0, Event(0, 1): 1, Event(0, 2): 2,
+                  Event(1, 0): 1, Event(2, 0): 1}
+        values = clock_values_at_cut(cut, clocks.get, [0, 1, 2])
+        assert values == {0: 2, 1: 1, 2: 1}
+
+    def test_none_values_skipped(self):
+        g = diamond_graph()
+        cut = left_closure(g, [Event(0, 1)])
+        values = clock_values_at_cut(cut, lambda ev: None, [0, 1])
+        assert values == {}
+
+
+class TestRealTimeCut:
+    def test_cut_at_time(self):
+        times = {Event(0, 0): 0.0, Event(1, 0): 1.5, Event(0, 1): 3.0}
+        cut = real_time_cut(times, 1.5)
+        assert cut.events == {Event(0, 0), Event(1, 0)}
+
+    def test_realtime_cuts_are_left_closed_with_nonnegative_delays(self):
+        g = diamond_graph()
+        # Times consistent with the happens-before relation.
+        times = {Event(0, 0): 0.0, Event(1, 0): 1.0, Event(2, 0): 2.0,
+                 Event(0, 1): 2.0, Event(0, 2): 3.0}
+        for t in [0.0, 1.0, 2.0, 2.5, 3.0]:
+            cut = real_time_cut(times, t)
+            assert cut.is_left_closed(g)

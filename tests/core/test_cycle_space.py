@@ -1,0 +1,152 @@
+"""Tests for the Section-4.1 cycle space: vectors, (+), decomposition."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cycle_space import (
+    CycleVector,
+    combine,
+    consistency,
+    farkas_sum_property,
+    mixed_free_decomposition,
+    relevant_sum_property,
+    vector_of,
+    walk_vector,
+)
+from repro.core.cycles import classify, enumerate_cycles, relevant_cycles
+from repro.core.synchrony import worst_relevant_ratio
+from repro.scenarios.figures import fig2_graph
+from repro.scenarios.generators import random_execution_graph
+
+
+class TestCycleVector:
+    def test_vector_of_relevant_cycle_signs(self, fig3_like_graph):
+        worst = max(
+            relevant_cycles(fig3_like_graph), key=lambda i: i.ratio
+        )
+        vec = vector_of(worst)
+        assert vec.s_minus == worst.backward_messages
+        assert -vec.s_plus == worst.forward_messages
+
+    def test_addition_and_scaling(self, broadcast_graph):
+        info = next(iter(relevant_cycles(broadcast_graph)))
+        vec = vector_of(info)
+        doubled = vec + vec
+        assert doubled == 2 * vec
+        assert (vec + (-vec)) == CycleVector({})
+
+    def test_zero_coefficients_dropped(self):
+        from repro.core.execution_graph import GraphBuilder
+
+        b = GraphBuilder()
+        m = b.message((0, 0), (1, 0))
+        b.build()
+        assert CycleVector({m: 0}) == CycleVector({})
+
+    def test_mixed_free_check(self, fig3_like_graph):
+        infos = list(relevant_cycles(fig3_like_graph))
+        v = vector_of(infos[0])
+        assert v.is_mixed_free_with(v)
+        assert not v.is_mixed_free_with(-v)
+
+
+class TestConsistency:
+    def test_fig2_cycles_o_consistent(self):
+        graph, e = fig2_graph()
+        infos = [i for i in relevant_cycles(graph) if vector_of(i)[e] != 0]
+        with_plus = [i for i in infos if vector_of(i)[e] == 1]
+        with_minus = [i for i in infos if vector_of(i)[e] == -1]
+        assert with_plus and with_minus
+        x, y = with_minus[0], with_plus[0]
+        assert consistency(x, y) == "o"
+
+    def test_disjoint_cycles(self, broadcast_graph, fig3_like_graph):
+        a = next(iter(relevant_cycles(broadcast_graph)))
+        b = next(iter(relevant_cycles(fig3_like_graph)))
+        # Different graphs -> no shared message edges.
+        assert consistency(a, b) == "disjoint"
+
+    def test_i_consistency_with_self(self, fig3_like_graph):
+        info = next(iter(relevant_cycles(fig3_like_graph)))
+        assert consistency(info, info) == "i"
+
+
+class TestDecomposition:
+    def test_fig2_combination_cancels_shared_edge(self):
+        graph, e = fig2_graph()
+        infos = [i for i in relevant_cycles(graph) if vector_of(i)[e] != 0]
+        x = next(i for i in infos if vector_of(i)[e] == -1)
+        y = next(i for i in infos if vector_of(i)[e] == 1)
+        combined = combine([x, y])
+        assert combined[e] == 0
+        pieces = mixed_free_decomposition([x, y])
+        assert sum((walk_vector(p) for p in pieces), CycleVector({})) == combined
+        for piece in pieces:
+            assert all(s.edge != e for s in piece.steps)
+
+    def test_decomposition_of_single_cycle_is_identity_vector(
+        self, fig3_like_graph
+    ):
+        info = next(iter(relevant_cycles(fig3_like_graph)))
+        pieces = mixed_free_decomposition([info])
+        total = sum((walk_vector(p) for p in pieces), CycleVector({}))
+        assert total == vector_of(info)
+
+    def test_decomposition_outputs_are_pairwise_mixed_free(self):
+        graph, _e = fig2_graph()
+        infos = list(relevant_cycles(graph))
+        pieces = mixed_free_decomposition(infos)
+        vectors = [walk_vector(p) for p in pieces]
+        for i in range(len(vectors)):
+            for j in range(i + 1, len(vectors)):
+                assert vectors[i].is_mixed_free_with(vectors[j])
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_decomposition_preserves_vector_sum_on_random_graphs(seed):
+    rng = random.Random(seed)
+    graph = random_execution_graph(rng, 3, rng.randint(3, 9))
+    infos = list(relevant_cycles(graph))[:6]
+    if not infos:
+        return
+    pieces = mixed_free_decomposition(infos)
+    total = sum((walk_vector(p) for p in pieces), CycleVector({}))
+    assert total == combine(infos)
+    vectors = [walk_vector(p) for p in pieces]
+    for i in range(len(vectors)):
+        for j in range(i + 1, len(vectors)):
+            assert vectors[i].is_mixed_free_with(vectors[j])
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), coeff_seed=st.integers(0, 999))
+def test_corollary1_on_admissible_graphs(seed, coeff_seed):
+    """Lemma 11 / Corollary 1: non-negative integer combinations of
+    relevant cycles of an ABC-admissible graph satisfy condition (9)."""
+    rng = random.Random(seed)
+    graph = random_execution_graph(rng, 3, rng.randint(3, 9))
+    worst = worst_relevant_ratio(graph)
+    if worst is None:
+        return
+    xi = worst + Fraction(1, 3)  # graph admissible for this Xi
+    infos = list(relevant_cycles(graph))[:5]
+    crng = random.Random(coeff_seed)
+    coeffs = [crng.randint(0, 3) for _ in infos]
+    if not any(coeffs):
+        coeffs[0] = 1
+    combined = combine(infos, coeffs)
+    if combined == CycleVector({}):
+        return  # empty combination: nothing to assert
+    assert relevant_sum_property(combined, xi)
+
+
+def test_farkas_sum_property_reversal(fig3_like_graph):
+    info = max(relevant_cycles(fig3_like_graph), key=lambda i: i.ratio)
+    vec = vector_of(info)
+    assert farkas_sum_property(vec, Fraction(5, 2))   # ratio 2 < 5/2
+    assert not farkas_sum_property(vec, Fraction(3, 2))

@@ -1,0 +1,137 @@
+"""Tests for cycle enumeration and Definition-3 classification."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.cycles import (
+    AGAINST,
+    ALONG,
+    Cycle,
+    Step,
+    classify,
+    enumerate_cycles,
+    relevant_cycles,
+)
+from repro.core.execution_graph import GraphBuilder
+
+
+class TestEnumeration:
+    def test_broadcast_pair_has_one_cycle(self, broadcast_graph):
+        cycles = list(enumerate_cycles(broadcast_graph))
+        assert len(cycles) == 1
+        assert cycles[0].length == 2  # two messages
+
+    def test_relay_chain_has_no_cycles(self):
+        # A one-way chain through distinct processes has no shadow cycle.
+        b = GraphBuilder()
+        b.message((0, 0), (1, 0))
+        b.message((1, 0), (2, 0))
+        assert list(enumerate_cycles(b.build())) == []
+
+    def test_pingpong_cycles_are_all_non_relevant(self, chain_only_graph):
+        infos = [classify(c) for c in enumerate_cycles(chain_only_graph)]
+        assert infos  # ping-pong does close (non-relevant) shadow cycles
+        assert all(not i.relevant for i in infos)
+
+    def test_self_message_parallel_cycle(self):
+        b = GraphBuilder()
+        b.message((0, 0), (0, 1))
+        g = b.build()
+        cycles = list(enumerate_cycles(g))
+        assert len(cycles) == 1
+        assert len(cycles[0]) == 2  # message + local edge
+
+    def test_each_cycle_reported_once(self, fig3_like_graph):
+        cycles = list(enumerate_cycles(fig3_like_graph))
+        keys = [c.canonical_key() for c in cycles]
+        assert len(keys) == len(set(keys))
+
+    def test_max_length_filters(self, fig3_like_graph):
+        short = list(enumerate_cycles(fig3_like_graph, max_length=4))
+        all_cycles = list(enumerate_cycles(fig3_like_graph))
+        assert len(short) < len(all_cycles)
+        assert all(len(c) <= 4 for c in short)
+
+    def test_cycles_are_simple(self, fig3_like_graph):
+        for cycle in enumerate_cycles(fig3_like_graph):
+            assert cycle.is_simple()
+
+
+class TestClassification:
+    def test_broadcast_cycle_is_relevant_ratio_one(self, broadcast_graph):
+        infos = [classify(c) for c in enumerate_cycles(broadcast_graph)]
+        assert len(infos) == 1
+        info = infos[0]
+        assert info.relevant
+        assert info.ratio == 1
+
+    def test_self_message_cycle_is_non_relevant(self):
+        b = GraphBuilder()
+        b.message((0, 0), (0, 1))
+        g = b.build()
+        info = classify(next(enumerate_cycles(g)))
+        assert not info.relevant
+
+    def test_crossing_pattern_is_non_relevant(self):
+        # p sends to q, q's earlier event sends to p's later event: the
+        # closing local edges point with the orientation -> non-relevant.
+        b = GraphBuilder()
+        b.message((0, 0), (1, 1))
+        b.message((1, 0), (0, 1))
+        g = b.build()
+        infos = [classify(c) for c in enumerate_cycles(g)]
+        assert infos and all(not i.relevant for i in infos)
+
+    def test_fig3_violating_cycle(self, fig3_like_graph):
+        ratios = [i.ratio for i in relevant_cycles(fig3_like_graph)]
+        assert max(ratios) == Fraction(2)
+
+    def test_violates_threshold_semantics(self, fig3_like_graph):
+        worst = max(relevant_cycles(fig3_like_graph), key=lambda i: i.ratio)
+        assert worst.violates(2)          # ratio == Xi violates (strict <)
+        assert not worst.violates(Fraction(5, 2))
+
+    def test_classification_is_direction_invariant(self, fig3_like_graph):
+        for cycle in enumerate_cycles(fig3_like_graph):
+            a = classify(cycle)
+            b = classify(cycle.reversed())
+            assert a.relevant == b.relevant
+            assert a.forward_messages == b.forward_messages
+            assert a.backward_messages == b.backward_messages
+
+    def test_relevant_cycle_oriented_with_locals_backward(self, fig3_like_graph):
+        for info in relevant_cycles(fig3_like_graph):
+            assert all(
+                s.direction == AGAINST for s in info.cycle.local_steps()
+            )
+
+
+class TestCycleDataStructure:
+    def test_cycle_requires_closure(self):
+        b = GraphBuilder()
+        m1 = b.message((0, 0), (1, 0))
+        m2 = b.message((1, 0), (0, 1))
+        b.build()
+        with pytest.raises(ValueError, match="closed walk"):
+            Cycle((Step(m1, ALONG), Step(m2, AGAINST)))
+
+    def test_cycle_requires_two_steps(self):
+        b = GraphBuilder()
+        m1 = b.message((0, 0), (1, 0))
+        b.build()
+        with pytest.raises(ValueError, match="at least two"):
+            Cycle((Step(m1, ALONG),))
+
+    def test_reversed_roundtrip(self, broadcast_graph):
+        cycle = next(enumerate_cycles(broadcast_graph))
+        assert cycle.reversed().reversed().steps == cycle.steps
+
+    def test_step_endpoints(self):
+        b = GraphBuilder()
+        m = b.message((0, 0), (1, 0))
+        b.build()
+        along = Step(m, ALONG)
+        against = Step(m, AGAINST)
+        assert along.start == m.src and along.end == m.dst
+        assert against.start == m.dst and against.end == m.src

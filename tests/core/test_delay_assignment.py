@@ -1,0 +1,161 @@
+"""Tests for Theorem 7 / Theorem 12: delay assignments and Farkas."""
+
+import random
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delay_assignment import (
+    assignment_exists,
+    build_farkas_system,
+    canonical_solution,
+    certificate_from_cycle_coefficients,
+    farkas_certificate_value,
+    max_margin,
+    normalized_assignment,
+    solve_farkas_lp,
+    verify_normalized,
+)
+from repro.core.synchrony import check_abc, worst_relevant_ratio
+from repro.scenarios.generators import random_execution_graph
+
+
+class TestNormalizedAssignment:
+    def test_exists_above_worst_ratio(self, fig3_like_graph):
+        a = normalized_assignment(fig3_like_graph, Fraction(5, 2))
+        assert a is not None
+        assert verify_normalized(fig3_like_graph, a, check_cycle_sums=True)
+
+    def test_absent_at_or_below_worst_ratio(self, fig3_like_graph):
+        assert normalized_assignment(fig3_like_graph, 2) is None
+
+    def test_delays_strictly_inside_bounds(self, fig3_like_graph):
+        xi = Fraction(5, 2)
+        a = normalized_assignment(fig3_like_graph, xi)
+        for m in fig3_like_graph.messages:
+            assert 1 < a.delay(m) < xi
+        for loc in fig3_like_graph.local_edges:
+            assert a.delay(loc) > 0
+
+    def test_effective_theta_below_xi(self, fig3_like_graph):
+        xi = Fraction(5, 2)
+        a = normalized_assignment(fig3_like_graph, xi)
+        assert a.message_delay_ratio(fig3_like_graph) < xi
+
+    def test_assignment_is_exact_rational(self, broadcast_graph):
+        a = normalized_assignment(broadcast_graph, 2)
+        assert all(isinstance(t, Fraction) for t in a.times.values())
+
+    def test_invalid_xi_rejected(self, broadcast_graph):
+        with pytest.raises(ValueError):
+            normalized_assignment(broadcast_graph, 1)
+
+    def test_max_margin_positive_iff_admissible(self, fig3_like_graph):
+        assert max_margin(fig3_like_graph, Fraction(5, 2)) > 0
+        assert max_margin(fig3_like_graph, 2) <= 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_theorem7_equivalence_on_random_graphs(seed):
+    """Theorem 7 (and its converse): a normalized assignment exists iff
+    the graph is ABC-admissible."""
+    rng = random.Random(seed)
+    graph = random_execution_graph(rng, 3, rng.randint(2, 8))
+    for xi in (Fraction(3, 2), Fraction(2), Fraction(3)):
+        admissible = check_abc(graph, xi).admissible
+        assert assignment_exists(graph, xi) == admissible, f"xi={xi}"
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_assignment_verifies_when_it_exists(seed):
+    rng = random.Random(seed)
+    graph = random_execution_graph(rng, 3, rng.randint(2, 7))
+    worst = worst_relevant_ratio(graph)
+    xi = (worst + Fraction(1, 2)) if worst is not None else Fraction(2)
+    a = normalized_assignment(graph, xi)
+    assert a is not None
+    assert verify_normalized(graph, a, check_cycle_sums=True)
+
+
+class TestFarkasSystem:
+    def test_shape_matches_figure6(self, fig3_like_graph):
+        system = build_farkas_system(fig3_like_graph, Fraction(5, 2))
+        k = system.n_messages
+        assert system.matrix.shape == (
+            2 * k + system.n_relevant + system.n_nonrelevant,
+            k,
+        )
+        # Upper part: -I over I.
+        assert np.allclose(system.matrix[:k], -np.eye(k))
+        assert np.allclose(system.matrix[k : 2 * k], np.eye(k))
+        # Right-hand side: -1s, then Xi, then zeros.
+        assert np.allclose(system.rhs[:k], -1)
+        assert np.allclose(system.rhs[k : 2 * k], 2.5)
+        assert np.allclose(system.rhs[2 * k :], 0)
+
+    def test_solvable_iff_admissible(self, fig3_like_graph):
+        good = build_farkas_system(fig3_like_graph, Fraction(5, 2))
+        x = solve_farkas_lp(good)
+        assert x is not None
+        assert np.all(good.matrix @ x < good.rhs)
+        bad = build_farkas_system(fig3_like_graph, 2)
+        assert solve_farkas_lp(bad) is None
+
+    def test_cycle_rows_have_unit_coefficients(self, fig3_like_graph):
+        system = build_farkas_system(fig3_like_graph, 2)
+        rows = system.cycle_rows()
+        assert rows.size > 0
+        assert set(np.unique(rows)) <= {-1.0, 0.0, 1.0}
+
+    def test_certificates_positive_when_admissible(self, fig3_like_graph):
+        """Theorem 12's core: every y >= 0 with yTA = 0 built from cycle
+        coefficients has yTb > 0 when Xi exceeds the worst ratio."""
+        system = build_farkas_system(fig3_like_graph, Fraction(5, 2))
+        rng = random.Random(7)
+        n_cycles = system.n_relevant + system.n_nonrelevant
+        for _ in range(25):
+            coeffs = [rng.randint(0, 3) for _ in range(n_cycles)]
+            if not any(coeffs):
+                continue
+            y = certificate_from_cycle_coefficients(system, coeffs)
+            assert np.allclose(y @ system.matrix, 0, atol=1e-9)
+            assert y.min() >= 0
+            value = farkas_certificate_value(system, y)
+            combined = np.array(coeffs) @ system.cycle_rows()
+            if np.any(combined != 0):
+                assert value > 0
+
+    def test_certificate_can_be_nonpositive_when_inadmissible(
+        self, fig3_like_graph
+    ):
+        system = build_farkas_system(fig3_like_graph, Fraction(3, 2))
+        n_cycles = system.n_relevant + system.n_nonrelevant
+        values = []
+        for i in range(n_cycles):
+            coeffs = [0] * n_cycles
+            coeffs[i] = 1
+            y = certificate_from_cycle_coefficients(system, coeffs)
+            values.append(farkas_certificate_value(system, y))
+        assert min(values) <= 0  # Farkas blocks the infeasible system
+
+    def test_canonical_solution_complementary(self, fig3_like_graph):
+        system = build_farkas_system(fig3_like_graph, 2)
+        k = system.n_messages
+        n_cycles = system.n_relevant + system.n_nonrelevant
+        y = np.concatenate([np.full(2 * k, 0.5), np.zeros(n_cycles)])
+        ybar = canonical_solution(system, y)
+        for j in range(k):
+            assert ybar[j] == 0 or ybar[k + j] == 0
+
+    def test_coefficient_validation(self, fig3_like_graph):
+        system = build_farkas_system(fig3_like_graph, 2)
+        with pytest.raises(ValueError):
+            certificate_from_cycle_coefficients(system, [1])
+        n_cycles = system.n_relevant + system.n_nonrelevant
+        with pytest.raises(ValueError):
+            certificate_from_cycle_coefficients(system, [-1] * n_cycles)

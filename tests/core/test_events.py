@@ -1,0 +1,32 @@
+"""Unit tests for receive events."""
+
+import pytest
+
+from repro.core.events import Event
+
+
+def test_event_ordering_is_process_then_index():
+    assert Event(0, 5) < Event(1, 0)
+    assert Event(1, 0) < Event(1, 1)
+
+
+def test_event_equality_and_hash():
+    assert Event(2, 3) == Event(2, 3)
+    assert len({Event(0, 0), Event(0, 0), Event(0, 1)}) == 2
+
+
+def test_local_predecessor_and_successor():
+    ev = Event(1, 2)
+    assert ev.local_predecessor() == Event(1, 1)
+    assert ev.local_successor() == Event(1, 3)
+    assert Event(1, 0).local_predecessor() is None
+
+
+def test_negative_process_rejected():
+    with pytest.raises(ValueError):
+        Event(-1, 0)
+
+
+def test_negative_index_rejected():
+    with pytest.raises(ValueError):
+        Event(0, -1)

@@ -1,0 +1,152 @@
+"""Unit tests for execution graphs (Definition 1)."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.execution_graph import (
+    ExecutionGraph,
+    GraphBuilder,
+    LocalEdge,
+    MessageEdge,
+)
+
+
+def build_pingpong() -> ExecutionGraph:
+    b = GraphBuilder()
+    b.message((0, 0), (1, 0))
+    b.message((1, 0), (0, 1))
+    return b.build()
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = build_pingpong()
+        assert g.n_events == 3
+        assert len(g.messages) == 2
+        assert len(g.local_edges) == 1  # only p0 has two events
+
+    def test_local_edges_connect_consecutive_events(self):
+        g = build_pingpong()
+        assert g.local_edges == (LocalEdge(Event(0, 0), Event(0, 1)),)
+
+    def test_events_of(self):
+        g = build_pingpong()
+        assert g.events_of(0) == (Event(0, 0), Event(0, 1))
+        assert g.events_of(1) == (Event(1, 0),)
+        assert g.events_of(99) == ()
+
+    def test_contains(self):
+        g = build_pingpong()
+        assert Event(0, 1) in g
+        assert Event(0, 2) not in g
+
+    def test_trigger_of(self):
+        g = build_pingpong()
+        assert g.trigger_of(Event(1, 0)) == MessageEdge(Event(0, 0), Event(1, 0))
+        assert g.trigger_of(Event(0, 0)) is None  # wake-up
+
+
+class TestValidation:
+    def test_two_incoming_messages_rejected(self):
+        b = GraphBuilder()
+        b.message((0, 0), (2, 0))
+        b.message((1, 0), (2, 0))
+        with pytest.raises(ValueError, match="more than one incoming"):
+            b.build()
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self loop"):
+            ExecutionGraph(
+                {0: [Event(0, 0)]}, [MessageEdge(Event(0, 0), Event(0, 0))]
+            )
+
+    def test_directed_cycle_rejected(self):
+        # 0:0 -> 1:0 (msg), 1:0 -> 1:1 (local), 1:1 -> 0:0 would need the
+        # message to point backwards into an earlier event: build events
+        # so a message creates a directed cycle through local edges.
+        events = {0: [Event(0, 0), Event(0, 1)], 1: [Event(1, 0)]}
+        messages = [
+            MessageEdge(Event(0, 1), Event(1, 0)),
+            MessageEdge(Event(1, 0), Event(0, 0)),
+        ]
+        with pytest.raises(ValueError, match="directed cycle"):
+            ExecutionGraph(events, messages)
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError, match="unknown event"):
+            ExecutionGraph(
+                {0: [Event(0, 0)]}, [MessageEdge(Event(0, 0), Event(5, 0))]
+            )
+
+    def test_non_contiguous_events_rejected(self):
+        with pytest.raises(ValueError, match="must be"):
+            ExecutionGraph({0: [Event(0, 1)]}, [])
+
+
+class TestCausality:
+    def test_causal_past_includes_trigger_chain(self):
+        g = build_pingpong()
+        past = g.causal_past([Event(0, 1)])
+        assert past == {Event(0, 0), Event(1, 0), Event(0, 1)}
+
+    def test_causal_past_is_reflexive(self):
+        g = build_pingpong()
+        assert Event(0, 0) in g.causal_past([Event(0, 0)])
+
+    def test_causal_future(self):
+        g = build_pingpong()
+        future = g.causal_future([Event(1, 0)])
+        assert future == {Event(1, 0), Event(0, 1)}
+
+    def test_happens_before(self):
+        g = build_pingpong()
+        assert g.happens_before(Event(0, 0), Event(0, 1))
+        assert not g.happens_before(Event(0, 1), Event(1, 0))
+
+    def test_unknown_event_raises(self):
+        g = build_pingpong()
+        with pytest.raises(KeyError):
+            g.causal_past([Event(7, 7)])
+
+    def test_topological_order_respects_edges(self):
+        g = build_pingpong()
+        order = g.topological_order()
+        pos = {ev: i for i, ev in enumerate(order)}
+        for edge in g.edges():
+            assert pos[edge.src] < pos[edge.dst]
+
+
+class TestPrefixAndRestriction:
+    def test_prefix_is_left_closed_subgraph(self):
+        g = build_pingpong()
+        prefix = g.prefix([Event(1, 0)])
+        assert prefix.n_events == 2
+        assert len(prefix.messages) == 1
+
+    def test_restricted_to_messages_keeps_events(self):
+        g = build_pingpong()
+        restricted = g.restricted_to_messages([g.messages[0]])
+        assert restricted.n_events == g.n_events
+        assert len(restricted.messages) == 1
+
+    def test_restricted_rejects_foreign_edges(self):
+        g = build_pingpong()
+        foreign = MessageEdge(Event(0, 0), Event(0, 1))
+        with pytest.raises(KeyError):
+            g.restricted_to_messages([foreign])
+
+
+class TestBuilder:
+    def test_event_declaration_is_idempotent(self):
+        b = GraphBuilder()
+        b.event(0, 3)
+        b.event(0, 1)
+        g = b.build()
+        assert g.events_of(0) == tuple(Event(0, i) for i in range(4))
+
+    def test_chain_helper(self):
+        b = GraphBuilder()
+        edges = b.chain([(0, 0), (1, 0), (2, 0)])
+        assert len(edges) == 2
+        g = b.build()
+        assert len(g.messages) == 2

@@ -1,0 +1,127 @@
+"""Tests for the ABC synchrony condition decision procedures.
+
+The polynomial Bellman-Ford checker is cross-validated against exhaustive
+cycle enumeration on hand-crafted and random graphs (the central
+correctness property of the whole library).
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.synchrony import (
+    check_abc,
+    check_abc_exhaustive,
+    find_violating_cycle,
+    has_relevant_cycle_with_ratio_at_least,
+    worst_relevant_ratio,
+    worst_relevant_ratio_exhaustive,
+)
+from repro.scenarios.generators import random_execution_graph
+
+XIS = [Fraction(3, 2), Fraction(2), Fraction(5, 2), Fraction(4)]
+
+
+class TestKnownGraphs:
+    def test_fig3_rejected_at_xi_2(self, fig3_like_graph):
+        assert not check_abc(fig3_like_graph, 2).admissible
+
+    def test_fig3_accepted_above_2(self, fig3_like_graph):
+        assert check_abc(fig3_like_graph, Fraction(5, 2)).admissible
+
+    def test_broadcast_always_admissible(self, broadcast_graph):
+        for xi in XIS:
+            assert check_abc(broadcast_graph, xi).admissible
+
+    def test_chain_has_no_relevant_cycle(self, chain_only_graph):
+        assert worst_relevant_ratio(chain_only_graph) is None
+
+    def test_worst_ratio_exact(self, fig3_like_graph, broadcast_graph):
+        assert worst_relevant_ratio(fig3_like_graph) == 2
+        assert worst_relevant_ratio(broadcast_graph) == 1
+
+    def test_witness_is_a_violation(self, fig3_like_graph):
+        info = find_violating_cycle(fig3_like_graph, 2)
+        assert info is not None
+        assert info.relevant
+        assert info.ratio >= 2
+
+    def test_no_witness_when_admissible(self, fig3_like_graph):
+        assert find_violating_cycle(fig3_like_graph, 3) is None
+
+    def test_xi_must_exceed_one(self, broadcast_graph):
+        with pytest.raises(ValueError):
+            check_abc(broadcast_graph, 1)
+        with pytest.raises(ValueError):
+            check_abc(broadcast_graph, Fraction(1, 2))
+
+    def test_result_is_truthy_on_admissible(self, broadcast_graph):
+        assert check_abc(broadcast_graph, 2)
+        assert not check_abc(broadcast_graph, 2).witness
+
+
+class TestOracle:
+    def test_ratio_one_detects_any_relevant_cycle(
+        self, broadcast_graph, chain_only_graph
+    ):
+        assert has_relevant_cycle_with_ratio_at_least(broadcast_graph, 1)
+        assert not has_relevant_cycle_with_ratio_at_least(chain_only_graph, 1)
+
+    def test_oracle_monotone(self, fig3_like_graph):
+        results = [
+            has_relevant_cycle_with_ratio_at_least(fig3_like_graph, x)
+            for x in [1, Fraction(3, 2), 2, Fraction(5, 2), 3]
+        ]
+        # True prefix then False suffix.
+        assert results == sorted(results, reverse=True)
+
+    def test_degenerate_pair_not_a_witness(self):
+        # A self-message next to its local edge must never register as a
+        # relevant cycle, even at ratio exactly 1.
+        from repro.core.execution_graph import GraphBuilder
+
+        b = GraphBuilder()
+        b.message((0, 0), (0, 1))
+        g = b.build()
+        assert not has_relevant_cycle_with_ratio_at_least(g, 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_checker_matches_exhaustive_on_random_graphs(seed):
+    rng = random.Random(seed)
+    graph = random_execution_graph(
+        rng, n_processes=rng.randint(2, 4), n_messages=rng.randint(2, 9)
+    )
+    for xi in (Fraction(3, 2), Fraction(2), Fraction(3)):
+        fast = check_abc(graph, xi).admissible
+        slow = check_abc_exhaustive(graph, xi).admissible
+        assert fast == slow, f"seed={seed} xi={xi}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_worst_ratio_matches_exhaustive_on_random_graphs(seed):
+    rng = random.Random(seed)
+    graph = random_execution_graph(
+        rng, n_processes=rng.randint(2, 4), n_messages=rng.randint(2, 9)
+    )
+    assert worst_relevant_ratio(graph) == worst_relevant_ratio_exhaustive(graph)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_admissible_iff_xi_above_worst_ratio(seed):
+    rng = random.Random(seed)
+    graph = random_execution_graph(rng, 3, rng.randint(3, 10))
+    worst = worst_relevant_ratio(graph)
+    if worst is None:
+        assert check_abc(graph, Fraction(11, 10)).admissible
+        return
+    above = worst + Fraction(1, 7)
+    assert check_abc(graph, above).admissible
+    if worst > 1:
+        assert not check_abc(graph, worst).admissible

@@ -1,0 +1,110 @@
+"""Tests for the Section-6 weaker variants of the ABC model."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cuts import Cut
+from repro.core.cycles import relevant_cycles
+from repro.core.events import Event
+from repro.core.synchrony import check_abc
+from repro.core.variants import (
+    check_abc_forward_bounded,
+    check_abc_length_restricted,
+    check_eventual_abc,
+    earliest_stabilization_cut,
+    running_worst_ratio,
+    suffix_graph,
+    unknown_xi_infimum,
+)
+from repro.scenarios.generators import random_execution_graph
+
+
+class TestSuffixGraph:
+    def test_empty_cut_keeps_graph(self, fig3_like_graph):
+        suffix = suffix_graph(fig3_like_graph, Cut(frozenset()))
+        assert suffix.n_events == fig3_like_graph.n_events
+        assert len(suffix.messages) == len(fig3_like_graph.messages)
+
+    def test_cut_removes_events_and_messages(self, fig3_like_graph):
+        cut = Cut(frozenset({Event(0, 0)}))
+        suffix = suffix_graph(fig3_like_graph, cut)
+        assert suffix.n_events == fig3_like_graph.n_events - 1
+        # (0,0) sent two messages; both disappear.
+        assert len(suffix.messages) == len(fig3_like_graph.messages) - 2
+
+
+class TestEventualAbc:
+    def test_violating_graph_stabilizes(self, fig3_like_graph):
+        cut = earliest_stabilization_cut(fig3_like_graph, 2)
+        assert len(cut) >= 1
+        assert check_eventual_abc(fig3_like_graph, 2, cut).admissible
+
+    def test_admissible_graph_needs_no_cut(self, broadcast_graph):
+        cut = earliest_stabilization_cut(broadcast_graph, 2)
+        assert len(cut) == 0
+
+    def test_eventual_check_respects_cut(self, fig3_like_graph):
+        empty = Cut(frozenset())
+        assert not check_eventual_abc(fig3_like_graph, 2, empty).admissible
+
+
+class TestUnknownXi:
+    def test_infimum_equals_worst_ratio(self, fig3_like_graph, chain_only_graph):
+        assert unknown_xi_infimum(fig3_like_graph) == 2
+        assert unknown_xi_infimum(chain_only_graph) is None
+
+    def test_running_worst_ratio_monotone_on_prefixes(self, fig3_like_graph):
+        g = fig3_like_graph
+        prefixes = [
+            g.prefix([Event(0, 2)]),
+            g,
+        ]
+        ratios = running_worst_ratio(prefixes)
+        cleaned = [r if r is not None else Fraction(0) for r in ratios]
+        assert cleaned == sorted(cleaned)
+
+
+class TestForwardBounded:
+    def test_matches_paper_example(self, fig3_like_graph):
+        # The fig3 violation has 2 forward messages: visible at bound 2,
+        # exempt at bound 1.
+        assert not check_abc_forward_bounded(fig3_like_graph, 2, max_forward=2)
+        assert check_abc_forward_bounded(fig3_like_graph, 2, max_forward=1)
+
+    def test_validation(self, fig3_like_graph):
+        with pytest.raises(ValueError):
+            check_abc_forward_bounded(fig3_like_graph, 1, max_forward=2)
+        with pytest.raises(ValueError):
+            check_abc_forward_bounded(fig3_like_graph, 2, max_forward=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), bound=st.integers(1, 3))
+def test_forward_bounded_matches_exhaustive(seed, bound):
+    rng = random.Random(seed)
+    graph = random_execution_graph(rng, 3, rng.randint(2, 8))
+    for xi in (Fraction(3, 2), Fraction(2)):
+        fast = check_abc_forward_bounded(graph, xi, max_forward=bound)
+        slow = not any(
+            info.violates(xi) and info.forward_messages <= bound
+            for info in relevant_cycles(graph)
+        )
+        assert fast == slow, f"seed={seed} xi={xi} bound={bound}"
+
+
+class TestLengthRestricted:
+    def test_long_cycles_exempt(self, fig3_like_graph):
+        # The violating cycle has 6 messages + locals; restricting to
+        # short cycles hides it.
+        result = check_abc_length_restricted(fig3_like_graph, 2, max_length=4)
+        assert result.admissible
+        full = check_abc_length_restricted(fig3_like_graph, 2, max_length=20)
+        assert not full.admissible
+
+    def test_consistent_with_unrestricted(self, fig3_like_graph):
+        full = check_abc_length_restricted(fig3_like_graph, 2, max_length=10**6)
+        assert full.admissible == check_abc(fig3_like_graph, 2).admissible

@@ -1,0 +1,38 @@
+"""Tests for the DOT/ASCII exporters."""
+
+from repro.core.synchrony import find_violating_cycle
+from repro.core.visualize import to_ascii, to_dot
+from repro.scenarios.figures import fig3_graph
+
+
+def test_dot_contains_all_nodes_and_edges(fig3_like_graph):
+    dot = to_dot(fig3_like_graph)
+    assert dot.startswith("digraph execution {") and dot.endswith("}")
+    for ev in fig3_like_graph.events():
+        assert f"e_{ev.process}_{ev.index}" in dot
+    assert dot.count("->") == fig3_like_graph.n_edges
+
+
+def test_dot_highlights_violating_cycle():
+    graph, _ = fig3_graph(2)
+    witness = find_violating_cycle(graph, 2)
+    dot = to_dot(graph, highlight=witness)
+    assert dot.count("color=blue") == witness.backward_messages
+    assert dot.count("color=red") == witness.forward_messages
+
+
+def test_dot_with_times_and_labels(broadcast_graph):
+    times = {ev: float(i) for i, ev in enumerate(broadcast_graph.events())}
+    dot = to_dot(
+        broadcast_graph,
+        label_of=lambda ev: f"E{ev.index}",
+        times=times,
+    )
+    assert "E0" in dot and "t=0.00" in dot
+
+
+def test_ascii_lists_processes_and_messages(fig3_like_graph):
+    text = to_ascii(fig3_like_graph)
+    assert "p0:" in text and "p2:" in text
+    assert "messages:" in text
+    assert text.count("->") == len(fig3_like_graph.messages)

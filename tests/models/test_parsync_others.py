@@ -1,0 +1,182 @@
+"""Tests for the ParSync/DLS measurement and the Section-5 model family."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.models.others import (
+    measure_archimedean,
+    measure_far,
+    measure_mcm,
+    measure_wtl,
+    mmr_holds,
+)
+from repro.models.parsync import measure_parsync, parsync_admissible
+from repro.sim.trace import ReceiveRecord, Trace
+
+
+def make_trace(deliveries, n=3, faulty=frozenset()):
+    trace = Trace(n, frozenset(faulty))
+    counters = {p: 0 for p in range(n)}
+    for dest, time, sender, send_event, send_time in deliveries:
+        ev = Event(dest, counters[dest])
+        counters[dest] += 1
+        trace.records.append(
+            ReceiveRecord(ev, time, sender, send_event, send_time, "m", True, ())
+        )
+    return trace
+
+
+def wakeups(n, t=0.0):
+    return [(p, float(t), None, None, None) for p in range(n)]
+
+
+class TestParSync:
+    def test_phi_measures_step_gaps(self):
+        # p2 takes its only step at the end: large gap.
+        trace = make_trace(
+            wakeups(2)
+            + [
+                (0, 1.0, 1, Event(1, 0), 0.0),
+                (0, 2.0, 1, Event(1, 0), 0.0),
+                (1, 3.0, 0, Event(0, 0), 0.0),
+            ],
+            n=2,
+        )
+        report = measure_parsync(trace)
+        # Global ticks: 5 events; p1's consecutive steps are ticks 2, 5.
+        assert report.ticks == 5
+        assert report.phi == 3
+        assert parsync_admissible(trace, phi=3, delta=5)
+        assert not parsync_admissible(trace, phi=2, delta=5)
+
+    def test_delta_measures_transit_ticks(self):
+        trace = make_trace(
+            wakeups(2)
+            + [
+                (0, 1.0, 1, Event(1, 0), 0.0),   # sent at tick 2
+                (0, 2.0, 1, Event(1, 0), 0.0),
+                (1, 3.0, 0, Event(0, 0), 0.0),   # sent at tick 1, recv tick 5
+            ],
+            n=2,
+        )
+        report = measure_parsync(trace)
+        assert report.delta == 4
+
+    def test_silent_correct_process_blows_phi(self):
+        trace = make_trace(wakeups(2) + [(0, float(i), 1, Event(1, 0), 0.0) for i in range(1, 8)], n=3)
+        report = measure_parsync(trace)
+        assert report.phi >= 9  # process 2 never steps
+
+
+class TestArchimedean:
+    def test_ratio(self):
+        trace = make_trace(
+            wakeups(2)
+            + [
+                (1, 1.0, 0, Event(0, 0), 0.0),
+                (1, 2.0, 0, Event(0, 0), 0.5),
+            ]
+        )
+        report = measure_archimedean(trace)
+        # p1 steps at 0, 1, 2 -> min step 1; max step 1 + max delay 1.5.
+        assert report.min_step == pytest.approx(1.0)
+        assert report.ratio == pytest.approx(2.5)
+        assert report.admissible(2.5)
+        assert not report.admissible(2.0)
+
+    def test_simultaneous_steps_unbounded(self):
+        trace = make_trace(
+            wakeups(2)
+            + [
+                (1, 1.0, 0, Event(0, 0), 0.0),
+                (1, 1.0, 0, Event(0, 0), 0.0),
+            ]
+        )
+        report = measure_archimedean(trace)
+        assert report.ratio is None
+
+
+class TestFAR:
+    def test_growing_delays_grow_average(self):
+        deliveries = wakeups(2)
+        t = 0.0
+        for i in range(10):
+            delay = 2.0 ** i
+            deliveries.append((1, t + delay, 0, Event(0, 0), t))
+            t += 1.0
+        trace = make_trace(deliveries)
+        report = measure_far(trace)
+        averages = report.prefix_averages
+        assert averages[-1] > averages[0]
+        assert not report.bounded_by(10.0)
+
+    def test_bounded_delays_bounded_average(self):
+        deliveries = wakeups(2) + [
+            (1, float(i) + 1.5, 0, Event(0, 0), float(i)) for i in range(10)
+        ]
+        report = measure_far(make_trace(deliveries))
+        assert report.bounded_by(1.5)
+
+
+class TestMCM:
+    def test_classifiable_with_gap(self):
+        deliveries = wakeups(2) + [
+            (1, 1.0, 0, Event(0, 0), 0.0),    # fast: 1
+            (1, 11.1, 0, Event(0, 0), 1.0),   # slow: 10.1 > 2 * 1
+        ]
+        report = measure_mcm(make_trace(deliveries))
+        assert report.classifiable
+        assert report.best_gap == pytest.approx(10.1)
+
+    def test_not_classifiable_without_gap(self):
+        deliveries = wakeups(2) + [
+            (1, 1.0, 0, Event(0, 0), 0.0),
+            (1, 2.5, 0, Event(0, 0), 1.0),    # 1.5 < 2 * 1
+        ]
+        report = measure_mcm(make_trace(deliveries))
+        assert not report.classifiable
+
+
+class TestMMR:
+    def test_fixed_quorum_detected(self):
+        orderings = [
+            [0, 1, 2, 3],
+            [1, 0, 3, 2],
+            [0, 1, 3, 2],
+        ]
+        holds, quorum = mmr_holds(orderings, n=4, f=1)
+        assert holds
+        assert {0, 1} <= quorum
+
+    def test_rotating_laggards_break_mmr(self):
+        orderings = [
+            [0, 1, 2, 3],
+            [2, 3, 0, 1],
+            [1, 3, 2, 0],
+        ]
+        holds, quorum = mmr_holds(orderings, n=4, f=2)
+        assert not holds
+
+    def test_empty_rounds(self):
+        assert mmr_holds([], 4, 1) == (False, frozenset())
+
+
+class TestWTL:
+    def test_timely_source_found(self):
+        deliveries = wakeups(3) + [
+            (1, 1.0, 0, Event(0, 0), 0.0),
+            (2, 1.5, 0, Event(0, 0), 0.0),
+            (0, 90.0, 1, Event(1, 0), 0.0),   # link 1 -> 0 is slow
+        ]
+        report = measure_wtl(make_trace(deliveries, n=3), f=2, delta=2.0)
+        assert 0 in report.sources
+        assert (1, 0) not in report.timely_links
+
+    def test_suffix_restriction(self):
+        deliveries = wakeups(2) + [
+            (1, 50.0, 0, Event(0, 0), 0.0),    # slow early message
+            (1, 11.0, 0, Event(0, 0), 10.0),   # timely after t=5
+        ]
+        trace = make_trace(deliveries, n=2)
+        assert (0, 1) not in measure_wtl(trace, f=1, delta=2.0).timely_links
+        assert (0, 1) in measure_wtl(trace, f=1, delta=2.0, after=5.0).timely_links

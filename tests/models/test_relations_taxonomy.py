@@ -1,0 +1,105 @@
+"""Tests for the model-relation theorems and the DDS taxonomy."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.models.relations import (
+    abc_strictly_weaker_witness,
+    play_fig8_game,
+    verify_theorem6,
+    verify_theorem7_on_graph,
+)
+from repro.models.taxonomy import (
+    ABC_TAXONOMY_CASE,
+    TaxonomyCase,
+    consensus_solvable,
+)
+from repro.scenarios.figures import fig8_trace
+from repro.scenarios.generators import theta_band_trace
+
+
+class TestTheorem6:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_theta_band_runs_are_abc_admissible(self, seed):
+        trace = theta_band_trace(n=4, f=1, theta=1.5, max_tick=8, seed=seed)
+        report = verify_theorem6(trace, theta=1.5, xi=2)
+        assert report.theta_admissible
+        assert report.abc_admissible
+        assert report.consistent_with_theorem6
+
+    def test_xi_must_exceed_theta(self):
+        trace = theta_band_trace(max_tick=3)
+        with pytest.raises(ValueError):
+            verify_theorem6(trace, theta=2.0, xi=2)
+
+
+class TestTheorem7:
+    def test_assignment_and_effective_theta(self, fig3_like_graph):
+        exists, ratio = verify_theorem7_on_graph(fig3_like_graph, Fraction(5, 2))
+        assert exists
+        assert ratio is not None and ratio < Fraction(5, 2)
+
+    def test_no_assignment_when_inadmissible(self, fig3_like_graph):
+        exists, ratio = verify_theorem7_on_graph(fig3_like_graph, 2)
+        assert not exists and ratio is None
+
+
+class TestStrictness:
+    def test_zero_delay_witness(self):
+        """M_ABC is strictly larger than M_Theta: a zero-delay execution."""
+        from repro.sim.delays import PerLinkDelay, FixedDelay, ZeroDelay
+        from repro.sim.engine import SimulationLimits, Simulator
+        from repro.sim.network import Network, Topology
+        from repro.sim.process import Process, StepContext
+
+        class OneShot(Process):
+            def on_wakeup(self, ctx: StepContext) -> None:
+                if ctx.pid == 0:
+                    ctx.send(1, "x")
+                    ctx.send(1, "y")
+
+        delays = PerLinkDelay({(0, 1): ZeroDelay()}, FixedDelay(1.0))
+        net = Network(Topology.fully_connected(2), delays)
+        sim = Simulator([OneShot(), OneShot()], net, seed=0)
+        trace = sim.run(SimulationLimits(max_events=10))
+        is_witness, report = abc_strictly_weaker_witness(trace)
+        assert is_witness
+        assert report.has_zero_delay
+
+
+class TestFig8Game:
+    @pytest.mark.parametrize("phi,delta", [(3, 3), (5, 10), (20, 4)])
+    def test_prover_beats_any_adversary(self, phi, delta):
+        trace = fig8_trace(phi, delta)
+        outcome = play_fig8_game(trace, phi, delta)
+        assert outcome.prover_wins
+        assert outcome.parsync.phi > phi
+        assert outcome.parsync.delta > delta
+        assert outcome.abc_admissible_for_any_xi
+
+
+class TestTaxonomy:
+    def test_abc_maps_to_impossible_cell(self):
+        assert ABC_TAXONOMY_CASE == TaxonomyCase(0, 0, 1, 1, 0)
+        assert consensus_solvable(ABC_TAXONOMY_CASE) is False
+
+    def test_all_async_unordered_cells_impossible(self):
+        for s in (0, 1):
+            for b in (0, 1):
+                case = TaxonomyCase(c=0, p=0, s=s, b=b, m=0)
+                assert consensus_solvable(case) is False
+
+    def test_synchronous_solvable(self):
+        assert consensus_solvable(TaxonomyCase(1, 1, 0, 0, 0)) is True
+
+    def test_dds_minimal_case(self):
+        assert consensus_solvable(TaxonomyCase(0, 0, 1, 1, 1)) is True
+
+    def test_unencoded_raises(self):
+        with pytest.raises(KeyError):
+            consensus_solvable(TaxonomyCase(0, 1, 0, 0, 0))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TaxonomyCase(2, 0, 0, 0, 0)

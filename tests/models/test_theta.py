@@ -1,0 +1,107 @@
+"""Tests for the Theta-Model trace checkers."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.models.theta import (
+    check_theta_dynamic,
+    check_theta_static,
+    measure_theta_dynamic,
+    measure_theta_static,
+)
+from repro.sim.trace import ReceiveRecord, Trace
+
+
+def make_trace(deliveries, n=3, faulty=frozenset()):
+    """deliveries: list of (dest, time, sender, send_event, send_time)."""
+    trace = Trace(n, frozenset(faulty))
+    counters = {p: 0 for p in range(n)}
+    for dest, time, sender, send_event, send_time in deliveries:
+        ev = Event(dest, counters[dest])
+        counters[dest] += 1
+        trace.records.append(
+            ReceiveRecord(ev, time, sender, send_event, send_time, "m", True, ())
+        )
+    return trace
+
+
+def wakeups(n, t=0.0):
+    return [(p, t, None, None, None) for p in range(n)]
+
+
+class TestStatic:
+    def test_ratio_measured(self):
+        trace = make_trace(
+            wakeups(3)
+            + [
+                (1, 1.0, 0, Event(0, 0), 0.0),   # delay 1
+                (2, 3.0, 0, Event(0, 0), 0.0),   # delay 3
+            ]
+        )
+        report = measure_theta_static(trace)
+        assert report.tau_minus == 1.0 and report.tau_plus == 3.0
+        assert report.ratio == pytest.approx(3.0)
+        assert check_theta_static(trace, 3.0)
+        assert not check_theta_static(trace, 2.9)
+
+    def test_zero_delay_breaks_every_theta(self):
+        trace = make_trace(
+            wakeups(2) + [(1, 0.0, 0, Event(0, 0), 0.0)]
+        )
+        report = measure_theta_static(trace)
+        assert report.has_zero_delay
+        assert not report.admissible(10**9)
+
+    def test_faulty_messages_ignored(self):
+        trace = make_trace(
+            wakeups(3)
+            + [
+                (2, 1.0, 0, Event(0, 0), 0.0),   # correct -> correct
+                (0, 50.0, 1, Event(1, 0), 0.0),  # sender 1 will be faulty
+            ],
+            faulty={1},
+        )
+        report = measure_theta_static(trace)
+        assert report.n_messages == 1  # only the correct-correct message
+
+    def test_empty_trace(self):
+        report = measure_theta_static(make_trace(wakeups(2)))
+        assert report.admissible(1.0)
+
+
+class TestDynamic:
+    def test_disjoint_transits_do_not_constrain(self):
+        # Delay 1 and delay 10, but never simultaneously in transit.
+        trace = make_trace(
+            wakeups(2)
+            + [
+                (1, 1.0, 0, Event(0, 0), 0.0),     # transit [0, 1]
+                (1, 15.0, 0, Event(0, 0), 5.0),    # transit [5, 15]
+            ]
+        )
+        dynamic = measure_theta_dynamic(trace)
+        static = measure_theta_static(trace)
+        assert static.ratio == pytest.approx(10.0)
+        assert dynamic.ratio == pytest.approx(1.0)  # never overlap
+
+    def test_overlapping_transits_constrain(self):
+        trace = make_trace(
+            wakeups(2)
+            + [
+                (1, 4.0, 0, Event(0, 0), 0.0),   # transit [0, 4], delay 4
+                (1, 1.0, 0, Event(0, 0), 0.5),   # transit [0.5, 1], delay .5
+            ]
+        )
+        dynamic = measure_theta_dynamic(trace)
+        assert dynamic.ratio == pytest.approx(8.0)
+        assert check_theta_dynamic(trace, 8.0)
+        assert not check_theta_dynamic(trace, 7.9)
+
+    def test_dynamic_never_exceeds_static(self):
+        from repro.scenarios.generators import theta_band_trace
+
+        trace = theta_band_trace(n=3, f=0, theta=2.0, max_tick=5, seed=3)
+        static = measure_theta_static(trace)
+        dynamic = measure_theta_dynamic(trace)
+        assert dynamic.ratio <= static.ratio + 1e-9
+        assert static.ratio <= 2.0 + 1e-9

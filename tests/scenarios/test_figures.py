@@ -1,0 +1,83 @@
+"""Every paper figure's caption, checked as an executable claim."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.cycle_space import vector_of
+from repro.core.cycles import relevant_cycles
+from repro.core.synchrony import check_abc, worst_relevant_ratio
+from repro.scenarios.figures import (
+    fig1_graph,
+    fig2_graph,
+    fig3_graph,
+    fig4_graph,
+    fig8_trace,
+    fig9_graph,
+    fig10_graphs,
+    ping_pong_chain,
+)
+
+
+def test_fig1_slow_chain_spans_fast_chain():
+    graph, ratio = fig1_graph()
+    assert worst_relevant_ratio(graph) == ratio == Fraction(5, 4)
+    assert check_abc(graph, Fraction(3, 2)).admissible
+    assert not check_abc(graph, Fraction(5, 4)).admissible
+
+
+def test_fig2_shared_edge_has_both_orientations():
+    graph, e = fig2_graph()
+    signs = {vector_of(i)[e] for i in relevant_cycles(graph)}
+    assert {1, -1} <= signs
+
+
+@pytest.mark.parametrize("xi", [2, 3])
+def test_fig3_timeout_cycle(xi):
+    graph, ratio = fig3_graph(xi)
+    assert ratio == xi
+    assert worst_relevant_ratio(graph) == xi
+    assert not check_abc(graph, xi).admissible      # the late reply is
+    assert check_abc(graph, xi + 1).admissible      # exactly the timeout
+
+
+def test_fig4_early_reply_is_harmless():
+    graph = fig4_graph(2)
+    assert check_abc(graph, 2).admissible
+    # The paper: phi "actually closes a smaller relevant cycle".
+    assert worst_relevant_ratio(graph) == 1
+
+
+def test_fig8_abc_vs_parsync_separation():
+    from repro.models.relations import play_fig8_game
+
+    trace = fig8_trace(phi=6, delta=6)
+    outcome = play_fig8_game(trace, 6, 6)
+    assert outcome.prover_wins
+    # The figure's cycle is "valid for any Xi > 1": worst ratio <= 1.
+    assert outcome.worst_ratio is not None and outcome.worst_ratio <= 1
+
+
+@pytest.mark.parametrize("round_trips,expected", [(2, 1), (4, 2), (6, 3)])
+def test_fig9_cumulative_ratio(round_trips, expected):
+    graph, ratio = fig9_graph(round_trips)
+    assert ratio == expected
+    assert worst_relevant_ratio(graph) == expected
+
+
+def test_fig10_fifo_enforcement():
+    in_order, reordered = fig10_graphs(xi=4)
+    assert check_abc(in_order, 4).admissible
+    assert not check_abc(reordered, 4).admissible
+    # The violating cycle's ratio is xi + 1 = 5, as in the caption.
+    assert worst_relevant_ratio(reordered) == 5
+
+
+def test_ping_pong_chain_helper_indices():
+    from repro.core.execution_graph import GraphBuilder
+
+    b = GraphBuilder()
+    a_next, b_next = ping_pong_chain(b, 0, 1, 0, 0, 4)
+    g = b.build()
+    assert a_next == 3 and b_next == 2
+    assert len(g.messages) == 4

@@ -1,0 +1,39 @@
+"""Tests for the random workload generators."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.synchrony import check_abc
+from repro.scenarios.generators import (
+    random_execution_graph,
+    theta_band_trace,
+)
+from repro.sim.trace import build_execution_graph
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    n_processes=st.integers(1, 5),
+    n_messages=st.integers(0, 15),
+)
+def test_random_graphs_are_valid(seed, n_processes, n_messages):
+    rng = random.Random(seed)
+    # Construction raises if the graph violates Definition 1.
+    graph = random_execution_graph(rng, n_processes, n_messages)
+    assert len(graph.messages) == n_messages
+    assert graph.n_events == n_processes + n_messages
+
+
+def test_random_graph_determinism():
+    g1 = random_execution_graph(random.Random(5), 3, 8)
+    g2 = random_execution_graph(random.Random(5), 3, 8)
+    assert g1.messages == g2.messages
+
+
+def test_theta_band_trace_is_abc_admissible():
+    trace = theta_band_trace(n=4, f=1, theta=1.4, max_tick=6, seed=2)
+    graph = build_execution_graph(trace)
+    assert check_abc(graph, 2).admissible

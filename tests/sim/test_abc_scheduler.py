@@ -1,0 +1,88 @@
+"""Tests for the ABC-enforcing simulator.
+
+The enforcer must keep executions admissible even when raw delays would
+break them -- e.g. a monitor ping-ponging quickly with a fast peer while
+a slow peer's reply is massively delayed (the Figure-3 situation where a
+plain scheduler WOULD violate).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import PingPongMonitor, PongResponder
+from repro.core import check_abc, worst_relevant_ratio
+from repro.sim import (
+    FixedDelay,
+    Network,
+    PerLinkDelay,
+    SimulationLimits,
+    Simulator,
+    Topology,
+    build_execution_graph,
+)
+from repro.sim.abc_scheduler import AbcEnforcingSimulator
+
+XI = Fraction(2)
+
+
+def fd_setup(slow: float):
+    """A monitor, a fast responder, and a responder behind a slow link."""
+    monitor = PingPongMonitor(targets=[1, 2], xi=XI, max_probes=3)
+    procs = [monitor, PongResponder(), PongResponder()]
+    delays = PerLinkDelay(
+        {
+            (0, 2): FixedDelay(slow),
+            (2, 0): FixedDelay(slow),
+        },
+        default=FixedDelay(1.0),
+    )
+    net = Network(Topology.fully_connected(3), delays)
+    return monitor, procs, net
+
+
+class TestEnforcement:
+    def test_plain_scheduler_violates_with_skewed_delays(self):
+        _monitor, procs, net = fd_setup(slow=30.0)
+        sim = Simulator(procs, net, seed=0)
+        trace = sim.run(SimulationLimits(max_events=2_000))
+        graph = build_execution_graph(trace)
+        assert not check_abc(graph, XI).admissible
+
+    def test_enforcer_keeps_admissibility(self):
+        _monitor, procs, net = fd_setup(slow=30.0)
+        sim = AbcEnforcingSimulator(procs, net, seed=0, xi=XI)
+        trace = sim.run(SimulationLimits(max_events=2_000))
+        graph = build_execution_graph(trace)
+        assert check_abc(graph, XI).admissible
+        assert sim.pulled_forward > 0  # it actually had to intervene
+
+    def test_enforcer_is_noop_on_safe_delays(self):
+        _monitor, procs, net = fd_setup(slow=1.2)
+        sim = AbcEnforcingSimulator(procs, net, seed=0, xi=XI)
+        trace = sim.run(SimulationLimits(max_events=2_000))
+        assert sim.pulled_forward == 0
+        assert check_abc(build_execution_graph(trace), XI).admissible
+
+    def test_no_false_suspicions_under_enforcement(self):
+        """With the enforcer, the slow-but-correct peer's replies arrive
+        before the timeout chains complete: perfect accuracy."""
+        monitor, procs, net = fd_setup(slow=30.0)
+        sim = AbcEnforcingSimulator(procs, net, seed=0, xi=XI)
+        sim.run(SimulationLimits(max_events=2_000))
+        assert monitor.suspected == set()
+
+    def test_xi_validation(self):
+        _monitor, procs, net = fd_setup(slow=2.0)
+        with pytest.raises(ValueError):
+            AbcEnforcingSimulator(procs, net, seed=0, xi=1)
+
+
+class TestWorstRatioUnderEnforcement:
+    @pytest.mark.parametrize("slow", [5.0, 15.0, 60.0])
+    def test_ratio_stays_below_xi(self, slow):
+        _monitor, procs, net = fd_setup(slow=slow)
+        sim = AbcEnforcingSimulator(procs, net, seed=1, xi=XI)
+        trace = sim.run(SimulationLimits(max_events=2_000))
+        worst = worst_relevant_ratio(build_execution_graph(trace))
+        assert worst is None or worst < XI

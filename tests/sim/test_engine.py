@@ -1,0 +1,145 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from typing import Any
+
+import pytest
+
+from repro.sim.delays import FixedDelay, UniformDelay
+from repro.sim.engine import SimulationLimits, Simulator
+from repro.sim.network import Network, Topology
+from repro.sim.process import Process, StepContext
+
+
+class Echo(Process):
+    """Replies to every message ``('m', i)`` with ``('m', i+1)`` up to a cap."""
+
+    def __init__(self, peer: int, cap: int) -> None:
+        self.peer = peer
+        self.cap = cap
+        self.seen: list[Any] = []
+
+    def on_wakeup(self, ctx: StepContext) -> None:
+        ctx.send(self.peer, ("m", 0))
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        self.seen.append(payload)
+        _tag, i = payload
+        if i + 1 <= self.cap:
+            ctx.send(sender, ("m", i + 1))
+
+
+def two_process_sim(seed: int = 0, cap: int = 5) -> Simulator:
+    procs = [Echo(1, cap), Echo(0, cap)]
+    net = Network(Topology.fully_connected(2), UniformDelay(0.5, 2.0))
+    return Simulator(procs, net, seed=seed)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        t1 = two_process_sim(seed=3).run()
+        t2 = two_process_sim(seed=3).run()
+        assert [(r.event, r.time, r.payload) for r in t1.records] == [
+            (r.event, r.time, r.payload) for r in t2.records
+        ]
+
+    def test_different_seed_different_times(self):
+        t1 = two_process_sim(seed=1).run()
+        t2 = two_process_sim(seed=2).run()
+        assert [r.time for r in t1.records] != [r.time for r in t2.records]
+
+
+class TestExecutionModel:
+    def test_wakeups_are_first_events(self):
+        trace = two_process_sim().run()
+        for pid in (0, 1):
+            first = trace.events_of(pid)[0]
+            assert first.sender is None
+            assert first.event.index == 0
+
+    def test_event_indices_contiguous_per_process(self):
+        trace = two_process_sim().run()
+        for pid in (0, 1):
+            indices = [r.event.index for r in trace.events_of(pid)]
+            assert indices == list(range(len(indices)))
+
+    def test_send_records_match_deliveries(self):
+        trace = two_process_sim().run()
+        sent = sum(len(r.sends) for r in trace.records)
+        delivered = sum(1 for r in trace.records if r.sender is not None)
+        assert sent == delivered  # quiescent run: everything arrived
+
+    def test_zero_time_steps(self):
+        # A step's sends depart at exactly the receive time.
+        trace = two_process_sim().run()
+        for r in trace.records:
+            for s in r.sends:
+                assert s.deliver_time == pytest.approx(r.time + s.delay)
+
+    def test_times_monotone_in_delivery_order(self):
+        trace = two_process_sim().run()
+        times = [r.time for r in trace.records]
+        assert times == sorted(times)
+
+
+class TestCrash:
+    def test_crashed_process_receives_but_does_not_step(self):
+        procs = [Echo(1, 10), Echo(0, 10)]
+        net = Network(Topology.fully_connected(2), FixedDelay(1.0))
+        sim = Simulator(procs, net, seed=0)
+        sim.crash(1)
+        trace = sim.run()
+        events_at_1 = trace.events_of(1)
+        assert events_at_1  # receive events still recorded
+        assert all(not r.processed for r in events_at_1)
+        assert all(not r.sends for r in events_at_1)
+
+    def test_is_crashed(self):
+        sim = two_process_sim()
+        assert not sim.is_crashed(0)
+        sim.crash(0)
+        assert sim.is_crashed(0)
+
+
+class TestLimits:
+    def test_max_events(self):
+        sim = two_process_sim(cap=10_000)
+        trace = sim.run(SimulationLimits(max_events=10))
+        assert len(trace.records) == 10
+
+    def test_max_time(self):
+        sim = two_process_sim(cap=10_000)
+        trace = sim.run(SimulationLimits(max_time=5.0))
+        assert all(r.time <= 5.0 for r in trace.records)
+
+    def test_stop_predicate(self):
+        sim = two_process_sim(cap=10_000)
+        trace = sim.run(SimulationLimits(stop=lambda s: len(s.trace.records) >= 7))
+        assert len(trace.records) == 7
+
+
+class TestValidation:
+    def test_topology_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Simulator([Process()], Network(Topology.fully_connected(2)))
+
+    def test_faulty_pid_out_of_range(self):
+        with pytest.raises(ValueError):
+            Simulator(
+                [Process()], Network(Topology.fully_connected(1)), faulty={3}
+            )
+
+    def test_start_times_length(self):
+        with pytest.raises(ValueError):
+            Simulator(
+                [Process()],
+                Network(Topology.fully_connected(1)),
+                start_times=[0.0, 1.0],
+            )
+
+    def test_staggered_start_times(self):
+        procs = [Echo(1, 0), Echo(0, 0)]
+        net = Network(Topology.fully_connected(2), FixedDelay(1.0))
+        sim = Simulator(procs, net, start_times=[0.0, 10.0])
+        trace = sim.run()
+        assert trace.events_of(1)[0].time >= 10.0 or \
+            trace.events_of(1)[0].sender is not None

@@ -1,0 +1,85 @@
+"""Tests for the fault-injection behaviours."""
+
+import random
+from typing import Any
+
+from repro.sim.delays import FixedDelay
+from repro.sim.engine import SimulationLimits, Simulator
+from repro.sim.faults import (
+    BabblingProcess,
+    CrashAfter,
+    MirrorProcess,
+    SilentProcess,
+    TwoFacedProcess,
+)
+from repro.sim.network import Network, Topology
+from repro.sim.process import Process, StepContext
+
+
+class Talker(Process):
+    def __init__(self) -> None:
+        self.received: list[Any] = []
+
+    def on_wakeup(self, ctx: StepContext) -> None:
+        ctx.broadcast("hi", include_self=False)
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        self.received.append((sender, payload))
+
+
+def run(procs, faulty=frozenset(), max_events=200):
+    net = Network(Topology.fully_connected(len(procs)), FixedDelay(1.0))
+    sim = Simulator(procs, net, faulty=faulty, seed=1)
+    return sim.run(SimulationLimits(max_events=max_events))
+
+
+class TestCrashAfter:
+    def test_crash_on_start_takes_no_step(self):
+        crashed = CrashAfter(Talker(), steps=0)
+        trace = run([Talker(), crashed], faulty={1})
+        assert all(not r.sends for r in trace.records if r.event.process == 1)
+
+    def test_crash_after_one_step_completes_wakeup(self):
+        crashed = CrashAfter(Talker(), steps=1)
+        trace = run([Talker(), crashed], faulty={1})
+        steps_with_sends = [
+            r for r in trace.records if r.event.process == 1 and r.sends
+        ]
+        assert len(steps_with_sends) == 1  # exactly the wake-up broadcast
+
+    def test_crashed_flag(self):
+        c = CrashAfter(Talker(), steps=1)
+        assert not c.crashed
+        c.on_wakeup(StepContext(0, 2, (1,)))
+        assert c.crashed
+
+    def test_negative_steps_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CrashAfter(Talker(), steps=-1)
+
+
+class TestByzantineBehaviours:
+    def test_silent_never_sends(self):
+        trace = run([Talker(), SilentProcess()], faulty={1})
+        assert all(not r.sends for r in trace.records if r.event.process == 1)
+
+    def test_babbler_sends_garbage(self):
+        babbler = BabblingProcess(lambda rng: rng.random(), fanout=2, seed=3)
+        talker = Talker()
+        run([talker, babbler], faulty={1})
+        assert any(isinstance(p, float) for (_s, p) in talker.received)
+
+    def test_mirror_echoes(self):
+        talker = Talker()
+        trace = run([talker, MirrorProcess()], faulty={1})
+        assert any(s == 1 and p == "hi" for (s, p) in talker.received)
+
+    def test_two_faced_sends_both_stories(self):
+        listeners = [Talker(), Talker()]
+        two_faced = TwoFacedProcess("a", "b")
+        run(listeners + [two_faced], faulty={2}, max_events=50)
+        got_0 = {p for (s, p) in listeners[0].received if s == 2}
+        got_1 = {p for (s, p) in listeners[1].received if s == 2}
+        assert got_0 == {"a"} and got_1 == {"b"}

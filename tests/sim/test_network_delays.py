@@ -1,0 +1,109 @@
+"""Tests for topologies, networks and delay models."""
+
+import random
+
+import pytest
+
+from repro.sim.delays import (
+    ClusterDelay,
+    FixedDelay,
+    GrowingDelay,
+    LognormalDelay,
+    PerLinkDelay,
+    ScaledDelay,
+    ThetaBandDelay,
+    UniformDelay,
+    ZeroDelay,
+)
+from repro.sim.network import Network, Topology
+
+RNG = random.Random(0)
+
+
+class TestTopology:
+    def test_fully_connected(self):
+        t = Topology.fully_connected(3)
+        assert len(t.links) == 6
+        assert t.has_link(0, 1) and t.has_link(2, 0)
+        assert t.has_link(1, 1)  # self-links implicit
+
+    def test_ring(self):
+        t = Topology.ring(4, bidirectional=False)
+        assert t.has_link(0, 1) and not t.has_link(1, 0)
+        assert len(t.links) == 4
+
+    def test_star(self):
+        t = Topology.star(4, center=1)
+        assert t.has_link(1, 3) and t.has_link(3, 1)
+        assert not t.has_link(0, 2)
+        assert t.neighbors(1) == (0, 2, 3)
+
+    def test_out_of_range_link(self):
+        with pytest.raises(ValueError):
+            Topology.from_links(2, [(0, 5)])
+
+
+class TestNetwork:
+    def test_missing_link_rejected(self):
+        net = Network(Topology.ring(4, bidirectional=False), FixedDelay(1.0))
+        with pytest.raises(ValueError, match="no link"):
+            net.delay(1, 0, 0.0, RNG)
+
+    def test_self_link_allowed(self):
+        net = Network(Topology.fully_connected(2), FixedDelay(1.0))
+        assert net.delay(0, 0, 0.0, RNG) == 1.0
+
+
+class TestDelayModels:
+    def test_fixed(self):
+        assert FixedDelay(2.5).sample(0, 1, 0.0, RNG) == 2.5
+        with pytest.raises(ValueError):
+            FixedDelay(-1.0)
+
+    def test_uniform_range(self):
+        model = UniformDelay(1.0, 2.0)
+        samples = [model.sample(0, 1, 0.0, RNG) for _ in range(200)]
+        assert all(1.0 <= s <= 2.0 for s in samples)
+        with pytest.raises(ValueError):
+            UniformDelay(2.0, 1.0)
+
+    def test_theta_band_ratio(self):
+        model = ThetaBandDelay(2.0, 1.5)
+        samples = [model.sample(0, 1, 0.0, RNG) for _ in range(200)]
+        assert max(samples) / min(samples) <= 1.5
+        assert model.tau_plus == 3.0
+        with pytest.raises(ValueError):
+            ThetaBandDelay(0.0, 1.5)
+        with pytest.raises(ValueError):
+            ThetaBandDelay(1.0, 0.9)
+
+    def test_lognormal_clipping(self):
+        model = LognormalDelay(1.0, 2.0, clip_low=0.5, clip_high=2.0)
+        samples = [model.sample(0, 1, 0.0, RNG) for _ in range(200)]
+        assert all(0.5 <= s <= 2.0 for s in samples)
+
+    def test_growing_delay_scales_with_time(self):
+        model = GrowingDelay(FixedDelay(1.0), rate=0.1)
+        assert model.sample(0, 1, 0.0, RNG) == pytest.approx(1.0)
+        assert model.sample(0, 1, 100.0, RNG) == pytest.approx(11.0)
+        with pytest.raises(ValueError):
+            GrowingDelay(FixedDelay(1.0), rate=-1.0)
+
+    def test_scaled(self):
+        model = ScaledDelay(FixedDelay(2.0), 3.0)
+        assert model.sample(0, 1, 0.0, RNG) == 6.0
+
+    def test_zero(self):
+        assert ZeroDelay().sample(0, 1, 5.0, RNG) == 0.0
+
+    def test_per_link(self):
+        model = PerLinkDelay({(0, 1): FixedDelay(9.0)}, FixedDelay(1.0))
+        assert model.sample(0, 1, 0.0, RNG) == 9.0
+        assert model.sample(1, 0, 0.0, RNG) == 1.0
+
+    def test_cluster(self):
+        model = ClusterDelay(
+            {0: 0, 1: 0, 2: 1}, intra=FixedDelay(1.0), inter=FixedDelay(50.0)
+        )
+        assert model.sample(0, 1, 0.0, RNG) == 1.0
+        assert model.sample(0, 2, 0.0, RNG) == 50.0

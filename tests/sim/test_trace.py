@@ -1,0 +1,113 @@
+"""Tests for traces and execution-graph extraction."""
+
+from typing import Any
+
+import pytest
+
+from repro.core.events import Event
+from repro.sim.delays import FixedDelay
+from repro.sim.engine import SimulationLimits, Simulator
+from repro.sim.faults import SilentProcess
+from repro.sim.network import Network, Topology
+from repro.sim.process import Process, StepContext
+from repro.sim.trace import (
+    ReceiveRecord,
+    Trace,
+    build_execution_graph,
+)
+
+
+class Chatter(Process):
+    """Broadcasts one message on wake-up and echoes the first reply."""
+
+    def on_wakeup(self, ctx: StepContext) -> None:
+        ctx.broadcast("hello", include_self=False)
+
+    def on_message(self, ctx: StepContext, payload: Any, sender: int) -> None:
+        if payload == "hello":
+            ctx.send(sender, "ack")
+
+
+def run_chatter(faulty=frozenset()) -> Trace:
+    procs = [Chatter(), Chatter(), Chatter()]
+    net = Network(Topology.fully_connected(3), FixedDelay(1.0))
+    sim = Simulator(procs, net, faulty=faulty, seed=0)
+    return sim.run(SimulationLimits(max_events=100))
+
+
+class TestTraceQueries:
+    def test_correct_set(self):
+        trace = run_chatter(faulty=frozenset({2}))
+        assert trace.correct == frozenset({0, 1})
+
+    def test_events_of_and_record_of(self):
+        trace = run_chatter()
+        ev = trace.events_of(1)[0].event
+        assert trace.record_of(ev).event == ev
+        with pytest.raises(KeyError):
+            trace.record_of(Event(9, 9))
+
+    def test_times_map(self):
+        trace = run_chatter()
+        times = trace.times()
+        assert len(times) == len(trace.records)
+
+    def test_messages_between(self):
+        trace = run_chatter()
+        msgs = trace.messages_between(0, 1)
+        assert msgs and all(r.sender == 0 for r in msgs)
+
+    def test_delays(self):
+        trace = run_chatter()
+        for _send, _recv, delay in trace.delays():
+            assert delay == pytest.approx(1.0)
+
+
+class TestGraphBuilding:
+    def test_graph_matches_trace_shape(self):
+        trace = run_chatter()
+        g = build_execution_graph(trace)
+        assert g.n_events == len(trace.records)
+        n_messages = sum(1 for r in trace.records if r.sender is not None)
+        assert len(g.messages) == n_messages
+
+    def test_faulty_senders_dropped(self):
+        trace = run_chatter(faulty=frozenset({2}))
+        g = build_execution_graph(trace)
+        for m in g.messages:
+            assert m.src.process != 2
+        # Receive-event nodes of dropped messages remain in the timeline.
+        assert g.n_events == len(trace.records)
+
+    def test_drop_faulty_can_be_disabled(self):
+        trace = run_chatter(faulty=frozenset({2}))
+        g_all = build_execution_graph(trace, drop_faulty=False)
+        g_dropped = build_execution_graph(trace, drop_faulty=True)
+        assert len(g_all.messages) > len(g_dropped.messages)
+
+    def test_keep_message_filter(self):
+        trace = run_chatter()
+        g = build_execution_graph(
+            trace, keep_message=lambda r: r.payload != "ack"
+        )
+        assert all(
+            trace.record_of(m.dst).payload != "ack" for m in g.messages
+        )
+
+    def test_non_contiguous_records_rejected(self):
+        bad = Trace(1, frozenset())
+        bad.records.append(
+            ReceiveRecord(Event(0, 1), 0.0, None, None, None, "x", True, ())
+        )
+        with pytest.raises(ValueError, match="not contiguous"):
+            build_execution_graph(bad)
+
+
+class TestFaultBehaviours:
+    def test_silent_process_never_sends(self):
+        procs = [Chatter(), SilentProcess(), Chatter()]
+        net = Network(Topology.fully_connected(3), FixedDelay(1.0))
+        trace = Simulator(procs, net, faulty={1}, seed=0).run()
+        assert all(
+            not r.sends for r in trace.records if r.event.process == 1
+        )
