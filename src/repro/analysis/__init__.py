@@ -1,5 +1,10 @@
 """Property checkers for the paper's theorems, over recorded traces."""
 
+from repro.analysis.online import (
+    OnlineAbcMonitor,
+    RatioChange,
+    running_worst_ratio_of_trace,
+)
 from repro.analysis.properties import (
     BoundedProgressReport,
     ClockAnalysis,
@@ -16,6 +21,9 @@ from repro.analysis.properties import (
 
 __all__ = [
     "BoundedProgressReport",
+    "OnlineAbcMonitor",
+    "RatioChange",
+    "running_worst_ratio_of_trace",
     "ClockAnalysis",
     "PrecisionReport",
     "first_lockstep_round",

@@ -1,0 +1,270 @@
+"""Online ABC admissibility monitoring (the ?ABC / <>ABC primitives).
+
+The Section-6 variants of the ABC model reason about *growing*
+executions: ?ABC asks whether the (unknown) synchrony parameter ``Xi``
+stays above the worst relevant-cycle ratio of every prefix, <>ABC whether
+violations eventually stop.  Monitoring either online with the batch
+checker means re-running a full Stern-Brocot search per prefix -- the
+quadratic-and-worse behavior this module eliminates.
+
+:class:`OnlineAbcMonitor` consumes an execution incrementally, either as
+recorded :class:`~repro.sim.trace.ReceiveRecord` objects (:meth:`observe`)
+or as raw graph events (:meth:`observe_event` / :meth:`observe_message`),
+and maintains the exact running worst relevant ratio.  Three observations
+make this cheap:
+
+* the traversal digraph ``H`` is extended in place inside one shared
+  :class:`~repro.core.synchrony.AdmissibilityChecker` -- never rebuilt;
+* the worst ratio is non-decreasing under extension (old cycles persist),
+  so a new receive event without a message edge cannot change it and is
+  absorbed with zero oracle work;
+* after a message edge arrives, a *single* oracle call at the Farey
+  successor of the current worst ratio (the smallest fraction above it
+  with denominator within the message-count bound) decides whether the
+  ratio moved at all.  Only when it did -- rarely -- does a Stern-Brocot
+  search run, warm-started from the bracket just established.
+
+The monitor also exposes violation callbacks for a known ``Xi``: the
+first prefix whose worst ratio reaches ``Xi`` triggers ``on_violation``
+with a concrete witness cycle, which is the online form of the <>ABC
+"violations before stabilization" view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Iterable
+
+from repro.core.cycles import CycleClassification
+from repro.core.events import Event, ProcessId
+from repro.core.execution_graph import ExecutionGraph
+from repro.core.synchrony import AdmissibilityChecker, AdmissibilityResult, as_xi
+from repro.sim.trace import ReceiveRecord, Trace, message_kept
+
+__all__ = [
+    "OnlineAbcMonitor",
+    "RatioChange",
+    "running_worst_ratio_of_trace",
+]
+
+
+@dataclass(frozen=True)
+class RatioChange:
+    """One increase of the running worst relevant ratio.
+
+    Attributes:
+        n_events: number of events observed when the increase happened.
+        n_messages: number of message edges observed at that point.
+        previous: the worst ratio before (``None`` = no relevant cycle).
+        worst: the worst ratio after.
+    """
+
+    n_events: int
+    n_messages: int
+    previous: Fraction | None
+    worst: Fraction
+
+
+class OnlineAbcMonitor:
+    """Maintains the exact running worst relevant ratio of a growing
+    execution, with optional violation callbacks for a known ``Xi``.
+
+    Args:
+        xi: optional synchrony parameter to monitor against (``> 1``).
+            When the running worst ratio first reaches it, the execution
+            stops being ABC-admissible for ``xi`` and ``on_violation``
+            fires once with a witness cycle.
+        faulty: processes whose sent messages are dropped from the graph
+            (the paper's Section-2 treatment; mirrors
+            :func:`~repro.sim.trace.build_execution_graph`).
+        drop_faulty: disable the faulty-sender filter when ``False``.
+        keep_message: optional extra filter on triggering messages, as in
+            :func:`~repro.sim.trace.build_execution_graph`.
+        on_violation: called once, at the first observation whose worst
+            ratio reaches ``xi``, with a violating
+            :class:`~repro.core.cycles.CycleClassification` witness.
+        on_ratio_increase: called with a :class:`RatioChange` every time
+            the running worst ratio grows (including its first
+            appearance).
+    """
+
+    def __init__(
+        self,
+        xi: Fraction | float | int | str | None = None,
+        faulty: frozenset[ProcessId] | set[ProcessId] = frozenset(),
+        drop_faulty: bool = True,
+        keep_message: Callable[[ReceiveRecord], bool] | None = None,
+        on_violation: Callable[[CycleClassification], None] | None = None,
+        on_ratio_increase: Callable[[RatioChange], None] | None = None,
+    ) -> None:
+        self.xi: Fraction | None = None if xi is None else as_xi(xi)
+        self.faulty = frozenset(faulty)
+        self.drop_faulty = drop_faulty
+        self.keep_message = keep_message
+        self.on_violation = on_violation
+        self.on_ratio_increase = on_ratio_increase
+        self.changes: list[RatioChange] = []
+        self.violation: CycleClassification | None = None
+        self._checker = AdmissibilityChecker()
+        self._worst: Fraction | None = None
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    @property
+    def worst_ratio(self) -> Fraction | None:
+        """The exact worst relevant ratio of everything observed so far
+        (``None`` = no relevant cycle yet); equals
+        :func:`~repro.core.synchrony.worst_relevant_ratio` on the
+        observed prefix."""
+        return self._worst
+
+    @property
+    def n_events(self) -> int:
+        return self._checker.n_events
+
+    @property
+    def n_messages(self) -> int:
+        return self._checker.n_messages
+
+    @property
+    def oracle_calls(self) -> int:
+        """Total negative-cycle runs issued (incrementality metric)."""
+        return self._checker.oracle_calls
+
+    def is_admissible(self) -> bool:
+        """Whether the observed prefix is ABC-admissible for ``xi``."""
+        if self.xi is None:
+            raise ValueError("monitor was constructed without a Xi")
+        return self._worst is None or self._worst < self.xi
+
+    def check(self, xi: Fraction | float | int | str) -> AdmissibilityResult:
+        """Batch-equivalent admissibility check of the observed prefix."""
+        return self._checker.check(xi)
+
+    # ------------------------------------------------------------------
+    # feeding the monitor
+    # ------------------------------------------------------------------
+
+    def observe(self, record: ReceiveRecord) -> Fraction | None:
+        """Consume one receive record; returns the updated worst ratio.
+
+        The record's event is appended to its process timeline and the
+        triggering message edge added unless the sender is faulty (or the
+        record is an external wake-up, or ``keep_message`` rejects it) --
+        exactly the graph :func:`~repro.sim.trace.build_execution_graph`
+        would produce from the records observed so far.
+        """
+        self.observe_event(record.event)
+        if message_kept(
+            record, self.faulty, self.drop_faulty, self.keep_message
+        ):
+            assert record.send_event is not None
+            self.observe_message(record.send_event, record.event)
+        return self._worst
+
+    def observe_trace(self, trace: Iterable[ReceiveRecord]) -> Fraction | None:
+        """Consume many records (a whole trace or a new suffix of one)."""
+        for record in trace:
+            self.observe(record)
+        return self._worst
+
+    def observe_event(self, event: Event) -> None:
+        """Append a receive event (and its implied local edge).
+
+        A fresh event has no incoming traversal edge besides its trigger
+        message, so no new cycle can close through it yet; the worst
+        ratio is unchanged by construction and no oracle runs.
+        """
+        self._checker.add_event(event)
+
+    def observe_message(self, src: Event, dst: Event) -> Fraction | None:
+        """Add a message edge and refresh the worst ratio."""
+        if self._checker.add_message(src, dst):
+            self._refresh()
+        return self._worst
+
+    def extend_to(self, graph: ExecutionGraph) -> Fraction | None:
+        """Advance the monitor to ``graph``; returns its worst ratio.
+
+        ``graph`` should extend the observed prefix (more events per
+        process, a superset of messages): the diff is then absorbed
+        incrementally with a single refresh.  A non-extension resets the
+        monitor -- including its violation and ratio-change history,
+        which referred to the abandoned execution -- and pays one batch
+        search; correct on any sequence of graphs, fast on growing ones.
+        """
+        if not self._checker.extends(graph):
+            self._checker = AdmissibilityChecker(graph)
+            self._worst = None
+            self.violation = None
+            self.changes = []
+            added = self._checker.n_messages > 0
+        else:
+            added = self._checker.absorb(graph)
+        if added:
+            self._refresh()
+        return self._worst
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: Trace,
+        xi: Fraction | float | int | str | None = None,
+        **kwargs: object,
+    ) -> "OnlineAbcMonitor":
+        """A monitor that has consumed ``trace`` (faulty set included)."""
+        monitor = cls(xi=xi, faulty=trace.faulty, **kwargs)  # type: ignore[arg-type]
+        monitor.observe_trace(trace.records)
+        return monitor
+
+    # ------------------------------------------------------------------
+    # the incremental refresh
+    # ------------------------------------------------------------------
+
+    def _refresh(self) -> None:
+        """Re-establish the exact worst ratio after new message edges.
+
+        Delegates to
+        :meth:`~repro.core.synchrony.AdmissibilityChecker.updated_worst_ratio`
+        (one Farey-successor oracle call in the steady state, a
+        warm-started search on the rare increase) and fires the
+        callbacks when the ratio moved.
+        """
+        checker = self._checker
+        previous = self._worst
+        self._worst = checker.updated_worst_ratio(previous)
+        if self._worst is None or self._worst == previous:
+            return
+        change = RatioChange(
+            n_events=checker.n_events,
+            n_messages=checker.n_messages,
+            previous=previous,
+            worst=self._worst,
+        )
+        self.changes.append(change)
+        if self.on_ratio_increase is not None:
+            self.on_ratio_increase(change)
+        if (
+            self.xi is not None
+            and self.violation is None
+            and self._worst >= self.xi
+        ):
+            witness = checker.violating_cycle(self.xi)
+            assert witness is not None
+            self.violation = witness
+            if self.on_violation is not None:
+                self.on_violation(witness)
+
+
+def running_worst_ratio_of_trace(trace: Trace) -> list[Fraction | None]:
+    """The worst relevant ratio after each receive record of ``trace``.
+
+    Record ``k`` of the result equals
+    ``worst_relevant_ratio(build_execution_graph(trace[:k+1]))`` but the
+    whole sequence is computed in one incremental pass.
+    """
+    monitor = OnlineAbcMonitor(faulty=trace.faulty)
+    return [monitor.observe(record) for record in trace.records]

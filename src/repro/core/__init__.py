@@ -62,9 +62,12 @@ from repro.core.execution_graph import (
     MessageEdge,
 )
 from repro.core.synchrony import (
+    AdmissibilityChecker,
     AdmissibilityResult,
+    as_xi,
     check_abc,
     check_abc_exhaustive,
+    farey_successor,
     find_violating_cycle,
     has_relevant_cycle_with_ratio_at_least,
     worst_relevant_ratio,
@@ -110,9 +113,12 @@ __all__ = [
     "enumerate_cycles",
     "relevant_cycles",
     # synchrony
+    "AdmissibilityChecker",
     "AdmissibilityResult",
+    "as_xi",
     "check_abc",
     "check_abc_exhaustive",
+    "farey_successor",
     "find_violating_cycle",
     "has_relevant_cycle_with_ratio_at_least",
     "worst_relevant_ratio",

@@ -37,19 +37,37 @@ least one and at most ``M - 1`` local edges, the weight is negative iff
 The degenerate 2-cycle weighs ``(p - q) * M >= 0`` and cycles with more
 forward than backward messages weigh at least ``M - #locals > 0``, so
 neither can be reported.  Violation detection is therefore exactly
-negative-cycle detection (Bellman-Ford).
+negative-cycle detection.
+
+:class:`AdmissibilityChecker` is the workhorse behind every public
+function here: it builds the *topology* of ``H`` exactly once per
+execution graph (nodes, adjacency, traversal steps) and re-derives only
+the edge weights per ``(p, q)`` query, so the many oracle calls issued by
+a Stern-Brocot search -- or by the online monitor of
+:mod:`repro.analysis.online` -- share all of the construction work.
+Negative cycles are found with an early-terminating queue-based detector
+(SPFA): nodes are relaxed from a work queue seeded with every node (the
+classical virtual source), the queue draining proves the absence of a
+negative cycle, and a relaxation chain growing to ``n`` edges proves its
+presence.  The checker is also *extendable in place* (``add_event`` /
+``add_message``), which is what makes incremental monitoring cheap.
 
 On top of the oracle, :func:`worst_relevant_ratio` finds the exact maximum
 ``|Z-|/|Z+|`` over all relevant cycles by Stern-Brocot search: the ratio
 is a fraction with numerator and denominator bounded by the message count,
-so the search terminates with the exact rational.
+so the search terminates with the exact rational.  The search clamps its
+galloping probes to that denominator bound (a mediant below the current
+bracket whose denominator exceeds the bound can never be the answer, so
+probing it would waste a full negative-cycle run) and short-circuits
+re-queries through a monotone result cache, optionally warm-started from
+a ratio already known to be reached (``at_least``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Sequence
+from typing import Callable
 
 from repro.core.cycles import (
     AGAINST,
@@ -60,13 +78,20 @@ from repro.core.cycles import (
     classify,
     enumerate_cycles,
 )
-from repro.core.events import Event
-from repro.core.execution_graph import ExecutionGraph
+from repro.core.events import Event, ProcessId
+from repro.core.execution_graph import (
+    ExecutionGraph,
+    LocalEdge,
+    MessageEdge,
+)
 
 __all__ = [
+    "AdmissibilityChecker",
     "AdmissibilityResult",
+    "as_xi",
     "check_abc",
     "check_abc_exhaustive",
+    "farey_successor",
     "has_relevant_cycle_with_ratio_at_least",
     "find_violating_cycle",
     "worst_relevant_ratio",
@@ -92,64 +117,17 @@ class AdmissibilityResult:
         return self.admissible
 
 
-class _TraversalDigraph:
-    """The weighted digraph ``H`` described in the module docstring."""
+def as_xi(xi: Fraction | float | int | str) -> Fraction:
+    """Validate a synchrony parameter: the ABC model requires ``Xi > 1``.
 
-    def __init__(self, graph: ExecutionGraph, p: int, q: int) -> None:
-        self.nodes: list[Event] = list(graph.events())
-        self.index: dict[Event, int] = {ev: i for i, ev in enumerate(self.nodes)}
-        scale = len(graph.local_edges) + 1
-        # H-edges as (tail, head, weight, step).
-        self.edges: list[tuple[int, int, int, Step]] = []
-        for m in graph.messages:
-            u, v = self.index[m.src], self.index[m.dst]
-            self.edges.append((u, v, p * scale, Step(m, ALONG)))
-            self.edges.append((v, u, -q * scale, Step(m, AGAINST)))
-        for loc in graph.local_edges:
-            u, v = self.index[loc.src], self.index[loc.dst]
-            self.edges.append((v, u, -1, Step(loc, AGAINST)))
-
-    def find_negative_cycle(self) -> list[Step] | None:
-        """Bellman-Ford from a virtual source connected to every node.
-
-        Returns the steps of one simple negative cycle (in traversal
-        order), or ``None`` when no negative cycle exists.
-        """
-        n = len(self.nodes)
-        if n == 0 or not self.edges:
-            return None
-        dist = [0] * n
-        pred: list[int | None] = [None] * n  # index into self.edges
-        updated_node: int | None = None
-        for _ in range(n):
-            updated_node = None
-            for eidx, (tail, head, weight, _step) in enumerate(self.edges):
-                if dist[tail] + weight < dist[head]:
-                    dist[head] = dist[tail] + weight
-                    pred[head] = eidx
-                    updated_node = head
-            if updated_node is None:
-                return None
-        # A node updated in round n is reachable from a negative cycle;
-        # walking n predecessor links is guaranteed to land on the cycle.
-        assert updated_node is not None
-        node = updated_node
-        for _ in range(n):
-            eidx = pred[node]
-            assert eidx is not None
-            node = self.edges[eidx][0]
-        # Collect the cycle through the predecessor links.
-        cycle_edges: list[int] = []
-        start = node
-        while True:
-            eidx = pred[node]
-            assert eidx is not None
-            cycle_edges.append(eidx)
-            node = self.edges[eidx][0]
-            if node == start:
-                break
-        cycle_edges.reverse()
-        return [self.edges[eidx][3] for eidx in cycle_edges]
+    The single place where ``Xi`` arguments are normalized; every checker
+    that accepts a ``Xi`` goes through it so that the accepted types and
+    the error message stay consistent.
+    """
+    xi_frac = Fraction(xi)
+    if xi_frac <= 1:
+        raise ValueError(f"the ABC model requires Xi > 1, got {xi_frac}")
+    return xi_frac
 
 
 def _as_ratio(xi: Fraction | float | int | str) -> Fraction:
@@ -159,18 +137,512 @@ def _as_ratio(xi: Fraction | float | int | str) -> Fraction:
     return ratio
 
 
+def farey_successor(value: Fraction, max_den: int) -> Fraction:
+    """The smallest fraction above ``value`` with denominator ``<= max_den``.
+
+    This is ``value``'s right neighbor in the Farey sequence of order
+    ``max_den``: for ``value = a/b`` it is the ``c/d`` with
+    ``b*c - a*d == 1`` and the largest ``d <= max_den``, found from one
+    extended-gcd solution shifted by multiples of ``(a, b)``.  Any
+    fraction strictly between the two has denominator ``> max_den`` --
+    the arithmetic backbone of the incremental worst-ratio refresh
+    (:meth:`AdmissibilityChecker.updated_worst_ratio`): a worst ratio
+    that moved at all under graph extension must have reached at least
+    this value.
+    """
+    a, b = value.numerator, value.denominator
+    if b > max_den:
+        raise ValueError(
+            f"denominator of {value} already exceeds the bound {max_den}"
+        )
+    if a == 0:
+        return Fraction(1, max_den)
+    # Extended gcd: find (c0, d0) with b*c0 - a*d0 == 1.
+    old_r, r = b, a
+    old_x, x = 1, 0
+    while r:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_x, x = x, old_x - quotient * x
+    assert old_r == 1, f"{value} not in lowest terms"
+    c0 = old_x
+    d0 = (b * c0 - 1) // a
+    assert b * c0 - a * d0 == 1
+    shift = (max_den - d0) // b
+    return Fraction(c0 + shift * a, d0 + shift * b)
+
+
+# Edge kinds of the traversal digraph; weights per (p, q) query are
+# derived from the kind, so only these tags are stored per edge.
+_FWD_MESSAGE = 0
+_BWD_MESSAGE = 1
+_BWD_LOCAL = 2
+
+
+class AdmissibilityChecker:
+    """Reusable, extendable decision procedure for one execution graph.
+
+    The traversal digraph ``H`` (see the module docstring) is built once:
+    nodes, adjacency lists and the :class:`~repro.core.cycles.Step` each
+    H-edge corresponds to are all independent of the ratio being tested.
+    Each query then only materializes the weight of every edge from its
+    kind, so a Stern-Brocot search issuing dozens of oracle calls pays the
+    graph construction exactly once instead of once per call.
+
+    The checker can also be *grown in place* -- :meth:`add_event` appends
+    a receive event (creating the implied local edge), :meth:`add_message`
+    a message edge -- which is the substrate of the online ?ABC/<>ABC
+    monitor in :mod:`repro.analysis.online`.  Structural validity (one
+    incoming message per event, digraph acyclicity) is the caller's
+    responsibility when growing incrementally; events fed from a recorded
+    trace or an :class:`~repro.core.execution_graph.ExecutionGraph`
+    satisfy it by construction.
+
+    Attributes:
+        oracle_calls: number of negative-cycle runs issued so far (for
+            benchmarks and incrementality tests).
+    """
+
+    def __init__(self, graph: ExecutionGraph | None = None) -> None:
+        self._nodes: list[Event] = []
+        self._index: dict[Event, int] = {}
+        self._events_per_process: dict[ProcessId, int] = {}
+        # H-edges, struct-of-arrays: topology and steps are immutable per
+        # edge, weights are derived per query from ``kind``.
+        self._tails: list[int] = []
+        self._heads: list[int] = []
+        self._kinds: list[int] = []
+        self._steps: list[Step] = []
+        # node index -> [(head, kind), ...]; the detection hot loop reads
+        # only this, with weights resolved through a 3-entry table.
+        self._adj: list[list[tuple[int, int]]] = []
+        self._messages: set[MessageEdge] = set()
+        self._n_locals = 0
+        self.oracle_calls = 0
+        if graph is not None:
+            for process in graph.processes:
+                for event in graph.events_of(process):
+                    self.add_event(event)
+            for message in graph.messages:
+                self.add_message(message.src, message.dst)
+
+    # ------------------------------------------------------------------
+    # incremental construction
+    # ------------------------------------------------------------------
+
+    @property
+    def n_events(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def n_messages(self) -> int:
+        return len(self._messages)
+
+    @property
+    def n_local_edges(self) -> int:
+        return self._n_locals
+
+    @property
+    def processes(self) -> tuple[ProcessId, ...]:
+        """Processes with at least one observed event."""
+        return tuple(self._events_per_process)
+
+    def n_events_of(self, process: ProcessId) -> int:
+        return self._events_per_process.get(process, 0)
+
+    @property
+    def messages(self) -> frozenset[MessageEdge]:
+        """The message edges added so far (snapshot)."""
+        return frozenset(self._messages)
+
+    def has_message(self, message: MessageEdge) -> bool:
+        return message in self._messages
+
+    def add_event(self, event: Event) -> None:
+        """Append the next receive event of its process.
+
+        Events of one process must arrive in local order (index 0, 1, ...);
+        the local edge from the previous event is created implicitly, as a
+        backward-only H-edge.
+        """
+        expected = self._events_per_process.get(event.process, 0)
+        if event.index != expected:
+            raise ValueError(
+                f"events of process {event.process} must arrive in local "
+                f"order: expected index {expected}, got {event!r}"
+            )
+        self._events_per_process[event.process] = expected + 1
+        self._index[event] = len(self._nodes)
+        self._nodes.append(event)
+        self._adj.append([])
+        if event.index > 0:
+            prev = Event(event.process, event.index - 1)
+            self._add_h_edge(
+                self._index[event],
+                self._index[prev],
+                _BWD_LOCAL,
+                Step(LocalEdge(prev, event), AGAINST),
+            )
+            self._n_locals += 1
+
+    def add_message(self, src: Event, dst: Event) -> bool:
+        """Add a message edge; returns ``False`` for an exact duplicate.
+
+        Duplicates are dropped to match
+        :class:`~repro.core.execution_graph.ExecutionGraph`, which stores
+        messages as a set.
+        """
+        message = MessageEdge(src, dst)
+        if message in self._messages:
+            return False
+        for endpoint in (src, dst):
+            if endpoint not in self._index:
+                raise KeyError(f"event {endpoint!r} not added to the checker")
+        if src == dst:
+            raise ValueError(f"message {message!r} may not be a self loop")
+        self._messages.add(message)
+        u, v = self._index[src], self._index[dst]
+        self._add_h_edge(u, v, _FWD_MESSAGE, Step(message, ALONG))
+        self._add_h_edge(v, u, _BWD_MESSAGE, Step(message, AGAINST))
+        return True
+
+    def extends(self, graph: ExecutionGraph) -> bool:
+        """Whether ``graph`` extends the prefix this checker has seen
+        (at least as many events per process, a superset of messages)."""
+        for process in self.processes:
+            if len(graph.events_of(process)) < self.n_events_of(process):
+                return False
+        if self._messages:
+            if not self._messages <= set(graph.messages):
+                return False
+        return True
+
+    def absorb(self, graph: ExecutionGraph) -> bool:
+        """Add everything ``graph`` has beyond the observed prefix.
+
+        ``graph`` must satisfy :meth:`extends`.  Returns whether any
+        message edge was added -- only then can new relevant cycles have
+        appeared, so only then is a worst-ratio refresh needed.
+        """
+        for process in graph.processes:
+            known = self.n_events_of(process)
+            for event in graph.events_of(process)[known:]:
+                self.add_event(event)
+        added = False
+        for message in graph.messages:
+            if message not in self._messages:
+                self.add_message(message.src, message.dst)
+                added = True
+        return added
+
+    def updated_worst_ratio(
+        self, previous: Fraction | None
+    ) -> Fraction | None:
+        """The exact worst relevant ratio, given the exact worst
+        ``previous`` of a subgraph of the current graph.
+
+        Fast path of the incremental monitor: under extension the worst
+        ratio either stayed at ``previous`` or reached at least its
+        Farey successor under the current denominator bound, so one
+        oracle call usually settles it; only an actual increase -- at
+        most ``O(max_den^2)`` times ever, in practice a handful -- pays
+        a warm-started Stern-Brocot search.
+        """
+        if previous is None:
+            if not self.has_ratio_at_least(1):
+                return None
+            return self.worst_relevant_ratio(at_least=Fraction(1))
+        successor = farey_successor(previous, max(self.n_messages, 1))
+        if not self.has_ratio_at_least(successor):
+            return previous
+        return self.worst_relevant_ratio(at_least=successor)
+
+    def _add_h_edge(self, tail: int, head: int, kind: int, step: Step) -> None:
+        self._tails.append(tail)
+        self._heads.append(head)
+        self._kinds.append(kind)
+        self._steps.append(step)
+        self._adj[tail].append((head, kind))
+
+    # ------------------------------------------------------------------
+    # the negative-cycle oracle
+    # ------------------------------------------------------------------
+
+    def _weight_table(self, p: int, q: int) -> tuple[int, int, int]:
+        """Per-kind H-edge weights for a ratio ``p/q`` query, indexed by
+        ``_FWD_MESSAGE`` / ``_BWD_MESSAGE`` / ``_BWD_LOCAL``."""
+        scale = self._n_locals + 1
+        return (p * scale, -q * scale, -1)
+
+    def _weights(self, p: int, q: int) -> list[int]:
+        wtab = self._weight_table(p, q)
+        return [wtab[kind] for kind in self._kinds]
+
+    def _has_negative_cycle(self, p: int, q: int) -> bool:
+        """Queue-based negative-cycle detection on ``H`` weighted for p/q.
+
+        SPFA with round batching: every node starts at distance 0 on the
+        work queue (the classical virtual source connected to all nodes),
+        and each round relaxes the out-edges of exactly the nodes improved
+        in the previous round -- coalescing the relaxation waves that make
+        plain FIFO SPFA revisit nodes redundantly.  The queue draining
+        proves there is no negative cycle; a relaxation chain growing to
+        ``n`` edges proves there is one (the chain walk then revisits a
+        node, and the enclosed loop was traversed by strictly improving
+        relaxations, so its weight is negative).  Early termination cuts
+        both ways: admissible graphs converge once the frontier dies out,
+        without ever touching settled regions again, and grossly violating
+        ones trip the chain bound long before the ``n * m`` worst case.
+        """
+        n = len(self._nodes)
+        if n == 0 or not self._messages:
+            return False
+        wtab = self._weight_table(p, q)
+        adj = self._adj
+        dist = [0] * n
+        chain = [0] * n  # edges in the walk realizing the current dist
+        queued = [False] * n
+        active = [u for u in range(n) if adj[u]]
+        while active:
+            next_active: list[int] = []
+            push = next_active.append
+            for u in active:
+                du = dist[u]
+                cu = chain[u] + 1
+                for v, kind in adj[u]:
+                    nd = du + wtab[kind]
+                    if nd < dist[v]:
+                        if cu >= n:
+                            return True
+                        dist[v] = nd
+                        chain[v] = cu
+                        if not queued[v]:
+                            queued[v] = True
+                            push(v)
+            # Process the next frontier newest-first: every negative
+            # H-edge (message backward, local backward) points towards
+            # older events, and node ids follow arrival order, so a
+            # descending sweep cascades whole backward chains within one
+            # round instead of one hop per round.
+            next_active.sort(reverse=True)
+            active = next_active
+            for v in active:
+                queued[v] = False
+        return False
+
+    def _negative_cycle_steps(self, p: int, q: int) -> list[Step] | None:
+        """Extract one simple negative cycle by round-based Bellman-Ford.
+
+        Used only on the witness path (at most once per violation query):
+        after ``n`` full relaxation rounds, a node updated in the last
+        round is reachable from a negative cycle, and walking ``n``
+        predecessor links from it is guaranteed to land on the cycle.
+        """
+        n = len(self._nodes)
+        if n == 0 or not self._messages:
+            return None
+        weights = self._weights(p, q)
+        tails, heads = self._tails, self._heads
+        dist = [0] * n
+        pred = [-1] * n  # H-edge index that last improved each node
+        updated_node = -1
+        for _ in range(n):
+            updated_node = -1
+            for eidx in range(len(tails)):
+                tail, head = tails[eidx], heads[eidx]
+                nd = dist[tail] + weights[eidx]
+                if nd < dist[head]:
+                    dist[head] = nd
+                    pred[head] = eidx
+                    updated_node = head
+            if updated_node < 0:
+                return None
+        node = updated_node
+        for _ in range(n):
+            eidx = pred[node]
+            assert eidx >= 0
+            node = tails[eidx]
+        # Collect the cycle through the predecessor links.
+        cycle_edges: list[int] = []
+        start = node
+        while True:
+            eidx = pred[node]
+            assert eidx >= 0
+            cycle_edges.append(eidx)
+            node = tails[eidx]
+            if node == start:
+                break
+        cycle_edges.reverse()
+        return [self._steps[eidx] for eidx in cycle_edges]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def has_ratio_at_least(self, ratio: Fraction | float | int | str) -> bool:
+        """Polynomial oracle: does some relevant cycle have
+        ``|Z-|/|Z+| >= ratio``?
+
+        Only ratios ``>= 1`` are meaningful (every relevant cycle has
+        ratio at least 1 by Definition 3); smaller ratios reduce to
+        testing whether any relevant cycle exists at all.
+        """
+        r = max(_as_ratio(ratio), Fraction(1))
+        self.oracle_calls += 1
+        return self._has_negative_cycle(r.numerator, r.denominator)
+
+    def violating_cycle(
+        self, xi: Fraction | float | int | str
+    ) -> CycleClassification | None:
+        """A relevant cycle violating (2) for ``xi``, or ``None``.
+
+        Violation means ``|Z-|/|Z+| >= xi``; the returned classification
+        is guaranteed relevant with ``ratio >= xi``.
+        """
+        xi_frac = as_xi(xi)
+        self.oracle_calls += 1
+        steps = self._negative_cycle_steps(
+            xi_frac.numerator, xi_frac.denominator
+        )
+        if steps is None:
+            return None
+        info = classify(Cycle(tuple(steps)))
+        if not info.relevant or info.ratio is None or info.ratio < xi_frac:
+            raise AssertionError(
+                f"internal error: extracted cycle {info} is not a violation "
+                f"witness for Xi={xi_frac}"
+            )
+        return info
+
+    def check(self, xi: Fraction | float | int | str) -> AdmissibilityResult:
+        """Decide ABC admissibility (Definition 4) in polynomial time."""
+        xi_frac = as_xi(xi)
+        witness = self.violating_cycle(xi_frac)
+        return AdmissibilityResult(witness is None, xi_frac, witness)
+
+    def worst_relevant_ratio(
+        self, at_least: Fraction | None = None
+    ) -> Fraction | None:
+        """The exact maximum ``|Z-|/|Z+|`` over all relevant cycles.
+
+        Returns ``None`` when the graph has no relevant cycle.  The result
+        is the infimum of admissible ``Xi`` values: the graph is
+        ABC-admissible for ``Xi`` iff ``Xi > worst_relevant_ratio()``.
+
+        Implemented as a Stern-Brocot (mediant) search with run-length
+        acceleration around the monotone oracle
+        :meth:`has_ratio_at_least`.  The maximum is a fraction with
+        numerator and denominator bounded by the number of messages, so
+        once the two bracketing tree nodes have denominator sum exceeding
+        that bound, the lower bracket is exact.  Probes are clamped to the
+        denominator bound: once a bracket ``(lo, hi)`` is established, a
+        mediant descendant with denominator beyond the bound can only test
+        true if the maximum itself lay strictly between the brackets with
+        a small denominator -- impossible by Stern-Brocot adjacency -- so
+        such probes are resolved to ``False`` without running the oracle.
+
+        Args:
+            at_least: a ratio already known to be reached by some relevant
+                cycle (e.g. the worst ratio of a subgraph).  Oracle calls
+                at or below it are answered from the bound, which is what
+                warm-starts the incremental monitor.
+        """
+        max_den = max(self.n_messages, 1)
+        max_num = max(self.n_messages, 1)
+        memo: dict[Fraction, bool] = {}
+
+        def oracle(num: int, den: int) -> bool:
+            value = Fraction(num, den)
+            if at_least is not None and value <= at_least:
+                return True
+            cached = memo.get(value)
+            if cached is None:
+                cached = self.has_ratio_at_least(value)
+                memo[value] = cached
+            return cached
+
+        if at_least is None or at_least < 1:
+            if not oracle(1, 1):
+                return None
+
+        lo_num, lo_den = 1, 1  # oracle true: some relevant cycle exists
+        hi_num, hi_den = 1, 0  # +infinity; oracle false beyond the max
+        while lo_den + hi_den <= max_den:
+            if oracle(lo_num + hi_num, lo_den + hi_den):
+                # Walk lo towards hi while the oracle stays true, clamped
+                # to the denominator bound (numerator bound when hi is
+                # still +infinity: no relevant ratio exceeds the message
+                # count).
+                if hi_den:
+                    cap = (max_den - lo_den) // hi_den
+                else:
+                    cap = max_num * lo_den - lo_num
+                k = _max_k(
+                    lambda k: oracle(
+                        lo_num + k * hi_num, lo_den + k * hi_den
+                    ),
+                    cap,
+                )
+                lo_num += k * hi_num
+                lo_den += k * hi_den
+            else:
+                # Walk hi towards lo while the oracle stays false.  If it
+                # never turns true again before the denominator bound, lo
+                # is exact.
+                def still_false(k: int) -> bool:
+                    return not oracle(k * lo_num + hi_num, k * lo_den + hi_den)
+
+                if not still_false(1):
+                    hi_num += lo_num
+                    hi_den += lo_den
+                    continue
+                cap = (max_den - hi_den) // lo_den
+                k = _max_k(still_false, cap)
+                hi_num += k * lo_num
+                hi_den += k * lo_den
+        # Any fraction strictly between lo and hi has denominator greater
+        # than max_den, so the maximum ratio is exactly the lower bracket.
+        return Fraction(lo_num, lo_den)
+
+
+def _max_k(probe: Callable[[int], bool], cap: int) -> int:
+    """Largest ``k`` in ``[1, cap]`` with ``probe(k)`` true.
+
+    ``probe(1)`` must be known true and ``probe`` monotone (a true prefix
+    followed by a false suffix).  Probes the cap first -- in a converged
+    Stern-Brocot search the whole clamped range is usually still true, so
+    this resolves the walk in one oracle call -- then gallops by doubling
+    and bisects.  Never evaluates beyond ``cap``.
+    """
+    if cap <= 1 or probe(cap):
+        return cap
+    k = 1
+    while 2 * k < cap and probe(2 * k):
+        k *= 2
+    lo, hi = k, min(2 * k, cap)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if probe(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+# ----------------------------------------------------------------------
+# one-shot convenience functions (build a checker, query once)
+# ----------------------------------------------------------------------
+
+
 def has_relevant_cycle_with_ratio_at_least(
     graph: ExecutionGraph, ratio: Fraction | float | int | str
 ) -> bool:
     """Polynomial oracle: does some relevant cycle have ``|Z-|/|Z+| >= ratio``?
 
-    Only ratios ``>= 1`` are meaningful (every relevant cycle has ratio at
-    least 1 by Definition 3); smaller ratios reduce to testing whether any
-    relevant cycle exists at all.
+    One-shot form of :meth:`AdmissibilityChecker.has_ratio_at_least`;
+    build the checker once when issuing several queries.
     """
-    r = max(_as_ratio(ratio), Fraction(1))
-    digraph = _TraversalDigraph(graph, r.numerator, r.denominator)
-    return digraph.find_negative_cycle() is not None
+    return AdmissibilityChecker(graph).has_ratio_at_least(ratio)
 
 
 def find_violating_cycle(
@@ -181,29 +653,14 @@ def find_violating_cycle(
     Violation means ``|Z-|/|Z+| >= xi``; the returned classification is
     guaranteed relevant with ``ratio >= xi``.
     """
-    xi_frac = _as_ratio(xi)
-    if xi_frac <= 1:
-        raise ValueError(f"the ABC model requires Xi > 1, got {xi_frac}")
-    digraph = _TraversalDigraph(graph, xi_frac.numerator, xi_frac.denominator)
-    steps = digraph.find_negative_cycle()
-    if steps is None:
-        return None
-    info = classify(Cycle(tuple(steps)))
-    if not info.relevant or info.ratio is None or info.ratio < xi_frac:
-        raise AssertionError(
-            f"internal error: extracted cycle {info} is not a violation "
-            f"witness for Xi={xi_frac}"
-        )
-    return info
+    return AdmissibilityChecker(graph).violating_cycle(xi)
 
 
 def check_abc(
     graph: ExecutionGraph, xi: Fraction | float | int | str
 ) -> AdmissibilityResult:
     """Decide ABC admissibility (Definition 4) in polynomial time."""
-    xi_frac = _as_ratio(xi)
-    witness = find_violating_cycle(graph, xi_frac)
-    return AdmissibilityResult(witness is None, xi_frac, witness)
+    return AdmissibilityChecker(graph).check(xi)
 
 
 def check_abc_exhaustive(
@@ -217,7 +674,7 @@ def check_abc_exhaustive(
     implement the length-restricted ABC variants of Section 6 (via
     ``max_length``).
     """
-    xi_frac = _as_ratio(xi)
+    xi_frac = as_xi(xi)
     for cycle in enumerate_cycles(graph, max_length=max_length):
         info = classify(cycle)
         if info.violates(xi_frac):
@@ -228,65 +685,11 @@ def check_abc_exhaustive(
 def worst_relevant_ratio(graph: ExecutionGraph) -> Fraction | None:
     """The exact maximum ``|Z-|/|Z+|`` over all relevant cycles.
 
-    Returns ``None`` when the graph has no relevant cycle.  The result is
-    the infimum of admissible ``Xi`` values: the graph is ABC-admissible
-    for ``Xi`` iff ``Xi > worst_relevant_ratio(graph)``.
-
-    Implemented as a Stern-Brocot (mediant) search with run-length
-    acceleration around the monotone oracle
-    :func:`has_relevant_cycle_with_ratio_at_least`.  The maximum is a
-    fraction with numerator and denominator bounded by the number of
-    messages, so once the two bracketing tree nodes have denominator sum
-    exceeding that bound, the lower bracket is exact.
+    One-shot form of :meth:`AdmissibilityChecker.worst_relevant_ratio`
+    (see there for the algorithm); ``None`` means the graph has no
+    relevant cycle.
     """
-    if not has_relevant_cycle_with_ratio_at_least(graph, Fraction(1)):
-        return None
-    max_den = max(len(graph.messages), 1)
-
-    def oracle(num: int, den: int) -> bool:
-        return has_relevant_cycle_with_ratio_at_least(graph, Fraction(num, den))
-
-    def max_k(true_for: int, probe) -> int:
-        """Largest k >= true_for with ``probe(k)`` true (gallop + bisect).
-
-        ``probe`` must be monotone: true up to some k, false afterwards,
-        and guaranteed to turn false before denominators exceed max_den.
-        """
-        k = max(true_for, 1)
-        while probe(2 * k):
-            k *= 2
-        lo, hi = k, 2 * k  # probe(lo) true, probe(hi) false
-        while hi - lo > 1:
-            mid = (lo + hi) // 2
-            if probe(mid):
-                lo = mid
-            else:
-                hi = mid
-        return lo
-
-    lo_num, lo_den = 1, 1  # oracle true: some relevant cycle has ratio >= 1
-    hi_num, hi_den = 1, 0  # +infinity; oracle false beyond the max ratio
-    while lo_den + hi_den <= max_den:
-        if oracle(lo_num + hi_num, lo_den + hi_den):
-            # Walk lo towards hi while the oracle stays true.  The ratio is
-            # bounded by the message count, so the walk must stop.
-            k = max_k(1, lambda k: oracle(lo_num + k * hi_num, lo_den + k * hi_den))
-            lo_num, lo_den = lo_num + k * hi_num, lo_den + k * hi_den
-        else:
-            # Walk hi towards lo while the oracle stays false.  If it never
-            # turns true again before the denominator bound, lo is exact.
-            def still_false(k: int) -> bool:
-                num, den = k * lo_num + hi_num, k * lo_den + hi_den
-                return den <= max_den and not oracle(num, den)
-
-            if not still_false(1):
-                hi_num, hi_den = lo_num + hi_num, lo_den + hi_den
-                continue
-            k = max_k(1, still_false)
-            hi_num, hi_den = k * lo_num + hi_num, k * lo_den + hi_den
-    # Any fraction strictly between lo and hi has denominator greater than
-    # max_den, so the maximum ratio is exactly the lower bracket.
-    return Fraction(lo_num, lo_den)
+    return AdmissibilityChecker(graph).worst_relevant_ratio()
 
 
 def worst_relevant_ratio_exhaustive(

@@ -19,19 +19,19 @@ exactly (in polynomial time via a layered DAG), and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.core.cuts import Cut
 from repro.core.events import Event, ProcessId
 from repro.core.execution_graph import ExecutionGraph, MessageEdge
 from repro.core.synchrony import (
+    AdmissibilityChecker,
     AdmissibilityResult,
+    as_xi,
     check_abc,
     check_abc_exhaustive,
     find_violating_cycle,
-    worst_relevant_ratio,
 )
 
 __all__ = [
@@ -122,10 +122,7 @@ def unknown_xi_infimum(graph: ExecutionGraph) -> Fraction | None:
     those (unknown) ``Xi`` strictly above the worst relevant-cycle ratio;
     ``None`` means every ``Xi > 1`` works (no relevant cycle at all).
     """
-    worst = worst_relevant_ratio(graph)
-    if worst is None:
-        return None
-    return worst
+    return AdmissibilityChecker(graph).worst_relevant_ratio()
 
 
 def running_worst_ratio(
@@ -135,8 +132,30 @@ def running_worst_ratio(
 
     Useful for studying the ?ABC model: an adaptive algorithm's estimate
     ``Xihat`` must eventually dominate this non-decreasing sequence.
+
+    Implemented on the incremental machinery of
+    :class:`~repro.core.synchrony.AdmissibilityChecker`: each prefix
+    that extends its predecessor is absorbed as a graph diff and settled
+    by :meth:`~repro.core.synchrony.AdmissibilityChecker.updated_worst_ratio`
+    (typically one oracle call), instead of paying a full Stern-Brocot
+    search per prefix; non-extending entries fall back to a batch
+    search.  To monitor a recorded trace record-by-record -- with
+    violation callbacks -- use
+    :class:`repro.analysis.online.OnlineAbcMonitor` or
+    :func:`repro.analysis.online.running_worst_ratio_of_trace`.
     """
-    return [worst_relevant_ratio(g) for g in prefixes]
+    checker: AdmissibilityChecker | None = None
+    worst: Fraction | None = None
+    out: list[Fraction | None] = []
+    for graph in prefixes:
+        if checker is not None and checker.extends(graph):
+            if checker.absorb(graph):
+                worst = checker.updated_worst_ratio(worst)
+        else:
+            checker = AdmissibilityChecker(graph)
+            worst = checker.updated_worst_ratio(None)
+        out.append(worst)
+    return out
 
 
 def check_abc_forward_bounded(
@@ -155,9 +174,7 @@ def check_abc_forward_bounded(
     iff some event reaches itself in a higher layer with scaled weight
     ``> 0`` (same weighting as :mod:`repro.core.synchrony`).
     """
-    xi_frac = Fraction(xi)
-    if xi_frac <= 1:
-        raise ValueError(f"the ABC model requires Xi > 1, got {xi_frac}")
+    xi_frac = as_xi(xi)
     if max_forward < 1:
         raise ValueError("a relevant cycle needs at least one forward message")
     p, q = xi_frac.numerator, xi_frac.denominator

@@ -1,12 +1,17 @@
 """Random workload generators for tests and benchmarks.
 
-Two kinds of randomness are useful:
+Three kinds of randomness are useful:
 
 * :func:`random_execution_graph` -- synthetic execution graphs built
   directly (no simulation): messages attach a fresh receive event to a
   random earlier step, so validity (DAG, one trigger per event) holds by
   construction while the ABC condition may or may not.  Ideal for
   property-based testing of the checkers and the Theorem 7 equivalence.
+* :func:`streaming_records` -- the same random construction emitted as a
+  *stream* of :class:`~repro.sim.trace.ReceiveRecord` objects in global
+  delivery order, i.e. a growing execution as an online monitor sees it.
+  Every finite prefix of the stream is a valid trace, which is exactly
+  the workload shape of the ?ABC / <>ABC monitoring primitives.
 * :func:`theta_band_trace` -- simulated Algorithm-1 executions under a
   Theta-band delay model; ABC-admissible for any ``Xi > Theta`` by
   Theorem 6, with realistic message patterns.
@@ -16,7 +21,7 @@ from __future__ import annotations
 
 import random
 from fractions import Fraction
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.algorithms.clock_sync import ClockSyncProcess
 from repro.core.events import Event
@@ -24,13 +29,28 @@ from repro.core.execution_graph import ExecutionGraph, GraphBuilder
 from repro.sim.delays import ThetaBandDelay
 from repro.sim.engine import SimulationLimits, Simulator
 from repro.sim.network import Network, Topology
-from repro.sim.trace import Trace
+from repro.sim.trace import ReceiveRecord, Trace
 
 __all__ = [
     "random_execution_graph",
+    "streaming_records",
+    "streaming_trace",
     "theta_band_trace",
     "clock_sync_run",
 ]
+
+
+def _pick_source(
+    rng: random.Random,
+    events: Sequence[Event],
+    locality: float,
+    n_processes: int,
+) -> Event:
+    """A random existing event to send from, biased towards recent ones
+    (the shared locality rule of the random generators)."""
+    if rng.random() < locality and len(events) > n_processes:
+        return events[rng.randrange(len(events) // 2, len(events))]
+    return events[rng.randrange(len(events))]
 
 
 def random_execution_graph(
@@ -53,16 +73,94 @@ def random_execution_graph(
     next_index = [1 for _ in range(n_processes)]
     events: list[Event] = [builder.event(p, 0) for p in range(n_processes)]
     for _ in range(n_messages):
-        if rng.random() < locality and len(events) > n_processes:
-            src = events[rng.randrange(len(events) // 2, len(events))]
-        else:
-            src = events[rng.randrange(len(events))]
+        src = _pick_source(rng, events, locality, n_processes)
         dst_process = rng.randrange(n_processes)
         dst = builder.event(dst_process, next_index[dst_process])
         next_index[dst_process] += 1
         builder.message(src, dst)
         events.append(dst)
     return builder.build()
+
+
+def streaming_records(
+    rng: random.Random,
+    n_processes: int = 3,
+    n_records: int = 50,
+    p_message: float = 0.9,
+    locality: float = 0.5,
+) -> Iterator[ReceiveRecord]:
+    """A stream of receive records forming a growing valid execution.
+
+    The first ``n_processes`` records are the external wake-ups (one per
+    process); each later record appends a fresh receive event at a random
+    process, triggered with probability ``p_message`` by a message from a
+    random earlier step (biased towards recent steps by ``locality``, as
+    in :func:`random_execution_graph`) and otherwise by another wake-up.
+    Occurrence times strictly increase, so every prefix of the stream is
+    a well-formed trace and :func:`~repro.sim.trace.build_execution_graph`
+    accepts it; the worst relevant ratio of the prefixes typically grows
+    several times over the stream, exercising the incremental monitor's
+    rare path as well as its steady state.
+    """
+    if n_processes < 1:
+        raise ValueError("need at least one process")
+    if n_records < n_processes:
+        raise ValueError("need at least one (wake-up) record per process")
+
+    def record(
+        event: Event,
+        time: float,
+        sender: int | None,
+        send_event: Event | None,
+        send_time: float | None,
+    ) -> ReceiveRecord:
+        return ReceiveRecord(
+            event=event,
+            time=time,
+            sender=sender,
+            send_event=send_event,
+            send_time=send_time,
+            payload=None,
+            processed=True,
+            sends=(),
+        )
+
+    now = 0.0
+    next_index = [1] * n_processes
+    events: list[Event] = []
+    times: dict[Event, float] = {}
+    for p in range(n_processes):
+        ev = Event(p, 0)
+        now += rng.random() + 0.05
+        events.append(ev)
+        times[ev] = now
+        yield record(ev, now, None, None, None)
+    for _ in range(n_records - n_processes):
+        now += rng.random() + 0.05
+        dst_process = rng.randrange(n_processes)
+        dst = Event(dst_process, next_index[dst_process])
+        next_index[dst_process] += 1
+        if rng.random() < p_message:
+            src = _pick_source(rng, events, locality, n_processes)
+            yield record(dst, now, src.process, src, times[src])
+        else:
+            yield record(dst, now, None, None, None)
+        events.append(dst)
+        times[dst] = now
+
+
+def streaming_trace(
+    rng: random.Random,
+    n_processes: int = 3,
+    n_records: int = 50,
+    p_message: float = 0.9,
+    locality: float = 0.5,
+) -> Trace:
+    """The :func:`streaming_records` stream materialized as a trace."""
+    records = list(
+        streaming_records(rng, n_processes, n_records, p_message, locality)
+    )
+    return Trace(n_processes, frozenset(), records)
 
 
 def clock_sync_run(

@@ -30,6 +30,7 @@ __all__ = [
     "ReceiveRecord",
     "Trace",
     "build_execution_graph",
+    "message_kept",
 ]
 
 
@@ -74,24 +75,66 @@ class ReceiveRecord:
 
 @dataclass
 class Trace:
-    """The full record of a simulated execution."""
+    """The full record of a simulated execution.
+
+    Per-event and per-process lookups (:meth:`record_of`,
+    :meth:`events_of`, :meth:`final_record`) are backed by lazily built
+    indexes -- analysis code calls them inside loops, and linear scans of
+    ``records`` made those loops quadratic.  The indexes track the record
+    list by length plus the identity of the last indexed record: the
+    simulator's append-only growth extends them incrementally, while
+    truncation -- even when regrown to the old length -- triggers a full
+    rebuild on next use.  Replacing *earlier* entries in place without
+    touching the tail is not detected; ``records`` is append-only by
+    contract everywhere in the library.
+    """
 
     n: int
     faulty: frozenset[ProcessId]
     records: list[ReceiveRecord] = field(default_factory=list)
+    _indexed: int = field(default=0, init=False, repr=False, compare=False)
+    _last_indexed: ReceiveRecord | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _by_event: dict[Event, ReceiveRecord] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _by_process: dict[ProcessId, list[ReceiveRecord]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     @property
     def correct(self) -> frozenset[ProcessId]:
         return frozenset(p for p in range(self.n) if p not in self.faulty)
 
+    def _ensure_index(self) -> None:
+        size = len(self.records)
+        stale = size < self._indexed or (
+            self._indexed > 0
+            and self.records[self._indexed - 1] is not self._last_indexed
+        )
+        if stale:
+            self._by_event = {}
+            self._by_process = {}
+            self._indexed = 0
+        if size == self._indexed:
+            return
+        for r in self.records[self._indexed :]:
+            self._by_event[r.event] = r
+            self._by_process.setdefault(r.event.process, []).append(r)
+        self._indexed = size
+        self._last_indexed = self.records[size - 1]
+
     def events_of(self, process: ProcessId) -> list[ReceiveRecord]:
-        return [r for r in self.records if r.event.process == process]
+        self._ensure_index()
+        return list(self._by_process.get(process, ()))
 
     def record_of(self, event: Event) -> ReceiveRecord:
-        for r in self.records:
-            if r.event == event:
-                return r
-        raise KeyError(f"no record for event {event!r}")
+        self._ensure_index()
+        try:
+            return self._by_event[event]
+        except KeyError:
+            raise KeyError(f"no record for event {event!r}") from None
 
     def times(self) -> dict[Event, float]:
         """Occurrence time per event (for Mattern real-time cuts)."""
@@ -119,7 +162,8 @@ class Trace:
         return out
 
     def final_record(self, process: ProcessId) -> ReceiveRecord | None:
-        events = self.events_of(process)
+        self._ensure_index()
+        events = self._by_process.get(process)
         return events[-1] if events else None
 
     def __len__(self) -> int:
@@ -127,6 +171,30 @@ class Trace:
 
     def __iter__(self) -> Iterator[ReceiveRecord]:
         return iter(self.records)
+
+
+def message_kept(
+    record: ReceiveRecord,
+    faulty: frozenset[ProcessId],
+    drop_faulty: bool = True,
+    keep_message: Callable[[ReceiveRecord], bool] | None = None,
+) -> bool:
+    """Whether ``record``'s triggering message edge enters the graph.
+
+    The single predicate behind :func:`build_execution_graph` and the
+    record-consuming :class:`~repro.analysis.online.OnlineAbcMonitor`,
+    so the batch and incremental graph semantics cannot drift apart:
+    wake-ups have no message, faulty senders are dropped (Section 2)
+    unless ``drop_faulty`` is disabled, and ``keep_message`` may exempt
+    further messages.
+    """
+    if record.sender is None or record.send_event is None:
+        return False
+    if drop_faulty and record.sender in faulty:
+        return False
+    if keep_message is not None and not keep_message(record):
+        return False
+    return True
 
 
 def build_execution_graph(
@@ -159,13 +227,9 @@ def build_execution_graph(
                     f"trace records for process {p} are not contiguous: "
                     f"expected index {i}, got {ev!r}"
                 )
-    messages: list[MessageEdge] = []
-    for record in trace.records:
-        if record.sender is None or record.send_event is None:
-            continue
-        if drop_faulty and record.sender in trace.faulty:
-            continue
-        if keep_message is not None and not keep_message(record):
-            continue
-        messages.append(MessageEdge(record.send_event, record.event))
+    messages = [
+        MessageEdge(record.send_event, record.event)
+        for record in trace.records
+        if message_kept(record, trace.faulty, drop_faulty, keep_message)
+    ]
     return ExecutionGraph(events_by_process, messages)

@@ -1,0 +1,291 @@
+"""Tests for the incremental ?ABC/<>ABC monitor.
+
+The central property: after every observation, the monitor's worst ratio
+equals the batch ``worst_relevant_ratio`` of the execution graph built
+from the records observed so far -- cross-validated on synthetic streams,
+simulator traces, and hand-crafted graphs, including the checker's rare
+path (ratio increases) and its callbacks.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.online import (
+    OnlineAbcMonitor,
+    RatioChange,
+    running_worst_ratio_of_trace,
+)
+from repro.core.events import Event
+from repro.core.execution_graph import GraphBuilder
+from repro.core.synchrony import (
+    check_abc,
+    check_abc_exhaustive,
+    farey_successor,
+    worst_relevant_ratio,
+)
+from repro.core.variants import running_worst_ratio
+from repro.scenarios.generators import (
+    random_execution_graph,
+    streaming_trace,
+    theta_band_trace,
+)
+from repro.sim.trace import Trace, build_execution_graph
+
+
+def prefix_graphs(trace: Trace) -> list:
+    return [
+        build_execution_graph(Trace(trace.n, trace.faulty, trace.records[:k]))
+        for k in range(1, len(trace.records) + 1)
+    ]
+
+
+class TestFareySuccessor:
+    @pytest.mark.parametrize(
+        "value,max_den,expected",
+        [
+            (Fraction(1), 7, Fraction(8, 7)),
+            (Fraction(3, 2), 10, Fraction(14, 9)),
+            (Fraction(2), 5, Fraction(11, 5)),
+            (Fraction(5, 3), 3, Fraction(2, 1)),
+            (Fraction(1), 1, Fraction(2, 1)),
+        ],
+    )
+    def test_known_values(self, value, max_den, expected):
+        assert farey_successor(value, max_den) == expected
+
+    @given(
+        num=st.integers(1, 40), den=st.integers(1, 40), max_den=st.integers(1, 60)
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_is_the_smallest_fraction_above(self, num, den, max_den):
+        value = Fraction(num, den)
+        if value.denominator > max_den:
+            with pytest.raises(ValueError):
+                farey_successor(value, max_den)
+            return
+        successor = farey_successor(value, max_den)
+        assert successor > value
+        assert successor.denominator <= max_den
+        # Exhaustively: nothing with a small denominator lies between.
+        for d in range(1, max_den + 1):
+            # smallest numerator with n/d > value
+            n = value.numerator * d // value.denominator + 1
+            assert Fraction(n, d) >= successor
+
+
+class TestCrossValidation:
+    def test_matches_batch_on_every_prefix_of_streams(self):
+        for seed in range(8):
+            rng = random.Random(seed)
+            trace = streaming_trace(rng, n_processes=3, n_records=28)
+            running = running_worst_ratio_of_trace(trace)
+            batch = [worst_relevant_ratio(g) for g in prefix_graphs(trace)]
+            assert running == batch, f"seed={seed}"
+
+    def test_matches_batch_on_simulator_trace(self):
+        trace = theta_band_trace(n=3, f=0, theta=1.5, max_tick=4, seed=1)
+        running = running_worst_ratio_of_trace(trace)
+        batch = [worst_relevant_ratio(g) for g in prefix_graphs(trace)]
+        assert running == batch
+
+    def test_matches_exhaustive_admissibility_on_final_graph(self):
+        for seed in range(6):
+            rng = random.Random(seed)
+            trace = streaming_trace(rng, n_processes=3, n_records=14)
+            monitor = OnlineAbcMonitor.from_trace(trace)
+            graph = build_execution_graph(trace)
+            for xi in (Fraction(3, 2), Fraction(2), Fraction(3)):
+                online = monitor.check(xi).admissible
+                assert online == check_abc_exhaustive(graph, xi).admissible
+                assert online == check_abc(graph, xi).admissible
+
+    def test_ratio_is_monotone_and_change_log_consistent(self):
+        rng = random.Random(3)
+        trace = streaming_trace(rng, n_processes=3, n_records=40)
+        monitor = OnlineAbcMonitor(faulty=trace.faulty)
+        previous = Fraction(0)
+        for record in trace.records:
+            worst = monitor.observe(record)
+            if worst is not None:
+                assert worst >= previous
+                previous = worst
+        assert [c.worst for c in monitor.changes] == sorted(
+            {c.worst for c in monitor.changes}
+        )
+        assert monitor.changes, "workload never produced a relevant cycle"
+
+
+class TestIncrementality:
+    def test_single_oracle_call_per_steady_message(self):
+        """Once the worst ratio is stable, each new message costs exactly
+        one negative-cycle run (the Farey-successor query)."""
+        rng = random.Random(5)
+        trace = streaming_trace(rng, n_processes=3, n_records=60)
+        monitor = OnlineAbcMonitor(faulty=trace.faulty)
+        calls_per_record = []
+        for record in trace.records:
+            before = monitor.oracle_calls
+            changed_at = len(monitor.changes)
+            monitor.observe(record)
+            if (
+                len(monitor.changes) == changed_at
+                and monitor.worst_ratio is not None
+            ):
+                calls_per_record.append(monitor.oracle_calls - before)
+        assert calls_per_record, "no steady-state records in workload"
+        had_message = [c for c in calls_per_record if c > 0]
+        assert all(c == 1 for c in had_message)
+
+    def test_events_without_messages_are_free(self):
+        monitor = OnlineAbcMonitor()
+        for i in range(10):
+            monitor.observe_event(Event(0, i))
+        assert monitor.oracle_calls == 0
+        assert monitor.worst_ratio is None
+
+
+class TestViolationCallbacks:
+    def fig3_events(self):
+        """The Figure-3 pattern as an event/message stream."""
+        b = GraphBuilder()
+        b.message((0, 0), (1, 0))
+        b.message((1, 0), (0, 1))
+        b.message((0, 1), (1, 1))
+        b.message((1, 1), (0, 2))
+        b.message((0, 0), (2, 0))
+        b.message((2, 0), (0, 3))
+        return b.build()
+
+    def test_violation_fires_once_with_witness(self):
+        graph = self.fig3_events()
+        witnesses = []
+        monitor = OnlineAbcMonitor(xi=2, on_violation=witnesses.append)
+        monitor.extend_to(graph)
+        assert not monitor.is_admissible()
+        assert len(witnesses) == 1
+        assert witnesses[0].relevant
+        assert witnesses[0].ratio >= 2
+        assert monitor.violation is witnesses[0]
+        # Feeding more admissible growth does not re-fire.
+        monitor.observe_event(Event(3, 0))
+        assert len(witnesses) == 1
+
+    def test_violation_at_the_right_prefix(self):
+        rng = random.Random(11)
+        trace = streaming_trace(rng, n_processes=3, n_records=40)
+        batch = [worst_relevant_ratio(g) for g in prefix_graphs(trace)]
+        xi = Fraction(2)
+        expected = next(
+            (i for i, w in enumerate(batch) if w is not None and w >= xi), None
+        )
+        assert expected is not None, "workload never violates Xi=2"
+        monitor = OnlineAbcMonitor(xi=xi, faulty=trace.faulty)
+        fired_at = None
+        for i, record in enumerate(trace.records):
+            monitor.observe(record)
+            if monitor.violation is not None:
+                fired_at = i
+                break
+        assert fired_at == expected
+
+    def test_ratio_increase_callback(self):
+        changes: list[RatioChange] = []
+        graph = self.fig3_events()
+        monitor = OnlineAbcMonitor(on_ratio_increase=changes.append)
+        monitor.extend_to(graph)
+        assert changes
+        assert changes[-1].worst == 2
+        assert changes[0].previous is None
+        assert monitor.changes == changes
+
+    def test_is_admissible_requires_xi(self):
+        with pytest.raises(ValueError):
+            OnlineAbcMonitor().is_admissible()
+
+    def test_xi_validated_at_construction(self):
+        with pytest.raises(ValueError):
+            OnlineAbcMonitor(xi=1)
+
+
+class TestFaultyAndFilters:
+    def test_faulty_senders_dropped_like_batch(self):
+        trace = theta_band_trace(n=4, f=1, theta=2.0, max_tick=3, seed=2)
+        trace = Trace(trace.n, frozenset({3}), trace.records)
+        monitor = OnlineAbcMonitor.from_trace(trace)
+        graph = build_execution_graph(trace)
+        assert monitor.n_messages == len(graph.messages)
+        assert monitor.worst_ratio == worst_relevant_ratio(graph)
+
+    def test_keep_message_filter(self):
+        rng = random.Random(7)
+        trace = streaming_trace(rng, n_processes=3, n_records=25)
+        keep = lambda r: r.event.index % 2 == 0
+        monitor = OnlineAbcMonitor(keep_message=keep)
+        monitor.observe_trace(trace.records)
+        graph = build_execution_graph(trace, keep_message=keep)
+        assert monitor.n_messages == len(graph.messages)
+        assert monitor.worst_ratio == worst_relevant_ratio(graph)
+
+
+class TestExtendTo:
+    def test_running_worst_ratio_matches_per_prefix_batch(self):
+        rng = random.Random(9)
+        trace = streaming_trace(rng, n_processes=3, n_records=30)
+        prefixes = prefix_graphs(trace)
+        assert running_worst_ratio(prefixes) == [
+            worst_relevant_ratio(g) for g in prefixes
+        ]
+
+    def test_non_extension_falls_back_to_batch(self):
+        rng = random.Random(1)
+        graphs = [
+            random_execution_graph(random.Random(s), 3, 8) for s in range(5)
+        ]
+        # Unrelated graphs: every entry resets the monitor.
+        assert running_worst_ratio(graphs) == [
+            worst_relevant_ratio(g) for g in graphs
+        ]
+
+    def test_reset_clears_violation_and_change_history(self):
+        """Regression: a non-extension reset must drop the violation and
+        ratio-change log of the abandoned execution, so callbacks fire
+        afresh for the new one."""
+        b = GraphBuilder()
+        b.message((0, 0), (1, 0))
+        b.message((1, 0), (0, 1))
+        b.message((0, 1), (1, 1))
+        b.message((1, 1), (0, 2))
+        b.message((0, 0), (2, 0))
+        b.message((2, 0), (0, 3))
+        violating = b.build()
+        witnesses = []
+        monitor = OnlineAbcMonitor(xi=2, on_violation=witnesses.append)
+        monitor.extend_to(violating)
+        assert monitor.violation is not None and len(witnesses) == 1
+        # An unrelated admissible graph: not an extension -> reset.
+        b2 = GraphBuilder()
+        b2.message((0, 0), (1, 0))
+        b2.message((1, 0), (0, 1))
+        chain = b2.build()
+        monitor.extend_to(chain)
+        assert monitor.violation is None
+        assert monitor.changes == []
+        assert monitor.is_admissible()
+        # A third graph that violates again must re-fire the callback.
+        monitor.extend_to(violating)
+        assert monitor.violation is not None
+        assert len(witnesses) == 2
+
+    def test_mixed_extension_and_reset(self):
+        rng = random.Random(13)
+        trace = streaming_trace(rng, n_processes=3, n_records=20)
+        grown = prefix_graphs(trace)
+        other = random_execution_graph(random.Random(99), 3, 9)
+        sequence = grown[:10] + [other] + grown[10:]
+        assert running_worst_ratio(sequence) == [
+            worst_relevant_ratio(g) for g in sequence
+        ]

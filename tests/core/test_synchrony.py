@@ -12,7 +12,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.events import Event
+from repro.core.execution_graph import GraphBuilder
 from repro.core.synchrony import (
+    AdmissibilityChecker,
+    as_xi,
     check_abc,
     check_abc_exhaustive,
     find_violating_cycle,
@@ -87,6 +91,169 @@ class TestOracle:
         b.message((0, 0), (0, 1))
         g = b.build()
         assert not has_relevant_cycle_with_ratio_at_least(g, 1)
+
+
+class TestAsXi:
+    def test_normalizes(self):
+        assert as_xi("3/2") == Fraction(3, 2)
+        assert as_xi(2) == Fraction(2)
+        assert as_xi(2.5) == Fraction(5, 2)
+
+    @pytest.mark.parametrize("bad", [1, Fraction(1), 0.5, "2/3", 0, -3])
+    def test_rejects_xi_at_most_one(self, bad):
+        with pytest.raises(ValueError, match="requires Xi > 1"):
+            as_xi(bad)
+
+    def test_used_by_every_xi_entry_point(self, broadcast_graph):
+        from repro.core.variants import (
+            check_abc_forward_bounded,
+            check_abc_length_restricted,
+            check_eventual_abc,
+        )
+        from repro.core.cuts import Cut
+
+        for call in [
+            lambda: check_abc(broadcast_graph, 1),
+            lambda: check_abc_exhaustive(broadcast_graph, 1),
+            lambda: find_violating_cycle(broadcast_graph, 1),
+            lambda: check_abc_forward_bounded(broadcast_graph, 1, 2),
+            lambda: check_abc_length_restricted(broadcast_graph, 1, 5),
+            lambda: check_eventual_abc(broadcast_graph, 1, Cut(frozenset())),
+            lambda: AdmissibilityChecker(broadcast_graph).check(1),
+        ]:
+            with pytest.raises(ValueError, match="requires Xi > 1"):
+                call()
+
+
+class TestAdmissibilityChecker:
+    def test_many_queries_one_construction(self, fig3_like_graph):
+        checker = AdmissibilityChecker(fig3_like_graph)
+        assert not checker.check(2).admissible
+        assert checker.check(Fraction(5, 2)).admissible
+        assert checker.worst_relevant_ratio() == 2
+        assert checker.has_ratio_at_least(1)
+        assert not checker.has_ratio_at_least(3)
+
+    def test_incremental_equals_batch_construction(self, fig3_like_graph):
+        incremental = AdmissibilityChecker()
+        for p in fig3_like_graph.processes:
+            for ev in fig3_like_graph.events_of(p):
+                incremental.add_event(ev)
+        for m in fig3_like_graph.messages:
+            incremental.add_message(m.src, m.dst)
+        batch = AdmissibilityChecker(fig3_like_graph)
+        assert incremental.worst_relevant_ratio() == batch.worst_relevant_ratio()
+        assert incremental.n_messages == batch.n_messages
+        assert incremental.n_local_edges == batch.n_local_edges
+
+    def test_out_of_order_events_rejected(self):
+        checker = AdmissibilityChecker()
+        checker.add_event(Event(0, 0))
+        with pytest.raises(ValueError, match="local order"):
+            checker.add_event(Event(0, 2))
+
+    def test_message_endpoints_must_exist(self):
+        checker = AdmissibilityChecker()
+        checker.add_event(Event(0, 0))
+        with pytest.raises(KeyError):
+            checker.add_message(Event(0, 0), Event(1, 0))
+
+    def test_duplicate_messages_deduplicated(self, broadcast_graph):
+        checker = AdmissibilityChecker(broadcast_graph)
+        message = broadcast_graph.messages[0]
+        assert not checker.add_message(message.src, message.dst)
+        assert checker.n_messages == len(broadcast_graph.messages)
+        assert checker.worst_relevant_ratio() == worst_relevant_ratio(
+            broadcast_graph
+        )
+
+    def test_warm_start_hint_gives_same_answer(self, fig3_like_graph):
+        checker = AdmissibilityChecker(fig3_like_graph)
+        cold = checker.worst_relevant_ratio()
+        assert checker.worst_relevant_ratio(at_least=Fraction(3, 2)) == cold
+        assert checker.worst_relevant_ratio(at_least=cold) == cold
+
+    def test_oracle_call_counter(self, fig3_like_graph):
+        checker = AdmissibilityChecker(fig3_like_graph)
+        assert checker.oracle_calls == 0
+        checker.has_ratio_at_least(2)
+        assert checker.oracle_calls == 1
+
+
+class TestGallopClamp:
+    def test_search_never_probes_beyond_denominator_bound(self, fig3_like_graph):
+        """Satellite regression: the Stern-Brocot gallop used to probe
+        mediants with denominators beyond the message count -- wasted
+        oracle calls whose answer is forced."""
+        checker = AdmissibilityChecker(fig3_like_graph)
+        max_den = len(fig3_like_graph.messages)
+        seen: list[Fraction] = []
+        original = AdmissibilityChecker.has_ratio_at_least
+
+        def recording(self, ratio):
+            seen.append(Fraction(ratio))
+            return original(self, ratio)
+
+        AdmissibilityChecker.has_ratio_at_least = recording
+        try:
+            checker.worst_relevant_ratio()
+        finally:
+            AdmissibilityChecker.has_ratio_at_least = original
+        assert seen, "search made no oracle calls"
+        assert all(r.denominator <= max_den for r in seen)
+
+    def test_search_never_repeats_a_query(self, fig3_like_graph):
+        checker = AdmissibilityChecker(fig3_like_graph)
+        seen: list[Fraction] = []
+        original = AdmissibilityChecker.has_ratio_at_least
+
+        def recording(self, ratio):
+            seen.append(Fraction(ratio))
+            return original(self, ratio)
+
+        AdmissibilityChecker.has_ratio_at_least = recording
+        try:
+            checker.worst_relevant_ratio()
+        finally:
+            AdmissibilityChecker.has_ratio_at_least = original
+        assert len(seen) == len(set(seen))
+
+
+class TestWitnessOnMultigraphs:
+    def multigraph_with_parallel_self_messages(self):
+        """Self-messages run in parallel with the local edges of their
+        process in the shadow multigraph; the violating cycle must pick
+        exactly one of each parallel pair."""
+        b = GraphBuilder()
+        for i in range(4):
+            b.message((0, i), (0, i + 1))  # self-messages, 4 fast hops
+        b.message((0, 0), (1, 0))  # a 2-message chain they span
+        b.message((1, 0), (0, 5))
+        return b.build()
+
+    def test_witness_is_simple_and_relevant(self):
+        """Regression: negative-cycle witness extraction must return a
+        simple relevant cycle even when parallel H-edges exist."""
+        graph = self.multigraph_with_parallel_self_messages()
+        info = find_violating_cycle(graph, 2)
+        assert info is not None
+        assert info.relevant
+        assert info.ratio is not None and info.ratio >= 2
+        assert info.cycle.is_simple()
+
+    def test_worst_ratio_matches_exhaustive(self):
+        graph = self.multigraph_with_parallel_self_messages()
+        assert worst_relevant_ratio(graph) == worst_relevant_ratio_exhaustive(
+            graph
+        )
+
+    def test_degenerate_two_cycle_never_reported(self):
+        # A single self-message next to its local edge: the H 2-cycle
+        # through both traversal directions must not register.
+        b = GraphBuilder()
+        b.message((0, 0), (0, 1))
+        g = b.build()
+        assert worst_relevant_ratio(g) is None
 
 
 @settings(max_examples=40, deadline=None)

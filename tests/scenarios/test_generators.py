@@ -5,12 +5,16 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import pytest
+
 from repro.core.synchrony import check_abc
 from repro.scenarios.generators import (
     random_execution_graph,
+    streaming_records,
+    streaming_trace,
     theta_band_trace,
 )
-from repro.sim.trace import build_execution_graph
+from repro.sim.trace import Trace, build_execution_graph
 
 
 @settings(max_examples=30, deadline=None)
@@ -31,6 +35,42 @@ def test_random_graph_determinism():
     g1 = random_execution_graph(random.Random(5), 3, 8)
     g2 = random_execution_graph(random.Random(5), 3, 8)
     assert g1.messages == g2.messages
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    n_processes=st.integers(1, 4),
+    n_records=st.integers(1, 30),
+)
+def test_streaming_prefixes_are_valid_traces(seed, n_processes, n_records):
+    rng = random.Random(seed)
+    n_records = max(n_records, n_processes)
+    records = list(streaming_records(rng, n_processes, n_records))
+    assert len(records) == n_records
+    times = [r.time for r in records]
+    assert times == sorted(times) and len(set(times)) == len(times)
+    # Every prefix must build into a valid execution graph.
+    for k in (1, n_records // 2 + 1, n_records):
+        prefix = Trace(n_processes, frozenset(), records[:k])
+        build_execution_graph(prefix)  # raises if invalid
+
+
+def test_streaming_trace_determinism_and_shape():
+    t1 = streaming_trace(random.Random(4), n_processes=3, n_records=20)
+    t2 = streaming_trace(random.Random(4), n_processes=3, n_records=20)
+    assert t1.records == t2.records
+    assert len(t1.records) == 20
+    # The first n_processes records are the wake-ups.
+    assert all(r.sender is None for r in t1.records[:3])
+    assert any(r.sender is not None for r in t1.records)
+
+
+def test_streaming_records_validation():
+    with pytest.raises(ValueError):
+        list(streaming_records(random.Random(0), n_processes=0))
+    with pytest.raises(ValueError):
+        list(streaming_records(random.Random(0), n_processes=3, n_records=2))
 
 
 def test_theta_band_trace_is_abc_admissible():

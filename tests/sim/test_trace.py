@@ -63,6 +63,72 @@ class TestTraceQueries:
             assert delay == pytest.approx(1.0)
 
 
+class TestLazyIndexes:
+    """The per-event / per-process lookups are indexed lazily and must
+    stay correct as the simulator appends records (satellite regression
+    for the O(n) scans that made analysis loops quadratic)."""
+
+    def make_record(self, process, index, time):
+        return ReceiveRecord(
+            Event(process, index), time, None, None, None, None, True, ()
+        )
+
+    def test_index_follows_appends(self):
+        trace = Trace(2, frozenset())
+        trace.records.append(self.make_record(0, 0, 0.0))
+        assert trace.record_of(Event(0, 0)).time == 0.0
+        assert trace.final_record(1) is None
+        # Appends after a lookup must be visible to later lookups.
+        trace.records.append(self.make_record(1, 0, 1.0))
+        trace.records.append(self.make_record(0, 1, 2.0))
+        assert trace.record_of(Event(1, 0)).time == 1.0
+        assert [r.event.index for r in trace.events_of(0)] == [0, 1]
+        assert trace.final_record(0).time == 2.0
+
+    def test_index_rebuilds_after_truncation(self):
+        trace = Trace(1, frozenset())
+        for i in range(4):
+            trace.records.append(self.make_record(0, i, float(i)))
+        assert trace.final_record(0).event.index == 3
+        del trace.records[2:]
+        assert trace.final_record(0).event.index == 1
+        assert len(trace.events_of(0)) == 2
+        with pytest.raises(KeyError):
+            trace.record_of(Event(0, 3))
+
+    def test_index_rebuilds_after_truncate_then_regrow(self):
+        """Regression: truncation followed by regrowth to the old length
+        (before any lookup) must not serve the stale index."""
+        trace = Trace(2, frozenset())
+        for i in range(4):
+            trace.records.append(self.make_record(0, i, float(i)))
+        assert trace.final_record(0).event.index == 3
+        del trace.records[2:]
+        trace.records.append(self.make_record(1, 0, 10.0))
+        trace.records.append(self.make_record(1, 1, 11.0))
+        assert len(trace.records) == 4  # same length, different tail
+        assert trace.final_record(0).event.index == 1
+        assert trace.final_record(1).event.index == 1
+        with pytest.raises(KeyError):
+            trace.record_of(Event(0, 3))
+        assert trace.record_of(Event(1, 0)).time == 10.0
+
+    def test_events_of_returns_independent_list(self):
+        trace = run_chatter()
+        first = trace.events_of(0)
+        first.clear()
+        assert trace.events_of(0)
+
+    def test_matches_linear_scan_on_simulated_trace(self):
+        trace = run_chatter()
+        for r in trace.records:
+            assert trace.record_of(r.event) is r
+        for p in range(trace.n):
+            scan = [r for r in trace.records if r.event.process == p]
+            assert trace.events_of(p) == scan
+            assert trace.final_record(p) == (scan[-1] if scan else None)
+
+
 class TestGraphBuilding:
     def test_graph_matches_trace_shape(self):
         trace = run_chatter()
