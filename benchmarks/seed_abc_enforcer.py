@@ -1,0 +1,101 @@
+"""Frozen seed ABC-enforcing simulator (the pre-rework implementation).
+
+The single frozen copy of the rebuild-per-delivery enforcer: it rebuilds
+the execution graph and a fresh checker for every (tentative delivery,
+pending message) oracle call, and removes rescued deliveries eagerly
+with ``list.remove`` + ``heapify``.  Both the enforcer benchmark
+(``bench_abc_enforcer.py``) and the differential test
+(``tests/sim/test_abc_scheduler_differential.py``) measure the
+incremental scheduler against exactly this behavior -- keep it verbatim
+so they keep certifying the same thing as the library evolves; do not
+"fix" it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from fractions import Fraction
+
+from repro.core.events import Event
+from repro.core.execution_graph import ExecutionGraph, MessageEdge
+from repro.core.synchrony import has_relevant_cycle_with_ratio_at_least
+from repro.sim.engine import Simulator, _Delivery
+from repro.sim.trace import build_execution_graph
+
+__all__ = ["SeedAbcEnforcingSimulator"]
+
+
+class SeedAbcEnforcingSimulator(Simulator):
+    def __init__(self, *args, xi, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.xi = Fraction(xi)
+        if self.xi <= 1:
+            raise ValueError(f"the ABC model requires Xi > 1, got {self.xi}")
+        self.pulled_forward = 0
+
+    def _base_graph(self):
+        graph = build_execution_graph(self.trace)
+        return (
+            {p: list(graph.events_of(p)) for p in range(self.n)},
+            list(graph.messages),
+        )
+
+    def _strands(self, base, first, pending):
+        base_events, base_messages = base
+        events = {p: list(evs) for p, evs in base_events.items()}
+        messages = list(base_messages)
+        counts = {p: len(evs) for p, evs in events.items()}
+
+        def add(dest, sender, send_event):
+            new_event = Event(dest, counts[dest])
+            counts[dest] += 1
+            events[dest] = events[dest] + [new_event]
+            if (
+                sender is not None
+                and send_event is not None
+                and sender not in self.faulty
+            ):
+                messages.append(MessageEdge(send_event, new_event))
+            return new_event
+
+        add(first.dest, first.sender, first.send_event)
+        pending_event = add(pending.dest, pending.sender, pending.send_event)
+        if has_relevant_cycle_with_ratio_at_least(
+            ExecutionGraph(events, messages), self.xi
+        ):
+            return True
+        if pending.sender is not None and pending.sender != pending.dest:
+            add(pending.sender, pending.dest, pending_event)
+            if has_relevant_cycle_with_ratio_at_least(
+                ExecutionGraph(events, messages), self.xi
+            ):
+                return True
+        return False
+
+    def _step(self):
+        delivery = heapq.heappop(self._queue)
+        base = self._base_graph()
+        stranded = []
+        for pending in self._queue:
+            if pending.sender is None or pending.sender in self.faulty:
+                continue
+            if self._strands(base, delivery, pending):
+                stranded.append(pending)
+        if not stranded:
+            self._process_delivery(delivery)
+            return
+        heapq.heappush(self._queue, delivery)
+        rescue = min(stranded, key=lambda d: (d.send_time or 0.0, d.seq))
+        self._queue.remove(rescue)
+        heapq.heapify(self._queue)
+        self.pulled_forward += 1
+        expedited = _Delivery(
+            self.now,
+            rescue.seq,
+            rescue.dest,
+            rescue.sender,
+            rescue.send_event,
+            rescue.send_time,
+            rescue.payload,
+        )
+        self._process_delivery(expedited)

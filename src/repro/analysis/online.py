@@ -28,6 +28,19 @@ The monitor also exposes violation callbacks for a known ``Xi``: the
 first prefix whose worst ratio reaches ``Xi`` triggers ``on_violation``
 with a concrete witness cycle, which is the online form of the <>ABC
 "violations before stabilization" view.
+
+Two scheduler-facing facilities ride on the same shared checker.
+*Speculative queries* (:meth:`OnlineAbcMonitor.would_violate`,
+:meth:`OnlineAbcMonitor.speculative_worst_ratio`) answer "what if these
+events and messages arrived next?" by pushing the hypothetical extension
+onto the live digraph inside a
+:meth:`~repro.core.synchrony.AdmissibilityChecker.speculate` block and
+rolling it back -- the primitive the ABC-enforcing scheduler of
+:mod:`repro.sim.abc_scheduler` runs once per pending message per step.
+*Prefix forgetting* (:meth:`OnlineAbcMonitor.forget_prefix`,
+:meth:`OnlineAbcMonitor.settled_prefix`) tombstones the settled causal
+past out of the digraph so unbounded monitored executions hold bounded
+state; the running worst ratio keeps its historical maximum.
 """
 
 from __future__ import annotations
@@ -38,7 +51,7 @@ from typing import Callable, Iterable
 
 from repro.core.cycles import CycleClassification
 from repro.core.events import Event, ProcessId
-from repro.core.execution_graph import ExecutionGraph
+from repro.core.execution_graph import ExecutionGraph, MessageEdge
 from repro.core.synchrony import AdmissibilityChecker, AdmissibilityResult, as_xi
 from repro.sim.trace import ReceiveRecord, Trace, message_kept
 
@@ -207,6 +220,79 @@ class OnlineAbcMonitor:
         if added:
             self._refresh()
         return self._worst
+
+    # ------------------------------------------------------------------
+    # speculative queries and prefix forgetting
+    # ------------------------------------------------------------------
+
+    def _push_extension(
+        self,
+        events: Iterable[Event],
+        messages: Iterable[tuple[Event, Event] | MessageEdge],
+    ) -> None:
+        """Grow the (speculating) checker by a hypothetical extension."""
+        for event in events:
+            self._checker.add_event(event)
+        for message in messages:
+            if isinstance(message, MessageEdge):
+                src, dst = message.src, message.dst
+            else:
+                src, dst = message
+            self._checker.add_message(src, dst)
+
+    def would_violate(
+        self,
+        events: Iterable[Event] = (),
+        messages: Iterable[tuple[Event, Event] | MessageEdge] = (),
+    ) -> bool:
+        """Whether observing the given extension next would make the
+        execution inadmissible for ``xi``.
+
+        The extension is pushed onto the live digraph speculatively and
+        popped off again: the monitor's state (worst ratio, memoized
+        refresh bracket, callbacks) is untouched.  Events must follow
+        the usual local-order discipline, message endpoints must exist
+        after the events are added.  This is the oracle primitive of the
+        ABC-enforcing scheduler, exposed for schedulers built on the
+        monitor directly.
+        """
+        if self.xi is None:
+            raise ValueError("monitor was constructed without a Xi")
+        with self._checker.speculate() as checker:
+            self._push_extension(events, messages)
+            return checker.has_ratio_at_least(self.xi)
+
+    def speculative_worst_ratio(
+        self,
+        events: Iterable[Event] = (),
+        messages: Iterable[tuple[Event, Event] | MessageEdge] = (),
+    ) -> Fraction | None:
+        """The exact worst ratio the extension would produce, without
+        observing it: one Farey-successor oracle call in the common case
+        (see :meth:`~repro.core.synchrony.AdmissibilityChecker.updated_worst_ratio`),
+        with every speculative addition rolled back on return."""
+        with self._checker.speculate() as checker:
+            self._push_extension(events, messages)
+            return checker.updated_worst_ratio(self._worst)
+
+    def settled_prefix(self, pinned: Iterable[Event] = ()) -> tuple[Event, ...]:
+        """The largest forgettable prefix no message edge crosses (see
+        :meth:`~repro.core.synchrony.AdmissibilityChecker.removable_prefix`);
+        pass it to :meth:`forget_prefix` to bound the monitor's memory."""
+        return self._checker.removable_prefix(pinned)
+
+    def forget_prefix(self, events: Iterable[Event]) -> int:
+        """Tombstone a settled left-closed prefix out of the digraph.
+
+        The running worst ratio keeps its historical maximum -- cycles
+        confined to the forgotten prefix can no longer be re-derived,
+        but their contribution to :attr:`worst_ratio` (and any recorded
+        violation) persists, which is the correct monitoring semantics.
+        Choose the prefix with :meth:`settled_prefix` (pinning the send
+        events of in-flight messages) so cycles spanning the boundary
+        cannot be lost; returns the number of events forgotten.
+        """
+        return self._checker.remove_prefix(events)
 
     @classmethod
     def from_trace(

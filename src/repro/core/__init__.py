@@ -64,6 +64,7 @@ from repro.core.execution_graph import (
 from repro.core.synchrony import (
     AdmissibilityChecker,
     AdmissibilityResult,
+    CheckerCheckpoint,
     as_xi,
     check_abc,
     check_abc_exhaustive,
@@ -115,6 +116,7 @@ __all__ = [
     # synchrony
     "AdmissibilityChecker",
     "AdmissibilityResult",
+    "CheckerCheckpoint",
     "as_xi",
     "check_abc",
     "check_abc_exhaustive",

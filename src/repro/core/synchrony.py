@@ -52,6 +52,30 @@ negative cycle, and a relaxation chain growing to ``n`` edges proves its
 presence.  The checker is also *extendable in place* (``add_event`` /
 ``add_message``), which is what makes incremental monitoring cheap.
 
+Two further mutation modes make the checker the substrate of the
+ABC-*enforcing* scheduler and of the <>ABC stabilization search:
+
+* **Speculative extension** -- :meth:`AdmissibilityChecker.checkpoint`
+  records the current extent of ``H``; growing the checker past it and
+  calling :meth:`AdmissibilityChecker.rollback` pops the added events
+  and edges off again (all edge storage is append-only, so a rollback
+  is O(delta)).  The :meth:`AdmissibilityChecker.speculate` context
+  manager wraps the pair, letting a scheduler push a hypothetical
+  delivery onto the live digraph, ask the oracle, and retract it
+  without ever rebuilding ``H``.
+* **Prefix tombstoning** -- :meth:`AdmissibilityChecker.remove_prefix`
+  deletes a left-closed per-process prefix of the observed events
+  together with every incident edge, compacting the digraph in place.
+  The remaining checker answers queries about the *suffix* graph (the
+  live-induced subgraph, exactly :func:`repro.core.variants.suffix_graph`
+  up to event renaming), which is what lets the <>ABC stabilization-cut
+  search and long-running enforcers share one digraph with bounded
+  memory.  :meth:`AdmissibilityChecker.removable_prefix` computes the
+  largest prefix whose removal also preserves *full-graph* queries:
+  when no message crosses the prefix boundary, no relevant cycle spans
+  both sides, so a prefix already known admissible can be dropped
+  without changing any future oracle answer.
+
 On top of the oracle, :func:`worst_relevant_ratio` finds the exact maximum
 ``|Z-|/|Z+|`` over all relevant cycles by Stern-Brocot search: the ratio
 is a fraction with numerator and denominator bounded by the message count,
@@ -65,9 +89,10 @@ a ratio already known to be reached (``at_least``).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable
+from typing import Callable, Iterable, Iterator
 
 from repro.core.cycles import (
     AGAINST,
@@ -88,6 +113,7 @@ from repro.core.execution_graph import (
 __all__ = [
     "AdmissibilityChecker",
     "AdmissibilityResult",
+    "CheckerCheckpoint",
     "as_xi",
     "check_abc",
     "check_abc_exhaustive",
@@ -179,6 +205,22 @@ _BWD_MESSAGE = 1
 _BWD_LOCAL = 2
 
 
+@dataclass(frozen=True)
+class CheckerCheckpoint:
+    """An opaque marker of an :class:`AdmissibilityChecker`'s extent.
+
+    Produced by :meth:`AdmissibilityChecker.checkpoint`, consumed by
+    :meth:`AdmissibilityChecker.rollback`.  A checkpoint is invalidated
+    by :meth:`AdmissibilityChecker.remove_prefix` (which renumbers the
+    digraph); ``epoch`` detects that.
+    """
+
+    n_nodes: int
+    n_edges: int
+    n_locals: int
+    epoch: int
+
+
 class AdmissibilityChecker:
     """Reusable, extendable decision procedure for one execution graph.
 
@@ -218,6 +260,12 @@ class AdmissibilityChecker:
         self._adj: list[list[tuple[int, int]]] = []
         self._messages: set[MessageEdge] = set()
         self._n_locals = 0
+        # Tombstoning state: first still-live event index per process and
+        # the compaction epoch (checkpoints from older epochs are dead).
+        self._first_live: dict[ProcessId, int] = {}
+        self._n_tombstoned = 0
+        self._epoch = 0
+        self._speculating = 0
         self.oracle_calls = 0
         if graph is not None:
             for process in graph.processes:
@@ -232,10 +280,12 @@ class AdmissibilityChecker:
 
     @property
     def n_events(self) -> int:
+        """Number of *live* (non-tombstoned) events in the digraph."""
         return len(self._nodes)
 
     @property
     def n_messages(self) -> int:
+        """Number of live message edges."""
         return len(self._messages)
 
     @property
@@ -243,12 +293,24 @@ class AdmissibilityChecker:
         return self._n_locals
 
     @property
+    def n_tombstoned(self) -> int:
+        """Number of events removed by :meth:`remove_prefix` so far."""
+        return self._n_tombstoned
+
+    @property
     def processes(self) -> tuple[ProcessId, ...]:
-        """Processes with at least one observed event."""
+        """Processes with at least one observed event (live or not)."""
         return tuple(self._events_per_process)
 
     def n_events_of(self, process: ProcessId) -> int:
+        """Total events ever observed at ``process`` (tombstoned ones
+        included -- this is the index the next :meth:`add_event` must
+        carry, and the basis of :meth:`extends`)."""
         return self._events_per_process.get(process, 0)
+
+    def first_live_index(self, process: ProcessId) -> int:
+        """Index of the earliest non-tombstoned event at ``process``."""
+        return self._first_live.get(process, 0)
 
     @property
     def messages(self) -> frozenset[MessageEdge]:
@@ -277,13 +339,17 @@ class AdmissibilityChecker:
         self._adj.append([])
         if event.index > 0:
             prev = Event(event.process, event.index - 1)
-            self._add_h_edge(
-                self._index[event],
-                self._index[prev],
-                _BWD_LOCAL,
-                Step(LocalEdge(prev, event), AGAINST),
-            )
-            self._n_locals += 1
+            prev_id = self._index.get(prev)
+            # A tombstoned predecessor leaves the new event without a
+            # local edge, exactly as in the suffix graph.
+            if prev_id is not None:
+                self._add_h_edge(
+                    self._index[event],
+                    prev_id,
+                    _BWD_LOCAL,
+                    Step(LocalEdge(prev, event), AGAINST),
+                )
+                self._n_locals += 1
 
     def add_message(self, src: Event, dst: Event) -> bool:
         """Add a message edge; returns ``False`` for an exact duplicate.
@@ -297,7 +363,10 @@ class AdmissibilityChecker:
             return False
         for endpoint in (src, dst):
             if endpoint not in self._index:
-                raise KeyError(f"event {endpoint!r} not added to the checker")
+                raise KeyError(
+                    f"event {endpoint!r} not in the checker (never added, "
+                    "or tombstoned)"
+                )
         if src == dst:
             raise ValueError(f"message {message!r} may not be a self loop")
         self._messages.add(message)
@@ -330,9 +399,17 @@ class AdmissibilityChecker:
                 self.add_event(event)
         added = False
         for message in graph.messages:
-            if message not in self._messages:
-                self.add_message(message.src, message.dst)
-                added = True
+            if message in self._messages:
+                continue
+            # Messages whose endpoint lies in a tombstoned prefix were
+            # forgotten deliberately -- not new edges to absorb.
+            if (
+                message.src.index < self.first_live_index(message.src.process)
+                or message.dst.index < self.first_live_index(message.dst.process)
+            ):
+                continue
+            self.add_message(message.src, message.dst)
+            added = True
         return added
 
     def updated_worst_ratio(
@@ -352,7 +429,16 @@ class AdmissibilityChecker:
             if not self.has_ratio_at_least(1):
                 return None
             return self.worst_relevant_ratio(at_least=Fraction(1))
-        successor = farey_successor(previous, max(self.n_messages, 1))
+        max_den = max(self.n_messages, 1)
+        if previous.denominator > max_den:
+            # Only after tombstoning: the live suffix has fewer messages
+            # than the prefix that realized ``previous``.  No Farey warm
+            # start exists within the new bound; the suffix search is
+            # cheap (few messages) and the running maximum keeps
+            # ``previous``.
+            current = self.worst_relevant_ratio()
+            return current if current is not None and current > previous else previous
+        successor = farey_successor(previous, max_den)
         if not self.has_ratio_at_least(successor):
             return previous
         return self.worst_relevant_ratio(at_least=successor)
@@ -363,6 +449,224 @@ class AdmissibilityChecker:
         self._kinds.append(kind)
         self._steps.append(step)
         self._adj[tail].append((head, kind))
+
+    # ------------------------------------------------------------------
+    # speculative extension (checkpoint / rollback)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> CheckerCheckpoint:
+        """Record the current extent of ``H`` for a later :meth:`rollback`.
+
+        Checkpoints nest (roll back in reverse order of creation) and are
+        O(1): all edge storage is append-only, so the extent is four
+        integers.  A checkpoint does not survive :meth:`remove_prefix`,
+        which renumbers the digraph.
+        """
+        return CheckerCheckpoint(
+            len(self._nodes), len(self._tails), self._n_locals, self._epoch
+        )
+
+    def rollback(self, token: CheckerCheckpoint) -> None:
+        """Pop every event and edge added since ``token`` off the digraph.
+
+        Restores the checker to the checkpointed state exactly (same
+        nodes, adjacency, message set, local-edge count -- and therefore
+        the same answer to every query); only ``oracle_calls`` keeps
+        counting across rollbacks.  O(number of popped events + edges).
+        """
+        if token.epoch != self._epoch:
+            raise ValueError(
+                "checkpoint predates a remove_prefix; the digraph was "
+                "renumbered and cannot be rolled back to it"
+            )
+        if token.n_nodes > len(self._nodes) or token.n_edges > len(self._tails):
+            raise ValueError("cannot roll back to a future checkpoint")
+        for eidx in range(len(self._tails) - 1, token.n_edges - 1, -1):
+            tail = self._tails[eidx]
+            kind = self._kinds[eidx]
+            popped = self._adj[tail].pop()
+            assert popped == (self._heads[eidx], kind)
+            if kind == _FWD_MESSAGE:
+                self._messages.remove(self._steps[eidx].edge)
+        del self._tails[token.n_edges :]
+        del self._heads[token.n_edges :]
+        del self._kinds[token.n_edges :]
+        del self._steps[token.n_edges :]
+        self._n_locals = token.n_locals
+        for _ in range(len(self._nodes) - token.n_nodes):
+            event = self._nodes.pop()
+            del self._index[event]
+            leftover = self._adj.pop()
+            assert not leftover
+            remaining = self._events_per_process[event.process] - 1
+            if remaining:
+                self._events_per_process[event.process] = remaining
+            else:
+                del self._events_per_process[event.process]
+
+    @contextmanager
+    def speculate(self) -> Iterator["AdmissibilityChecker"]:
+        """Context manager bracketing a speculative extension.
+
+        Within the block the checker may be grown freely (``add_event``,
+        ``add_message``) and queried; on exit everything added is popped
+        off again.  This is what lets the ABC-enforcing scheduler push a
+        hypothetical delivery onto the live digraph, ask the oracle, and
+        retract it without a rebuild.  :meth:`remove_prefix` is rejected
+        inside a speculation.
+        """
+        token = self.checkpoint()
+        self._speculating += 1
+        try:
+            yield self
+        finally:
+            self._speculating -= 1
+            self.rollback(token)
+
+    # ------------------------------------------------------------------
+    # prefix tombstoning
+    # ------------------------------------------------------------------
+
+    def remove_prefix(self, events: Iterable[Event]) -> int:
+        """Tombstone a left-closed per-process prefix of the live events.
+
+        ``events`` must, per process, extend the already-tombstoned
+        prefix contiguously (events already tombstoned are ignored, so
+        passing a cumulatively grown cut is fine).  The tombstoned
+        events are removed together with *every* incident edge -- the
+        remaining digraph is the live-induced subgraph, i.e. queries now
+        answer for the suffix graph beyond the prefix (the semantics of
+        :func:`repro.core.variants.suffix_graph`, without re-indexing).
+        Arrays are compacted eagerly, so memory is bounded by the live
+        graph; returns the number of events removed.
+
+        To remove a prefix *without* changing full-graph answers, use
+        :meth:`removable_prefix` to pick one that no message crosses.
+        """
+        if self._speculating:
+            raise RuntimeError("cannot remove a prefix inside speculate()")
+        new_first: dict[ProcessId, list[int]] = {}
+        for event in events:
+            new_first.setdefault(event.process, []).append(event.index)
+        stops: dict[ProcessId, int] = {}
+        for process, indices in new_first.items():
+            total = self._events_per_process.get(process, 0)
+            first = self._first_live.get(process, 0)
+            fresh = sorted(i for i in set(indices) if i >= first)
+            if not fresh:
+                continue
+            if fresh[-1] >= total:
+                raise KeyError(
+                    f"event p{process}:{fresh[-1]} was never added to the "
+                    "checker"
+                )
+            if fresh != list(range(first, first + len(fresh))):
+                raise ValueError(
+                    f"tombstoned events of process {process} must extend "
+                    f"the removed prefix contiguously from index {first}"
+                )
+            stops[process] = first + len(fresh)
+        if not stops:
+            return 0
+        dead: set[int] = set()
+        for process, stop in stops.items():
+            for index in range(self._first_live.get(process, 0), stop):
+                dead.add(self._index[Event(process, index)])
+            self._first_live[process] = stop
+        self._compact(dead)
+        self._n_tombstoned += len(dead)
+        return len(dead)
+
+    def _compact(self, dead: set[int]) -> None:
+        """Physically drop ``dead`` nodes and incident edges, renumbering
+        the survivors (stable order, so the compacted digraph is
+        edge-for-edge the one a fresh build of the suffix would make)."""
+        remap = [-1] * len(self._nodes)
+        survivors: list[Event] = []
+        for old_id, event in enumerate(self._nodes):
+            if old_id in dead:
+                del self._index[event]
+                continue
+            remap[old_id] = len(survivors)
+            survivors.append(event)
+        tails: list[int] = []
+        heads: list[int] = []
+        kinds: list[int] = []
+        steps: list[Step] = []
+        n_locals = 0
+        for eidx in range(len(self._tails)):
+            tail, head = remap[self._tails[eidx]], remap[self._heads[eidx]]
+            kind = self._kinds[eidx]
+            if tail < 0 or head < 0:
+                if kind == _FWD_MESSAGE:
+                    self._messages.remove(self._steps[eidx].edge)
+                continue
+            if kind == _BWD_LOCAL:
+                n_locals += 1
+            tails.append(tail)
+            heads.append(head)
+            kinds.append(kind)
+            steps.append(self._steps[eidx])
+        self._nodes = survivors
+        for new_id, event in enumerate(survivors):
+            self._index[event] = new_id
+        self._tails, self._heads = tails, heads
+        self._kinds, self._steps = kinds, steps
+        self._n_locals = n_locals
+        adj: list[list[tuple[int, int]]] = [[] for _ in survivors]
+        for eidx in range(len(tails)):
+            adj[tails[eidx]].append((heads[eidx], kinds[eidx]))
+        self._adj = adj
+        self._epoch += 1
+
+    def removable_prefix(
+        self, pinned: Iterable[Event] = ()
+    ) -> tuple[Event, ...]:
+        """The largest tombstonable prefix that no message edge crosses.
+
+        Every relevant cycle that enters the region behind such a prefix
+        can never leave it again (the only region-escaping traversals
+        would be message edges crossing the boundary), so once the
+        prefix itself is known admissible, removing it changes no future
+        full-graph oracle answer.  This is the settledness criterion the
+        ABC-enforcing scheduler uses to keep long runs bounded in
+        memory.
+
+        Args:
+            pinned: events that must stay live (e.g. the send events of
+                in-flight messages, whose future message edges would
+                otherwise cross the boundary, and each process's frontier
+                event so upcoming local edges stay intact).
+
+        Returns the removable live events, oldest first per process;
+        feed them to :meth:`remove_prefix` (possibly after checking the
+        prefix is worth the compaction cost).
+        """
+        # keep[p] = first index that must stay live; start fully removable.
+        keep = dict(self._events_per_process)
+        for event in pinned:
+            if event.process in keep and event.index < keep[event.process]:
+                keep[event.process] = event.index
+        # No message may cross the boundary, in either direction: shrink
+        # until closed (each pass only lowers keep[], so this terminates).
+        changed = True
+        while changed:
+            changed = False
+            for message in self._messages:
+                src, dst = message.src, message.dst
+                src_live = src.index >= keep[src.process]
+                dst_live = dst.index >= keep[dst.process]
+                if src_live and not dst_live:
+                    keep[dst.process] = dst.index
+                    changed = True
+                elif dst_live and not src_live:
+                    keep[src.process] = src.index
+                    changed = True
+        return tuple(
+            Event(process, index)
+            for process, stop in sorted(keep.items())
+            for index in range(self._first_live.get(process, 0), stop)
+        )
 
     # ------------------------------------------------------------------
     # the negative-cycle oracle
@@ -378,7 +682,9 @@ class AdmissibilityChecker:
         wtab = self._weight_table(p, q)
         return [wtab[kind] for kind in self._kinds]
 
-    def _has_negative_cycle(self, p: int, q: int) -> bool:
+    def _has_negative_cycle(
+        self, p: int, q: int, sources: list[int] | None = None
+    ) -> bool:
         """Queue-based negative-cycle detection on ``H`` weighted for p/q.
 
         SPFA with round batching: every node starts at distance 0 on the
@@ -393,6 +699,13 @@ class AdmissibilityChecker:
         both ways: admissible graphs converge once the frontier dies out,
         without ever touching settled regions again, and grossly violating
         ones trip the chain bound long before the ``n * m`` worst case.
+
+        With ``sources``, only those node ids seed the queue: detection is
+        then restricted to negative cycles reachable from them (still with
+        no false positives -- the chain-length argument is seeding
+        independent).  Callers must guarantee every possible negative
+        cycle is reachable from the sources, e.g. because the graph
+        without the speculative additions is known negative-cycle-free.
         """
         n = len(self._nodes)
         if n == 0 or not self._messages:
@@ -402,7 +715,10 @@ class AdmissibilityChecker:
         dist = [0] * n
         chain = [0] * n  # edges in the walk realizing the current dist
         queued = [False] * n
-        active = [u for u in range(n) if adj[u]]
+        if sources is None:
+            active = [u for u in range(n) if adj[u]]
+        else:
+            active = sorted({u for u in sources if adj[u]})
         while active:
             next_active: list[int] = []
             push = next_active.append
@@ -479,17 +795,38 @@ class AdmissibilityChecker:
     # queries
     # ------------------------------------------------------------------
 
-    def has_ratio_at_least(self, ratio: Fraction | float | int | str) -> bool:
+    def has_ratio_at_least(
+        self,
+        ratio: Fraction | float | int | str,
+        sources: Iterable[Event] | None = None,
+    ) -> bool:
         """Polynomial oracle: does some relevant cycle have
         ``|Z-|/|Z+| >= ratio``?
 
         Only ratios ``>= 1`` are meaningful (every relevant cycle has
         ratio at least 1 by Definition 3); smaller ratios reduce to
         testing whether any relevant cycle exists at all.
+
+        Args:
+            sources: restrict detection to violating cycles *reachable*
+                from these events in the traversal digraph.  Only sound
+                when every possible violation passes through their
+                reachable region -- the speculative scheduler qualifies
+                because its realized prefix is violation-free by
+                construction, so any violating cycle must involve a
+                speculatively added edge.  An event speculatively
+                received reaches its message source through the backward
+                traversal edge, so listing the new receive events alone
+                suffices.
         """
         r = max(_as_ratio(ratio), Fraction(1))
         self.oracle_calls += 1
-        return self._has_negative_cycle(r.numerator, r.denominator)
+        source_ids: list[int] | None = None
+        if sources is not None:
+            source_ids = [self._index[ev] for ev in sources]
+        return self._has_negative_cycle(
+            r.numerator, r.denominator, source_ids
+        )
 
     def violating_cycle(
         self, xi: Fraction | float | int | str

@@ -31,7 +31,6 @@ from repro.core.synchrony import (
     as_xi,
     check_abc,
     check_abc_exhaustive,
-    find_violating_cycle,
 )
 
 __all__ = [
@@ -93,26 +92,28 @@ def earliest_stabilization_cut(
     The result is a valid ``C_GST`` witness: the suffix beyond it is
     ABC-admissible.  It is minimal in the weak sense that every absorbed
     event was the earliest event of some violating cycle.
+
+    One :class:`~repro.core.synchrony.AdmissibilityChecker` is shared
+    across all absorbed cuts: instead of rebuilding the suffix graph (and
+    a fresh traversal digraph) per iteration, the grown cut is
+    *tombstoned* out of the live digraph
+    (:meth:`~repro.core.synchrony.AdmissibilityChecker.remove_prefix`),
+    whose queries then answer for the suffix exactly -- with original
+    event identities, so no survivor re-indexing round trip is needed to
+    map witnesses back.
     """
     absorbed: set[Event] = set()
+    checker = AdmissibilityChecker(graph)
     while True:
-        current = Cut(frozenset(absorbed))
-        suffix = suffix_graph(graph, current)
-        witness = find_violating_cycle(suffix, xi)
+        witness = checker.violating_cycle(xi)
         if witness is None:
-            return Cut(frozenset(absorbed)).left_closure(graph) if absorbed else current
-        # Map the witness back: suffix events are re-indexed per process,
-        # so the i-th surviving event of p corresponds to position i.
-        survivors_by_process = {
-            p: [ev for ev in graph.events_of(p) if ev not in current]
-            for p in graph.processes
-        }
-        original_events = [
-            survivors_by_process[ev.process][ev.index]
-            for ev in witness.cycle.events
-        ]
-        earliest = min(original_events)
+            if not absorbed:
+                return Cut(frozenset())
+            return Cut(frozenset(absorbed)).left_closure(graph)
+        earliest = min(witness.cycle.events)
         absorbed |= graph.causal_past([earliest])
+        # Already-tombstoned events in the cumulative cut are ignored.
+        checker.remove_prefix(absorbed)
 
 
 def unknown_xi_infimum(graph: ExecutionGraph) -> Fraction | None:

@@ -15,6 +15,17 @@ Three kinds of randomness are useful:
 * :func:`theta_band_trace` -- simulated Algorithm-1 executions under a
   Theta-band delay model; ABC-admissible for any ``Xi > Theta`` by
   Theorem 6, with realistic message patterns.
+
+A fourth family stresses the ABC-*enforcing* scheduler
+(:class:`~repro.sim.abc_scheduler.AbcEnforcingSimulator`): workload
+setups -- ``(processes, network)`` pairs -- whose raw delays would break
+admissibility, so the enforcer has to intervene.  :func:`ping_pong_storm`
+races fast round-trip chains against a slow link (Figure 3 at scale),
+:func:`zero_delay_burst` drives the fast chains at literally zero delay
+(the paper's ``m3`` observation pushed to the limit), and
+:func:`long_silence` leaves a link silent for epochs at a time.
+:func:`random_enforcer_setup` draws randomized mixtures of all three for
+differential and property testing.
 """
 
 from __future__ import annotations
@@ -24,11 +35,13 @@ from fractions import Fraction
 from typing import Iterator, Sequence
 
 from repro.algorithms.clock_sync import ClockSyncProcess
+from repro.algorithms.failure_detector import PingPongMonitor, PongResponder
 from repro.core.events import Event
 from repro.core.execution_graph import ExecutionGraph, GraphBuilder
-from repro.sim.delays import ThetaBandDelay
+from repro.sim.delays import FixedDelay, PerLinkDelay, ThetaBandDelay, UniformDelay
 from repro.sim.engine import SimulationLimits, Simulator
 from repro.sim.network import Network, Topology
+from repro.sim.process import Process
 from repro.sim.trace import ReceiveRecord, Trace
 
 __all__ = [
@@ -37,6 +50,10 @@ __all__ = [
     "streaming_trace",
     "theta_band_trace",
     "clock_sync_run",
+    "ping_pong_storm",
+    "zero_delay_burst",
+    "long_silence",
+    "random_enforcer_setup",
 ]
 
 
@@ -198,3 +215,141 @@ def theta_band_trace(
     """A Theta-band Algorithm-1 trace (ABC-admissible for ``Xi > theta``)."""
     trace, _processes = clock_sync_run(n, f, theta, max_tick, seed=seed)
     return trace
+
+
+# ----------------------------------------------------------------------
+# enforcer-stressing workloads
+# ----------------------------------------------------------------------
+
+
+def _monitor_setup(
+    n_responders: int,
+    xi: Fraction | int | float,
+    max_probes: int,
+    slow_links: dict[tuple[int, int], object],
+    default_delay: object,
+) -> tuple[list[Process], Network]:
+    """A ping-pong monitor (pid 0) over responders with per-link delays."""
+    if n_responders < 1:
+        raise ValueError("need at least one responder")
+    monitor = PingPongMonitor(
+        targets=list(range(1, n_responders + 1)), xi=xi, max_probes=max_probes
+    )
+    processes: list[Process] = [monitor]
+    processes += [PongResponder() for _ in range(n_responders)]
+    network = Network(
+        Topology.fully_connected(n_responders + 1),
+        PerLinkDelay(slow_links, default=default_delay),
+    )
+    return processes, network
+
+
+def ping_pong_storm(
+    n_responders: int = 3,
+    xi: Fraction | int | float = Fraction(2),
+    slow: float = 25.0,
+    fast: float = 1.0,
+    max_probes: int = 8,
+) -> tuple[list[Process], Network]:
+    """Fast ping-pong chains racing one massively delayed responder.
+
+    The Figure-3 situation at scale: the monitor completes round trips
+    with ``n_responders - 1`` fast peers while the last responder sits
+    behind a ``slow / fast`` delay spread, so a plain scheduler closes
+    relevant cycles of ratio up to that spread and the enforcer has to
+    keep pulling the slow replies forward.
+    """
+    slow_pid = n_responders
+    links = {
+        (0, slow_pid): FixedDelay(slow),
+        (slow_pid, 0): FixedDelay(slow),
+    }
+    return _monitor_setup(n_responders, xi, max_probes, links, FixedDelay(fast))
+
+
+def zero_delay_burst(
+    n_responders: int = 2,
+    xi: Fraction | int | float = Fraction(2),
+    slow: float = 15.0,
+    max_probes: int = 6,
+) -> tuple[list[Process], Network]:
+    """Zero-delay fast chains against a slow link.
+
+    The paper observes (Figure 1, message ``m3``) that the ABC model
+    tolerates zero-delay messages; here *every* fast link delivers
+    instantaneously, so unboundedly many chain messages fit into any
+    nonzero slow delay and admissibility rests entirely on the
+    enforcer's intervention.
+    """
+    slow_pid = n_responders
+    links = {
+        (0, slow_pid): FixedDelay(slow),
+        (slow_pid, 0): FixedDelay(slow),
+    }
+    return _monitor_setup(n_responders, xi, max_probes, links, FixedDelay(0.0))
+
+
+def long_silence(
+    n_responders: int = 2,
+    xi: Fraction | int | float = Fraction(2),
+    silence: float = 400.0,
+    fast_low: float = 0.5,
+    fast_high: float = 1.5,
+    max_probes: int = 10,
+) -> tuple[list[Process], Network]:
+    """A responder that falls silent for epochs at a time.
+
+    Both directions of the last responder's link take ``silence`` time
+    units while the rest of the system keeps jittering along at unit
+    delays -- many probe rounds complete during one silent gap, which is
+    the long-silence regime the time-free ABC condition is meant to
+    survive.
+    """
+    silent_pid = n_responders
+    links = {
+        (0, silent_pid): FixedDelay(silence),
+        (silent_pid, 0): FixedDelay(silence),
+    }
+    return _monitor_setup(
+        n_responders, xi, max_probes, links, UniformDelay(fast_low, fast_high)
+    )
+
+
+def random_enforcer_setup(
+    rng: random.Random,
+) -> tuple[list[Process], Network, Fraction]:
+    """A randomized enforcer-stressing workload: ``(processes, network, xi)``.
+
+    Draws one of the three stress families with randomized sizes, delay
+    spreads (including exact zeros), and synchrony parameters -- the
+    workload distribution behind the differential and property tests of
+    the incremental enforcer.
+    """
+    xi = rng.choice([Fraction(3, 2), Fraction(2), Fraction(5, 2), Fraction(3)])
+    n_responders = rng.randint(1, 3)
+    family = rng.randrange(3)
+    if family == 0:
+        processes, network = ping_pong_storm(
+            n_responders,
+            xi,
+            slow=rng.uniform(5.0, 60.0),
+            fast=rng.uniform(0.5, 2.0),
+            max_probes=rng.randint(2, 6),
+        )
+    elif family == 1:
+        processes, network = zero_delay_burst(
+            n_responders,
+            xi,
+            slow=rng.uniform(2.0, 30.0),
+            max_probes=rng.randint(2, 5),
+        )
+    else:
+        processes, network = long_silence(
+            n_responders,
+            xi,
+            silence=rng.uniform(50.0, 500.0),
+            fast_low=rng.uniform(0.1, 0.8),
+            fast_high=rng.uniform(1.0, 2.5),
+            max_probes=rng.randint(3, 8),
+        )
+    return processes, network, xi

@@ -26,10 +26,34 @@ before every delivery, one step of lookahead preserves the invariant
 that every pending message (and its immediate reply) remains safely
 deliverable.
 
-Deeper multi-hop relay patterns would need deeper lookahead; for those,
-admissibility should be validated post-hoc with
-:func:`repro.core.check_abc` (the enforcer still greatly extends the
-range of delay regimes that stay admissible).
+The oracle plumbing is fully incremental.  The scheduler owns ONE
+:class:`~repro.core.synchrony.AdmissibilityChecker` mirroring the
+realized trace; each (tentative delivery, pending message) pair is
+evaluated by *speculatively* pushing the hypothetical receive events and
+message edges onto the live traversal digraph
+(:meth:`~repro.core.synchrony.AdmissibilityChecker.speculate`), asking
+the oracle at the known ``Xi``, and popping them off again -- no graph or
+checker is ever rebuilt.  Two further refinements keep each step cheap:
+
+* **Source-seeded detection.**  The realized prefix is violation-free by
+  construction, so any violating cycle must pass through a speculatively
+  added receive event; the negative-cycle search is seeded from exactly
+  those events instead of the whole digraph.
+* **Prefix tombstoning.**  Every ``tombstone_every`` deliveries the
+  scheduler drops the settled past -- the largest per-process prefix
+  that no message edge crosses and that pins no in-flight send event
+  (:meth:`~repro.core.synchrony.AdmissibilityChecker.removable_prefix`)
+  -- so the live digraph, and with it the cost of every oracle call,
+  stays bounded by the active window of the execution instead of growing
+  with its whole history.
+
+Should enforcement ever miss a violation (the one-step lookahead is not
+a proof for deep multi-hop relay patterns), the scheduler detects it on
+the realized record, sets :attr:`AbcEnforcingSimulator.violation_detected`,
+and falls back to unseeded full-digraph oracles with tombstoning
+disabled, preserving the exact decisions a from-scratch implementation
+would make.  Post-hoc validation with :func:`repro.core.check_abc`
+remains available for such runs.
 """
 
 from __future__ import annotations
@@ -38,98 +62,231 @@ import heapq
 from fractions import Fraction
 
 from repro.core.events import Event
-from repro.core.execution_graph import ExecutionGraph, MessageEdge
-from repro.core.synchrony import has_relevant_cycle_with_ratio_at_least
+from repro.core.synchrony import AdmissibilityChecker
 from repro.sim.engine import Simulator, _Delivery
-from repro.sim.trace import build_execution_graph
+from repro.sim.trace import message_kept
 
 __all__ = ["AbcEnforcingSimulator"]
+
+
+def _rescue_key(delivery: _Delivery) -> tuple[bool, float, int]:
+    """Earliest-sent-first ordering of stranded messages.
+
+    ``None`` send times (external wake-ups -- not expected among
+    strandable messages, but possible for exotic subclasses) sort last
+    instead of aliasing a genuine send time of ``0.0``; ties break by
+    send sequence.
+    """
+    return (
+        delivery.send_time is None,
+        delivery.send_time if delivery.send_time is not None else 0.0,
+        delivery.seq,
+    )
 
 
 class AbcEnforcingSimulator(Simulator):
     """A simulator that refuses to realize inadmissible event orders.
 
+    Args:
+        xi: the ABC synchrony parameter to enforce (``> 1``).
+        tombstone_every: realized deliveries between settled-prefix
+            removals (``None`` disables tombstoning; the digraph then
+            grows with the full history).
+
     Attributes:
         pulled_forward: number of deliveries expedited by the enforcer
             (how often raw delays would have broken admissibility).
+        tombstoned_events: events dropped from the live digraph so far.
+        violation_detected: ``True`` if a realized delivery ever closed
+            a violating cycle despite enforcement (deep relay patterns
+            outside the one-step lookahead); the scheduler then keeps
+            running with conservative full-digraph oracles.
     """
 
-    def __init__(self, *args, xi: Fraction | int | float, **kwargs) -> None:
+    def __init__(
+        self,
+        *args,
+        xi: Fraction | int | float,
+        tombstone_every: int | None = 64,
+        **kwargs,
+    ) -> None:
         super().__init__(*args, **kwargs)
         self.xi = Fraction(xi)
         if self.xi <= 1:
             raise ValueError(f"the ABC model requires Xi > 1, got {self.xi}")
+        if tombstone_every is not None and tombstone_every < 1:
+            raise ValueError("tombstone_every must be positive (or None)")
         self.pulled_forward = 0
+        self.tombstoned_events = 0
+        self.violation_detected = False
+        self.tombstone_every = tombstone_every
+        self._checker = AdmissibilityChecker()
+        self._mirrored = 0  # trace records already absorbed by the checker
+        self._since_tombstone = 0
+        self._cancelled: set[int] = set()  # seqs lazily deleted from _queue
 
-    # -- oracle helpers ----------------------------------------------------
+    # -- the incremental oracle ---------------------------------------------
 
-    def _base_graph(self) -> tuple[dict[int, list[Event]], list[MessageEdge]]:
-        graph = build_execution_graph(self.trace)
-        return (
-            {p: list(graph.events_of(p)) for p in range(self.n)},
-            list(graph.messages),
-        )
+    @property
+    def live_digraph_events(self) -> int:
+        """Events currently held live in the shared traversal digraph."""
+        return self._checker.n_events
 
-    def _strands(
-        self,
-        base: tuple[dict[int, list[Event]], list[MessageEdge]],
-        first: _Delivery,
-        pending: _Delivery,
-    ) -> bool:
-        """Would ``first`` strand ``pending`` (or its immediate reply)?"""
-        base_events, base_messages = base
-        events = {p: list(evs) for p, evs in base_events.items()}
-        messages = list(base_messages)
-        counts = {p: len(evs) for p, evs in events.items()}
+    def _sync_checker(self) -> None:
+        """Absorb realized trace records into the shared checker.
 
-        def add(dest: int, sender: int | None, send_event: Event | None) -> Event:
-            new_event = Event(dest, counts[dest])
-            counts[dest] += 1
-            events[dest] = events[dest] + [new_event]
-            if (
-                sender is not None
-                and send_event is not None
-                and sender not in self.faulty
-            ):
-                messages.append(MessageEdge(send_event, new_event))
-            return new_event
+        Each new record appends its receive event (and implied local
+        edge) plus the triggering message edge under the same
+        faulty-sender filter as :func:`~repro.sim.trace.build_execution_graph`.
+        While enforcement has never failed, one source-seeded oracle call
+        per record verifies the realized graph stayed violation-free --
+        the invariant that licenses seeded detection and tombstoning.
+        """
+        checker = self._checker
+        records = self.trace.records
+        for record in records[self._mirrored :]:
+            checker.add_event(record.event)
+            if message_kept(record, self.faulty):
+                assert record.send_event is not None
+                checker.add_message(record.send_event, record.event)
+                if not self.violation_detected and checker.has_ratio_at_least(
+                    self.xi, sources=(record.event,)
+                ):
+                    self.violation_detected = True
+        self._mirrored = len(records)
 
-        add(first.dest, first.sender, first.send_event)
-        pending_event = add(pending.dest, pending.sender, pending.send_event)
-        if has_relevant_cycle_with_ratio_at_least(
-            ExecutionGraph(events, messages), self.xi
+    def _push_delivery(self, delivery: _Delivery) -> Event:
+        """Speculatively realize ``delivery`` on the live digraph."""
+        checker = self._checker
+        event = Event(delivery.dest, checker.n_events_of(delivery.dest))
+        checker.add_event(event)
+        if (
+            delivery.sender is not None
+            and delivery.send_event is not None
+            and delivery.sender not in self.faulty
         ):
-            return True
-        # Round-trip lookahead: an immediate reply back to the sender.
-        if pending.sender is not None and pending.sender != pending.dest:
-            add(pending.sender, pending.dest, pending_event)
-            if has_relevant_cycle_with_ratio_at_least(
-                ExecutionGraph(events, messages), self.xi
-            ):
+            checker.add_message(delivery.send_event, event)
+        return event
+
+    def _strands(self, first_event: Event, pending: _Delivery) -> bool:
+        """Would the tentative delivery strand ``pending`` (or its
+        immediate reply)?  Called inside the speculation that already
+        pushed the tentative delivery; pushes ``pending`` (and the
+        round-trip reply), asks the oracle, and rolls its own additions
+        back."""
+        checker = self._checker
+        sources: list[Event] = [first_event]
+        with checker.speculate():
+            pending_event = self._push_delivery(pending)
+            sources.append(pending_event)
+            if checker.has_ratio_at_least(self.xi, sources=self._seeds(sources)):
                 return True
+            # Round-trip lookahead: an immediate reply back to the sender.
+            if pending.sender is not None and pending.sender != pending.dest:
+                reply = _Delivery(
+                    self.now,
+                    -1,
+                    pending.sender,
+                    pending.dest,
+                    pending_event,
+                    self.now,
+                    None,
+                )
+                sources.append(self._push_delivery(reply))
+                if checker.has_ratio_at_least(
+                    self.xi, sources=self._seeds(sources)
+                ):
+                    return True
         return False
+
+    def _seeds(self, events: list[Event]) -> list[Event] | None:
+        """Oracle seeds: the speculative events -- unless enforcement has
+        failed, in which case old cycles may violate too and only a full
+        sweep is sound."""
+        return None if self.violation_detected else events
+
+    def _tombstone_settled(self) -> None:
+        """Drop the settled past from the live digraph.
+
+        Send events of in-flight messages are pinned (their message edges
+        are still to come and must not cross the removed prefix), as is
+        each process's frontier event (upcoming local edges attach to
+        it).  Only sound while the realized prefix is violation-free --
+        tombstoning a prefix that contains part of a violation would
+        forget it.
+        """
+        if self.violation_detected:
+            return
+        pinned: list[Event] = []
+        for delivery in self._queue:
+            if delivery.seq in self._cancelled:
+                continue
+            if delivery.send_event is not None:
+                pinned.append(delivery.send_event)
+        for process in self._checker.processes:
+            count = self._checker.n_events_of(process)
+            if count > self._checker.first_live_index(process):
+                pinned.append(Event(process, count - 1))
+        removable = self._checker.removable_prefix(pinned)
+        if removable:
+            self.tombstoned_events += self._checker.remove_prefix(removable)
 
     # -- the enforcing step -------------------------------------------------
 
-    def _step(self) -> None:
-        delivery = heapq.heappop(self._queue)
-        base = self._base_graph()
-        stranded: list[_Delivery] = []
-        for pending in self._queue:
-            if pending.sender is None or pending.sender in self.faulty:
+    def _pop_live(self) -> _Delivery | None:
+        """Pop the earliest non-cancelled delivery (lazy deletion)."""
+        while self._queue:
+            delivery = heapq.heappop(self._queue)
+            if delivery.seq in self._cancelled:
+                self._cancelled.discard(delivery.seq)
                 continue
-            if self._strands(base, delivery, pending):
-                stranded.append(pending)
+            return delivery
+        return None
+
+    def _purge_cancelled_head(self) -> None:
+        """Keep the heap head live so the kernel's ``run`` loop (queue
+        emptiness, ``max_time``) sees the same frontier an eager-deletion
+        queue would."""
+        while self._queue and self._queue[0].seq in self._cancelled:
+            self._cancelled.discard(heapq.heappop(self._queue).seq)
+
+    @property
+    def pending_messages(self) -> int:
+        return len(self._queue) - len(self._cancelled)
+
+    def _step(self) -> None:
+        # Sync and tombstone while every in-flight message (including the
+        # delivery about to be popped) is still in the queue to pin its
+        # send event.
+        self._sync_checker()
+        if self.tombstone_every is not None:
+            self._since_tombstone += 1
+            if self._since_tombstone >= self.tombstone_every:
+                self._since_tombstone = 0
+                self._tombstone_settled()
+        delivery = self._pop_live()
+        if delivery is None:
+            return
+        stranded: list[_Delivery] = []
+        with self._checker.speculate():
+            first_event = self._push_delivery(delivery)
+            for pending in self._queue:
+                if pending.seq in self._cancelled:
+                    continue
+                if pending.sender is None or pending.sender in self.faulty:
+                    continue
+                if self._strands(first_event, pending):
+                    stranded.append(pending)
         if not stranded:
             self._process_delivery(delivery)
+            self._purge_cancelled_head()
             return
         # Pull the earliest-sent stranded message forward: it is
         # delivered now (its "real" delay shrinks); the tentative
         # delivery goes back into the queue and is retried next step.
         heapq.heappush(self._queue, delivery)
-        rescue = min(stranded, key=lambda d: (d.send_time or 0.0, d.seq))
-        self._queue.remove(rescue)
-        heapq.heapify(self._queue)
+        rescue = min(stranded, key=_rescue_key)
+        self._cancelled.add(rescue.seq)
         self.pulled_forward += 1
         expedited = _Delivery(
             self.now,
@@ -141,3 +298,4 @@ class AbcEnforcingSimulator(Simulator):
             rescue.payload,
         )
         self._process_delivery(expedited)
+        self._purge_cancelled_head()

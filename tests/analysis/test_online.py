@@ -231,6 +231,118 @@ class TestFaultyAndFilters:
         assert monitor.worst_ratio == worst_relevant_ratio(graph)
 
 
+class TestSpeculativeQueries:
+    def _fed_monitor(self, seed=4, n_records=30, xi=None):
+        trace = streaming_trace(random.Random(seed), 3, n_records)
+        monitor = OnlineAbcMonitor(xi=xi, faulty=trace.faulty)
+        monitor.observe_trace(trace.records)
+        return monitor
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_speculative_worst_ratio_matches_observing(self, seed):
+        """Speculating an extension answers exactly what observing it
+        would, and leaves the monitor's state untouched."""
+        monitor = self._fed_monitor(seed)
+        worst_before = monitor.worst_ratio
+        n_events, n_messages = monitor.n_events, monitor.n_messages
+        rng = random.Random(seed + 77)
+        process = rng.randrange(3)
+        src = Event(rng.randrange(3), 0)
+        dst = Event(process, monitor._checker.n_events_of(process))
+        messages = [(src, dst)] if src != dst else []
+        speculated = monitor.speculative_worst_ratio(
+            events=[dst], messages=messages
+        )
+        assert monitor.worst_ratio == worst_before
+        assert (monitor.n_events, monitor.n_messages) == (n_events, n_messages)
+        monitor.observe_event(dst)
+        for s, d in messages:
+            monitor.observe_message(s, d)
+        assert monitor.worst_ratio == speculated
+
+    def test_would_violate_agrees_with_admissibility(self):
+        monitor = OnlineAbcMonitor(xi=2)
+        # Build the Figure-3 violation speculatively: monitor untouched.
+        events = [
+            Event(0, 0), Event(1, 0), Event(0, 1), Event(1, 1),
+            Event(0, 2), Event(2, 0), Event(0, 3),
+        ]
+        messages = [
+            (Event(0, 0), Event(1, 0)),
+            (Event(1, 0), Event(0, 1)),
+            (Event(0, 1), Event(1, 1)),
+            (Event(1, 1), Event(0, 2)),
+            (Event(0, 0), Event(2, 0)),
+            (Event(2, 0), Event(0, 3)),
+        ]
+        ordered = [events[i] for i in (0, 1, 2, 3, 4, 5, 6)]
+        # Events must respect local order: p0 indexes 0..3, p1 0..1, p2 0.
+        assert monitor.would_violate(ordered, messages)
+        assert monitor.n_events == 0 and monitor.n_messages == 0
+        assert monitor.worst_ratio is None
+        # Without the closing slow-chain message there is no violation.
+        assert not monitor.would_violate(ordered, messages[:-1])
+
+    def test_would_violate_requires_xi(self):
+        monitor = OnlineAbcMonitor()
+        with pytest.raises(ValueError):
+            monitor.would_violate([Event(0, 0)])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_forget_prefix_keeps_running_maximum(self, seed):
+        """Forgetting the settled past preserves the historical worst
+        ratio and stays exact as the execution keeps growing."""
+        monitor = self._fed_monitor(seed=seed, n_records=40)
+        worst_before = monitor.worst_ratio
+        checker = monitor._checker
+        pinned = [
+            Event(p, checker.n_events_of(p) - 1) for p in checker.processes
+        ]
+        settled = monitor.settled_prefix(pinned)
+        forgotten = monitor.forget_prefix(settled)
+        assert forgotten == len(settled)
+        assert monitor.worst_ratio == worst_before
+        # Keep growing: a fresh ping-pong burst between two processes.
+        base0 = checker.n_events_of(0)
+        base1 = checker.n_events_of(1)
+        last = Event(0, base0 - 1)
+        for k in range(3):
+            hop = Event(1, base1 + k)
+            monitor.observe_event(hop)
+            monitor.observe_message(last, hop)
+            back = Event(0, base0 + k)
+            monitor.observe_event(back)
+            monitor.observe_message(hop, back)
+            last = back
+        # The running worst never decreases and stays exact wrt history.
+        assert monitor.worst_ratio is not None or worst_before is None
+        if worst_before is not None:
+            assert monitor.worst_ratio >= worst_before
+
+    def test_extend_to_after_forget_prefix(self):
+        """Regression: absorb() must not re-add messages whose endpoints
+        were tombstoned away (extend_to crashed with KeyError)."""
+        b = GraphBuilder()
+        b.message((0, 0), (1, 0))
+        b.event(0, 1)
+        b.event(1, 1)
+        small = b.build()
+        monitor = OnlineAbcMonitor()
+        monitor.extend_to(small)
+        # Pinning only the frontiers leaves the first round -- message
+        # included -- entirely removable.
+        forgot = monitor.forget_prefix(
+            monitor.settled_prefix([Event(0, 1), Event(1, 1)])
+        )
+        assert forgot == 2
+        assert monitor.n_messages == 0
+        b.message((0, 1), (1, 1))
+        grown = b.build()
+        assert monitor._checker.extends(grown)
+        monitor.extend_to(grown)  # must not raise
+        assert monitor.n_messages == 1
+
+
 class TestExtendTo:
     def test_running_worst_ratio_matches_per_prefix_batch(self):
         rng = random.Random(9)

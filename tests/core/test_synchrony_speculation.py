@@ -1,0 +1,226 @@
+"""Speculative extension and prefix tombstoning of the checker.
+
+The ABC-enforcing scheduler rests on two guarantees of
+:class:`~repro.core.synchrony.AdmissibilityChecker`:
+
+* ``checkpoint()`` / ``rollback()`` round trips leave the checker
+  *bit-identical* to one freshly built from the same graph -- same
+  digraph arrays, adjacency, message set, frontier counts, and the same
+  answer to every oracle query;
+* ``remove_prefix()`` turns the checker into an exact oracle for the
+  suffix graph, and a prefix chosen by ``removable_prefix()`` (no
+  crossing messages) splits the worst relevant ratio of the full graph
+  into ``max(prefix, suffix)`` -- the decomposition that makes
+  tombstoning sound inside the enforcer.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.cuts import Cut
+from repro.core.events import Event
+from repro.core.execution_graph import ExecutionGraph
+from repro.core.synchrony import AdmissibilityChecker
+from repro.core.variants import suffix_graph
+from repro.scenarios.generators import random_execution_graph
+
+RATIO_GRID = [Fraction(1), Fraction(4, 3), Fraction(3, 2), Fraction(2), Fraction(3)]
+
+
+def fingerprint(checker: AdmissibilityChecker):
+    """Every piece of digraph state an oracle answer can depend on."""
+    return (
+        list(checker._nodes),
+        dict(checker._index),
+        list(checker._tails),
+        list(checker._heads),
+        list(checker._kinds),
+        list(checker._steps),
+        [list(adj) for adj in checker._adj],
+        set(checker._messages),
+        checker._n_locals,
+        dict(checker._events_per_process),
+        dict(checker._first_live),
+    )
+
+
+def grow_speculatively(checker: AdmissibilityChecker, rng: random.Random) -> None:
+    """Push a random batch of events and messages inside a speculation."""
+    added: list[Event] = []
+    for _ in range(rng.randint(1, 4)):
+        process = rng.randrange(3)
+        event = Event(process, checker.n_events_of(process))
+        checker.add_event(event)
+        added.append(event)
+    candidates = [ev for ev in checker._nodes if ev not in added]
+    for event in added:
+        src = rng.choice(candidates) if candidates else None
+        if src is not None and src != event:
+            checker.add_message(src, event)
+
+
+class TestCheckpointRollback:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_round_trip_is_bit_identical(self, seed):
+        rng = random.Random(seed)
+        graph = random_execution_graph(rng, 3, rng.randint(3, 12))
+        checker = AdmissibilityChecker(graph)
+        before = fingerprint(checker)
+        answers_before = [checker.has_ratio_at_least(r) for r in RATIO_GRID]
+        with checker.speculate():
+            grow_speculatively(checker, rng)
+            checker.worst_relevant_ratio()
+            with checker.speculate():  # nested speculation rolls back too
+                grow_speculatively(checker, rng)
+        assert fingerprint(checker) == before
+        fresh = AdmissibilityChecker(graph)
+        assert fingerprint(fresh) == before
+        answers_after = [checker.has_ratio_at_least(r) for r in RATIO_GRID]
+        answers_fresh = [fresh.has_ratio_at_least(r) for r in RATIO_GRID]
+        assert answers_before == answers_after == answers_fresh
+        assert checker.worst_relevant_ratio() == fresh.worst_relevant_ratio()
+
+    def test_explicit_checkpoint_tokens_nest(self, fig3_like_graph):
+        checker = AdmissibilityChecker(fig3_like_graph)
+        outer = checker.checkpoint()
+        event = Event(0, checker.n_events_of(0))
+        checker.add_event(event)
+        inner = checker.checkpoint()
+        reply = Event(1, checker.n_events_of(1))
+        checker.add_event(reply)
+        checker.add_message(event, reply)
+        checker.rollback(inner)
+        assert checker.n_events_of(1) == reply.index
+        checker.rollback(outer)
+        assert fingerprint(checker) == fingerprint(
+            AdmissibilityChecker(fig3_like_graph)
+        )
+
+    def test_rollback_to_future_checkpoint_rejected(self, fig3_like_graph):
+        checker = AdmissibilityChecker(fig3_like_graph)
+        with checker.speculate():
+            checker.add_event(Event(0, checker.n_events_of(0)))
+            token = checker.checkpoint()
+        with pytest.raises(ValueError):
+            checker.rollback(token)
+
+    def test_rollback_across_remove_prefix_rejected(self, fig3_like_graph):
+        checker = AdmissibilityChecker(fig3_like_graph)
+        token = checker.checkpoint()
+        checker.remove_prefix([Event(0, 0)])
+        with pytest.raises(ValueError):
+            checker.rollback(token)
+
+    def test_remove_prefix_inside_speculation_rejected(self, fig3_like_graph):
+        checker = AdmissibilityChecker(fig3_like_graph)
+        with checker.speculate():
+            with pytest.raises(RuntimeError):
+                checker.remove_prefix([Event(0, 0)])
+
+
+class TestSeededDetection:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_seeded_matches_full_for_frontier_extensions(self, seed):
+        """A violation-free graph extended by one message: seeding the
+        search from the new receive event decides exactly like the full
+        sweep (the enforcer's situation)."""
+        rng = random.Random(seed)
+        graph = random_execution_graph(rng, 3, rng.randint(3, 10))
+        checker = AdmissibilityChecker(graph)
+        worst = checker.worst_relevant_ratio()
+        # Pick ratios the base graph cannot reach: any hit after the
+        # extension must come through the new edge.
+        ratios = [r for r in RATIO_GRID if worst is None or r > worst]
+        src = rng.choice(list(graph.events()))
+        process = rng.randrange(3)
+        dst = Event(process, checker.n_events_of(process))
+        checker.add_event(dst)
+        if src != dst:
+            checker.add_message(src, dst)
+        for ratio in ratios:
+            assert checker.has_ratio_at_least(
+                ratio, sources=(dst,)
+            ) == checker.has_ratio_at_least(ratio), (seed, ratio)
+
+
+class TestTombstoning:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_remove_prefix_is_the_suffix_graph_oracle(self, seed):
+        rng = random.Random(seed)
+        graph = random_execution_graph(rng, 3, rng.randint(3, 12))
+        cut_seed = rng.choice(list(graph.events()))
+        cut = graph.causal_past([cut_seed])
+        checker = AdmissibilityChecker(graph)
+        removed = checker.remove_prefix(cut)
+        assert removed == len(cut)
+        assert checker.n_tombstoned == removed
+        suffix = suffix_graph(graph, Cut(frozenset(cut)))
+        reference = AdmissibilityChecker(suffix)
+        assert checker.n_events == reference.n_events
+        assert checker.n_messages == reference.n_messages
+        assert checker.n_local_edges == reference.n_local_edges
+        for ratio in RATIO_GRID:
+            assert checker.has_ratio_at_least(ratio) == reference.has_ratio_at_least(
+                ratio
+            )
+        assert checker.worst_relevant_ratio() == reference.worst_relevant_ratio()
+
+    def test_remove_prefix_is_idempotent_and_contiguous(self, fig3_like_graph):
+        checker = AdmissibilityChecker(fig3_like_graph)
+        cut = fig3_like_graph.causal_past([Event(0, 1)])
+        assert checker.remove_prefix(cut) == len(cut)
+        # Passing the cumulative cut again is a no-op.
+        assert checker.remove_prefix(cut) == 0
+        with pytest.raises(ValueError):
+            # Skipping an index is not a left-closed prefix extension.
+            checker.remove_prefix([Event(0, 3)])
+        with pytest.raises(KeyError):
+            checker.remove_prefix([Event(0, 2), Event(0, 3), Event(0, 99)])
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_removable_prefix_splits_worst_ratio(self, seed):
+        """No message crosses a removable prefix, so the full worst
+        ratio is exactly max(worst of prefix, worst of suffix)."""
+        rng = random.Random(seed)
+        graph = random_execution_graph(rng, 3, rng.randint(4, 14))
+        checker = AdmissibilityChecker(graph)
+        full_worst = checker.worst_relevant_ratio()
+        pinned = rng.sample(list(graph.events()), rng.randint(0, 3))
+        removable = checker.removable_prefix(pinned)
+        for event in pinned:
+            assert event not in removable
+        dead = set(removable)
+        for message in graph.messages:
+            assert (message.src in dead) == (message.dst in dead)
+        if not removable:
+            return
+        # The removed prefix is itself a valid execution graph.
+        by_process: dict[int, list[Event]] = {}
+        for event in sorted(dead):
+            by_process.setdefault(event.process, []).append(event)
+        prefix = ExecutionGraph(
+            by_process,
+            [m for m in graph.messages if m.src in dead and m.dst in dead],
+        )
+        prefix_worst = AdmissibilityChecker(prefix).worst_relevant_ratio()
+        checker.remove_prefix(removable)
+        suffix_worst = checker.worst_relevant_ratio()
+        candidates = [w for w in (prefix_worst, suffix_worst) if w is not None]
+        assert full_worst == (max(candidates) if candidates else None)
+
+    def test_grow_after_tombstoning(self, fig3_like_graph):
+        """New events keep arriving at their historical indices; a
+        tombstoned predecessor simply leaves no local edge, as in the
+        suffix graph."""
+        checker = AdmissibilityChecker(fig3_like_graph)
+        checker.remove_prefix(fig3_like_graph.causal_past([Event(2, 0)]))
+        next_event = Event(2, checker.n_events_of(2))
+        checker.add_event(next_event)
+        assert checker.n_events_of(2) == next_event.index + 1
+        peer = Event(0, checker.n_events_of(0))
+        checker.add_event(peer)
+        assert checker.add_message(next_event, peer)

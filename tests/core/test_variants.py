@@ -10,7 +10,8 @@ from hypothesis import strategies as st
 from repro.core.cuts import Cut
 from repro.core.cycles import relevant_cycles
 from repro.core.events import Event
-from repro.core.synchrony import check_abc
+from repro.core.execution_graph import GraphBuilder
+from repro.core.synchrony import check_abc, find_violating_cycle
 from repro.core.variants import (
     check_abc_forward_bounded,
     check_abc_length_restricted,
@@ -66,6 +67,79 @@ class TestUnknownXi:
         ratios = running_worst_ratio(prefixes)
         cleaned = [r if r is not None else Fraction(0) for r in ratios]
         assert cleaned == sorted(cleaned)
+
+
+def seed_earliest_stabilization_cut(graph, xi):
+    """Frozen copy of the pre-tombstoning implementation: rebuilds the
+    suffix graph (and a fresh checker) per absorbed cut and maps witness
+    events back through the survivor re-indexing.  The differential
+    baseline for the shared-digraph version; do not "fix" it."""
+    absorbed: set[Event] = set()
+    while True:
+        current = Cut(frozenset(absorbed))
+        suffix = suffix_graph(graph, current)
+        witness = find_violating_cycle(suffix, xi)
+        if witness is None:
+            return (
+                Cut(frozenset(absorbed)).left_closure(graph)
+                if absorbed
+                else current
+            )
+        survivors_by_process = {
+            p: [ev for ev in graph.events_of(p) if ev not in current]
+            for p in graph.processes
+        }
+        original_events = [
+            survivors_by_process[ev.process][ev.index]
+            for ev in witness.cycle.events
+        ]
+        earliest = min(original_events)
+        absorbed |= graph.causal_past([earliest])
+
+
+def eventually_admissible_graph(rng, extra_messages=10):
+    """A random execution with an injected inadmissible prefix: the
+    Figure-3 violation first, then a random causal-order suffix."""
+    b = GraphBuilder()
+    b.message((0, 0), (1, 0))
+    b.message((1, 0), (0, 1))
+    b.message((0, 1), (1, 1))
+    b.message((1, 1), (0, 2))
+    b.message((0, 0), (2, 0))
+    b.message((2, 0), (0, 3))
+    counts = {0: 4, 1: 2, 2: 1}
+    events = [Event(p, i) for p, n in counts.items() for i in range(n)]
+    for _ in range(extra_messages):
+        src = events[rng.randrange(len(events))]
+        dst_process = rng.randrange(3)
+        dst = Event(dst_process, counts[dst_process])
+        counts[dst_process] += 1
+        b.message(src, dst)
+        events.append(dst)
+    return b.build()
+
+
+class TestTombstonedStabilizationCut:
+    """Cross-validation of the shared-digraph (tombstoning) stabilization
+    search against the frozen suffix-rebuild implementation."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    @pytest.mark.parametrize("xi", [Fraction(3, 2), Fraction(2)])
+    def test_identical_cuts_with_inadmissible_prefix(self, seed, xi):
+        graph = eventually_admissible_graph(random.Random(seed))
+        expected = seed_earliest_stabilization_cut(graph, xi)
+        actual = earliest_stabilization_cut(graph, xi)
+        assert actual.events == expected.events
+        assert check_eventual_abc(graph, xi, actual).admissible
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_identical_cuts_on_random_graphs(self, seed):
+        rng = random.Random(seed + 1000)
+        graph = random_execution_graph(rng, 3, rng.randint(4, 14))
+        for xi in (Fraction(3, 2), Fraction(2), Fraction(3)):
+            expected = seed_earliest_stabilization_cut(graph, xi)
+            actual = earliest_stabilization_cut(graph, xi)
+            assert actual.events == expected.events, (seed, xi)
 
 
 class TestForwardBounded:

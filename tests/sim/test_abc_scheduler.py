@@ -12,6 +12,11 @@ import pytest
 
 from repro.algorithms import PingPongMonitor, PongResponder
 from repro.core import check_abc, worst_relevant_ratio
+from repro.scenarios.generators import (
+    long_silence,
+    ping_pong_storm,
+    zero_delay_burst,
+)
 from repro.sim import (
     FixedDelay,
     Network,
@@ -21,7 +26,8 @@ from repro.sim import (
     Topology,
     build_execution_graph,
 )
-from repro.sim.abc_scheduler import AbcEnforcingSimulator
+from repro.sim.abc_scheduler import AbcEnforcingSimulator, _rescue_key
+from repro.sim.engine import _Delivery
 
 XI = Fraction(2)
 
@@ -86,3 +92,91 @@ class TestWorstRatioUnderEnforcement:
         trace = sim.run(SimulationLimits(max_events=2_000))
         worst = worst_relevant_ratio(build_execution_graph(trace))
         assert worst is None or worst < XI
+
+
+SCENARIOS = {
+    "ping_pong_storm": ping_pong_storm,
+    "zero_delay_burst": zero_delay_burst,
+    "long_silence": long_silence,
+}
+
+
+class TestEnforcedTracesAreAdmissible:
+    """The property satellite: every enforced trace passes batch
+    check_abc, across the stress scenario families and several Xi."""
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    @pytest.mark.parametrize("xi", [Fraction(3, 2), Fraction(2), Fraction(3)])
+    def test_trace_passes_batch_check(self, scenario, xi):
+        procs, net = SCENARIOS[scenario](n_responders=2, xi=xi)
+        sim = AbcEnforcingSimulator(procs, net, seed=5, xi=xi, tombstone_every=16)
+        trace = sim.run(SimulationLimits(max_events=150))
+        assert len(trace.records) > 10
+        assert check_abc(build_execution_graph(trace), xi).admissible
+        assert not sim.violation_detected
+
+    def test_tombstoning_keeps_digraph_smaller_than_history(self):
+        procs, net = SCENARIOS["zero_delay_burst"](n_responders=2, xi=XI)
+        sim = AbcEnforcingSimulator(procs, net, seed=5, xi=XI, tombstone_every=8)
+        trace = sim.run(SimulationLimits(max_events=300))
+        assert sim.tombstoned_events > 0
+        # The digraph mirrors realized records (the last few may still be
+        # unmirrored at quiescence) minus everything tombstoned.
+        assert sim.live_digraph_events == sim._mirrored - sim.tombstoned_events
+        assert sim.live_digraph_events < len(trace.records)
+
+
+class TestRescuePath:
+    """Regression coverage for the rescue path: lazy heap deletion and
+    the explicit None-last send-time ordering."""
+
+    def test_rescue_key_orders_none_last(self):
+        real = _Delivery(5.0, 2, 0, 1, None, 0.0, "m")  # sent at exactly 0.0
+        late = _Delivery(5.0, 1, 0, 1, None, 3.0, "m")
+        wakeup_like = _Delivery(5.0, 0, 0, None, None, None, "w")
+        ranked = sorted([wakeup_like, late, real], key=_rescue_key)
+        assert ranked == [real, late, wakeup_like]
+
+    def test_rescue_key_breaks_ties_by_seq(self):
+        a = _Delivery(5.0, 3, 0, 1, None, 1.0, "m")
+        b = _Delivery(9.0, 7, 0, 1, None, 1.0, "m")
+        assert min([b, a], key=_rescue_key) is a
+
+    def test_lazy_deletion_skips_cancelled_entries(self):
+        _monitor, procs, net = fd_setup(slow=2.0)
+        sim = AbcEnforcingSimulator(procs, net, seed=0, xi=XI)
+        sim._queue.clear()
+        import heapq
+
+        d1 = _Delivery(1.0, 100, 0, 1, None, 0.5, "a")
+        d2 = _Delivery(2.0, 101, 1, 0, None, 0.5, "b")
+        for d in (d1, d2):
+            heapq.heappush(sim._queue, d)
+        sim._cancelled.add(d1.seq)
+        assert sim.pending_messages == 1
+        assert sim._pop_live() is d2
+        assert not sim._cancelled  # consumed when the stale entry popped
+        assert sim._pop_live() is None
+
+    def test_purge_keeps_heap_head_live(self):
+        _monitor, procs, net = fd_setup(slow=2.0)
+        sim = AbcEnforcingSimulator(procs, net, seed=0, xi=XI)
+        sim._queue.clear()
+        import heapq
+
+        d1 = _Delivery(1.0, 100, 0, 1, None, 0.5, "a")
+        d2 = _Delivery(2.0, 101, 1, 0, None, 0.5, "b")
+        for d in (d1, d2):
+            heapq.heappush(sim._queue, d)
+        sim._cancelled.add(d1.seq)
+        sim._purge_cancelled_head()
+        assert sim._queue[0] is d2
+        assert not sim._cancelled
+
+    def test_no_cancelled_leftovers_after_run(self):
+        _monitor, procs, net = fd_setup(slow=30.0)
+        sim = AbcEnforcingSimulator(procs, net, seed=0, xi=XI)
+        sim.run(SimulationLimits(max_events=2_000))
+        assert sim.pulled_forward > 0
+        assert sim._cancelled == set()
+        assert sim._queue == []
