@@ -485,7 +485,15 @@ class AdmissibilityChecker:
             tail = self._tails[eidx]
             kind = self._kinds[eidx]
             popped = self._adj[tail].pop()
-            assert popped == (self._heads[eidx], kind)
+            # Structural invariant checked eagerly (not via assert, which
+            # ``python -O`` strips): a mismatch means the digraph is
+            # corrupt and must not be used further.
+            if popped != (self._heads[eidx], kind):
+                raise RuntimeError(
+                    f"rollback found adjacency tail {popped} where edge "
+                    f"{eidx} -> {(self._heads[eidx], kind)} was expected; "
+                    "the digraph is corrupt"
+                )
             if kind == _FWD_MESSAGE:
                 self._messages.remove(self._steps[eidx].edge)
         del self._tails[token.n_edges :]
@@ -497,7 +505,11 @@ class AdmissibilityChecker:
             event = self._nodes.pop()
             del self._index[event]
             leftover = self._adj.pop()
-            assert not leftover
+            if leftover:
+                raise RuntimeError(
+                    f"rollback popped node {event!r} with {len(leftover)} "
+                    "outgoing edges still attached; the digraph is corrupt"
+                )
             remaining = self._events_per_process[event.process] - 1
             if remaining:
                 self._events_per_process[event.process] = remaining
@@ -700,24 +712,33 @@ class AdmissibilityChecker:
         without ever touching settled regions again, and grossly violating
         ones trip the chain bound long before the ``n * m`` worst case.
 
-        With ``sources``, only those node ids seed the queue: detection is
-        then restricted to negative cycles reachable from them (still with
-        no false positives -- the chain-length argument is seeding
-        independent).  Callers must guarantee every possible negative
-        cycle is reachable from the sources, e.g. because the graph
-        without the speculative additions is known negative-cycle-free.
+        With ``sources``, detection becomes Bellman-Ford from a source
+        set: the sources start at distance 0 on the queue, every other
+        node at ``+inf``, which detects exactly the negative cycles
+        *reachable* from the sources (still with no false positives --
+        the chain-length argument is seeding independent).  The ``+inf``
+        initialization is essential: zero-initializing non-sources would
+        stall the relaxation wave at the first positive-weight
+        (forward-message) edge whose running prefix sum is nonnegative,
+        missing cycles that genuinely pass through a source.  Callers
+        must guarantee every possible negative cycle is reachable from
+        the sources, e.g. because the graph without the speculative
+        additions is known negative-cycle-free.
         """
         n = len(self._nodes)
         if n == 0 or not self._messages:
             return False
         wtab = self._weight_table(p, q)
         adj = self._adj
-        dist = [0] * n
         chain = [0] * n  # edges in the walk realizing the current dist
         queued = [False] * n
         if sources is None:
+            dist: list[int | float] = [0] * n
             active = [u for u in range(n) if adj[u]]
         else:
+            dist = [float("inf")] * n
+            for u in sources:
+                dist[u] = 0
             active = sorted({u for u in sources if adj[u]})
         while active:
             next_active: list[int] = []
@@ -809,15 +830,16 @@ class AdmissibilityChecker:
 
         Args:
             sources: restrict detection to violating cycles *reachable*
-                from these events in the traversal digraph.  Only sound
-                when every possible violation passes through their
-                reachable region -- the speculative scheduler qualifies
-                because its realized prefix is violation-free by
-                construction, so any violating cycle must involve a
-                speculatively added edge.  An event speculatively
-                received reaches its message source through the backward
-                traversal edge, so listing the new receive events alone
-                suffices.
+                from these events in the traversal digraph (Bellman-Ford
+                from a source set).  Only sound when every possible
+                violation passes through their reachable region -- the
+                speculative scheduler qualifies because its realized
+                prefix is violation-free by construction, so any
+                violating cycle must involve a speculatively added
+                H-edge; every such edge is incident to a new receive
+                event, so the cycle passes through -- and is reachable
+                from -- that event, and listing the new receive events
+                alone suffices.
         """
         r = max(_as_ratio(ratio), Fraction(1))
         self.oracle_calls += 1

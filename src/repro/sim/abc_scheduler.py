@@ -255,9 +255,10 @@ class AbcEnforcingSimulator(Simulator):
         return len(self._queue) - len(self._cancelled)
 
     def _step(self) -> None:
-        # Sync and tombstone while every in-flight message (including the
-        # delivery about to be popped) is still in the queue to pin its
-        # send event.
+        # Sync (a no-op unless a caller grew the trace between run()
+        # calls) and tombstone while every in-flight message (including
+        # the delivery about to be popped) is still in the queue to pin
+        # its send event.
         self._sync_checker()
         if self.tombstone_every is not None:
             self._since_tombstone += 1
@@ -279,23 +280,26 @@ class AbcEnforcingSimulator(Simulator):
                     stranded.append(pending)
         if not stranded:
             self._process_delivery(delivery)
-            self._purge_cancelled_head()
-            return
-        # Pull the earliest-sent stranded message forward: it is
-        # delivered now (its "real" delay shrinks); the tentative
-        # delivery goes back into the queue and is retried next step.
-        heapq.heappush(self._queue, delivery)
-        rescue = min(stranded, key=_rescue_key)
-        self._cancelled.add(rescue.seq)
-        self.pulled_forward += 1
-        expedited = _Delivery(
-            self.now,
-            rescue.seq,
-            rescue.dest,
-            rescue.sender,
-            rescue.send_event,
-            rescue.send_time,
-            rescue.payload,
-        )
-        self._process_delivery(expedited)
+        else:
+            # Pull the earliest-sent stranded message forward: it is
+            # delivered now (its "real" delay shrinks); the tentative
+            # delivery goes back into the queue and is retried next step.
+            heapq.heappush(self._queue, delivery)
+            rescue = min(stranded, key=_rescue_key)
+            self._cancelled.add(rescue.seq)
+            self.pulled_forward += 1
+            expedited = _Delivery(
+                self.now,
+                rescue.seq,
+                rescue.dest,
+                rescue.sender,
+                rescue.send_event,
+                rescue.send_time,
+                rescue.payload,
+            )
+            self._process_delivery(expedited)
         self._purge_cancelled_head()
+        # Absorb and verify the record just realized, so a violation
+        # closed by the run's final delivery is detected before the run
+        # returns and ``violation_detected`` is read.
+        self._sync_checker()

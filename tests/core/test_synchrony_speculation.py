@@ -23,7 +23,7 @@ import pytest
 
 from repro.core.cuts import Cut
 from repro.core.events import Event
-from repro.core.execution_graph import ExecutionGraph
+from repro.core.execution_graph import ExecutionGraph, MessageEdge
 from repro.core.synchrony import AdmissibilityChecker
 from repro.core.variants import suffix_graph
 from repro.scenarios.generators import random_execution_graph
@@ -123,6 +123,44 @@ class TestCheckpointRollback:
 
 
 class TestSeededDetection:
+    def test_seeded_search_climbs_through_forward_edges(self):
+        """Regression: seeded detection must do genuine Bellman-Ford
+        from the source set (non-sources at +infinity).
+
+        Five-process counterexample: the base graph is violation-free at
+        Xi = 3/2; adding receive event e1 with message a0 -> e1 closes
+        the violating cycle
+
+            e1 -> e0 (local) -> b0 (against b0->e0) -> c1 (along b0->c1)
+               -> c0 (local) -> d1 (against d1->c0) -> d0 (local)
+               -> a0 (against a0->d0) -> e1 (along a0->e1)
+
+        with |Z-| = 3, |Z+| = 2, ratio 3/2.  Walked from the seed e1,
+        the prefix weight turns nonnegative at the forward edge
+        b0 -> c1, so a zero-initialized seeded search stalls there and
+        misses the cycle even though it passes through the seed.
+        """
+        xi = Fraction(3, 2)
+        a0, b0 = Event(0, 0), Event(1, 0)
+        c0, c1 = Event(2, 0), Event(2, 1)
+        d0, d1 = Event(3, 0), Event(3, 1)
+        e0, e1 = Event(4, 0), Event(4, 1)
+        base = ExecutionGraph(
+            {0: [a0], 1: [b0], 2: [c0, c1], 3: [d0, d1], 4: [e0]},
+            [
+                MessageEdge(b0, e0),
+                MessageEdge(b0, c1),
+                MessageEdge(d1, c0),
+                MessageEdge(a0, d0),
+            ],
+        )
+        checker = AdmissibilityChecker(base)
+        assert not checker.has_ratio_at_least(xi)
+        checker.add_event(e1)
+        checker.add_message(a0, e1)
+        assert checker.has_ratio_at_least(xi)
+        assert checker.has_ratio_at_least(xi, sources=(e1,))
+
     @pytest.mark.parametrize("seed", range(15))
     def test_seeded_matches_full_for_frontier_extensions(self, seed):
         """A violation-free graph extended by one message: seeding the

@@ -120,10 +120,23 @@ class TestEnforcedTracesAreAdmissible:
         sim = AbcEnforcingSimulator(procs, net, seed=5, xi=XI, tombstone_every=8)
         trace = sim.run(SimulationLimits(max_events=300))
         assert sim.tombstoned_events > 0
-        # The digraph mirrors realized records (the last few may still be
-        # unmirrored at quiescence) minus everything tombstoned.
-        assert sim.live_digraph_events == sim._mirrored - sim.tombstoned_events
+        # The digraph mirrors every realized record minus everything
+        # tombstoned.
+        assert sim.live_digraph_events == len(trace.records) - sim.tombstoned_events
         assert sim.live_digraph_events < len(trace.records)
+
+    def test_final_record_is_absorbed_and_checked(self):
+        """Regression: ``_step`` syncs the checker after the delivery,
+        so the record produced by the run's final delivery is absorbed
+        and verified before ``violation_detected`` is read -- it used to
+        stay unmirrored (and unchecked) until a next step that never
+        came."""
+        _monitor, procs, net = fd_setup(slow=30.0)
+        sim = AbcEnforcingSimulator(procs, net, seed=0, xi=XI)
+        trace = sim.run(SimulationLimits(max_events=2_000))
+        assert trace.records
+        assert sim._mirrored == len(trace.records)
+        assert not sim.violation_detected
 
 
 class TestRescuePath:
