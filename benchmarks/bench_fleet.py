@@ -1,0 +1,276 @@
+"""Multi-trace fleet monitor vs. the naive one-monitor-per-trace loop.
+
+The production-monitoring workload: 200+ concurrent executions (mixed
+ping-pong storms, clustered bursts, long-silence idlers) interleaved
+into one arrival-ordered stream.  The naive contender keeps one
+:class:`~repro.analysis.online.OnlineAbcMonitor` per trace and feeds it
+record by record -- exact, but one Farey-successor oracle call per
+message record and every digraph live forever.  The fleet
+(:class:`~repro.analysis.fleet.MonitorFleet`) batches each trace's
+bursts into one deferred refresh per flush, retires finished traces,
+and evicts settled prefixes to stay under a global live-event budget.
+
+Measured: ingest throughput (records/sec) for both contenders, the
+oracle-call counts that explain the gap, and the fleet's peak live-event
+watermark against its configured budget -- with every per-trace worst
+ratio required to be bit-identical between the two contenders.
+
+Also runnable as a script (CI smoke / the >=3x acceptance gate)::
+
+    python benchmarks/bench_fleet.py --traces 40 --max-records 60 --min-speedup 0
+    python benchmarks/bench_fleet.py --min-speedup 3 --json BENCH_fleet.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from collections import Counter
+
+from repro.analysis.fleet import MonitorFleet
+from repro.analysis.online import OnlineAbcMonitor
+from repro.scenarios.generators import concurrent_workload
+
+DEFAULT_TRACES = 220
+DEFAULT_RECORDS = (80, 200)
+DEFAULT_BATCH = 64
+DEFAULT_SHARDS = 8
+DEFAULT_BUDGET = 4000
+DEFAULT_SEED = 7
+# Hard floors for automated runs.  Nominal speedups are >=3x on the
+# default workload (typically 4-5x), but wall-clock ratios on shared
+# runners are noisy, so the hard gates stay below nominal: this pytest
+# entry uses 1.5x, the CI "Fleet speedup gate" step runs the CLI at
+# --min-speedup 2, and both leave the measured numbers as the
+# informational record; the acceptance run is the CLI with
+# --min-speedup 3 on a quiet machine.
+HARD_SPEEDUP_FLOOR = 1.5
+
+
+def build_workload(seed, n_traces, records_per_trace):
+    """The interleaved (trace_id, record) stream, materialized."""
+    rng = random.Random(seed)
+    return list(
+        concurrent_workload(
+            rng, n_traces=n_traces, records_per_trace=records_per_trace
+        )
+    )
+
+
+def run_naive(stream):
+    """One monitor per trace, record at a time; returns (ratios, calls)."""
+    monitors = {}
+    for trace_id, record in stream:
+        monitor = monitors.get(trace_id)
+        if monitor is None:
+            monitor = monitors[trace_id] = OnlineAbcMonitor()
+        monitor.observe(record)
+    return (
+        {tid: m.worst_ratio for tid, m in monitors.items()},
+        sum(m.oracle_calls for m in monitors.values()),
+    )
+
+
+def run_fleet(stream, batch_size, n_shards, event_budget):
+    """Fleet ingestion with close-at-last-record; returns the fleet."""
+    remaining = Counter(trace_id for trace_id, _record in stream)
+    fleet = MonitorFleet(
+        n_shards=n_shards, batch_size=batch_size, event_budget=event_budget
+    )
+    for trace_id, record in stream:
+        fleet.ingest(trace_id, record)
+        remaining[trace_id] -= 1
+        if not remaining[trace_id]:
+            fleet.close(trace_id)
+    fleet.flush()
+    return fleet
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def compare(
+    seed=DEFAULT_SEED,
+    n_traces=DEFAULT_TRACES,
+    records_per_trace=DEFAULT_RECORDS,
+    batch_size=DEFAULT_BATCH,
+    n_shards=DEFAULT_SHARDS,
+    event_budget=DEFAULT_BUDGET,
+):
+    """Run both contenders; returns the metrics dict.
+
+    Raises ``AssertionError`` unless every per-trace worst ratio is
+    bit-identical, no trace was degraded, and (with a budget configured)
+    the peak live-event watermark stayed within the budget with no
+    overruns.
+    """
+    stream = build_workload(seed, n_traces, records_per_trace)
+    (naive_ratios, naive_calls), naive_s = _timed(run_naive, stream)
+    fleet, fleet_s = _timed(
+        run_fleet, stream, batch_size, n_shards, event_budget
+    )
+    report = fleet.report()
+    for trace_id, ratio in naive_ratios.items():
+        fleet_ratio = fleet.worst_ratio(trace_id)
+        assert fleet_ratio == ratio, (
+            f"{trace_id}: fleet {fleet_ratio} != standalone {ratio}"
+        )
+    assert report.degraded_traces == 0, "exact workload must not degrade"
+    if event_budget is not None:
+        assert report.budget_overruns == 0, (
+            f"{report.budget_overruns} budget overruns"
+        )
+        assert report.peak_live_events <= event_budget, (
+            f"peak {report.peak_live_events} exceeds budget {event_budget}"
+        )
+    return {
+        "traces": n_traces,
+        "records": len(stream),
+        "batch_size": batch_size,
+        "n_shards": n_shards,
+        "event_budget": event_budget,
+        "naive_s": naive_s,
+        "fleet_s": fleet_s,
+        "speedup": naive_s / fleet_s,
+        "naive_records_per_s": len(stream) / naive_s,
+        "fleet_records_per_s": len(stream) / fleet_s,
+        "naive_oracle_calls": naive_calls,
+        "fleet_oracle_calls": report.oracle_calls,
+        "flushes": report.flushes,
+        "peak_live_events": report.peak_live_events,
+        "tombstoned_events": report.tombstoned_events,
+        "evictions": report.evictions,
+        "retired_traces": report.retired_traces,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entries
+# ----------------------------------------------------------------------
+
+
+def test_fleet_exactness_and_speedup():
+    """Bit-identical per-trace worst ratios, peak live events within the
+    budget, and ingest throughput over the naive loop above the
+    noise-tolerant hard floor (nominal is >=3x; see HARD_SPEEDUP_FLOOR)."""
+    r = compare()
+    sys.stderr.write(
+        f"\n[bench_fleet] traces={r['traces']} records={r['records']} "
+        f"naive={r['naive_s']:.2f}s ({r['naive_records_per_s']:.0f} rec/s) "
+        f"fleet={r['fleet_s']:.2f}s ({r['fleet_records_per_s']:.0f} rec/s) "
+        f"speedup={r['speedup']:.1f}x peak={r['peak_live_events']} "
+        f"oracle {r['naive_oracle_calls']} -> {r['fleet_oracle_calls']}\n"
+    )
+    assert r["speedup"] >= HARD_SPEEDUP_FLOOR, (
+        f"fleet speedup {r['speedup']:.1f}x below the "
+        f"{HARD_SPEEDUP_FLOOR}x hard floor"
+    )
+
+
+def test_fleet_benchmark(benchmark):
+    stream = build_workload(DEFAULT_SEED, 60, (40, 80))
+
+    def run():
+        return run_fleet(stream, DEFAULT_BATCH, DEFAULT_SHARDS, 2000)
+
+    fleet = benchmark(run)
+    report = fleet.report()
+    assert report.records == len(stream)
+    benchmark.extra_info["records"] = report.records
+    benchmark.extra_info["oracle_calls"] = report.oracle_calls
+
+
+# ----------------------------------------------------------------------
+# script mode (CI smoke, the gate, JSON artifact)
+# ----------------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=(
+            "Compare MonitorFleet ingestion against the naive "
+            "one-monitor-per-trace loop on a concurrent workload."
+        )
+    )
+    parser.add_argument("--traces", type=int, default=DEFAULT_TRACES)
+    parser.add_argument(
+        "--min-records", type=int, default=DEFAULT_RECORDS[0],
+        help="minimum records per trace",
+    )
+    parser.add_argument(
+        "--max-records", type=int, default=DEFAULT_RECORDS[1],
+        help="maximum records per trace",
+    )
+    parser.add_argument("--batch", type=int, default=DEFAULT_BATCH)
+    parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS)
+    parser.add_argument(
+        "--budget", type=int, default=DEFAULT_BUDGET,
+        help="global live-event budget (0 disables eviction)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit non-zero unless the fleet reaches this speedup",
+    )
+    parser.add_argument(
+        "--json", type=str, default=None,
+        help="write the metrics to this JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    budget = args.budget if args.budget else None
+    records = (min(args.min_records, args.max_records), args.max_records)
+    if budget is not None and args.traces < 100:
+        # Small smoke runs hold fewer live events than the default
+        # budget; scale it down (below the workload's natural peak) so
+        # budget enforcement and eviction are genuinely exercised.
+        budget = min(budget, args.traces * args.max_records // 8)
+    r = compare(
+        seed=args.seed,
+        n_traces=args.traces,
+        records_per_trace=records,
+        batch_size=args.batch,
+        n_shards=args.shards,
+        event_budget=budget,
+    )
+    print(
+        f"workload: {r['traces']} traces, {r['records']} records "
+        f"(batch={r['batch_size']}, shards={r['n_shards']}, "
+        f"budget={r['event_budget']})"
+    )
+    print(
+        f"naive : {r['naive_s'] * 1e3:8.1f} ms  "
+        f"{r['naive_records_per_s']:8.0f} rec/s  "
+        f"{r['naive_oracle_calls']:6d} oracle calls"
+    )
+    print(
+        f"fleet : {r['fleet_s'] * 1e3:8.1f} ms  "
+        f"{r['fleet_records_per_s']:8.0f} rec/s  "
+        f"{r['fleet_oracle_calls']:6d} oracle calls  "
+        f"({r['speedup']:.1f}x)"
+    )
+    print(
+        f"memory: peak {r['peak_live_events']} live events "
+        f"(budget {r['event_budget']}), {r['tombstoned_events']} tombstoned "
+        f"across {r['evictions']} evictions, "
+        f"{r['retired_traces']} traces retired"
+    )
+    print("per-trace worst ratios bit-identical to standalone monitors")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(r, fh, indent=2)
+        print(f"wrote {args.json}")
+    if args.min_speedup is not None and r["speedup"] < args.min_speedup:
+        print(f"FAIL: speedup {r['speedup']:.1f}x < {args.min_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

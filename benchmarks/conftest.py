@@ -3,5 +3,6 @@
 Every benchmark asserts the paper claim it reproduces (the bench fails if
 the reproduction breaks) and records the measured quantities in
 ``benchmark.extra_info`` so they appear in pytest-benchmark's JSON
-output.  EXPERIMENTS.md summarizes paper-vs-measured for each entry.
+output.  ``docs/benchmarks.md`` documents what each suite measures, how
+to run it, and the CI gates.
 """

@@ -3,7 +3,8 @@
 The offline environment used for this reproduction lacks ``wheel``, which
 PEP 517 editable installs require; keeping a ``setup.py`` lets
 ``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
-Project metadata lives in ``pyproject.toml``.
+The package itself is stdlib-only and also runs straight off the tree
+with ``PYTHONPATH=src`` (the convention the README, tests, and CI use).
 """
 
 from setuptools import setup

@@ -1,5 +1,11 @@
 """Property checkers for the paper's theorems, over recorded traces."""
 
+from repro.analysis.fleet import (
+    FleetReport,
+    MonitorFleet,
+    ShardStats,
+    TraceSummary,
+)
 from repro.analysis.online import (
     OnlineAbcMonitor,
     RatioChange,
@@ -21,7 +27,11 @@ from repro.analysis.properties import (
 
 __all__ = [
     "BoundedProgressReport",
+    "FleetReport",
+    "MonitorFleet",
     "OnlineAbcMonitor",
+    "ShardStats",
+    "TraceSummary",
     "RatioChange",
     "running_worst_ratio_of_trace",
     "ClockAnalysis",

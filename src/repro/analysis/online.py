@@ -41,6 +41,14 @@ rolling it back -- the primitive the ABC-enforcing scheduler of
 :meth:`OnlineAbcMonitor.settled_prefix`) tombstones the settled causal
 past out of the digraph so unbounded monitored executions hold bounded
 state; the running worst ratio keeps its historical maximum.
+
+A third facility serves the *multi-trace* deployment of
+:mod:`repro.analysis.fleet`: :meth:`OnlineAbcMonitor.observe_batch`
+absorbs a burst of records with the refresh deferred to the end of the
+batch, so a storm of messages on one trace costs one Farey-successor
+oracle call per flush instead of one per record, while the worst ratio
+at every batch boundary stays bit-identical to record-at-a-time
+observation (the ratio is a function of the observed graph alone).
 """
 
 from __future__ import annotations
@@ -119,6 +127,7 @@ class OnlineAbcMonitor:
         self.on_ratio_increase = on_ratio_increase
         self.changes: list[RatioChange] = []
         self.violation: CycleClassification | None = None
+        self.forgotten_message_edges = 0
         self._checker = AdmissibilityChecker()
         self._worst: Fraction | None = None
 
@@ -146,6 +155,11 @@ class OnlineAbcMonitor:
     def oracle_calls(self) -> int:
         """Total negative-cycle runs issued (incrementality metric)."""
         return self._checker.oracle_calls
+
+    def n_events_of(self, process: ProcessId) -> int:
+        """Total events observed at ``process`` (forgotten ones
+        included): the local index the next event there must carry."""
+        return self._checker.n_events_of(process)
 
     def is_admissible(self) -> bool:
         """Whether the observed prefix is ABC-admissible for ``xi``."""
@@ -182,6 +196,47 @@ class OnlineAbcMonitor:
         """Consume many records (a whole trace or a new suffix of one)."""
         for record in trace:
             self.observe(record)
+        return self._worst
+
+    def observe_batch(self, records: Iterable[ReceiveRecord]) -> Fraction | None:
+        """Absorb a burst of records with one deferred refresh.
+
+        Semantically equivalent to calling :meth:`observe` on each record
+        in order, except that the worst-ratio refresh runs once at the end
+        of the batch instead of once per message edge -- the oracle-saving
+        hook behind :class:`repro.analysis.fleet.MonitorFleet`.  Because
+        the worst ratio is a function of the observed graph alone, the
+        ratio returned at the batch boundary is bit-identical to
+        record-at-a-time observation; only the *intermediate* ratios (and
+        with them per-record granularity of :attr:`changes` /
+        ``on_ratio_increase``) are coalesced into at most one
+        :class:`RatioChange` per batch, and a violation is reported at the
+        batch boundary rather than mid-burst.
+
+        Unlike :meth:`observe`, a record whose triggering send event lies
+        in a prefix already dropped by :meth:`forget_prefix` does not
+        raise: the edge is skipped and counted in
+        :attr:`forgotten_message_edges`.  A nonzero count means prefixes
+        were forgotten unsafely (a message crossed the boundary after
+        all) and the ratio is now only a lower bound; choosing prefixes
+        with :meth:`settled_prefix` and pinning the send events of
+        in-flight messages keeps the count at zero and the monitor exact.
+        """
+        added = False
+        for record in records:
+            self.observe_event(record.event)
+            if message_kept(
+                record, self.faulty, self.drop_faulty, self.keep_message
+            ):
+                src = record.send_event
+                assert src is not None
+                if src.index < self._checker.first_live_index(src.process):
+                    self.forgotten_message_edges += 1
+                    continue
+                if self._checker.add_message(src, record.event):
+                    added = True
+        if added:
+            self._refresh()
         return self._worst
 
     def observe_event(self, event: Event) -> None:

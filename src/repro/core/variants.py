@@ -15,6 +15,17 @@ correct when only cycles with at most two forward messages are
 constrained.  :func:`check_abc_forward_bounded` implements that variant
 exactly (in polynomial time via a layered DAG), and
 :func:`check_abc_length_restricted` the total-length restriction.
+
+Implementation note: the eventual-variant searches here run on the
+*shared tombstoned digraph* of one
+:class:`~repro.core.synchrony.AdmissibilityChecker`.
+:func:`earliest_stabilization_cut` grows its ``C_GST`` candidate by
+tombstoning the absorbed cut out of the live digraph
+(:meth:`~repro.core.synchrony.AdmissibilityChecker.remove_prefix`,
+whose compacted survivor is edge-for-edge the suffix graph), so the
+iteration never rebuilds a suffix graph or re-indexes witnesses --
+the same substrate the online monitor and the enforcing scheduler use
+(see ``docs/architecture.md`` for the contracts).
 """
 
 from __future__ import annotations

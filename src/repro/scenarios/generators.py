@@ -26,6 +26,14 @@ races fast round-trip chains against a slow link (Figure 3 at scale),
 :func:`long_silence` leaves a link silent for epochs at a time.
 :func:`random_enforcer_setup` draws randomized mixtures of all three for
 differential and property testing.
+
+A fifth family feeds the *multi-trace* fleet monitor
+(:class:`~repro.analysis.fleet.MonitorFleet`):
+:func:`concurrent_workload` interleaves many independent record streams
+-- ping-pong storms, clustered bursts, long-silence idlers -- into one
+global ``(trace_id, record)`` stream in arrival order, with every
+record carrying full ``sends`` metadata so in-flight messages are
+knowable and budget-driven eviction stays exact.
 """
 
 from __future__ import annotations
@@ -42,7 +50,7 @@ from repro.sim.delays import FixedDelay, PerLinkDelay, ThetaBandDelay, UniformDe
 from repro.sim.engine import SimulationLimits, Simulator
 from repro.sim.network import Network, Topology
 from repro.sim.process import Process
-from repro.sim.trace import ReceiveRecord, Trace
+from repro.sim.trace import ReceiveRecord, SendRecord, Trace
 
 __all__ = [
     "random_execution_graph",
@@ -54,6 +62,8 @@ __all__ = [
     "zero_delay_burst",
     "long_silence",
     "random_enforcer_setup",
+    "concurrent_workload",
+    "profiled_trace_records",
 ]
 
 
@@ -353,3 +363,211 @@ def random_enforcer_setup(
             max_probes=rng.randint(3, 8),
         )
     return processes, network, xi
+
+
+# ----------------------------------------------------------------------
+# multi-trace fleet workloads
+# ----------------------------------------------------------------------
+
+
+def _materialize_records(
+    skeleton: Sequence[tuple[Event, float, Event | None]],
+) -> list[ReceiveRecord]:
+    """Turn ``(event, time, triggering send event | None)`` rows into
+    receive records with *complete* ``sends`` metadata.
+
+    The skeleton lists messages by their receive; this pass inverts that
+    view so every record also announces the messages its step sent --
+    the in-flight knowledge :class:`~repro.analysis.fleet.MonitorFleet`
+    needs to pin send events and keep eviction exact.
+    """
+    times = {event: time for event, time, _src in skeleton}
+    sends: dict[Event, list[SendRecord]] = {}
+    for event, time, src in skeleton:
+        if src is not None:
+            sends.setdefault(src, []).append(
+                SendRecord(
+                    dest=event.process,
+                    payload=None,
+                    delay=time - times[src],
+                    deliver_time=time,
+                )
+            )
+    return [
+        ReceiveRecord(
+            event=event,
+            time=time,
+            sender=None if src is None else src.process,
+            send_event=src,
+            send_time=None if src is None else times[src],
+            payload=None,
+            processed=True,
+            sends=tuple(sends.get(event, ())),
+        )
+        for event, time, src in skeleton
+    ]
+
+
+def _storm_skeleton(
+    rng: random.Random, n_records: int
+) -> list[tuple[Event, float, Event | None]]:
+    """A fig-3 storm: a fast ping-pong chain between processes 0 and 1
+    racing slow round trips through process 2.
+
+    Each slow round trip (0 -> 2 -> 0) spans the ever-running fast chain,
+    closing relevant cycles whose ratio grows with the span -- and the
+    chain links history to the frontier, so storm traces are the
+    *unsettleable* population of a fleet (nothing tombstonable).
+    """
+    skeleton: list[tuple[Event, float, Event | None]] = []
+    next_index = [0, 0, 0]
+    now = 0.0
+
+    def emit(process: int, src: Event | None) -> Event:
+        nonlocal now
+        now += rng.uniform(0.01, 0.1)
+        event = Event(process, next_index[process])
+        next_index[process] += 1
+        skeleton.append((event, now, src))
+        return event
+
+    last = emit(0, None)  # the chain's wake-up
+    # (due at chain step, src event, destination process)
+    slow: list[tuple[int, Event, int]] = []
+    span = rng.randint(4, 9)
+    for step in range(1, n_records):
+        due = [s for s in slow if s[0] <= step]
+        if due:
+            slow.remove(due[0])
+            _due, src, dest = due[0]
+            arrival = emit(dest, src)
+            if dest == 2:  # the echo: schedule the reply leg
+                slow.append((step + span, arrival, 0))
+        else:
+            last = emit(1 - last.process, last)
+            if last.process == 0 and not slow and rng.random() < 0.5:
+                slow.append((step + span, last, 2))
+                span += rng.randint(1, 3)  # later cycles span more chain
+    return skeleton
+
+
+def _burst_skeleton(
+    rng: random.Random,
+    n_records: int,
+    n_processes: int = 3,
+    cluster: tuple[int, int] = (6, 14),
+    gap: float = 50.0,
+) -> list[tuple[Event, float, Event | None]]:
+    """Clustered bursts: each cluster wakes every process afresh, then
+    exchanges messages only among the cluster's own events.
+
+    Because no message refers back past a cluster's wake-ups, everything
+    before the live cluster is settled -- the population budget-driven
+    eviction can actually reclaim.
+    """
+    skeleton: list[tuple[Event, float, Event | None]] = []
+    next_index = [0] * n_processes
+    now = 0.0
+
+    def emit(process: int, src: Event | None) -> Event:
+        nonlocal now
+        now += rng.uniform(0.001, 0.01)
+        event = Event(process, next_index[process])
+        next_index[process] += 1
+        skeleton.append((event, now, src))
+        return event
+
+    while len(skeleton) < n_records:
+        now += gap * rng.uniform(0.5, 1.5)  # silence between clusters
+        fresh = [emit(p, None) for p in range(n_processes)]
+        for _ in range(rng.randint(*cluster)):
+            if len(skeleton) >= n_records:
+                break
+            src = fresh[rng.randrange(len(fresh))]
+            dst_process = rng.randrange(n_processes)
+            fresh.append(emit(dst_process, src))
+    return skeleton
+
+
+def _idler_skeleton(
+    rng: random.Random, n_records: int
+) -> list[tuple[Event, float, Event | None]]:
+    """A long-silence idler: tiny clusters separated by epochs of
+    nothing; most of the trace is settled history almost immediately."""
+    return _burst_skeleton(
+        rng, n_records, n_processes=2, cluster=(1, 4), gap=500.0
+    )
+
+
+_PROFILES = {
+    "storm": _storm_skeleton,
+    "burst": _burst_skeleton,
+    "idler": _idler_skeleton,
+}
+
+
+def profiled_trace_records(
+    rng: random.Random, profile: str, n_records: int
+) -> list[ReceiveRecord]:
+    """One trace's records under a named activity profile.
+
+    Profiles (the per-trace building blocks of
+    :func:`concurrent_workload`):
+
+    * ``"storm"``  -- a fast ping-pong chain racing slow round trips
+      (relevant cycles of growing ratio; nothing ever settles);
+    * ``"burst"``  -- clustered exchanges between causally fresh
+      wake-ups (ratio-1-and-up cycles; old clusters settle);
+    * ``"idler"``  -- long silences around tiny clusters (mostly
+      settled history).
+
+    Every prefix of the returned list is a valid growing execution, and
+    ``sends`` metadata is complete (each message appears in its send
+    event's record), so in-flight pinning -- and with it exact fleet
+    eviction -- works on these streams.
+    """
+    try:
+        skeleton_of = _PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {profile!r}; choose from {sorted(_PROFILES)}"
+        ) from None
+    if n_records < 1:
+        raise ValueError("need at least one record")
+    # Clusters may overshoot by their wake-ups; trimming the tail keeps
+    # every prefix valid (sends metadata is derived after the trim, so a
+    # message whose receive was trimmed simply stays in flight).
+    return _materialize_records(skeleton_of(rng, n_records)[:n_records])
+
+
+def concurrent_workload(
+    rng: random.Random,
+    n_traces: int = 20,
+    records_per_trace: tuple[int, int] = (30, 80),
+    profile_weights: dict[str, float] | None = None,
+) -> Iterator[tuple[str, ReceiveRecord]]:
+    """An interleaved multi-trace stream: ``(trace_id, record)`` pairs.
+
+    Each trace draws a profile (see :func:`profiled_trace_records`) and
+    a record count, gets a random start offset, and the per-trace
+    streams are merged by arrival time -- the ingestion order a
+    production monitor sees: storms hammering single traces, bursts
+    arriving in clumps, idlers trickling alongside.  Per-trace record
+    order is preserved, so every trace's subsequence is a valid growing
+    execution; trace ids are ``"<profile>-<k>"``.
+    """
+    if n_traces < 1:
+        raise ValueError("need at least one trace")
+    weights = profile_weights or {"storm": 0.3, "burst": 0.45, "idler": 0.25}
+    names = sorted(weights)
+    streams: list[tuple[float, int, str, ReceiveRecord]] = []
+    for k in range(n_traces):
+        profile = rng.choices(names, [weights[n] for n in names])[0]
+        n_records = rng.randint(*records_per_trace)
+        records = profiled_trace_records(rng, profile, n_records)
+        start = rng.uniform(0.0, 200.0)
+        for record in records:
+            streams.append((start + record.time, k, f"{profile}-{k}", record))
+    streams.sort(key=lambda item: (item[0], item[1]))
+    for _arrival, _k, trace_id, record in streams:
+        yield trace_id, record

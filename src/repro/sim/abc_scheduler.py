@@ -54,6 +54,12 @@ and falls back to unseeded full-digraph oracles with tombstoning
 disabled, preserving the exact decisions a from-scratch implementation
 would make.  Post-hoc validation with :func:`repro.core.check_abc`
 remains available for such runs.
+
+The checkpoint/rollback, seeding, and tombstoning contracts this
+scheduler relies on are documented in ``docs/architecture.md``; the
+*monitoring* (rather than enforcing) deployment of the same machinery
+-- including the multi-trace fleet -- lives in
+:mod:`repro.analysis.online` and :mod:`repro.analysis.fleet`.
 """
 
 from __future__ import annotations

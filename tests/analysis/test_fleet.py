@@ -1,0 +1,402 @@
+"""Tests for the multi-trace monitoring fleet.
+
+The central property: every per-trace worst ratio the fleet reports --
+through batched flushes, budget-driven eviction, and retirement -- is
+bit-identical to a standalone :class:`OnlineAbcMonitor` fed the same
+records one at a time.  Around it: the memory budget's watermark
+guarantee, graceful degradation on metadata-free streams, the trace
+lifecycle, and the fleet-level aggregates.
+"""
+
+import random
+from collections import defaultdict
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.fleet import MonitorFleet, TraceSummary
+from repro.analysis.online import OnlineAbcMonitor
+from repro.scenarios.generators import (
+    concurrent_workload,
+    profiled_trace_records,
+    streaming_records,
+)
+
+
+def standalone_ratio(records):
+    """The reference: one monitor, record at a time."""
+    monitor = OnlineAbcMonitor()
+    for record in records:
+        monitor.observe(record)
+    return monitor.worst_ratio
+
+
+def by_trace(stream):
+    per = defaultdict(list)
+    for trace_id, record in stream:
+        per[trace_id].append(record)
+    return per
+
+
+class TestExactness:
+    @pytest.mark.parametrize(
+        "seed,batch_size,n_shards,budget",
+        [
+            (0, 1, 1, None),
+            (1, 3, 4, None),
+            (2, 8, 8, 300),
+            (3, 32, 2, 150),
+            (4, 64, 16, 500),
+        ],
+    )
+    def test_fleet_matches_standalone_monitors(
+        self, seed, batch_size, n_shards, budget
+    ):
+        """The acceptance property: per-trace worst ratios bit-identical
+        to standalone monitors, across batch sizes, shard counts, and
+        budgets tight enough to force eviction."""
+        stream = list(
+            concurrent_workload(
+                random.Random(seed), n_traces=12, records_per_trace=(15, 45)
+            )
+        )
+        fleet = MonitorFleet(
+            n_shards=n_shards, batch_size=batch_size, event_budget=budget
+        )
+        fleet.ingest_many(stream)
+        for trace_id, records in by_trace(stream).items():
+            assert fleet.worst_ratio(trace_id) == standalone_ratio(records)
+            assert not fleet.is_degraded(trace_id)
+
+    def test_every_flush_boundary_is_exact(self):
+        """Query after every single ingest: each query forces a flush,
+        so every prefix becomes a batch boundary and must agree with the
+        standalone monitor on that prefix."""
+        records = profiled_trace_records(random.Random(5), "storm", 40)
+        fleet = MonitorFleet(batch_size=7)
+        reference = OnlineAbcMonitor()
+        for record in records:
+            fleet.ingest("t", record)
+            assert fleet.worst_ratio("t") == reference.observe(record)
+
+    def test_eviction_under_budget_stays_exact(self):
+        """A budget tight enough to evict repeatedly must not change any
+        ratio when the stream carries send metadata."""
+        stream = list(
+            concurrent_workload(
+                random.Random(9),
+                n_traces=10,
+                records_per_trace=(30, 60),
+                profile_weights={"burst": 0.7, "idler": 0.3},
+            )
+        )
+        fleet = MonitorFleet(n_shards=4, batch_size=8, event_budget=60)
+        fleet.ingest_many(stream)
+        report = fleet.report()
+        assert report.evictions > 0
+        assert report.tombstoned_events > 0
+        assert report.degraded_traces == 0
+        for trace_id, records in by_trace(stream).items():
+            assert fleet.worst_ratio(trace_id) == standalone_ratio(records)
+
+    def test_batching_saves_oracle_calls(self):
+        records = profiled_trace_records(random.Random(3), "storm", 120)
+        fleet = MonitorFleet(batch_size=30)
+        for record in records:
+            fleet.ingest("t", record)
+        fleet.flush()
+        reference = OnlineAbcMonitor()
+        for record in records:
+            reference.observe(record)
+        assert fleet.report().oracle_calls < reference.oracle_calls
+        assert fleet.worst_ratio("t") == reference.worst_ratio
+
+
+class TestMemoryBudget:
+    def test_peak_watermark_bounded_on_settleable_workload(self):
+        """Bursts and idlers settle between clusters, so the eviction
+        policy must keep the post-enforcement watermark within budget
+        with no overruns."""
+        stream = list(
+            concurrent_workload(
+                random.Random(11),
+                n_traces=12,
+                records_per_trace=(30, 60),
+                profile_weights={"burst": 0.6, "idler": 0.4},
+            )
+        )
+        budget = 150
+        fleet = MonitorFleet(n_shards=4, batch_size=8, event_budget=budget)
+        fleet.ingest_many(stream)
+        report = fleet.report()
+        assert report.budget_overruns == 0
+        assert report.peak_live_events <= budget
+        assert report.live_events <= budget
+
+    def test_unsettleable_storms_count_overruns_instead_of_lying(self):
+        """A hot ping-pong storm links history to the frontier: nothing
+        is safely evictable, so the fleet must report overruns rather
+        than force an unsafe eviction -- and stay exact."""
+        records = profiled_trace_records(random.Random(2), "storm", 80)
+        fleet = MonitorFleet(batch_size=10, event_budget=20)
+        for record in records:
+            fleet.ingest("t", record)
+        fleet.flush()
+        report = fleet.report()
+        assert report.budget_overruns > 0
+        assert not fleet.is_degraded("t")
+        assert fleet.worst_ratio("t") == standalone_ratio(records)
+
+    def test_close_frees_the_digraph(self):
+        stream = list(
+            concurrent_workload(
+                random.Random(4), n_traces=6, records_per_trace=(20, 40)
+            )
+        )
+        fleet = MonitorFleet(batch_size=16)
+        fleet.ingest_many(stream)
+        fleet.flush()
+        assert fleet.live_events > 0
+        for trace_id in by_trace(stream):
+            fleet.close(trace_id)
+        assert fleet.live_events == 0
+        assert fleet.open_traces == 0
+        assert fleet.retired_traces == len(by_trace(stream))
+
+
+class TestDegradation:
+    def test_metadata_free_streams_flag_instead_of_crashing(self):
+        """streaming_records carries no sends metadata, so a tight
+        budget can evict past an in-flight send.  The late edge must be
+        skipped and flagged, never raise -- and a non-degraded trace
+        must still be exact, a degraded one a sound lower bound."""
+        streams = {
+            f"t{i}": list(
+                streaming_records(
+                    random.Random(50 + i), n_processes=3, n_records=40
+                )
+            )
+            for i in range(6)
+        }
+        fleet = MonitorFleet(n_shards=2, batch_size=4, event_budget=30)
+        rng = random.Random(0)
+        iters = {tid: iter(recs) for tid, recs in streams.items()}
+        alive = sorted(iters)
+        while alive:
+            tid = rng.choice(alive)
+            try:
+                fleet.ingest(tid, next(iters[tid]))
+            except StopIteration:
+                alive.remove(tid)
+        degraded = 0
+        for tid, records in streams.items():
+            exact = standalone_ratio(records)
+            got = fleet.worst_ratio(tid)
+            if fleet.is_degraded(tid):
+                degraded += 1
+                assert got is None or exact is None or got <= exact
+            else:
+                assert got == exact
+        assert fleet.report().degraded_traces == degraded
+
+
+class TestLifecycle:
+    def test_close_summary_and_retired_queries(self):
+        records = profiled_trace_records(random.Random(8), "burst", 30)
+        fleet = MonitorFleet(batch_size=8)
+        for record in records:
+            fleet.ingest("t", record)
+        summary = fleet.close("t")
+        assert isinstance(summary, TraceSummary)
+        assert summary.worst_ratio == standalone_ratio(records)
+        assert summary.n_records == len(records)
+        assert not summary.degraded
+        # Retired traces still answer queries, from the summary.
+        assert fleet.worst_ratio("t") == summary.worst_ratio
+        assert not fleet.is_degraded("t")
+        # Closing again returns the summary unchanged.
+        assert fleet.close("t") == summary
+        with pytest.raises(KeyError):
+            fleet.close("never-seen")
+        with pytest.raises(KeyError):
+            fleet.worst_ratio("never-seen")
+
+    def test_reopening_a_retired_trace_degrades(self):
+        records = profiled_trace_records(random.Random(8), "storm", 40)
+        fleet = MonitorFleet(batch_size=8)
+        for record in records[:20]:
+            fleet.ingest("t", record)
+        first = fleet.close("t")
+        for record in records[20:]:
+            fleet.ingest("t", record)
+        assert fleet.is_degraded("t")
+        merged = fleet.close("t")
+        assert merged.degraded
+        assert merged.n_records == len(records)
+        # The merged ratio keeps at least the historical maximum.
+        assert first.worst_ratio is None or (
+            merged.worst_ratio is not None
+            and merged.worst_ratio >= first.worst_ratio
+        )
+
+    def test_on_violation_may_close_the_trace_reentrantly(self):
+        """Regression: the natural 'retire violating traces' deployment
+        -- on_violation calling fleet.close() -- must not crash the
+        flush that detected the violation, and the summary must count
+        the full triggering batch."""
+        storm = profiled_trace_records(random.Random(6), "storm", 60)
+        closed = []
+        fleet = MonitorFleet(
+            xi=Fraction(2),
+            batch_size=1000,  # everything pends until the explicit flush
+            on_violation=lambda tid, w: closed.append(fleet.close(tid)),
+        )
+        for record in storm:
+            fleet.ingest("hot", record)
+        fleet.flush()  # fires the violation mid-flush -> reentrant close
+        assert [s.trace_id for s in closed] == ["hot"]
+        assert closed[0].n_records == len(storm)
+        assert closed[0].worst_ratio == standalone_ratio(storm)
+        assert fleet.open_traces == 0 and fleet.retired_traces == 1
+        assert fleet.live_events == 0
+        assert fleet.violating_traces() == ("hot",)
+        # The ingest-triggered variant (watermark flush) as well.
+        closed.clear()
+        fleet2 = MonitorFleet(
+            xi=Fraction(2),
+            batch_size=5,
+            on_violation=lambda tid, w: closed.append(fleet2.close(tid)),
+        )
+        for record in storm:
+            if not closed:
+                fleet2.ingest("hot", record)
+        assert len(closed) == 1
+        assert closed[0].n_records % 5 == 0  # full batches, none dropped
+        assert fleet2.open_traces == 0
+
+    def test_reopened_trace_counts_once_in_aggregates(self):
+        """Regression: a trace open again after retirement must appear
+        exactly once in every aggregate, with its retired maximum
+        merged in -- not once open and once retired."""
+        records = profiled_trace_records(random.Random(8), "storm", 40)
+        fleet = MonitorFleet(batch_size=8)
+        for record in records[:30]:
+            fleet.ingest("t", record)
+        closed = fleet.close("t")
+        for record in records[30:]:
+            fleet.ingest("t", record)
+        assert len(fleet) == 1
+        assert fleet.open_traces == 1 and fleet.retired_traces == 0
+        assert sum(fleet.worst_ratio_histogram().values()) == 1
+        top = fleet.top_k_riskiest(10)
+        assert [tid for tid, _r in top] == ["t"]
+        # The reported ratio keeps the pre-reopen historical maximum.
+        assert closed.worst_ratio is not None
+        assert fleet.worst_ratio("t") >= closed.worst_ratio
+        assert top[0][1] == fleet.worst_ratio("t")
+        report = fleet.report()
+        assert report.open_traces == 1 and report.retired_traces == 0
+        assert report.degraded_traces == 1  # reopened => degraded, once
+
+    def test_violation_callbacks_and_listing(self):
+        storm = profiled_trace_records(random.Random(6), "storm", 60)
+        # Seed chosen so the idler's worst ratio stays below Xi = 2.
+        idler = profiled_trace_records(random.Random(7), "idler", 20)
+        assert standalone_ratio(storm) >= Fraction(2)
+        assert standalone_ratio(idler) < Fraction(2)
+        hits = []
+        fleet = MonitorFleet(
+            xi=Fraction(2),
+            batch_size=16,
+            on_violation=lambda tid, witness: hits.append((tid, witness)),
+        )
+        for record in storm:
+            fleet.ingest("hot", record)
+        for record in idler:
+            fleet.ingest("cold", record)
+        assert fleet.violating_traces() == ("hot",)
+        assert len(hits) == 1
+        tid, witness = hits[0]
+        assert tid == "hot"
+        assert witness.relevant and witness.ratio >= Fraction(2)
+        assert "cold" not in fleet.violating_traces()
+
+
+class TestAggregates:
+    @pytest.fixture(scope="class")
+    def populated(self):
+        stream = list(
+            concurrent_workload(
+                random.Random(13), n_traces=15, records_per_trace=(15, 40)
+            )
+        )
+        fleet = MonitorFleet(n_shards=4, batch_size=16)
+        fleet.ingest_many(stream)
+        return fleet, by_trace(stream)
+
+    def test_histogram_covers_every_trace(self, populated):
+        fleet, per = populated
+        histogram = fleet.worst_ratio_histogram()
+        assert sum(histogram.values()) == len(per)
+        for records in per.values():
+            assert standalone_ratio(records) in histogram
+
+    def test_top_k_riskiest_is_sorted_and_bounded(self, populated):
+        fleet, per = populated
+        top = fleet.top_k_riskiest(5)
+        assert len(top) == 5
+        ratios = [r if r is not None else Fraction(0) for _t, r in top]
+        assert ratios == sorted(ratios, reverse=True)
+        # The head really is the population maximum.
+        best = max(
+            (standalone_ratio(recs) for recs in per.values()),
+            key=lambda r: r if r is not None else Fraction(0),
+        )
+        assert top[0][1] == best
+        assert fleet.top_k_riskiest(0) == []
+        assert len(fleet.top_k_riskiest(1000)) == len(per)
+
+    def test_report_totals_match_shard_breakdown(self, populated):
+        fleet, per = populated
+        report = fleet.report()
+        assert report.records == sum(s.records for s in report.shards)
+        assert report.flushes == sum(s.flushes for s in report.shards)
+        assert report.oracle_calls == sum(
+            s.oracle_calls for s in report.shards
+        )
+        assert report.live_events == sum(
+            s.live_events for s in report.shards
+        )
+        assert report.open_traces == len(per)
+        assert report.records == sum(len(r) for r in per.values())
+        assert len(fleet) == len(per)
+
+    def test_shard_routing_is_stable_and_spread(self, populated):
+        fleet, per = populated
+        assert fleet.n_shards == 4
+        for trace_id in per:
+            assert fleet.shard_of(trace_id) == fleet.shard_of(trace_id)
+            assert 0 <= fleet.shard_of(trace_id) < 4
+        used = {fleet.shard_of(trace_id) for trace_id in per}
+        assert len(used) > 1
+
+
+class TestConstruction:
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            MonitorFleet(n_shards=0)
+        with pytest.raises(ValueError):
+            MonitorFleet(batch_size=0)
+        with pytest.raises(ValueError):
+            MonitorFleet(event_budget=0)
+
+    def test_monitor_factory_customization(self):
+        seen = []
+        fleet = MonitorFleet(
+            monitor_factory=lambda tid: (seen.append(tid), OnlineAbcMonitor())[1]
+        )
+        records = profiled_trace_records(random.Random(1), "burst", 10)
+        for record in records:
+            fleet.ingest("custom", record)
+        assert seen == ["custom"]
+        assert fleet.worst_ratio("custom") == standalone_ratio(records)

@@ -33,7 +33,7 @@ from repro.scenarios.generators import (
     streaming_trace,
     theta_band_trace,
 )
-from repro.sim.trace import Trace, build_execution_graph
+from repro.sim.trace import ReceiveRecord, Trace, build_execution_graph
 
 
 def prefix_graphs(trace: Trace) -> list:
@@ -401,3 +401,70 @@ class TestExtendTo:
         assert running_worst_ratio(sequence) == [
             worst_relevant_ratio(g) for g in sequence
         ]
+
+
+class TestObserveBatch:
+    """Deferred-batch absorption: the fleet's monitor hook."""
+
+    @pytest.mark.parametrize("seed,batch", [(0, 1), (1, 4), (2, 9), (3, 50)])
+    def test_batch_boundaries_match_per_record_observation(self, seed, batch):
+        trace = streaming_trace(random.Random(seed), 3, 48)
+        batched = OnlineAbcMonitor()
+        reference = OnlineAbcMonitor()
+        for start in range(0, len(trace.records), batch):
+            chunk = trace.records[start : start + batch]
+            got = batched.observe_batch(chunk)
+            for record in chunk:
+                reference.observe(record)
+            assert got == reference.worst_ratio
+        assert batched.oracle_calls <= reference.oracle_calls
+        assert batched.forgotten_message_edges == 0
+
+    def test_batched_violation_fires_at_the_boundary(self):
+        trace = streaming_trace(random.Random(7), 3, 40)
+        reference = OnlineAbcMonitor()
+        for record in trace.records:
+            reference.observe(record)
+        xi = reference.worst_ratio  # reached by this trace, so violated
+        witnesses = []
+        monitor = OnlineAbcMonitor(xi=xi, on_violation=witnesses.append)
+        monitor.observe_batch(trace.records)
+        assert len(witnesses) == 1
+        assert monitor.violation is not None
+        assert monitor.violation.ratio >= xi
+        # One coalesced change per batch at most.
+        assert len(monitor.changes) == 1
+        assert monitor.changes[0].worst == reference.worst_ratio
+
+    def test_forgotten_prefix_edge_is_counted_not_raised(self):
+        """After an (unsafely) forgotten prefix, a late message edge
+        from a dropped send event must be skipped and counted by
+        observe_batch -- while record-at-a-time observe raises."""
+
+        def record(event, time, src=None, src_time=None):
+            return ReceiveRecord(
+                event=event,
+                time=time,
+                sender=None if src is None else src.process,
+                send_event=src,
+                send_time=src_time,
+                payload=None,
+                processed=True,
+                sends=(),
+            )
+
+        a0, b0, b1 = Event(0, 0), Event(1, 0), Event(1, 1)
+        early = [record(a0, 1.0), record(b0, 2.0)]
+        late = record(b1, 3.0, src=a0, src_time=1.0)
+
+        monitor = OnlineAbcMonitor()
+        monitor.observe_batch(early)
+        monitor.forget_prefix([a0])  # unsafe: a0's send is in flight
+        assert monitor.observe_batch([late]) is None
+        assert monitor.forgotten_message_edges == 1
+
+        strict = OnlineAbcMonitor()
+        strict.observe_batch(early)
+        strict.forget_prefix([a0])
+        with pytest.raises(KeyError):
+            strict.observe(late)

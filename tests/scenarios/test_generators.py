@@ -9,6 +9,8 @@ import pytest
 
 from repro.core.synchrony import check_abc
 from repro.scenarios.generators import (
+    concurrent_workload,
+    profiled_trace_records,
     random_execution_graph,
     streaming_records,
     streaming_trace,
@@ -77,3 +79,76 @@ def test_theta_band_trace_is_abc_admissible():
     trace = theta_band_trace(n=4, f=1, theta=1.4, max_tick=6, seed=2)
     graph = build_execution_graph(trace)
     assert check_abc(graph, 2).admissible
+
+
+# ----------------------------------------------------------------------
+# multi-trace fleet workloads
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("profile", ["storm", "burst", "idler"])
+def test_profiled_traces_are_valid_growing_executions(profile):
+    records = profiled_trace_records(random.Random(3), profile, 50)
+    assert len(records) == 50
+    times = [r.time for r in records]
+    assert times == sorted(times)
+    n = max(r.event.process for r in records) + 1
+    # Every prefix must build into a valid execution graph.
+    for k in (1, 17, 50):
+        build_execution_graph(Trace(n, frozenset(), records[:k]))
+
+
+@pytest.mark.parametrize("profile", ["storm", "burst", "idler"])
+def test_profiled_traces_carry_complete_sends_metadata(profile):
+    """Every message must appear in its send event's ``sends`` -- the
+    in-flight knowledge that keeps fleet eviction exact."""
+    records = profiled_trace_records(random.Random(9), profile, 60)
+    by_event = {r.event: r for r in records}
+    n_messages = 0
+    for record in records:
+        if record.send_event is None:
+            continue
+        n_messages += 1
+        sender = by_event[record.send_event]
+        assert any(
+            s.dest == record.event.process and s.deliver_time == record.time
+            for s in sender.sends
+        ), f"{record.event} missing from {record.send_event}'s sends"
+    assert n_messages > 0
+
+
+def test_storm_traces_close_relevant_cycles():
+    from repro.core.synchrony import worst_relevant_ratio
+
+    records = profiled_trace_records(random.Random(1), "storm", 80)
+    graph = build_execution_graph(Trace(3, frozenset(), records))
+    worst = worst_relevant_ratio(graph)
+    assert worst is not None and worst > 1
+
+
+def test_profiled_trace_records_validation():
+    with pytest.raises(ValueError):
+        profiled_trace_records(random.Random(0), "nope", 10)
+    with pytest.raises(ValueError):
+        profiled_trace_records(random.Random(0), "storm", 0)
+
+
+def test_concurrent_workload_shape_and_determinism():
+    stream1 = list(concurrent_workload(random.Random(5), n_traces=8))
+    stream2 = list(concurrent_workload(random.Random(5), n_traces=8))
+    assert stream1 == stream2
+    trace_ids = {tid for tid, _r in stream1}
+    assert len(trace_ids) == 8
+    assert all(tid.split("-")[0] in ("storm", "burst", "idler") for tid in trace_ids)
+    # Per-trace subsequences are valid growing executions.
+    per = {}
+    for tid, record in stream1:
+        per.setdefault(tid, []).append(record)
+    for records in per.values():
+        n = max(r.event.process for r in records) + 1
+        build_execution_graph(Trace(n, frozenset(), records))
+
+
+def test_concurrent_workload_validation():
+    with pytest.raises(ValueError):
+        list(concurrent_workload(random.Random(0), n_traces=0))

@@ -1,0 +1,56 @@
+"""The docs layer stays true: links resolve, README examples run.
+
+Keeps documentation rot inside tier-1 -- a moved file, renamed heading,
+or API change that breaks a README example fails the suite locally,
+not just in the CI docs job (which runs the same checks standalone).
+"""
+
+import doctest
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from check_docs import check_file, github_slug, iter_links  # noqa: E402
+
+DOC_FILES = sorted(
+    [REPO / "README.md", REPO / "ROADMAP.md", REPO / "CHANGES.md"]
+    + list((REPO / "docs").glob("*.md"))
+)
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_markdown_links_resolve(path):
+    assert check_file(path) == []
+
+
+def test_readme_examples_execute():
+    """The README's code blocks are living documentation: run them."""
+    failures, tests = doctest.testfile(
+        str(REPO / "README.md"), module_relative=False, verbose=False
+    )
+    assert tests > 0, "README lost its doctested examples"
+    assert failures == 0
+
+
+class TestCheckerPrimitives:
+    def test_github_slug(self):
+        assert github_slug("Package map") == "package-map"
+        assert github_slug("`core` / *analysis*") == "core--analysis"
+        # Parenthesized text stays in the slug (GitHub drops only the
+        # paren characters); linked headings slug by their link text.
+        assert github_slug("Setup (offline)") == "setup-offline"
+        assert github_slug("See [the docs](docs/x.md)") == "see-the-docs"
+
+    def test_iter_links_masks_code_fences(self):
+        text = "[a](x.md)\n```\n[not](a-link.md)\n```\n[b](y.md#z)"
+        assert list(iter_links(text)) == ["x.md", "y.md#z"]
+
+    def test_check_file_reports_breakage(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Title\n[ok](doc.md#title) [bad](gone.md)\n")
+        errors = check_file(doc)
+        assert len(errors) == 1 and "gone.md" in errors[0]

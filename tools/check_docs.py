@@ -1,0 +1,95 @@
+"""Stdlib-only documentation checker: markdown links and anchors.
+
+Validates every inline markdown link in the given files:
+
+* relative links must resolve to an existing file or directory
+  (relative to the linking file);
+* ``#fragment`` targets -- own-file or cross-file -- must match a
+  heading's GitHub-style anchor slug in the target markdown file;
+* external (``http``/``https``/``mailto``) links are skipped: CI for
+  this repo runs offline, and a link checker that needs the network
+  flakes more than it catches.
+
+Used by the CI docs job together with ``python -m doctest README.md``
+(which executes the README's code blocks), and imported by
+``tests/test_docs.py`` so link rot fails tier-1 locally too::
+
+    python tools/check_docs.py README.md docs/*.md ROADMAP.md CHANGES.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) -- tolerates one level of nested
+# brackets in the text, strips an optional title from the target.
+_LINK = re.compile(r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: resolve markdown links to
+    their text, strip emphasis/code/bracket *characters* (the enclosed
+    text stays -- '## Setup (offline)' -> 'setup-offline'), lowercase,
+    drop punctuation, hyphenate spaces."""
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = re.sub(r"[`*_\[\]()]", "", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r" ", "-", text)
+
+
+def iter_links(markdown: str):
+    """Yield link targets, with fenced code blocks masked out (code
+    samples legitimately contain bracket-paren sequences)."""
+    masked = _CODE_FENCE.sub(lambda m: "\n" * m.group(0).count("\n"), markdown)
+    for match in _LINK.finditer(masked):
+        yield match.group(1)
+
+
+def anchors_of(path: Path) -> set[str]:
+    return {github_slug(h) for h in _HEADING.findall(path.read_text())}
+
+
+def check_file(path: Path) -> list[str]:
+    """All broken links in one markdown file, as human-readable errors."""
+    errors: list[str] = []
+    text = path.read_text()
+    for target in iter_links(text):
+        if target.startswith(_EXTERNAL):
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = (path.parent / base).resolve() if base else path.resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if github_slug(fragment) not in anchors_of(resolved):
+                errors.append(f"{path}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    errors: list[str] = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{path}: file does not exist")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error)
+    if not errors:
+        print(f"checked {len(argv)} files, all links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
