@@ -25,13 +25,18 @@ both costs across the population:
   the naive loop comes from (``benchmarks/bench_fleet.py``).
 * **Memory policy.**  An optional global ``event_budget`` bounds the
   total number of live digraph events across the fleet.  When a flush
-  pushes the fleet over budget, settled prefixes are tombstoned out of
-  the least-recently-ingested traces first
-  (:meth:`~repro.analysis.online.OnlineAbcMonitor.forget_prefix` on the
-  exact no-crossing prefix, with each trace's per-process frontier and
-  the send events of its in-flight messages pinned), and
-  :meth:`MonitorFleet.close` retires a finished trace to an immutable
-  :class:`TraceSummary`, freeing its digraph entirely.
+  pushes the fleet over budget, prefixes are evicted from the
+  least-recently-ingested traces first
+  (:meth:`~repro.analysis.online.OnlineAbcMonitor.forget_prefix`, with
+  each trace's per-process frontier and the send events of its
+  in-flight messages pinned): exact no-crossing removal where it
+  applies, with a fallback to *summary compaction* -- the prefix is
+  replaced by boundary-to-boundary summary edges -- on chain-shaped
+  traces where no prefix is exactly removable, so the budget holds on
+  every workload shape.  :meth:`MonitorFleet.close` retires a finished
+  trace to an immutable :class:`TraceSummary`, freeing its digraph
+  entirely, and ``auto_retire_after`` closes idle traces the same way
+  without an explicit call.
 * **Aggregates.**  :meth:`MonitorFleet.worst_ratio_histogram`,
   :meth:`MonitorFleet.violating_traces`,
   :meth:`MonitorFleet.top_k_riskiest` and the :class:`FleetReport`
@@ -47,7 +52,9 @@ exact *when the stream carries send metadata* (``record.sends``, as
 simulator traces and :func:`repro.scenarios.generators.concurrent_workload`
 streams do): the fleet then knows which send events still have a message
 in flight and pins them, so no future edge ever crosses a forgotten
-prefix.  Streams without send metadata can be evicted past an in-flight
+prefix -- and summary compaction preserves every query above the
+trace's running worst ratio, the only range its monitor ever refreshes
+in, so the fallback is just as exact.  Streams without send metadata can be evicted past an in-flight
 send; the late edge is then skipped, counted, and the trace flagged
 ``degraded`` -- its ratio remains a sound lower bound with the
 historical maximum kept, and the flag is surfaced per trace and in the
@@ -125,6 +132,9 @@ class ShardStats:
     live_events: int
     tombstoned_events: int
     evictions: int
+    summary_compactions: int
+    summary_edges: int
+    auto_retired: int
 
 
 @dataclass(frozen=True)
@@ -145,9 +155,15 @@ class FleetReport:
             guarantee of the eviction policy.
         tombstoned_events / evictions: events dropped by budget-driven
             prefix forgetting, and how many times a trace was evicted.
+        summary_compactions / summary_edges: eviction passes that fell
+            back to summary compaction because exact no-crossing
+            removal was blocked (chain-shaped traces), and the live
+            summary edges currently standing in for compacted history.
+        auto_retired: traces closed by idle-age auto-retirement
+            (``auto_retire_after``), over the fleet's lifetime.
         budget_overruns: enforcement passes that could not get back
-            under budget (every remaining trace was unsettleable, e.g.
-            all-hot ping-pong chains).
+            under budget even with summary compaction (every remaining
+            trace was already compacted to its pinned core).
         degraded_traces: traces whose ratio is a lower bound rather than
             exact (see :class:`TraceSummary`).
         violating_traces: ids of traces whose worst ratio reached the
@@ -168,6 +184,9 @@ class FleetReport:
     peak_live_events: int
     tombstoned_events: int
     evictions: int
+    summary_compactions: int
+    summary_edges: int
+    auto_retired: int
     budget_overruns: int
     degraded_traces: int
     violating_traces: tuple[TraceId, ...]
@@ -238,17 +257,24 @@ class _Shard:
         "flushes",
         "tombstoned",
         "evictions",
+        "summary_compactions",
+        "auto_retired",
         "retired_oracle_calls",
     )
 
     def __init__(self, index: int) -> None:
         self.index = index
+        # Insertion order doubles as LRU ingest order: ``ingest`` moves
+        # the touched trace to the end, so the first entry is always the
+        # least-recently-ingested open trace (the auto-retire probe).
         self.traces: dict[TraceId, _TraceState] = {}
         self.retired: dict[TraceId, TraceSummary] = {}
         self.records = 0
         self.flushes = 0
         self.tombstoned = 0
         self.evictions = 0
+        self.summary_compactions = 0
+        self.auto_retired = 0
         self.retired_oracle_calls = 0
 
     def oracle_calls(self) -> int:
@@ -264,6 +290,11 @@ class _Shard:
         (those are listed as open, with their summaries merged in)."""
         return sum(1 for trace_id in self.retired if trace_id not in self.traces)
 
+    def summary_edges(self) -> int:
+        return sum(
+            state.monitor.summary_edges for state in self.traces.values()
+        )
+
     def stats(self) -> ShardStats:
         return ShardStats(
             shard=self.index,
@@ -275,6 +306,9 @@ class _Shard:
             live_events=self.live_events(),
             tombstoned_events=self.tombstoned,
             evictions=self.evictions,
+            summary_compactions=self.summary_compactions,
+            summary_edges=self.summary_edges(),
+            auto_retired=self.auto_retired,
         )
 
 
@@ -290,8 +324,17 @@ class MonitorFleet:
             automatic flush; larger batches mean fewer oracle calls and
             staler intermediate ratios.
         event_budget: optional cap on total live digraph events across
-            the fleet, enforced by LRU settled-prefix eviction after any
-            flush that exceeds it (``None`` disables eviction).
+            the fleet, enforced by LRU eviction after any flush that
+            exceeds it (``None`` disables eviction).  Eviction first
+            tries exact settled-prefix removal; when pinning blocks it
+            (a causal chain links history to the frontier), it falls
+            back to summary compaction, so the budget is a real bound
+            on chain-shaped traces too.
+        auto_retire_after: optional idle age in fleet-wide ingests;
+            a trace that has not been ingested into for this many
+            ingests is automatically closed through the reopen-safe
+            :class:`TraceSummary` path, exactly as an explicit
+            :meth:`close` would (``None`` disables auto-retirement).
         faulty: processes whose sent messages are dropped, applied to
             every trace (as in :class:`~repro.analysis.online.OnlineAbcMonitor`).
         drop_faulty: disable the faulty-sender filter when ``False``.
@@ -310,6 +353,7 @@ class MonitorFleet:
         n_shards: int = 8,
         batch_size: int = 32,
         event_budget: int | None = None,
+        auto_retire_after: int | None = None,
         faulty: frozenset[ProcessId] | set[ProcessId] = frozenset(),
         drop_faulty: bool = True,
         monitor_factory: Callable[[TraceId], OnlineAbcMonitor] | None = None,
@@ -321,9 +365,12 @@ class MonitorFleet:
             raise ValueError("batch_size must be positive")
         if event_budget is not None and event_budget < 1:
             raise ValueError("event_budget must be positive (or None)")
+        if auto_retire_after is not None and auto_retire_after < 1:
+            raise ValueError("auto_retire_after must be positive (or None)")
         self.xi = xi
         self.batch_size = batch_size
         self.event_budget = event_budget
+        self.auto_retire_after = auto_retire_after
         self.faulty = frozenset(faulty)
         self.drop_faulty = drop_faulty
         self.on_violation = on_violation
@@ -408,8 +455,12 @@ class MonitorFleet:
         state = self._state(shard, trace_id)
         self._tick += 1
         state.last_touch = self._tick
+        # Keep shard.traces in ingest order (LRU): the auto-retire sweep
+        # only ever probes each shard's first entry.
+        shard.traces[trace_id] = shard.traces.pop(trace_id)
         state.pending.append(record)
         shard.records += 1
+        self._auto_retire()
         if len(state.pending) >= self.batch_size:
             self._flush_state(shard, state)
             self._maybe_enforce_budget()
@@ -495,6 +546,29 @@ class MonitorFleet:
         self._futile_at = None
         return summary
 
+    def _auto_retire(self) -> None:
+        """Close traces idle for ``auto_retire_after`` fleet ingests.
+
+        Each shard's trace table is kept in ingest order, so only its
+        first entry can be stale; the sweep pops stale heads until each
+        shard's oldest trace is young enough -- O(shards) per ingest
+        when nothing retires.  Retirement goes through :meth:`close`,
+        i.e. the reopen-safe :class:`TraceSummary` path: a late record
+        for a retired trace re-opens it with gap-filled timelines and
+        the merged summary flagged degraded, exactly as after an
+        explicit close.
+        """
+        age = self.auto_retire_after
+        if age is None:
+            return
+        for shard in self._shards:
+            while shard.traces:
+                trace_id, state = next(iter(shard.traces.items()))
+                if self._tick - state.last_touch < age:
+                    break
+                self.close(trace_id)
+                shard.auto_retired += 1
+
     # ------------------------------------------------------------------
     # flushing and the memory budget
     # ------------------------------------------------------------------
@@ -521,6 +595,12 @@ class MonitorFleet:
         shard.flushes += 1
         self._live_events += state.monitor.n_events - state.live_cached
         state.live_cached = state.monitor.n_events
+        # Absorbing records invalidates every "retrying is futile" memo:
+        # pins and settledness moved, and comparing raw live-event
+        # *counts* alone can collide (absorb N, evict N elsewhere lands
+        # back on the memoized count and would skip a viable attempt).
+        state.evict_marker = None
+        self._futile_at = None
         # Bookkeeping is consistent from here on: violation callbacks
         # recorded by the batch may now re-enter the fleet.
         self._fire_deferred_violations()
@@ -559,14 +639,23 @@ class MonitorFleet:
             filled[record.event.process] = record.event.index + 1
 
     def _maybe_enforce_budget(self) -> None:
-        """Evict settled prefixes, least-recently-ingested traces first,
-        until the fleet is back under its event budget.
+        """Evict prefixes, least-recently-ingested traces first, until
+        the fleet is back under its event budget.
 
-        Eviction only removes prefixes the no-crossing criterion proves
-        safe (with frontiers and in-flight sends pinned), so it never
-        trades exactness for memory; a pass that cannot reach the budget
-        -- every survivor is hot or unsettleable -- is counted in
-        ``budget_overruns`` rather than forced.
+        Per trace, eviction first tries the prefix the no-crossing
+        criterion proves exactly safe (frontiers and in-flight sends
+        pinned).  When that removes nothing -- a causal chain links
+        history to the frontier, the shape where the old fleet was
+        powerless -- it falls back to *summary compaction* of
+        everything below the pins: the monitor replaces the prefix by
+        boundary summary edges that keep every reported ratio
+        bit-identical (see
+        :meth:`~repro.analysis.online.OnlineAbcMonitor.forget_prefix`),
+        so the budget is a real bound on chain-shaped traces too.
+        Neither path trades exactness for memory; a pass that cannot
+        reach the budget -- every survivor is already compacted to its
+        pinned core -- is counted in ``budget_overruns`` rather than
+        forced.
 
         ``peak_live_events`` is the post-enforcement watermark: between
         absorbing a batch and enforcing the budget, the live count may
@@ -605,10 +694,26 @@ class MonitorFleet:
                 # the fleet sits over budget.
                 if state.monitor.n_events == state.evict_marker:
                     continue  # unchanged since a known-futile attempt
-                settled = state.monitor.settled_prefix(state.pinned_events())
+                pinned = state.pinned_events()
+                settled = state.monitor.settled_prefix(pinned)
                 removed = (
                     state.monitor.forget_prefix(settled) if settled else 0
                 )
+                if self._live_events - removed > budget:
+                    # Exact removal missed the budget -- blocked
+                    # entirely on chain shapes, or insufficient on
+                    # traces mixing settleable activity with a
+                    # chain-shaped core: compact the remaining past
+                    # into summary edges too, so the budget stays a
+                    # real bound on every shape.
+                    cut = state.monitor.compactable_prefix(pinned)
+                    if cut:
+                        summarized = state.monitor.forget_prefix(
+                            cut, summarize=True
+                        )
+                        if summarized:
+                            shard.summary_compactions += 1
+                            removed += summarized
                 if removed:
                     state.evict_marker = None
                     shard.evictions += 1
@@ -792,6 +897,13 @@ class MonitorFleet:
             peak_live_events=self.peak_live_events,
             tombstoned_events=sum(shard.tombstoned for shard in self._shards),
             evictions=sum(shard.evictions for shard in self._shards),
+            summary_compactions=sum(
+                shard.summary_compactions for shard in self._shards
+            ),
+            summary_edges=sum(
+                shard.summary_edges() for shard in self._shards
+            ),
+            auto_retired=sum(shard.auto_retired for shard in self._shards),
             budget_overruns=self.budget_overruns,
             degraded_traces=degraded,
             violating_traces=self._violating_ids(),

@@ -38,9 +38,17 @@ onto the live digraph inside a
 rolling it back -- the primitive the ABC-enforcing scheduler of
 :mod:`repro.sim.abc_scheduler` runs once per pending message per step.
 *Prefix forgetting* (:meth:`OnlineAbcMonitor.forget_prefix`,
-:meth:`OnlineAbcMonitor.settled_prefix`) tombstones the settled causal
-past out of the digraph so unbounded monitored executions hold bounded
-state; the running worst ratio keeps its historical maximum.
+:meth:`OnlineAbcMonitor.settled_prefix`,
+:meth:`OnlineAbcMonitor.compactable_prefix`) bounds the monitor's
+memory through the checker's two-mode compaction engine.  Exact mode
+tombstones a settled prefix no message crosses; summary mode
+(``forget_prefix(events, summarize=True)``) compacts *any* prefix --
+chain-shaped executions included, where the no-crossing criterion
+removes nothing -- replacing it by boundary-to-boundary summary edges.
+Either way the running worst ratio keeps its historical maximum, and
+because the monitor only ever refreshes at ratios strictly above that
+maximum (the Farey-successor step), every ratio it reports after
+summary compaction is still bit-identical to an uncompacted monitor's.
 
 A third facility serves the *multi-trace* deployment of
 :mod:`repro.analysis.fleet`: :meth:`OnlineAbcMonitor.observe_batch`
@@ -156,6 +164,11 @@ class OnlineAbcMonitor:
         """Total negative-cycle runs issued (incrementality metric)."""
         return self._checker.oracle_calls
 
+    @property
+    def summary_edges(self) -> int:
+        """Live summary edges created by ``forget_prefix(summarize=True)``."""
+        return self._checker.n_summary_edges
+
     def n_events_of(self, process: ProcessId) -> int:
         """Total events observed at ``process`` (forgotten ones
         included): the local index the next event there must carry."""
@@ -168,7 +181,14 @@ class OnlineAbcMonitor:
         return self._worst is None or self._worst < self.xi
 
     def check(self, xi: Fraction | float | int | str) -> AdmissibilityResult:
-        """Batch-equivalent admissibility check of the observed prefix."""
+        """Batch-equivalent admissibility check of the observed prefix.
+
+        After ``forget_prefix(summarize=True)``, exact only for ``xi``
+        strictly above the worst ratio at compaction time (cycles
+        confined to a summarized prefix are not re-derived); use
+        :attr:`worst_ratio` -- which keeps the historical maximum --
+        for the monitoring verdict.
+        """
         return self._checker.check(xi)
 
     # ------------------------------------------------------------------
@@ -183,13 +203,24 @@ class OnlineAbcMonitor:
         record is an external wake-up, or ``keep_message`` rejects it) --
         exactly the graph :func:`~repro.sim.trace.build_execution_graph`
         would produce from the records observed so far.
+
+        A record whose triggering send event lies in a prefix dropped by
+        :meth:`forget_prefix` does not raise: like :meth:`observe_batch`,
+        the edge is skipped and counted in
+        :attr:`forgotten_message_edges` (the monitor's ratio is then a
+        lower bound; pin in-flight sends when forgetting to keep the
+        count at zero).
         """
         self.observe_event(record.event)
         if message_kept(
             record, self.faulty, self.drop_faulty, self.keep_message
         ):
-            assert record.send_event is not None
-            self.observe_message(record.send_event, record.event)
+            src = record.send_event
+            assert src is not None
+            if src.index < self._checker.first_live_index(src.process):
+                self.forgotten_message_edges += 1
+            else:
+                self.observe_message(src, record.event)
         return self._worst
 
     def observe_trace(self, trace: Iterable[ReceiveRecord]) -> Fraction | None:
@@ -213,7 +244,7 @@ class OnlineAbcMonitor:
         :class:`RatioChange` per batch, and a violation is reported at the
         batch boundary rather than mid-burst.
 
-        Unlike :meth:`observe`, a record whose triggering send event lies
+        Like :meth:`observe`, a record whose triggering send event lies
         in a prefix already dropped by :meth:`forget_prefix` does not
         raise: the edge is skipped and counted in
         :attr:`forgotten_message_edges`.  A nonzero count means prefixes
@@ -313,6 +344,11 @@ class OnlineAbcMonitor:
         """
         if self.xi is None:
             raise ValueError("monitor was constructed without a Xi")
+        if self._worst is not None and self._worst >= self.xi:
+            # Already violating: answer from the running maximum -- the
+            # realizing cycle may live in a forgotten prefix, where the
+            # compacted digraph is not obliged to re-derive it.
+            return True
         with self._checker.speculate() as checker:
             self._push_extension(events, messages)
             return checker.has_ratio_at_least(self.xi)
@@ -333,20 +369,52 @@ class OnlineAbcMonitor:
     def settled_prefix(self, pinned: Iterable[Event] = ()) -> tuple[Event, ...]:
         """The largest forgettable prefix no message edge crosses (see
         :meth:`~repro.core.synchrony.AdmissibilityChecker.removable_prefix`);
-        pass it to :meth:`forget_prefix` to bound the monitor's memory."""
+        pass it to :meth:`forget_prefix` to bound the monitor's memory
+        without touching the digraph's full-graph exactness."""
         return self._checker.removable_prefix(pinned)
 
-    def forget_prefix(self, events: Iterable[Event]) -> int:
-        """Tombstone a settled left-closed prefix out of the digraph.
+    def compactable_prefix(
+        self, pinned: Iterable[Event] = ()
+    ) -> tuple[Event, ...]:
+        """The largest prefix summary compaction may absorb: everything
+        strictly below the pinned events, with each process's frontier
+        implicitly pinned (see
+        :meth:`~repro.core.synchrony.AdmissibilityChecker.summarizable_prefix`).
+        Unlike :meth:`settled_prefix` this is nonempty even on
+        chain-shaped executions; pass it to
+        ``forget_prefix(..., summarize=True)``, pinning the send events
+        of in-flight messages to keep the monitor exact."""
+        return self._checker.summarizable_prefix(pinned)
 
-        The running worst ratio keeps its historical maximum -- cycles
-        confined to the forgotten prefix can no longer be re-derived,
-        but their contribution to :attr:`worst_ratio` (and any recorded
-        violation) persists, which is the correct monitoring semantics.
-        Choose the prefix with :meth:`settled_prefix` (pinning the send
-        events of in-flight messages) so cycles spanning the boundary
-        cannot be lost; returns the number of events forgotten.
+    def forget_prefix(
+        self, events: Iterable[Event], summarize: bool = False
+    ) -> int:
+        """Compact a left-closed prefix out of the digraph.
+
+        With ``summarize=False`` the prefix is tombstoned exactly and
+        must be chosen with :meth:`settled_prefix` (no crossing
+        messages) for the monitor to stay exact.  With
+        ``summarize=True`` the no-crossing restriction disappears: any
+        prefix from :meth:`compactable_prefix` is replaced by
+        boundary-to-boundary summary edges that preserve every query
+        strictly above the current worst ratio -- which is the only
+        range the monitor's Farey-successor refresh ever asks about, so
+        reported ratios stay bit-identical to an uncompacted monitor's.
+
+        Either way the running worst ratio keeps its historical
+        maximum -- cycles confined to the forgotten prefix can no
+        longer be re-derived, but their contribution to
+        :attr:`worst_ratio` (and any recorded violation) persists,
+        which is the correct monitoring semantics.  In both modes the
+        send events of in-flight messages must be pinned so future
+        message edges can attach; a late edge into a forgotten prefix
+        is skipped and counted by :attr:`forgotten_message_edges`.
+        Returns the number of events forgotten.
         """
+        if summarize:
+            return self._checker.compact_prefix(
+                events, mode="summary", floor=self._worst
+            )
         return self._checker.remove_prefix(events)
 
     @classmethod

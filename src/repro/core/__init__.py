@@ -65,9 +65,11 @@ from repro.core.synchrony import (
     AdmissibilityChecker,
     AdmissibilityResult,
     CheckerCheckpoint,
+    SummaryEdge,
     as_xi,
     check_abc,
     check_abc_exhaustive,
+    farey_predecessor,
     farey_successor,
     find_violating_cycle,
     has_relevant_cycle_with_ratio_at_least,
@@ -117,9 +119,11 @@ __all__ = [
     "AdmissibilityChecker",
     "AdmissibilityResult",
     "CheckerCheckpoint",
+    "SummaryEdge",
     "as_xi",
     "check_abc",
     "check_abc_exhaustive",
+    "farey_predecessor",
     "farey_successor",
     "find_violating_cycle",
     "has_relevant_cycle_with_ratio_at_least",

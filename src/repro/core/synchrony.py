@@ -63,18 +63,34 @@ ABC-*enforcing* scheduler and of the <>ABC stabilization search:
   manager wraps the pair, letting a scheduler push a hypothetical
   delivery onto the live digraph, ask the oracle, and retract it
   without ever rebuilding ``H``.
-* **Prefix tombstoning** -- :meth:`AdmissibilityChecker.remove_prefix`
-  deletes a left-closed per-process prefix of the observed events
-  together with every incident edge, compacting the digraph in place.
-  The remaining checker answers queries about the *suffix* graph (the
-  live-induced subgraph, exactly :func:`repro.core.variants.suffix_graph`
-  up to event renaming), which is what lets the <>ABC stabilization-cut
-  search and long-running enforcers share one digraph with bounded
-  memory.  :meth:`AdmissibilityChecker.removable_prefix` computes the
-  largest prefix whose removal also preserves *full-graph* queries:
-  when no message crosses the prefix boundary, no relevant cycle spans
-  both sides, so a prefix already known admissible can be dropped
-  without changing any future oracle answer.
+* **Prefix compaction** -- :meth:`AdmissibilityChecker.compact_prefix`
+  is a two-mode compaction engine over left-closed per-process prefixes
+  of the observed events.  *Exact* mode (the original
+  :meth:`AdmissibilityChecker.remove_prefix`) deletes the prefix
+  together with every incident edge; the remaining checker answers
+  queries about the *suffix* graph (the live-induced subgraph, exactly
+  :func:`repro.core.variants.suffix_graph` up to event renaming).
+  :meth:`AdmissibilityChecker.removable_prefix` computes the largest
+  prefix whose exact removal also preserves *full-graph* queries: when
+  no message (and no summary edge) crosses the prefix boundary, no
+  relevant cycle spans both sides, so a prefix already known admissible
+  can be dropped without changing any future oracle answer.  *Summary*
+  mode removes **any** cut -- including ones messages cross -- by
+  replacing the region with per-boundary-pair shortest-path
+  :class:`SummaryEdge` objects.  Each summary edge stores the
+  ``(forward, backward, local)`` hop profile of a realizing traversal
+  walk through the region, so it re-weights exactly per ``(p, q)``
+  query; per boundary pair the whole Pareto frontier of profiles is
+  kept (fewer forward hops, more backward hops and more local hops are
+  incomparably "better" as the query ratio varies), so the minimum walk
+  weight through the region is preserved for *every* future query.
+  The resulting contract is **ratio equivalence**: for every ratio
+  strictly above the worst relevant ratio at compaction time, every
+  oracle answer and worst-ratio refinement on the compacted digraph is
+  bit-identical to the full graph's, under any extension that attaches
+  only to live events.  (Cycles confined to the removed region are the
+  one thing lost; they are bounded by the compaction-time worst ratio,
+  which the layers above carry as a running maximum.)
 
 On top of the oracle, :func:`worst_relevant_ratio` finds the exact maximum
 ``|Z-|/|Z+|`` over all relevant cycles by Stern-Brocot search: the ratio
@@ -114,9 +130,11 @@ __all__ = [
     "AdmissibilityChecker",
     "AdmissibilityResult",
     "CheckerCheckpoint",
+    "SummaryEdge",
     "as_xi",
     "check_abc",
     "check_abc_exhaustive",
+    "farey_predecessor",
     "farey_successor",
     "has_relevant_cycle_with_ratio_at_least",
     "find_violating_cycle",
@@ -198,11 +216,105 @@ def farey_successor(value: Fraction, max_den: int) -> Fraction:
     return Fraction(c0 + shift * a, d0 + shift * b)
 
 
+def farey_predecessor(value: Fraction, max_den: int) -> Fraction:
+    """The largest fraction strictly below ``value`` with denominator
+    ``<= max_den``.
+
+    The mirror of :func:`farey_successor`, without its requirement that
+    ``value`` itself lie within the denominator bound (``0/1`` always
+    qualifies, so the predecessor exists for every positive ``value``).
+    Found by a galloping Stern-Brocot descent; used by the ABC-enforcing
+    scheduler to derive a summary-compaction floor strictly below its
+    ``Xi`` that still dominates every realizable relevant-cycle ratio.
+    """
+    if max_den < 1:
+        raise ValueError(f"max_den must be positive, got {max_den}")
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    a, b = value.numerator, value.denominator
+    ln, ld = 0, 1  # lo: strictly below value
+    hn, hd = 1, 0  # hi: at or above value (starts at +infinity)
+    while ld + hd <= max_den:
+        s = a * ld - b * ln  # > 0: how far lo sits below value
+        t = b * hn - a * hd  # >= 0: how far hi sits above value
+        if t == 0:
+            # hi equals value exactly: every further mediant stays
+            # below, so only the denominator bound limits the walk.
+            k = (max_den - ld) // hd
+            ln, ld = ln + k * hn, ld + k * hd
+            break
+        # Gallop lo towards hi while the mediant stays strictly below
+        # value and within the denominator bound.
+        k = (s - 1) // t
+        if hd:
+            k = min(k, (max_den - ld) // hd)
+        if k >= 1:
+            ln, ld = ln + k * hn, ld + k * hd
+            continue
+        # Mediant at or above value: gallop hi towards lo.
+        k = t // s
+        assert k >= 1
+        hn, hd = hn + k * ln, hd + k * ld
+    return Fraction(ln, ld)
+
+
 # Edge kinds of the traversal digraph; weights per (p, q) query are
 # derived from the kind, so only these tags are stored per edge.
 _FWD_MESSAGE = 0
 _BWD_MESSAGE = 1
 _BWD_LOCAL = 2
+# Kinds at or above _SUMMARY are summary edges: ``kind - _SUMMARY``
+# indexes the checker's deduplicated (forward, backward, local) profile
+# table, so resolving any edge's per-query weight stays one table lookup
+# in the detection hot loop.
+_SUMMARY = 3
+
+
+@dataclass(frozen=True)
+class SummaryEdge:
+    """A boundary-to-boundary shortest-path summary of a compacted region.
+
+    Produced by :meth:`AdmissibilityChecker.compact_prefix` in summary
+    mode: one H-edge from ``tail`` to ``head`` standing in for the
+    traversal walks that used to run through the removed region.  The
+    profile counts the hops of one realizing walk -- ``forward`` message
+    edges traversed along their direction, ``backward`` message edges
+    traversed against it, ``local`` local edges -- so the edge
+    re-weights exactly for every ``(p, q)`` query as
+    ``scale * (p * forward - q * backward) - local``.  ``parts`` is the
+    realizing walk with *structural sharing*: a part is either a genuine
+    execution-graph :class:`~repro.core.cycles.Step` or an older
+    :class:`SummaryEdge` folded in whole by a later compaction.  Sharing
+    keeps repeated compaction linear -- eagerly flattening the walk
+    would copy O(summarized history) steps per compaction -- while
+    :attr:`steps` still expands, on demand (witness extraction only),
+    into the full step walk of the original execution graph.
+    """
+
+    tail: Event
+    head: Event
+    forward: int
+    backward: int
+    local: int
+    parts: tuple["Step | SummaryEdge", ...]
+
+    @property
+    def profile(self) -> tuple[int, int, int]:
+        return (self.forward, self.backward, self.local)
+
+    @property
+    def steps(self) -> tuple[Step, ...]:
+        """The realizing walk, flattened to genuine steps (iterative --
+        compaction chains can nest summaries arbitrarily deep)."""
+        out: list[Step] = []
+        stack: list[Step | SummaryEdge] = list(reversed(self.parts))
+        while stack:
+            part = stack.pop()
+            if isinstance(part, SummaryEdge):
+                stack.extend(reversed(part.parts))
+            else:
+                out.append(part)
+        return tuple(out)
 
 
 @dataclass(frozen=True)
@@ -265,6 +377,15 @@ class AdmissibilityChecker:
         self._first_live: dict[ProcessId, int] = {}
         self._n_tombstoned = 0
         self._epoch = 0
+        # Summary-compaction state: the deduplicated (forward, backward,
+        # local) profile table indexed by ``kind - _SUMMARY``, plus the
+        # running totals that keep the weighting scale and the
+        # Stern-Brocot ratio bound valid with summaries in the digraph.
+        self._summary_profiles: list[tuple[int, int, int]] = []
+        self._profile_ids: dict[tuple[int, int, int], int] = {}
+        self._n_summaries = 0
+        self._summary_locals = 0  # sum of `local` over live summary edges
+        self._summary_hops = 0  # sum of max(fwd, bwd) over live summaries
         self._speculating = 0
         self.oracle_calls = 0
         if graph is not None:
@@ -294,8 +415,28 @@ class AdmissibilityChecker:
 
     @property
     def n_tombstoned(self) -> int:
-        """Number of events removed by :meth:`remove_prefix` so far."""
+        """Number of events removed by :meth:`compact_prefix` (either
+        mode) so far."""
         return self._n_tombstoned
+
+    @property
+    def n_summary_edges(self) -> int:
+        """Number of live summary edges (see :class:`SummaryEdge`)."""
+        return self._n_summaries
+
+    @property
+    def ratio_bound(self) -> int:
+        """Bound on the numerator and denominator of every realizable
+        relevant-cycle ratio.
+
+        A simple cycle traverses each live message edge at most once and
+        each summary edge at most once, so its forward and backward hop
+        counts are bounded by the live message count plus the hops
+        folded into summaries.  This is the denominator bound of the
+        Stern-Brocot search and of the Farey-successor refresh; without
+        summaries it reduces to the classical message-count bound.
+        """
+        return max(1, len(self._messages) + self._summary_hops)
 
     @property
     def processes(self) -> tuple[ProcessId, ...]:
@@ -429,7 +570,7 @@ class AdmissibilityChecker:
             if not self.has_ratio_at_least(1):
                 return None
             return self.worst_relevant_ratio(at_least=Fraction(1))
-        max_den = max(self.n_messages, 1)
+        max_den = self.ratio_bound
         if previous.denominator > max_den:
             # Only after tombstoning: the live suffix has fewer messages
             # than the prefix that realized ``previous``.  No Farey warm
@@ -536,27 +677,79 @@ class AdmissibilityChecker:
             self.rollback(token)
 
     # ------------------------------------------------------------------
-    # prefix tombstoning
+    # prefix compaction (the two-mode engine)
     # ------------------------------------------------------------------
 
     def remove_prefix(self, events: Iterable[Event]) -> int:
-        """Tombstone a left-closed per-process prefix of the live events.
+        """Exact-mode prefix removal (the original tombstoning API).
 
-        ``events`` must, per process, extend the already-tombstoned
-        prefix contiguously (events already tombstoned are ignored, so
-        passing a cumulatively grown cut is fine).  The tombstoned
-        events are removed together with *every* incident edge -- the
-        remaining digraph is the live-induced subgraph, i.e. queries now
-        answer for the suffix graph beyond the prefix (the semantics of
-        :func:`repro.core.variants.suffix_graph`, without re-indexing).
-        Arrays are compacted eagerly, so memory is bounded by the live
-        graph; returns the number of events removed.
-
-        To remove a prefix *without* changing full-graph answers, use
-        :meth:`removable_prefix` to pick one that no message crosses.
+        Equivalent to ``compact_prefix(events, mode="exact")``; see
+        there for the shared prefix discipline and for the summary mode
+        that makes message-crossing cuts removable.
         """
+        return self.compact_prefix(events, mode="exact")
+
+    def compact_prefix(
+        self,
+        events: Iterable[Event],
+        mode: str = "summary",
+        floor: Fraction | None = None,
+    ) -> int:
+        """Compact a left-closed per-process prefix out of the digraph.
+
+        ``events`` must, per process, extend the already-compacted
+        prefix contiguously (events already compacted are ignored, so
+        passing a cumulatively grown cut is fine).  Arrays are compacted
+        eagerly, so memory is bounded by the live graph plus the summary
+        edges; returns the number of events removed.  Two modes:
+
+        * ``mode="exact"`` removes the events together with *every*
+          incident edge -- the remaining digraph is the live-induced
+          subgraph, i.e. queries now answer for the suffix graph beyond
+          the prefix (the semantics of
+          :func:`repro.core.variants.suffix_graph`, without
+          re-indexing).  To remove a prefix *without* changing
+          full-graph answers, pick one with :meth:`removable_prefix`
+          (no message and no summary edge may cross it).
+        * ``mode="summary"`` removes any cut -- messages may cross it --
+          and replaces the region with boundary-to-boundary
+          :class:`SummaryEdge` objects (the Pareto frontier of
+          ``(forward, backward, local)`` walk profiles per boundary
+          pair), preserving the weight of every traversal walk through
+          the region for every future ``(p, q)`` query.  Afterwards
+          every query at a ratio strictly above the compaction-time
+          worst relevant ratio is bit-identical to the full graph's,
+          under any extension attaching only to live events; cycles
+          confined to the region are the one loss, and they are bounded
+          by that compaction-time worst (carry it as a running
+          maximum, as :class:`repro.analysis.online.OnlineAbcMonitor`
+          does).  Each process's frontier (last live) event is
+          implicitly pinned so future local edges still attach to live
+          events; use :meth:`summarizable_prefix` to enumerate the
+          compactable cut, pinning the send events of in-flight
+          messages for extension exactness.
+
+        ``floor`` tunes how much summary mode must preserve.  ``None``
+        (the default) keeps every query at every ratio ``>= 1`` exact
+        for cycles touching live events.  A ``Fraction`` promises the
+        caller will never need exactness at ratios ``<= floor`` (it
+        answers those from a running maximum, or never asks): the
+        Pareto frontiers are then pruned for ratios strictly above
+        ``floor`` only, which provably cuts off walks looping region
+        cycles of ratio ``<= floor`` -- the difference between
+        region-bounded and unbounded compaction cost on workloads whose
+        settled past contains relevant cycles.  Callers with a running
+        worst ratio should pass it; the enforcing scheduler passes
+        ``farey_predecessor(xi, ratio_bound)``.
+
+        Both modes renumber the digraph: checkpoints are invalidated
+        (epoch-guarded) and the call is rejected inside
+        :meth:`speculate`.
+        """
+        if mode not in ("exact", "summary"):
+            raise ValueError(f"unknown compaction mode {mode!r}")
         if self._speculating:
-            raise RuntimeError("cannot remove a prefix inside speculate()")
+            raise RuntimeError("cannot compact a prefix inside speculate()")
         new_first: dict[ProcessId, list[int]] = {}
         for event in events:
             new_first.setdefault(event.process, []).append(event.index)
@@ -577,7 +770,14 @@ class AdmissibilityChecker:
                     f"tombstoned events of process {process} must extend "
                     f"the removed prefix contiguously from index {first}"
                 )
-            stops[process] = first + len(fresh)
+            stop = first + len(fresh)
+            if mode == "summary":
+                # Keep the frontier event live: the next add_event at
+                # this process attaches its local edge there, which the
+                # ratio-equivalence contract under extension needs.
+                stop = min(stop, total - 1)
+            if stop > first:
+                stops[process] = stop
         if not stops:
             return 0
         dead: set[int] = set()
@@ -585,14 +785,276 @@ class AdmissibilityChecker:
             for index in range(self._first_live.get(process, 0), stop):
                 dead.add(self._index[Event(process, index)])
             self._first_live[process] = stop
+        summaries = (
+            self._summarize_region(dead, floor) if mode == "summary" else ()
+        )
         self._compact(dead)
+        for edge in summaries:
+            self._attach_summary(edge)
         self._n_tombstoned += len(dead)
         return len(dead)
+
+    def _edge_hops(self, kind: int) -> tuple[int, int, int]:
+        """The (forward, backward, local) hop profile of one H-edge."""
+        if kind == _FWD_MESSAGE:
+            return (1, 0, 0)
+        if kind == _BWD_MESSAGE:
+            return (0, 1, 0)
+        if kind == _BWD_LOCAL:
+            return (0, 0, 1)
+        return self._summary_profiles[kind - _SUMMARY]
+
+    def _edge_part(self, eidx: int) -> "Step | SummaryEdge":
+        """One H-edge as a walk part: its step, or the whole summary
+        (shared, not flattened -- see :attr:`SummaryEdge.parts`)."""
+        return self._steps[eidx]
+
+    def _attach_summary(self, edge: SummaryEdge) -> None:
+        key = edge.profile
+        pid = self._profile_ids.get(key)
+        if pid is None:
+            pid = len(self._summary_profiles)
+            self._summary_profiles.append(key)
+            self._profile_ids[key] = pid
+        self._add_h_edge(
+            self._index[edge.tail], self._index[edge.head], _SUMMARY + pid, edge
+        )
+        self._n_summaries += 1
+        self._summary_locals += edge.local
+        self._summary_hops += max(edge.forward, edge.backward)
+
+    def _live_summaries(self) -> Iterator[SummaryEdge]:
+        for eidx, kind in enumerate(self._kinds):
+            if kind >= _SUMMARY:
+                yield self._steps[eidx]
+
+    def _summarize_region(
+        self, dead: set[int], floor: Fraction | None
+    ) -> list[SummaryEdge]:
+        """Pareto shortest-path summaries of the region about to die.
+
+        For every live *boundary* node ``x`` with an H-edge into the
+        region, a label-correcting search (the SPFA discipline of the
+        oracle, run on hop profiles instead of one scalar weight)
+        explores traversal walks through region nodes only, recording at
+        every live exit node ``y`` the Pareto frontier of reachable
+        ``(forward, backward, local)`` profiles.  The per-query weight
+        is ``scale * (p * f - q * b) - l`` with ``(p, q)`` unknown at
+        compaction time; over the query range the caller needs
+        (``p/q >= 1`` for ``floor=None``, ``p/q > floor = a/c``
+        otherwise) a profile ``x`` dominates ``y`` iff
+
+            ``f_x <= f_y``  and  ``a * (f_x - f_y) <= c * (b_x - b_y)``
+
+        with a local-hop tie-break (``l_x >= l_y``) required exactly
+        where the weight difference can vanish: at equal ``f`` and
+        ``b`` for a strict floor, additionally at
+        ``a * df == c * db`` for the inclusive default.  The floored
+        order prunes every walk that loops a region cycle of ratio
+        ``<= floor`` -- such loops only improve queries at or below the
+        floor -- keeping the label space region-bounded even when the
+        settled past is full of relevant cycles.
+
+        Caps bound the search without touching exactness, derived from
+        the fact that only *simple* walks through the region need
+        covering (genuine relevant cycles are simple; a walk label may
+        loop, but every label some simple path needs must survive).  A
+        label is always cut off when its forward hops exceed the sum of
+        the ``|region| + 1`` largest per-edge forward capacities.  In
+        the *inclusive* mode only -- where the weight order cannot
+        prune loop staircases around region cycles -- a label is
+        additionally cut off when its *hop count* (edges traversed, an
+        old summary counting as one) exceeds ``|region| + 1``: a simple
+        walk uses each edge at most once and at most that many overall.
+        The hop count then joins the dominance order (a label only
+        dominates labels with at least as many hops), which is what
+        lets the coverage induction survive the cap: a covering label
+        never has more hops than the simple walk it covers, so its
+        extensions are never the ones discarded.  The floored mode
+        leaves hops out entirely: its weight order already prunes every
+        loop of ratio ``<= floor``, and the extra coordinate would only
+        fracture the frontier into hop-distinct duplicates.  Finished
+        entry-to-exit walks are re-pruned by weight alone either way --
+        a walk's hop count is invisible to every future query.  Older
+        summary edges with an endpoint in the region participate with
+        their stored profiles and are folded into the new walks, so
+        repeated compaction never loses structure.
+        """
+        entries: dict[int, list[int]] = {}  # live tail -> edges into region
+        internal: dict[int, list[int]] = {}  # region tail -> region edges
+        exits: dict[int, list[int]] = {}  # region tail -> edges out to live
+        forward_caps: list[int] = []
+        for eidx in range(len(self._tails)):
+            tail_dead = self._tails[eidx] in dead
+            head_dead = self._heads[eidx] in dead
+            if not tail_dead and not head_dead:
+                continue
+            forward_caps.append(self._edge_hops(self._kinds[eidx])[0])
+            if tail_dead and head_dead:
+                internal.setdefault(self._tails[eidx], []).append(eidx)
+            elif head_dead:
+                entries.setdefault(self._tails[eidx], []).append(eidx)
+            else:
+                exits.setdefault(self._tails[eidx], []).append(eidx)
+        # A simple walk through the region uses each edge at most once
+        # and at most |region| + 1 edges in total.
+        forward_caps.sort(reverse=True)
+        f_cap = sum(forward_caps[: len(dead) + 1])
+        if floor is None:
+            fa, fc, strict = 1, 1, False
+        else:
+            fa, fc, strict = floor.numerator, floor.denominator, True
+        # The hop cap exists for the inclusive mode's termination; the
+        # floored order prunes loops by weight and must not fracture
+        # its frontier into hop-distinct duplicates (see docstring).
+        use_hops = not strict
+        h_cap = len(dead) + 1
+        out: list[SummaryEdge] = []
+        for x, seed_edges in entries.items():
+            # Labels are (f, b, l, h, parent label | None, eidx); the
+            # parent chain reconstructs the realizing walk.
+            frontier: dict[int, list[tuple]] = {}
+            results: dict[int, list[tuple]] = {}
+            work: list[tuple[int, tuple]] = []
+
+            def dominates(x_lab: tuple, y_lab: tuple, hops: bool = use_hops) -> bool:
+                if hops and x_lab[3] > y_lab[3]:
+                    return False  # more hops: the coverage induction
+                df = x_lab[0] - y_lab[0]  # needs extensions of y too
+                db = x_lab[1] - y_lab[1]
+                if df > 0 or fa * df > fc * db:
+                    return False
+                if strict:
+                    tie = df == 0 and db == 0
+                else:
+                    tie = fa * df == fc * db
+                return not tie or x_lab[2] >= y_lab[2]
+
+            def offer(
+                store: dict[int, list[tuple]], node: int, label: tuple
+            ) -> bool:
+                labels = store.setdefault(node, [])
+                for o in labels:
+                    if dominates(o, label):
+                        return False  # dominated (or duplicate)
+                labels[:] = [o for o in labels if not dominates(label, o)]
+                labels.append(label)
+                return True
+
+            def relax(node_label: tuple, eidx: int) -> tuple | None:
+                nh = node_label[3] + 1
+                if use_hops and nh > h_cap:
+                    return None
+                df, db, dl = self._edge_hops(self._kinds[eidx])
+                nf = node_label[0] + df
+                if nf > f_cap:
+                    return None
+                return (
+                    nf,
+                    node_label[1] + db,
+                    node_label[2] + dl,
+                    nh,
+                    node_label,
+                    eidx,
+                )
+
+            for eidx in seed_edges:
+                label = relax((0, 0, 0, 0, None, -1), eidx)
+                if label is not None and offer(
+                    frontier, self._heads[eidx], label
+                ):
+                    work.append((self._heads[eidx], label))
+            while work:
+                node, label = work.pop()
+                for eidx in internal.get(node, ()):
+                    nxt = relax(label, eidx)
+                    if nxt is not None and offer(
+                        frontier, self._heads[eidx], nxt
+                    ):
+                        work.append((self._heads[eidx], nxt))
+                for eidx in exits.get(node, ()):
+                    nxt = relax(label, eidx)
+                    if nxt is not None:
+                        offer(results, self._heads[eidx], nxt)
+            x_event = self._nodes[x]
+            for y, labels in results.items():
+                y_event = self._nodes[y]
+                # The hop coordinate protected the in-region coverage
+                # induction; a *finished* walk's hop count is invisible
+                # to every future query, so re-prune the terminal set by
+                # weight alone -- otherwise hop-distinct but
+                # weight-dominated siblings survive as pure-overhead
+                # parallel summary edges.
+                pruned: list[tuple] = []
+                for label in labels:
+                    if any(dominates(o, label, hops=False) for o in pruned):
+                        continue
+                    pruned[:] = [
+                        o for o in pruned if not dominates(label, o, hops=False)
+                    ]
+                    pruned.append(label)
+                for label in pruned:
+                    chain: list[int] = []
+                    cursor: tuple | None = label
+                    while cursor is not None and cursor[5] >= 0:
+                        chain.append(cursor[5])
+                        cursor = cursor[4]
+                    chain.reverse()
+                    out.append(
+                        SummaryEdge(
+                            tail=x_event,
+                            head=y_event,
+                            forward=label[0],
+                            backward=label[1],
+                            local=label[2],
+                            parts=tuple(
+                                self._edge_part(eidx) for eidx in chain
+                            ),
+                        )
+                    )
+        return out
+
+    def summarizable_prefix(
+        self, pinned: Iterable[Event] = ()
+    ) -> tuple[Event, ...]:
+        """The largest cut summary compaction may absorb.
+
+        Every live event strictly below the pinned ones, with each
+        process's frontier (last live) event implicitly pinned --
+        future local edges must attach to live events for the
+        ratio-equivalence contract to cover extensions.  Callers whose
+        stream carries in-flight-send knowledge should pin those send
+        events too (their message edges are still to come); unpinned
+        crossing sends degrade the contract exactly as exact-mode
+        eviction does (the late edge is skipped and counted by the
+        layers above).  Returns the removable live events, oldest first
+        per process; feed them to :meth:`compact_prefix`.
+        """
+        keep: dict[ProcessId, int] = {
+            process: total - 1
+            for process, total in self._events_per_process.items()
+        }
+        for event in pinned:
+            if event.process in keep and event.index < keep[event.process]:
+                keep[event.process] = event.index
+        return tuple(
+            Event(process, index)
+            for process, stop in sorted(keep.items())
+            for index in range(self._first_live.get(process, 0), stop)
+        )
 
     def _compact(self, dead: set[int]) -> None:
         """Physically drop ``dead`` nodes and incident edges, renumbering
         the survivors (stable order, so the compacted digraph is
-        edge-for-edge the one a fresh build of the suffix would make)."""
+        edge-for-edge the one a fresh build of the suffix would make).
+
+        The summary-profile table is rebuilt from the surviving summary
+        edges alone (their kinds remapped): profiles only referenced by
+        dropped edges would otherwise accumulate forever, and every
+        oracle call pays one weight-table entry per profile -- the
+        table must stay bounded by the *live* digraph, like everything
+        else here.
+        """
         remap = [-1] * len(self._nodes)
         survivors: list[Event] = []
         for old_id, event in enumerate(self._nodes):
@@ -606,15 +1068,32 @@ class AdmissibilityChecker:
         kinds: list[int] = []
         steps: list[Step] = []
         n_locals = 0
+        profiles: list[tuple[int, int, int]] = []
+        profile_ids: dict[tuple[int, int, int], int] = {}
         for eidx in range(len(self._tails)):
             tail, head = remap[self._tails[eidx]], remap[self._heads[eidx]]
             kind = self._kinds[eidx]
             if tail < 0 or head < 0:
                 if kind == _FWD_MESSAGE:
                     self._messages.remove(self._steps[eidx].edge)
+                elif kind >= _SUMMARY:
+                    summary = self._steps[eidx]
+                    self._n_summaries -= 1
+                    self._summary_locals -= summary.local
+                    self._summary_hops -= max(
+                        summary.forward, summary.backward
+                    )
                 continue
             if kind == _BWD_LOCAL:
                 n_locals += 1
+            elif kind >= _SUMMARY:
+                key = self._steps[eidx].profile
+                pid = profile_ids.get(key)
+                if pid is None:
+                    pid = len(profiles)
+                    profiles.append(key)
+                    profile_ids[key] = pid
+                kind = _SUMMARY + pid
             tails.append(tail)
             heads.append(head)
             kinds.append(kind)
@@ -625,6 +1104,8 @@ class AdmissibilityChecker:
         self._tails, self._heads = tails, heads
         self._kinds, self._steps = kinds, steps
         self._n_locals = n_locals
+        self._summary_profiles = profiles
+        self._profile_ids = profile_ids
         adj: list[list[tuple[int, int]]] = [[] for _ in survivors]
         for eidx in range(len(tails)):
             adj[tails[eidx]].append((heads[eidx], kinds[eidx]))
@@ -634,15 +1115,17 @@ class AdmissibilityChecker:
     def removable_prefix(
         self, pinned: Iterable[Event] = ()
     ) -> tuple[Event, ...]:
-        """The largest tombstonable prefix that no message edge crosses.
+        """The largest tombstonable prefix no message or summary crosses.
 
         Every relevant cycle that enters the region behind such a prefix
         can never leave it again (the only region-escaping traversals
-        would be message edges crossing the boundary), so once the
-        prefix itself is known admissible, removing it changes no future
-        full-graph oracle answer.  This is the settledness criterion the
-        ABC-enforcing scheduler uses to keep long runs bounded in
-        memory.
+        would be message or summary edges crossing the boundary), so
+        once the prefix itself is known admissible, removing it exactly
+        changes no future full-graph oracle answer.  This is the
+        settledness criterion exact-mode eviction uses; when it yields
+        nothing (a causal chain links history to the frontier), summary
+        mode (:meth:`summarizable_prefix` + :meth:`compact_prefix`) is
+        the fallback that still bounds memory.
 
         Args:
             pinned: events that must stay live (e.g. the send events of
@@ -659,13 +1142,16 @@ class AdmissibilityChecker:
         for event in pinned:
             if event.process in keep and event.index < keep[event.process]:
                 keep[event.process] = event.index
-        # No message may cross the boundary, in either direction: shrink
-        # until closed (each pass only lowers keep[], so this terminates).
+        # No message -- and no summary edge, which stands for a bundle of
+        # crossing walks -- may span the boundary, in either direction:
+        # shrink until closed (each pass only lowers keep[], so this
+        # terminates).
+        spans = [(m.src, m.dst) for m in self._messages]
+        spans.extend((s.tail, s.head) for s in self._live_summaries())
         changed = True
         while changed:
             changed = False
-            for message in self._messages:
-                src, dst = message.src, message.dst
+            for src, dst in spans:
                 src_live = src.index >= keep[src.process]
                 dst_live = dst.index >= keep[dst.process]
                 if src_live and not dst_live:
@@ -684,11 +1170,21 @@ class AdmissibilityChecker:
     # the negative-cycle oracle
     # ------------------------------------------------------------------
 
-    def _weight_table(self, p: int, q: int) -> tuple[int, int, int]:
-        """Per-kind H-edge weights for a ratio ``p/q`` query, indexed by
-        ``_FWD_MESSAGE`` / ``_BWD_MESSAGE`` / ``_BWD_LOCAL``."""
-        scale = self._n_locals + 1
-        return (p * scale, -q * scale, -1)
+    def _weight_table(self, p: int, q: int) -> list[int]:
+        """Per-kind H-edge weights for a ratio ``p/q`` query: the three
+        regular kinds (``_FWD_MESSAGE`` / ``_BWD_MESSAGE`` /
+        ``_BWD_LOCAL``) followed by one entry per summary profile.
+
+        The scale counts the local edges folded into summaries alongside
+        the live ones, preserving the degeneracy argument of the module
+        docstring: every simple cycle of the compacted digraph carries a
+        local-edge tie-break of at least 1 and at most ``scale - 1``.
+        """
+        scale = self._n_locals + self._summary_locals + 1
+        table = [p * scale, -q * scale, -1]
+        for f, b, loc in self._summary_profiles:
+            table.append(scale * (p * f - q * b) - loc)
+        return table
 
     def _weights(self, p: int, q: int) -> list[int]:
         wtab = self._weight_table(p, q)
@@ -726,7 +1222,7 @@ class AdmissibilityChecker:
         additions is known negative-cycle-free.
         """
         n = len(self._nodes)
-        if n == 0 or not self._messages:
+        if n == 0 or (not self._messages and not self._n_summaries):
             return False
         wtab = self._weight_table(p, q)
         adj = self._adj
@@ -776,7 +1272,7 @@ class AdmissibilityChecker:
         predecessor links from it is guaranteed to land on the cycle.
         """
         n = len(self._nodes)
-        if n == 0 or not self._messages:
+        if n == 0 or (not self._messages and not self._n_summaries):
             return None
         weights = self._weights(p, q)
         tails, heads = self._tails, self._heads
@@ -810,7 +1306,17 @@ class AdmissibilityChecker:
             if node == start:
                 break
         cycle_edges.reverse()
-        return [self._steps[eidx] for eidx in cycle_edges]
+        # Summary edges expand into their realizing walks, so the
+        # returned steps are always genuine execution-graph steps (the
+        # expansion may revisit events; classification handles walks).
+        steps: list[Step] = []
+        for eidx in cycle_edges:
+            step = self._steps[eidx]
+            if isinstance(step, SummaryEdge):
+                steps.extend(step.steps)
+            else:
+                steps.append(step)
+        return steps
 
     # ------------------------------------------------------------------
     # queries
@@ -891,7 +1397,8 @@ class AdmissibilityChecker:
         Implemented as a Stern-Brocot (mediant) search with run-length
         acceleration around the monotone oracle
         :meth:`has_ratio_at_least`.  The maximum is a fraction with
-        numerator and denominator bounded by the number of messages, so
+        numerator and denominator bounded by :attr:`ratio_bound` (the
+        message count, plus the hops folded into summary edges), so
         once the two bracketing tree nodes have denominator sum exceeding
         that bound, the lower bracket is exact.  Probes are clamped to the
         denominator bound: once a bracket ``(lo, hi)`` is established, a
@@ -906,8 +1413,8 @@ class AdmissibilityChecker:
                 at or below it are answered from the bound, which is what
                 warm-starts the incremental monitor.
         """
-        max_den = max(self.n_messages, 1)
-        max_num = max(self.n_messages, 1)
+        max_den = self.ratio_bound
+        max_num = self.ratio_bound
         memo: dict[Fraction, bool] = {}
 
         def oracle(num: int, den: int) -> bool:

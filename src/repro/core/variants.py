@@ -20,12 +20,18 @@ Implementation note: the eventual-variant searches here run on the
 *shared tombstoned digraph* of one
 :class:`~repro.core.synchrony.AdmissibilityChecker`.
 :func:`earliest_stabilization_cut` grows its ``C_GST`` candidate by
-tombstoning the absorbed cut out of the live digraph
-(:meth:`~repro.core.synchrony.AdmissibilityChecker.remove_prefix`,
-whose compacted survivor is edge-for-edge the suffix graph), so the
-iteration never rebuilds a suffix graph or re-indexes witnesses --
-the same substrate the online monitor and the enforcing scheduler use
-(see ``docs/architecture.md`` for the contracts).
+absorbing the cut into the live digraph through the checker's two-mode
+compaction engine
+(:meth:`~repro.core.synchrony.AdmissibilityChecker.compact_prefix`),
+so the iteration never rebuilds a suffix graph or re-indexes witnesses
+-- the same substrate the online monitor and the enforcing scheduler
+use (see ``docs/architecture.md`` for the contracts).  The mode choice
+is load-bearing: *exact* mode's compacted survivor is edge-for-edge
+the suffix graph, which is precisely the <>ABC exemption semantics --
+a cycle crossing ``C_GST`` is exempt by Definition, so the *summary*
+mode the monitoring layers use (which deliberately keeps crossing
+cycles detectable) would absorb strictly larger cuts than the
+definition allows.
 """
 
 from __future__ import annotations
@@ -106,12 +112,14 @@ def earliest_stabilization_cut(
 
     One :class:`~repro.core.synchrony.AdmissibilityChecker` is shared
     across all absorbed cuts: instead of rebuilding the suffix graph (and
-    a fresh traversal digraph) per iteration, the grown cut is
-    *tombstoned* out of the live digraph
-    (:meth:`~repro.core.synchrony.AdmissibilityChecker.remove_prefix`),
+    a fresh traversal digraph) per iteration, the grown cut is absorbed
+    into the live digraph by *exact-mode* compaction
+    (:meth:`~repro.core.synchrony.AdmissibilityChecker.compact_prefix`),
     whose queries then answer for the suffix exactly -- with original
     event identities, so no survivor re-indexing round trip is needed to
-    map witnesses back.
+    map witnesses back.  Summary mode would be wrong here: it keeps
+    cycles crossing the absorbed cut detectable, but <>ABC exempts
+    exactly those cycles, so the search must forget them.
     """
     absorbed: set[Event] = set()
     checker = AdmissibilityChecker(graph)
@@ -123,8 +131,8 @@ def earliest_stabilization_cut(
             return Cut(frozenset(absorbed)).left_closure(graph)
         earliest = min(witness.cycle.events)
         absorbed |= graph.causal_past([earliest])
-        # Already-tombstoned events in the cumulative cut are ignored.
-        checker.remove_prefix(absorbed)
+        # Already-compacted events in the cumulative cut are ignored.
+        checker.compact_prefix(absorbed, mode="exact")
 
 
 def unknown_xi_infimum(graph: ExecutionGraph) -> Fraction | None:

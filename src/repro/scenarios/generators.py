@@ -64,6 +64,7 @@ __all__ = [
     "random_enforcer_setup",
     "concurrent_workload",
     "profiled_trace_records",
+    "relay_chain_workload",
 ]
 
 
@@ -499,10 +500,59 @@ def _idler_skeleton(
     )
 
 
+def _relay_skeleton(
+    rng: random.Random, n_records: int, n_processes: int = 3
+) -> list[tuple[Event, float, Event | None]]:
+    """A single relay chain threading every process, racing slow echoes.
+
+    One causal chain relays around the ring ``0 -> 1 -> ... -> 0``;
+    occasionally the chain's process-0 step also probes a ring member
+    whose echo returns ``span`` chain steps later, closing relevant
+    cycles whose ratio grows with the span.  Every event extends the
+    one chain, so *every* possible prefix boundary has a message
+    crossing it -- the no-crossing criterion removes nothing, ever --
+    while delivery progress keeps the frontier tiny: the adversarial
+    shape for exact tombstoning and the home turf of summary
+    compaction.
+    """
+    skeleton: list[tuple[Event, float, Event | None]] = []
+    next_index = [0] * n_processes
+    now = 0.0
+
+    def emit(process: int, src: Event | None) -> Event:
+        nonlocal now
+        now += rng.uniform(0.01, 0.1)
+        event = Event(process, next_index[process])
+        next_index[process] += 1
+        skeleton.append((event, now, src))
+        return event
+
+    last = emit(0, None)  # the chain's wake-up
+    echo_pid = n_processes - 1
+    # (due at chain step, src event, destination process)
+    slow: list[tuple[int, Event, int]] = []
+    span = rng.randint(2 * n_processes, 3 * n_processes)
+    for step in range(1, n_records):
+        due = [s for s in slow if s[0] <= step]
+        if due:
+            slow.remove(due[0])
+            _due, src, dest = due[0]
+            arrival = emit(dest, src)
+            if dest == echo_pid:  # the echo: schedule the reply leg
+                slow.append((step + span, arrival, 0))
+        else:
+            last = emit((last.process + 1) % n_processes, last)
+            if last.process == 0 and not slow and rng.random() < 0.5:
+                slow.append((step + span, last, echo_pid))
+                span += rng.randint(1, 3)  # later cycles span more chain
+    return skeleton
+
+
 _PROFILES = {
     "storm": _storm_skeleton,
     "burst": _burst_skeleton,
     "idler": _idler_skeleton,
+    "relay": _relay_skeleton,
 }
 
 
@@ -519,7 +569,10 @@ def profiled_trace_records(
     * ``"burst"``  -- clustered exchanges between causally fresh
       wake-ups (ratio-1-and-up cycles; old clusters settle);
     * ``"idler"``  -- long silences around tiny clusters (mostly
-      settled history).
+      settled history);
+    * ``"relay"``  -- one long relay chain around three processes with
+      slow cross echoes (see :func:`relay_chain_workload` -- no prefix
+      is ever exactly removable, the summary-compaction stress shape).
 
     Every prefix of the returned list is a valid growing execution, and
     ``sends`` metadata is complete (each message appears in its send
@@ -538,6 +591,33 @@ def profiled_trace_records(
     # every prefix valid (sends metadata is derived after the trim, so a
     # message whose receive was trimmed simply stays in flight).
     return _materialize_records(skeleton_of(rng, n_records)[:n_records])
+
+
+def relay_chain_workload(
+    rng: random.Random, n_records: int = 200, n_processes: int = 3
+) -> list[ReceiveRecord]:
+    """A long single-chain relay trace with complete sends metadata.
+
+    The adversarial shape for prefix eviction (ROADMAP: "stronger
+    tombstoning for chain-shaped workloads"): one causal chain relays
+    around ``n_processes`` processes forever, so a message crosses
+    *every* prefix boundary and :meth:`~repro.analysis.online.OnlineAbcMonitor.settled_prefix`
+    is empty on every prefix of the stream -- exact eviction can never
+    reclaim anything.  Slow echo round trips racing the chain close
+    relevant cycles of growing ratio, so the running worst ratio is
+    nontrivial and summary compaction's bit-identity is genuinely
+    exercised.  ``sends`` metadata is complete (each message appears in
+    its send event's record), so in-flight pinning -- and with it exact
+    budget-bounded fleet monitoring -- works on these streams; every
+    prefix is a valid growing execution.
+    """
+    if n_processes < 2:
+        raise ValueError("a relay chain needs at least two processes")
+    if n_records < 1:
+        raise ValueError("need at least one record")
+    return _materialize_records(
+        _relay_skeleton(rng, n_records, n_processes)[:n_records]
+    )
 
 
 def concurrent_workload(

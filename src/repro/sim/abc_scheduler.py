@@ -39,13 +39,23 @@ checker is ever rebuilt.  Two further refinements keep each step cheap:
   construction, so any violating cycle must pass through a speculatively
   added receive event; the negative-cycle search is seeded from exactly
   those events instead of the whole digraph.
-* **Prefix tombstoning.**  Every ``tombstone_every`` deliveries the
-  scheduler drops the settled past -- the largest per-process prefix
-  that no message edge crosses and that pins no in-flight send event
-  (:meth:`~repro.core.synchrony.AdmissibilityChecker.removable_prefix`)
-  -- so the live digraph, and with it the cost of every oracle call,
-  stays bounded by the active window of the execution instead of growing
-  with its whole history.
+* **Prefix compaction.**  Every ``tombstone_every`` deliveries the
+  scheduler compacts the settled past, keyed on delivery progress
+  alone: everything below the send events of still-queued messages and
+  each process's frontier
+  (:meth:`~repro.core.synchrony.AdmissibilityChecker.summarizable_prefix`)
+  is replaced by boundary summary edges
+  (:meth:`~repro.core.synchrony.AdmissibilityChecker.compact_prefix`).
+  Unlike the old no-crossing criterion -- which removes nothing when a
+  causal chain links history to the frontier, exactly the ping-pong
+  shapes this scheduler exists for -- delivery progress always settles,
+  so the live digraph, and with it the cost of every oracle call, stays
+  bounded by the active window of the execution instead of growing with
+  its whole history.  Soundness: the realized prefix is violation-free,
+  so every compacted cycle has ratio strictly below ``Xi``; passing the
+  Farey predecessor of ``Xi`` as the compaction floor keeps every
+  oracle answer at ``Xi`` bit-identical while pruning the summaries to
+  the region-bounded minimum.
 
 Should enforcement ever miss a violation (the one-step lookahead is not
 a proof for deep multi-hop relay patterns), the scheduler detects it on
@@ -68,7 +78,7 @@ import heapq
 from fractions import Fraction
 
 from repro.core.events import Event
-from repro.core.synchrony import AdmissibilityChecker
+from repro.core.synchrony import AdmissibilityChecker, farey_predecessor
 from repro.sim.engine import Simulator, _Delivery
 from repro.sim.trace import message_kept
 
@@ -137,6 +147,11 @@ class AbcEnforcingSimulator(Simulator):
     def live_digraph_events(self) -> int:
         """Events currently held live in the shared traversal digraph."""
         return self._checker.n_events
+
+    @property
+    def summary_edges(self) -> int:
+        """Live summary edges standing in for compacted history."""
+        return self._checker.n_summary_edges
 
     def _sync_checker(self) -> None:
         """Absorb realized trace records into the shared checker.
@@ -212,14 +227,21 @@ class AbcEnforcingSimulator(Simulator):
         return None if self.violation_detected else events
 
     def _tombstone_settled(self) -> None:
-        """Drop the settled past from the live digraph.
+        """Compact the settled past of the live digraph into summaries.
 
-        Send events of in-flight messages are pinned (their message edges
-        are still to come and must not cross the removed prefix), as is
-        each process's frontier event (upcoming local edges attach to
-        it).  Only sound while the realized prefix is violation-free --
-        tombstoning a prefix that contains part of a violation would
-        forget it.
+        The cut is keyed on delivery progress alone: everything below
+        the pinned events -- the send events of still-queued messages,
+        whose edges are yet to come, plus each process's frontier,
+        where upcoming local edges attach -- is summary-compacted, so
+        compaction makes progress even when messages cross every
+        possible boundary (ping-pong chains, where the old no-crossing
+        criterion removed nothing).  Sound because the realized prefix
+        is violation-free: every compacted cycle has ratio strictly
+        below ``Xi``, so with the Farey predecessor of ``Xi`` as the
+        floor, every future oracle answer at ``Xi`` is bit-identical to
+        the uncompacted digraph's.  Disabled after a detected violation
+        -- the fallback's full-sweep oracles must keep seeing the whole
+        realized history.
         """
         if self.violation_detected:
             return
@@ -229,13 +251,12 @@ class AbcEnforcingSimulator(Simulator):
                 continue
             if delivery.send_event is not None:
                 pinned.append(delivery.send_event)
-        for process in self._checker.processes:
-            count = self._checker.n_events_of(process)
-            if count > self._checker.first_live_index(process):
-                pinned.append(Event(process, count - 1))
-        removable = self._checker.removable_prefix(pinned)
-        if removable:
-            self.tombstoned_events += self._checker.remove_prefix(removable)
+        cut = self._checker.summarizable_prefix(pinned)
+        if cut:
+            floor = farey_predecessor(self.xi, self._checker.ratio_bound)
+            self.tombstoned_events += self._checker.compact_prefix(
+                cut, floor=floor
+            )
 
     # -- the enforcing step -------------------------------------------------
 

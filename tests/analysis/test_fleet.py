@@ -19,6 +19,7 @@ from repro.analysis.online import OnlineAbcMonitor
 from repro.scenarios.generators import (
     concurrent_workload,
     profiled_trace_records,
+    relay_chain_workload,
     streaming_records,
 )
 
@@ -133,17 +134,21 @@ class TestMemoryBudget:
         assert report.peak_live_events <= budget
         assert report.live_events <= budget
 
-    def test_unsettleable_storms_count_overruns_instead_of_lying(self):
-        """A hot ping-pong storm links history to the frontier: nothing
-        is safely evictable, so the fleet must report overruns rather
-        than force an unsafe eviction -- and stay exact."""
+    def test_hot_storms_fall_back_to_summary_compaction(self):
+        """A hot ping-pong storm links history to the frontier: no
+        prefix is exactly removable, so eviction falls back to summary
+        compaction -- the budget holds (no overrun, unlike the
+        pre-compaction fleet, which could only count overruns here)
+        and the reported ratio stays exact."""
         records = profiled_trace_records(random.Random(2), "storm", 80)
         fleet = MonitorFleet(batch_size=10, event_budget=20)
         for record in records:
             fleet.ingest("t", record)
         fleet.flush()
         report = fleet.report()
-        assert report.budget_overruns > 0
+        assert report.summary_compactions > 0
+        assert report.budget_overruns == 0
+        assert report.peak_live_events <= 20
         assert not fleet.is_degraded("t")
         assert fleet.worst_ratio("t") == standalone_ratio(records)
 
@@ -400,3 +405,178 @@ class TestConstruction:
             fleet.ingest("custom", record)
         assert seen == ["custom"]
         assert fleet.worst_ratio("custom") == standalone_ratio(records)
+
+
+class TestSummaryCompaction:
+    """Budget eviction's summary fallback on chain-shaped workloads."""
+
+    def test_relay_chains_bounded_and_bit_identical(self):
+        """The acceptance scenario: relay-chain traces -- where exact
+        eviction can reclaim nothing -- stay within the budget with
+        ratios bit-identical to unbudgeted standalone monitors."""
+        rng = random.Random(12)
+        traces = {
+            f"relay-{k}": relay_chain_workload(rng, 150) for k in range(6)
+        }
+        budget = 160
+        fleet = MonitorFleet(batch_size=16, event_budget=budget)
+        streams = {tid: iter(records) for tid, records in traces.items()}
+        alive = dict(streams)
+        while alive:
+            for tid in list(alive):
+                record = next(alive[tid], None)
+                if record is None:
+                    del alive[tid]
+                else:
+                    fleet.ingest(tid, record)
+        fleet.flush()
+        report = fleet.report()
+        assert report.summary_compactions > 0
+        assert report.budget_overruns == 0
+        assert report.peak_live_events <= budget
+        assert report.degraded_traces == 0
+        for tid, records in traces.items():
+            assert fleet.worst_ratio(tid) == standalone_ratio(records)
+            assert standalone_ratio(records) is not None  # nontrivial
+
+    def test_summary_edges_reported(self):
+        records = relay_chain_workload(random.Random(3), 120)
+        fleet = MonitorFleet(batch_size=8, event_budget=24)
+        for record in records:
+            fleet.ingest("t", record)
+        fleet.flush()
+        report = fleet.report()
+        assert report.summary_edges > 0
+        assert report.summary_edges == sum(
+            s.summary_edges for s in report.shards
+        )
+        assert report.summary_compactions == sum(
+            s.summary_compactions for s in report.shards
+        )
+
+    def test_eviction_prefers_exact_removal(self):
+        """Burst traces settle exactly; the summary fallback must not
+        fire where the no-crossing criterion already works."""
+        records = profiled_trace_records(random.Random(6), "burst", 120)
+        fleet = MonitorFleet(batch_size=16, event_budget=30)
+        for record in records:
+            fleet.ingest("t", record)
+        fleet.flush()
+        report = fleet.report()
+        assert report.evictions > 0
+        assert report.summary_compactions == 0
+        assert fleet.worst_ratio("t") == standalone_ratio(records)
+
+
+class TestAutoRetirement:
+    def test_idle_traces_auto_retire(self):
+        fleet = MonitorFleet(batch_size=4, auto_retire_after=20)
+        idle = list(streaming_records(random.Random(0), 2, 12))
+        busy = list(streaming_records(random.Random(1), 2, 60))
+        for record in idle:
+            fleet.ingest("idle", record)
+        for record in busy:
+            fleet.ingest("busy", record)
+        assert fleet.retired_traces == 1
+        assert fleet.open_traces == 1
+        report = fleet.report()
+        assert report.auto_retired == 1
+        # The summary is the reopen-safe close() path: exact ratio kept.
+        assert fleet.worst_ratio("idle") == standalone_ratio(idle)
+        assert not fleet.is_degraded("idle")
+
+    def test_fresh_traces_survive(self):
+        stream = list(
+            concurrent_workload(
+                random.Random(7), n_traces=5, records_per_trace=(10, 20)
+            )
+        )
+        # An age above the whole stream length: nothing can go stale.
+        fleet = MonitorFleet(batch_size=4, auto_retire_after=len(stream) + 1)
+        fleet.ingest_many(stream)
+        assert fleet.report().auto_retired == 0
+        assert fleet.open_traces == len(by_trace(stream))
+
+    def test_auto_retired_trace_reopens_degraded(self):
+        fleet = MonitorFleet(batch_size=4, auto_retire_after=10)
+        records = list(streaming_records(random.Random(2), 2, 30))
+        other = list(streaming_records(random.Random(3), 2, 12))
+        for record in records[:10]:
+            fleet.ingest("t", record)
+        for record in other:  # age "t" out with unrelated traffic
+            fleet.ingest("other", record)
+        assert fleet.report().auto_retired >= 1
+        for record in records[10:]:
+            fleet.ingest("t", record)
+        fleet.flush()
+        assert fleet.is_degraded("t")
+        ratio = fleet.worst_ratio("t")
+        standalone = standalone_ratio(records)
+        assert ratio is None or standalone is None or ratio <= standalone
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonitorFleet(auto_retire_after=0)
+
+
+class TestEvictMarkerReset:
+    def test_absorbing_records_clears_futility_memos(self):
+        """A futile eviction pass memoizes the live-event count; any
+        later absorption must clear the memo -- comparing counts alone
+        can collide after absorb-then-evict elsewhere (the reopen/skip
+        bug this PR's sweep fixed)."""
+        records = profiled_trace_records(random.Random(2), "storm", 40)
+        fleet = MonitorFleet(batch_size=10, event_budget=2000)
+        for record in records[:20]:
+            fleet.ingest("t", record)
+        fleet.flush()
+        shard = fleet._shards[fleet.shard_of("t")]
+        state = shard.traces["t"]
+        state.evict_marker = state.monitor.n_events  # simulate futility
+        fleet._futile_at = fleet.live_events
+        for record in records[20:]:
+            fleet.ingest("t", record)
+        fleet.flush()
+        assert state.evict_marker is None
+        assert fleet._futile_at is None
+
+
+class TestMixedShapeBudget:
+    def test_partial_exact_removal_still_triggers_summary_fallback(self):
+        """A trace mixing settleable wake-up noise with a chain-shaped
+        core always yields a small nonzero exact eviction; the summary
+        fallback must fire whenever that leaves the fleet over budget,
+        or the chain core grows unboundedly (review finding on this
+        PR: peak 402 vs budget 80 before the fix)."""
+        from repro.core.events import Event
+        from repro.sim.trace import ReceiveRecord
+
+        chain = relay_chain_workload(random.Random(0), 300)
+        next_index = {3: 0, 4: 0}
+        mixed = []
+        now = 0.0
+        for i, record in enumerate(chain):
+            mixed.append(record)
+            if i % 2 == 0:
+                process = 3 + (i // 2) % 2
+                now = record.time
+                mixed.append(
+                    ReceiveRecord(
+                        event=Event(process, next_index[process]),
+                        time=now, sender=None, send_event=None,
+                        send_time=None, payload=None, processed=True,
+                        sends=(),
+                    )
+                )
+                next_index[process] += 1
+        budget = 80
+        fleet = MonitorFleet(batch_size=16, event_budget=budget)
+        for record in mixed:
+            fleet.ingest("mixed", record)
+        fleet.flush()
+        report = fleet.report()
+        assert report.summary_compactions > 0
+        assert report.budget_overruns == 0
+        assert report.peak_live_events <= budget
+        assert not fleet.is_degraded("mixed")
+        assert fleet.worst_ratio("mixed") == standalone_ratio(mixed)

@@ -86,7 +86,7 @@ def test_theta_band_trace_is_abc_admissible():
 # ----------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("profile", ["storm", "burst", "idler"])
+@pytest.mark.parametrize("profile", ["storm", "burst", "idler", "relay"])
 def test_profiled_traces_are_valid_growing_executions(profile):
     records = profiled_trace_records(random.Random(3), profile, 50)
     assert len(records) == 50
@@ -98,7 +98,7 @@ def test_profiled_traces_are_valid_growing_executions(profile):
         build_execution_graph(Trace(n, frozenset(), records[:k]))
 
 
-@pytest.mark.parametrize("profile", ["storm", "burst", "idler"])
+@pytest.mark.parametrize("profile", ["storm", "burst", "idler", "relay"])
 def test_profiled_traces_carry_complete_sends_metadata(profile):
     """Every message must appear in its send event's ``sends`` -- the
     in-flight knowledge that keeps fleet eviction exact."""
@@ -152,3 +152,37 @@ def test_concurrent_workload_shape_and_determinism():
 def test_concurrent_workload_validation():
     with pytest.raises(ValueError):
         list(concurrent_workload(random.Random(0), n_traces=0))
+
+
+def test_relay_chain_is_never_exactly_settleable():
+    """The adversarial compaction shape: on every prefix with anything
+    in flight, the no-crossing criterion removes nothing, while the
+    chain closes relevant cycles of ratio > 1."""
+    from repro.analysis.online import OnlineAbcMonitor
+    from repro.scenarios.generators import relay_chain_workload
+
+    records = relay_chain_workload(random.Random(3), 200)
+    n = max(r.event.process for r in records) + 1
+    for k in (1, 80, 200):
+        build_execution_graph(Trace(n, frozenset(), records[:k]))
+    monitor = OnlineAbcMonitor()
+    pinned = {r.send_event for r in records if r.send_event is not None}
+    for record in records:
+        monitor.observe(record)
+        assert monitor.settled_prefix(pinned) == ()
+    from repro.core.synchrony import worst_relevant_ratio
+
+    worst = worst_relevant_ratio(
+        build_execution_graph(Trace(n, frozenset(), records))
+    )
+    assert worst is not None and worst > 1
+    assert monitor.worst_ratio == worst
+
+
+def test_relay_chain_validation():
+    from repro.scenarios.generators import relay_chain_workload
+
+    with pytest.raises(ValueError):
+        relay_chain_workload(random.Random(0), 10, n_processes=1)
+    with pytest.raises(ValueError):
+        relay_chain_workload(random.Random(0), 0)

@@ -125,6 +125,29 @@ class TestEnforcedTracesAreAdmissible:
         assert sim.live_digraph_events == len(trace.records) - sim.tombstoned_events
         assert sim.live_digraph_events < len(trace.records)
 
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_summary_compaction_keeps_decisions_byte_identical(
+        self, scenario
+    ):
+        """Compaction is keyed on delivery progress and answers every
+        Xi-oracle exactly (floor = Farey predecessor of Xi): the
+        realized trace and the pull-forward count must be byte-identical
+        to an uncompacted run -- even on ping-pong chains, where the
+        old no-crossing criterion could remove nothing at all."""
+        runs = []
+        for tombstone_every in (None, 4):
+            procs, net = SCENARIOS[scenario](n_responders=2, xi=XI)
+            sim = AbcEnforcingSimulator(
+                procs, net, seed=7, xi=XI, tombstone_every=tombstone_every
+            )
+            trace = sim.run(SimulationLimits(max_events=200))
+            runs.append((sim, trace))
+        (plain, plain_trace), (compacting, compact_trace) = runs
+        assert compact_trace.records == plain_trace.records
+        assert compacting.pulled_forward == plain.pulled_forward
+        assert compacting.tombstoned_events > 0
+        assert compacting.live_digraph_events < plain.live_digraph_events
+
     def test_final_record_is_absorbed_and_checked(self):
         """Regression: ``_step`` syncs the checker after the delivery,
         so the record produced by the run's final delivery is absorbed
