@@ -1,0 +1,320 @@
+"""Parallel fleet (process workers) vs. the serial fleet, bit for bit.
+
+The acceptance benchmark of the parallel runtime: a >=400-trace
+concurrent workload (storms, bursts, idlers) ingested once by the
+serial :class:`~repro.analysis.fleet.MonitorFleet` and once by a
+:class:`~repro.runtime.ParallelFleet` on process workers.  Two claims
+are gated:
+
+* **bit-identity** -- every per-trace worst ratio, every degradation
+  flag, and the *set* of violating traces agree exactly between the
+  two front ends (and, with a budget configured, the parallel epoch
+  watermark respects the global budget with zero overruns);
+* **speedup** -- with 2 workers the parallel fleet ingests the stream
+  at least ``--min-speedup`` times faster than the serial fleet on
+  wall clock.  The CI gate runs ``--min-speedup 1.5`` on 2 workers
+  (the ISSUE's hard floor); nominal on a quiet multi-core machine is
+  ~1.7-1.9x at 2 workers, scaling with worker count until the
+  dispatcher's routing/encoding thread saturates.  The pytest entry
+  asserts bit-identity always but skips the speedup floor on
+  single-core machines, where no parallel speedup is physically
+  available.
+
+Also runnable as a script (CI smoke / the gate)::
+
+    python benchmarks/bench_parallel.py --traces 60 --max-records 60 --min-speedup 0
+    python benchmarks/bench_parallel.py --min-speedup 1.5 --json BENCH_parallel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from fractions import Fraction
+
+from repro.analysis.fleet import MonitorFleet
+from repro.runtime import ParallelFleet
+from repro.scenarios.generators import concurrent_workload
+
+DEFAULT_TRACES = 420
+DEFAULT_RECORDS = (160, 280)
+DEFAULT_BATCH = 32
+DEFAULT_SHARDS = 8
+DEFAULT_WORKERS = 2
+DEFAULT_BUDGET = 24000
+DEFAULT_WIRE_BATCH = 512
+DEFAULT_SEED = 11
+DEFAULT_XI = Fraction(3)
+# The ISSUE's hard CI floor at 2 workers.  Wall-clock ratios on shared
+# runners are noisy, but unlike the other suites both contenders here
+# are bound by the same oracle workload, and the parallel side has two
+# cores' worth of it in flight; regressing below 1.5x on 2 workers
+# means the runtime stopped parallelizing, not that the runner jittered.
+HARD_SPEEDUP_FLOOR = 1.5
+
+
+def build_workload(seed, n_traces, records_per_trace):
+    rng = random.Random(seed)
+    return list(
+        concurrent_workload(
+            rng,
+            n_traces=n_traces,
+            records_per_trace=records_per_trace,
+            # Storm-heavy: the gate measures the compute-bound
+            # monitoring regime (dense digraphs, frequent worst-ratio
+            # refreshes), where the wall clock is oracle work -- the
+            # thing worker parallelism actually scales.  Lighter mixes
+            # shift the measurement towards fixed wire overhead and
+            # understate (or mask) a real parallelism regression.
+            profile_weights={"storm": 0.5, "burst": 0.35, "idler": 0.15},
+        )
+    )
+
+
+def run_serial(stream, xi, batch_size, n_shards, event_budget):
+    fleet = MonitorFleet(
+        xi=xi,
+        n_shards=n_shards,
+        batch_size=batch_size,
+        event_budget=event_budget,
+    )
+    fleet.ingest_many(stream)
+    fleet.flush()
+    return fleet
+
+
+def run_parallel(
+    stream, xi, batch_size, n_shards, event_budget, n_workers, wire_batch
+):
+    fleet = ParallelFleet(
+        xi=xi,
+        n_workers=n_workers,
+        n_shards=n_shards,
+        batch_size=batch_size,
+        event_budget=event_budget,
+        backend="process",
+        wire_batch=wire_batch,
+    )
+    fleet.ingest_many(stream)
+    fleet.flush()
+    return fleet
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def compare(
+    seed=DEFAULT_SEED,
+    n_traces=DEFAULT_TRACES,
+    records_per_trace=DEFAULT_RECORDS,
+    batch_size=DEFAULT_BATCH,
+    n_shards=DEFAULT_SHARDS,
+    n_workers=DEFAULT_WORKERS,
+    event_budget=DEFAULT_BUDGET,
+    wire_batch=DEFAULT_WIRE_BATCH,
+    xi=DEFAULT_XI,
+):
+    """Run both front ends; returns the metrics dict.
+
+    Raises ``AssertionError`` unless every per-trace worst ratio and
+    degradation flag is bit-identical, the violating-trace sets agree,
+    and (with a budget) the parallel epoch watermark respects it with
+    zero overruns.
+    """
+    stream = build_workload(seed, n_traces, records_per_trace)
+    trace_ids = sorted({trace_id for trace_id, _record in stream})
+    assert len(trace_ids) >= 400 or n_traces < 400, "workload shrank"
+
+    serial, serial_s = _timed(
+        run_serial, stream, xi, batch_size, n_shards, event_budget
+    )
+    parallel, parallel_s = _timed(
+        run_parallel,
+        stream,
+        xi,
+        batch_size,
+        n_shards,
+        event_budget,
+        n_workers,
+        wire_batch,
+    )
+    try:
+        serial_report = serial.report()
+        parallel_report = parallel.report()
+        assert parallel_report.crashed_shards == ()
+        assert parallel_report.records == len(stream)
+        mismatches = []
+        for trace_id in trace_ids:
+            if parallel.worst_ratio(trace_id) != serial.worst_ratio(trace_id):
+                mismatches.append(trace_id)
+            if parallel.is_degraded(trace_id) != serial.is_degraded(trace_id):
+                mismatches.append(f"{trace_id} (degraded flag)")
+        assert not mismatches, f"per-trace divergence: {mismatches[:5]}"
+        assert set(parallel_report.violating_traces) == set(
+            serial_report.violating_traces
+        ), "violation sets diverged"
+        assert serial_report.degraded_traces == 0
+        assert parallel_report.degraded_traces == 0
+        if event_budget is not None:
+            assert parallel_report.budget_overruns == 0, (
+                f"{parallel_report.budget_overruns} budget overruns"
+            )
+            assert parallel_report.peak_live_events <= event_budget, (
+                f"parallel epoch watermark {parallel_report.peak_live_events} "
+                f"exceeds budget {event_budget}"
+            )
+    finally:
+        parallel.shutdown()
+    return {
+        "traces": len(trace_ids),
+        "records": len(stream),
+        "batch_size": batch_size,
+        "n_shards": n_shards,
+        "n_workers": n_workers,
+        "wire_batch": wire_batch,
+        "event_budget": event_budget,
+        "xi": str(xi),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "serial_records_per_s": len(stream) / serial_s,
+        "parallel_records_per_s": len(stream) / parallel_s,
+        "serial_oracle_calls": serial_report.oracle_calls,
+        "parallel_oracle_calls": parallel_report.oracle_calls,
+        "violating_traces": len(parallel_report.violating_traces),
+        "parallel_peak_live_events": parallel_report.peak_live_events,
+        "serial_peak_live_events": serial_report.peak_live_events,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entries
+# ----------------------------------------------------------------------
+
+
+def test_parallel_bit_identity_and_speedup():
+    """Bit-identical ratios/flags/violation sets on the gate workload;
+    the speedup floor applies only where parallel speedup is physically
+    available (>= 2 cores)."""
+    r = compare(n_traces=120, records_per_trace=(40, 90), event_budget=2500)
+    sys.stderr.write(
+        f"\n[bench_parallel] traces={r['traces']} records={r['records']} "
+        f"serial={r['serial_s']:.2f}s parallel={r['parallel_s']:.2f}s "
+        f"({r['speedup']:.2f}x on {r['n_workers']} workers, "
+        f"{r['cpu_count']} cpus)\n"
+    )
+    if (os.cpu_count() or 1) >= 2:
+        assert r["speedup"] >= 1.0, (
+            f"parallel slower than serial ({r['speedup']:.2f}x) on a "
+            "multi-core machine"
+        )
+
+
+# ----------------------------------------------------------------------
+# script mode (CI smoke, the gate, JSON artifact)
+# ----------------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=(
+            "Gate the parallel fleet runtime: bit-identity with the "
+            "serial MonitorFleet plus wall-clock speedup on process "
+            "workers."
+        )
+    )
+    parser.add_argument("--traces", type=int, default=DEFAULT_TRACES)
+    parser.add_argument(
+        "--min-records", type=int, default=DEFAULT_RECORDS[0],
+        help="minimum records per trace",
+    )
+    parser.add_argument(
+        "--max-records", type=int, default=DEFAULT_RECORDS[1],
+        help="maximum records per trace",
+    )
+    parser.add_argument("--batch", type=int, default=DEFAULT_BATCH)
+    parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS)
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument(
+        "--wire-batch", type=int, default=DEFAULT_WIRE_BATCH,
+        help="records per shard batch on the wire",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=DEFAULT_BUDGET,
+        help="global live-event budget (0 disables)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit non-zero unless the parallel fleet reaches this speedup",
+    )
+    parser.add_argument(
+        "--json", type=str, default=None,
+        help="write the metrics to this JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    budget = args.budget if args.budget else None
+    records = (min(args.min_records, args.max_records), args.max_records)
+    if budget is not None and args.traces < 100:
+        # Small smoke runs: scale the budget down so enforcement is
+        # genuinely exercised (mirrors bench_fleet's smoke behavior).
+        budget = max(
+            args.workers, min(budget, args.traces * args.max_records // 8)
+        )
+    r = compare(
+        seed=args.seed,
+        n_traces=args.traces,
+        records_per_trace=records,
+        batch_size=args.batch,
+        n_shards=args.shards,
+        n_workers=args.workers,
+        event_budget=budget,
+        wire_batch=args.wire_batch,
+    )
+    print(
+        f"workload: {r['traces']} traces, {r['records']} records "
+        f"(batch={r['batch_size']}, shards={r['n_shards']}, "
+        f"workers={r['n_workers']}, wire_batch={r['wire_batch']}, "
+        f"budget={r['event_budget']}, Xi={r['xi']})"
+    )
+    print(
+        f"serial  : {r['serial_s'] * 1e3:8.1f} ms  "
+        f"{r['serial_records_per_s']:8.0f} rec/s  "
+        f"{r['serial_oracle_calls']:6d} oracle calls"
+    )
+    print(
+        f"parallel: {r['parallel_s'] * 1e3:8.1f} ms  "
+        f"{r['parallel_records_per_s']:8.0f} rec/s  "
+        f"{r['parallel_oracle_calls']:6d} oracle calls  "
+        f"({r['speedup']:.2f}x on {r['n_workers']} workers)"
+    )
+    print(
+        f"memory  : parallel epoch watermark {r['parallel_peak_live_events']}"
+        f" (budget {r['event_budget']}), serial peak "
+        f"{r['serial_peak_live_events']}"
+    )
+    print(
+        f"bit-identical: per-trace ratios, degradation flags, and the "
+        f"violating set ({r['violating_traces']} traces)"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(r, fh, indent=2)
+        print(f"wrote {args.json}")
+    if args.min_speedup is not None and r["speedup"] < args.min_speedup:
+        print(f"FAIL: speedup {r['speedup']:.2f}x < {args.min_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

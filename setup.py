@@ -1,10 +1,12 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Legacy-path setup shim for environments without the ``wheel`` package.
 
-The offline environment used for this reproduction lacks ``wheel``, which
-PEP 517 editable installs require; keeping a ``setup.py`` lets
-``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
-The package itself is stdlib-only and also runs straight off the tree
-with ``PYTHONPATH=src`` (the convention the README, tests, and CI use).
+Packaging metadata lives in ``pyproject.toml`` (PEP 621); modern pip
+installs -- ``pip install -e .`` included -- go through it and never
+read this file.  The shim remains only for offline environments whose
+pip lacks ``wheel`` and must fall back to the legacy ``setup.py
+develop`` path.  The package itself is stdlib-only and also runs
+straight off the tree with ``PYTHONPATH=src`` (the convention the
+README, tests, and CI use).
 """
 
 from setuptools import setup

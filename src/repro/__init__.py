@@ -15,7 +15,11 @@ The package is organized as:
 * :mod:`repro.models` -- the related partially synchronous models
   (Theta, ParSync/DLS, Archimedean, FAR, MCM, MMR, WTL) as trace
   checkers, plus the model-relation theorems.
-* :mod:`repro.analysis` -- property checkers for Theorems 1-5.
+* :mod:`repro.analysis` -- property checkers for Theorems 1-5, the
+  online ?ABC/<>ABC monitor, and the serial multi-trace fleet.
+* :mod:`repro.runtime` -- the parallel fleet runtime: the
+  share-nothing shard engine, the wire codec, process/thread worker
+  backends, and the :class:`~repro.runtime.ParallelFleet` dispatcher.
 * :mod:`repro.scenarios` -- the paper's figures as executable
   constructions, plus random workload generators.
 

@@ -14,15 +14,22 @@ both costs across the population:
 * **Sharding.**  Traces are hash-routed to ``n_shards`` independent
   shard structures (stable CRC32 of the trace id, so placement is
   reproducible across runs and machines).  Shards share no mutable
-  state -- a deployment may drive each shard from its own worker thread
-  or process; within one shard, traces are fully independent monitors.
+  state; since this PR the shard machinery itself lives in
+  :mod:`repro.runtime.shard` (the :class:`~repro.runtime.shard.ShardGroup`
+  engine), and :class:`MonitorFleet` is the *serial* front end driving
+  one in-process group holding every shard -- the parallel front end,
+  :class:`repro.runtime.ParallelFleet`, drives the same engine on
+  worker processes.
 * **Batching.**  :meth:`MonitorFleet.ingest` only buffers; when a
   trace's pending buffer reaches the ``batch_size`` watermark (or on an
   explicit :meth:`MonitorFleet.flush`), the burst is absorbed through
   :meth:`~repro.analysis.online.OnlineAbcMonitor.observe_batch` with a
   single deferred worst-ratio refresh -- one oracle call per flush
   instead of one per record, which is where the fleet's throughput over
-  the naive loop comes from (``benchmarks/bench_fleet.py``).
+  the naive loop comes from (``benchmarks/bench_fleet.py``).  Bulk
+  ingestion (:meth:`MonitorFleet.ingest_many`) groups the stream per
+  shard and flushes each watermark-crossing trace once per shard
+  batch, so the per-record routing overhead is paid per batch too.
 * **Memory policy.**  An optional global ``event_budget`` bounds the
   total number of live digraph events across the fleet.  When a flush
   pushes the fleet over budget, prefixes are evicted from the
@@ -33,10 +40,14 @@ both costs across the population:
   applies, with a fallback to *summary compaction* -- the prefix is
   replaced by boundary-to-boundary summary edges -- on chain-shaped
   traces where no prefix is exactly removable, so the budget holds on
-  every workload shape.  :meth:`MonitorFleet.close` retires a finished
-  trace to an immutable :class:`TraceSummary`, freeing its digraph
-  entirely, and ``auto_retire_after`` closes idle traces the same way
-  without an explicit call.
+  every workload shape.  Independently of the budget,
+  ``compact_threshold`` hands each monitor the adaptive compaction
+  cadence (compact when live events outgrow the boundary by the given
+  factor -- see :meth:`~repro.analysis.online.OnlineAbcMonitor.maybe_compact`).
+  :meth:`MonitorFleet.close` retires a finished trace to an immutable
+  :class:`TraceSummary`, freeing its digraph entirely, and
+  ``auto_retire_after`` closes idle traces the same way without an
+  explicit call.
 * **Aggregates.**  :meth:`MonitorFleet.worst_ratio_histogram`,
   :meth:`MonitorFleet.violating_traces`,
   :meth:`MonitorFleet.top_k_riskiest` and the :class:`FleetReport`
@@ -63,15 +74,23 @@ fleet report instead of silently losing exactness.
 
 from __future__ import annotations
 
-import zlib
-from collections import Counter
-from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Iterable
 
 from repro.analysis.online import OnlineAbcMonitor
 from repro.core.cycles import CycleClassification
-from repro.core.events import Event, ProcessId
+from repro.core.events import ProcessId
+from repro.runtime.shard import (
+    FleetReport,
+    FleetShard,
+    ShardGroup,
+    ShardStats,
+    TraceId,
+    TraceSummary,
+    ratio_histogram,
+    shard_index_of as _shard_index,
+    top_k_riskiest,
+)
 from repro.sim.trace import ReceiveRecord
 
 __all__ = [
@@ -82,238 +101,16 @@ __all__ = [
     "TraceSummary",
 ]
 
-TraceId = str | int
-"""Trace identifiers: any value with a stable ``str()`` form."""
-
-
-def _shard_index(trace_id: TraceId, n_shards: int) -> int:
-    """Stable hash routing (CRC32 of the id's string form): independent
-    of interpreter hash randomization, so trace placement -- and with it
-    every per-shard counter -- is reproducible across runs."""
-    return zlib.crc32(str(trace_id).encode()) % n_shards
-
-
-@dataclass(frozen=True)
-class TraceSummary:
-    """Immutable record of a retired (closed) trace.
-
-    Attributes:
-        trace_id: the trace's fleet-wide identifier.
-        worst_ratio: the exact running worst relevant ratio at close
-            (``None`` = no relevant cycle ever observed).
-        n_records: receive records ingested over the trace's lifetime.
-        oracle_calls: negative-cycle runs the trace's monitor issued.
-        violation: the first violating witness cycle, when ``xi`` was
-            monitored and reached.
-        degraded: ``True`` when exactness was lost -- a forgotten prefix
-            turned out to have an in-flight message crossing it, or the
-            trace was re-opened after retirement; the ratio is then a
-            lower bound (historical maximum kept) rather than exact.
-    """
-
-    trace_id: TraceId
-    worst_ratio: Fraction | None
-    n_records: int
-    oracle_calls: int
-    violation: CycleClassification | None
-    degraded: bool
-
-
-@dataclass(frozen=True)
-class ShardStats:
-    """Counters of one hash shard (see :class:`FleetReport`)."""
-
-    shard: int
-    open_traces: int
-    retired_traces: int
-    records: int
-    flushes: int
-    oracle_calls: int
-    live_events: int
-    tombstoned_events: int
-    evictions: int
-    summary_compactions: int
-    summary_edges: int
-    auto_retired: int
-
-
-@dataclass(frozen=True)
-class FleetReport:
-    """Point-in-time snapshot of the whole fleet (all pending flushed).
-
-    Attributes:
-        open_traces / retired_traces: population counts.
-        records / flushes / oracle_calls: lifetime work counters; the
-            batching win is visible as ``oracle_calls`` growing with
-            flushes rather than with message records.
-        live_events / peak_live_events: current and high-water total of
-            live digraph events across all open monitors (the watermark
-            is sampled after each flush's budget enforcement; absorption
-            may transiently exceed it by one batch).  With an
-            ``event_budget`` configured and no overruns,
-            ``peak_live_events <= event_budget`` is the memory
-            guarantee of the eviction policy.
-        tombstoned_events / evictions: events dropped by budget-driven
-            prefix forgetting, and how many times a trace was evicted.
-        summary_compactions / summary_edges: eviction passes that fell
-            back to summary compaction because exact no-crossing
-            removal was blocked (chain-shaped traces), and the live
-            summary edges currently standing in for compacted history.
-        auto_retired: traces closed by idle-age auto-retirement
-            (``auto_retire_after``), over the fleet's lifetime.
-        budget_overruns: enforcement passes that could not get back
-            under budget even with summary compaction (every remaining
-            trace was already compacted to its pinned core).
-        degraded_traces: traces whose ratio is a lower bound rather than
-            exact (see :class:`TraceSummary`).
-        violating_traces: ids of traces whose worst ratio reached the
-            monitored ``xi``, in detection order.
-        shards: per-shard breakdowns of the counters above.
-    """
-
-    xi: Fraction | None
-    n_shards: int
-    batch_size: int
-    event_budget: int | None
-    open_traces: int
-    retired_traces: int
-    records: int
-    flushes: int
-    oracle_calls: int
-    live_events: int
-    peak_live_events: int
-    tombstoned_events: int
-    evictions: int
-    summary_compactions: int
-    summary_edges: int
-    auto_retired: int
-    budget_overruns: int
-    degraded_traces: int
-    violating_traces: tuple[TraceId, ...]
-    shards: tuple[ShardStats, ...]
-
-
-class _TraceState:
-    """One open trace: its monitor plus the fleet-side bookkeeping."""
-
-    __slots__ = (
-        "monitor",
-        "pending",
-        "in_flight",
-        "frontier",
-        "n_records",
-        "last_touch",
-        "live_cached",
-        "reopened",
-        "evict_marker",
-    )
-
-    def __init__(self, monitor: OnlineAbcMonitor, reopened: bool) -> None:
-        self.monitor = monitor
-        self.pending: list[ReceiveRecord] = []
-        # (send event, destination process) -> messages announced by a
-        # record's ``sends`` but not yet observed arriving.  Positive
-        # entries pin their send event against eviction.
-        self.in_flight: Counter[tuple[Event, ProcessId]] = Counter()
-        self.frontier: dict[ProcessId, int] = {}
-        self.n_records = 0
-        self.last_touch = 0
-        self.live_cached = 0
-        self.reopened = reopened
-        # Event count at the last eviction attempt that removed nothing.
-        # Pins and settledness only change when events are absorbed, so
-        # retrying at the same count is provably futile -- this memo
-        # keeps permanently-over-budget fleets from re-sweeping every
-        # unsettleable trace on every flush.
-        self.evict_marker: int | None = None
-
-    @property
-    def degraded(self) -> bool:
-        return self.reopened or self.monitor.forgotten_message_edges > 0
-
-    def pinned_events(self) -> list[Event]:
-        """Events eviction must keep live: each process's frontier (its
-        next local edge attaches there) and every send event with a
-        message still in flight (its message edge is still to come)."""
-        pinned = [
-            Event(process, index) for process, index in self.frontier.items()
-        ]
-        pinned.extend(key[0] for key, n in self.in_flight.items() if n > 0)
-        return pinned
-
-
-class _Shard:
-    """One hash shard: an independent group of trace monitors.
-
-    Shards never touch each other's state, so a deployment may pin each
-    shard to its own worker; the fleet front end only routes.
-    """
-
-    __slots__ = (
-        "index",
-        "traces",
-        "retired",
-        "records",
-        "flushes",
-        "tombstoned",
-        "evictions",
-        "summary_compactions",
-        "auto_retired",
-        "retired_oracle_calls",
-    )
-
-    def __init__(self, index: int) -> None:
-        self.index = index
-        # Insertion order doubles as LRU ingest order: ``ingest`` moves
-        # the touched trace to the end, so the first entry is always the
-        # least-recently-ingested open trace (the auto-retire probe).
-        self.traces: dict[TraceId, _TraceState] = {}
-        self.retired: dict[TraceId, TraceSummary] = {}
-        self.records = 0
-        self.flushes = 0
-        self.tombstoned = 0
-        self.evictions = 0
-        self.summary_compactions = 0
-        self.auto_retired = 0
-        self.retired_oracle_calls = 0
-
-    def oracle_calls(self) -> int:
-        return self.retired_oracle_calls + sum(
-            state.monitor.oracle_calls for state in self.traces.values()
-        )
-
-    def live_events(self) -> int:
-        return sum(state.monitor.n_events for state in self.traces.values())
-
-    def n_retired(self) -> int:
-        """Retired traces, not counting ids that have been re-opened
-        (those are listed as open, with their summaries merged in)."""
-        return sum(1 for trace_id in self.retired if trace_id not in self.traces)
-
-    def summary_edges(self) -> int:
-        return sum(
-            state.monitor.summary_edges for state in self.traces.values()
-        )
-
-    def stats(self) -> ShardStats:
-        return ShardStats(
-            shard=self.index,
-            open_traces=len(self.traces),
-            retired_traces=self.n_retired(),
-            records=self.records,
-            flushes=self.flushes,
-            oracle_calls=self.oracle_calls(),
-            live_events=self.live_events(),
-            tombstoned_events=self.tombstoned,
-            evictions=self.evictions,
-            summary_compactions=self.summary_compactions,
-            summary_edges=self.summary_edges(),
-            auto_retired=self.auto_retired,
-        )
-
 
 class MonitorFleet:
     """N concurrent online ABC monitors behind one ingestion API.
+
+    This is the *serial* front end over the share-nothing shard engine
+    of :mod:`repro.runtime.shard`: one in-process
+    :class:`~repro.runtime.shard.ShardGroup` holds every shard, and the
+    fleet contributes trace routing, the user-facing callbacks, and the
+    report.  :class:`repro.runtime.ParallelFleet` offers the same
+    surface with the groups spread across worker processes.
 
     Args:
         xi: optional synchrony parameter every trace is monitored
@@ -335,6 +132,12 @@ class MonitorFleet:
             ingests is automatically closed through the reopen-safe
             :class:`TraceSummary` path, exactly as an explicit
             :meth:`close` would (``None`` disables auto-retirement).
+        compact_threshold: optional adaptive compaction cadence handed
+            to every default-constructed monitor: a trace's digraph is
+            summary-compacted whenever its live events outgrow its
+            boundary (frontier + in-flight pins) by this factor,
+            independent of budget pressure (``None`` disables; see
+            :class:`~repro.analysis.online.OnlineAbcMonitor`).
         faulty: processes whose sent messages are dropped, applied to
             every trace (as in :class:`~repro.analysis.online.OnlineAbcMonitor`).
         drop_faulty: disable the faulty-sender filter when ``False``.
@@ -354,6 +157,7 @@ class MonitorFleet:
         batch_size: int = 32,
         event_budget: int | None = None,
         auto_retire_after: int | None = None,
+        compact_threshold: float | None = None,
         faulty: frozenset[ProcessId] | set[ProcessId] = frozenset(),
         drop_faulty: bool = True,
         monitor_factory: Callable[[TraceId], OnlineAbcMonitor] | None = None,
@@ -367,31 +171,116 @@ class MonitorFleet:
             raise ValueError("event_budget must be positive (or None)")
         if auto_retire_after is not None and auto_retire_after < 1:
             raise ValueError("auto_retire_after must be positive (or None)")
-        self.xi = xi
-        self.batch_size = batch_size
-        self.event_budget = event_budget
-        self.auto_retire_after = auto_retire_after
-        self.faulty = frozenset(faulty)
-        self.drop_faulty = drop_faulty
         self.on_violation = on_violation
-        self._monitor_factory = monitor_factory
-        self._shards = [_Shard(i) for i in range(n_shards)]
-        self._tick = 0
-        self._live_events = 0
-        self.peak_live_events = 0
-        self.budget_overruns = 0
-        self._violations: list[TraceId] = []
-        self._enforcing = False
-        # Live-event count at the last enforcement pass that ended over
-        # budget; skip re-sweeping until something new is absorbed.
-        self._futile_at: int | None = None
-        # (trace_id, witness, chained monitor callback): violations are
-        # recorded immediately but callbacks fire only after the
-        # triggering flush finishes its bookkeeping, so a callback may
-        # safely re-enter the fleet (e.g. close() the violating trace).
-        self._deferred_violations: list[
-            tuple[TraceId, CycleClassification, Callable | None]
-        ] = []
+        self._group = ShardGroup(
+            range(n_shards),
+            xi=xi,
+            batch_size=batch_size,
+            event_budget=event_budget,
+            auto_retire_after=auto_retire_after,
+            compact_threshold=compact_threshold,
+            faulty=faulty,
+            drop_faulty=drop_faulty,
+            monitor_factory=monitor_factory,
+            emit_violation=self._emit_violation,
+        )
+
+    def _emit_violation(
+        self, trace_id: TraceId, witness: CycleClassification
+    ) -> None:
+        # Read the attribute at fire time: callers may swap the callback
+        # after construction (and callbacks may re-enter the fleet).
+        if self.on_violation is not None:
+            self.on_violation(trace_id, witness)
+
+    # ------------------------------------------------------------------
+    # configuration (readable and writable at runtime, as before the
+    # engine extraction: these were plain attributes, and deployments
+    # legitimately retune them mid-stream -- e.g. tightening the budget
+    # under memory pressure)
+    # ------------------------------------------------------------------
+
+    @property
+    def xi(self) -> Fraction | float | int | str | None:
+        return self._group.xi
+
+    @xi.setter
+    def xi(self, value: Fraction | float | int | str | None) -> None:
+        # Applies to monitors created from here on, as pre-extraction.
+        self._group.xi = value
+
+    @property
+    def batch_size(self) -> int:
+        return self._group.batch_size
+
+    @batch_size.setter
+    def batch_size(self, value: int) -> None:
+        if value < 1:
+            raise ValueError("batch_size must be positive")
+        self._group.batch_size = value
+
+    @property
+    def event_budget(self) -> int | None:
+        return self._group.event_budget
+
+    @event_budget.setter
+    def event_budget(self, value: int | None) -> None:
+        if value is not None and value < 1:
+            raise ValueError("event_budget must be positive (or None)")
+        # set_budget invalidates the futility memo and enforces
+        # immediately, so a tightened budget takes effect now rather
+        # than at the next flush.
+        self._group.set_budget(value)
+
+    @property
+    def auto_retire_after(self) -> int | None:
+        return self._group.auto_retire_after
+
+    @auto_retire_after.setter
+    def auto_retire_after(self, value: int | None) -> None:
+        if value is not None and value < 1:
+            raise ValueError("auto_retire_after must be positive (or None)")
+        self._group.auto_retire_after = value
+
+    @property
+    def faulty(self) -> frozenset[ProcessId]:
+        return self._group.faulty
+
+    @faulty.setter
+    def faulty(self, value: frozenset[ProcessId] | set[ProcessId]) -> None:
+        # Applies to monitors created from here on (as before the
+        # extraction: the value was read at trace creation).
+        self._group.faulty = frozenset(value)
+
+    @property
+    def drop_faulty(self) -> bool:
+        return self._group.drop_faulty
+
+    @drop_faulty.setter
+    def drop_faulty(self, value: bool) -> None:
+        self._group.drop_faulty = value
+
+    @property
+    def peak_live_events(self) -> int:
+        return self._group.peak_live_events
+
+    @property
+    def budget_overruns(self) -> int:
+        return self._group.budget_overruns
+
+    @property
+    def _shards(self) -> list[FleetShard]:
+        """The serial group's shards, indexed by shard number (the whole
+        shard space lives in one group here)."""
+        return [self._group.shards[i] for i in range(len(self._group.shards))]
+
+    @property
+    def _futile_at(self) -> int | None:
+        return self._group._futile_at
+
+    @_futile_at.setter
+    def _futile_at(self, value: int | None) -> None:
+        self._group._futile_at = value
 
     # ------------------------------------------------------------------
     # routing and trace lifecycle
@@ -399,50 +288,11 @@ class MonitorFleet:
 
     @property
     def n_shards(self) -> int:
-        return len(self._shards)
+        return len(self._group.shards)
 
     def shard_of(self, trace_id: TraceId) -> int:
         """The shard index ``trace_id`` routes to (stable across runs)."""
-        return _shard_index(trace_id, len(self._shards))
-
-    def _state(self, shard: _Shard, trace_id: TraceId) -> _TraceState:
-        state = shard.traces.get(trace_id)
-        if state is None:
-            # Re-opening a retired trace loses its digraph history: the
-            # fresh monitor is exact on the new suffix only, so the trace
-            # is permanently flagged degraded (ratios stay lower bounds
-            # via the max-merge in close()).
-            reopened = trace_id in shard.retired
-            monitor = self._make_monitor(trace_id)
-            state = _TraceState(monitor, reopened=reopened)
-            shard.traces[trace_id] = state
-        return state
-
-    def _make_monitor(self, trace_id: TraceId) -> OnlineAbcMonitor:
-        if self._monitor_factory is not None:
-            monitor = self._monitor_factory(trace_id)
-        else:
-            monitor = OnlineAbcMonitor(
-                xi=self.xi, faulty=self.faulty, drop_faulty=self.drop_faulty
-            )
-        chained = monitor.on_violation
-
-        def note(witness: CycleClassification) -> None:
-            # Fires mid-flush (inside observe_batch): record now, defer
-            # the user-facing callbacks until the flush is reentrancy-safe.
-            self._violations.append(trace_id)
-            self._deferred_violations.append((trace_id, witness, chained))
-
-        monitor.on_violation = note
-        return monitor
-
-    def _fire_deferred_violations(self) -> None:
-        while self._deferred_violations:
-            trace_id, witness, chained = self._deferred_violations.pop(0)
-            if self.on_violation is not None:
-                self.on_violation(trace_id, witness)
-            if chained is not None:
-                chained(witness)
+        return _shard_index(trace_id, self.n_shards)
 
     def ingest(self, trace_id: TraceId, record: ReceiveRecord) -> None:
         """Route one receive record to its trace's pending buffer.
@@ -451,43 +301,73 @@ class MonitorFleet:
         trace's buffer reaches ``batch_size`` (or on :meth:`flush`),
         so a burst of records on one trace pays a single refresh.
         """
-        shard = self._shards[self.shard_of(trace_id)]
-        state = self._state(shard, trace_id)
-        self._tick += 1
-        state.last_touch = self._tick
-        # Keep shard.traces in ingest order (LRU): the auto-retire sweep
-        # only ever probes each shard's first entry.
-        shard.traces[trace_id] = shard.traces.pop(trace_id)
-        state.pending.append(record)
-        shard.records += 1
-        self._auto_retire()
-        if len(state.pending) >= self.batch_size:
-            self._flush_state(shard, state)
-            self._maybe_enforce_budget()
+        self._group.ingest(self.shard_of(trace_id), trace_id, record)
 
     def ingest_many(
-        self, stream: Iterable[tuple[TraceId, ReceiveRecord]]
+        self,
+        stream: Iterable[tuple[TraceId, ReceiveRecord]],
+        chunk_size: int = 1024,
     ) -> None:
         """Consume an interleaved ``(trace_id, record)`` stream (the
         shape :func:`repro.scenarios.generators.concurrent_workload`
-        yields)."""
+        yields), grouped per shard.
+
+        Unlike a loop of :meth:`ingest` calls -- which pays routing, the
+        auto-retire sweep, and a budget probe per record, and flushes a
+        trace the instant its buffer crosses the watermark -- bulk
+        ingestion groups each ``chunk_size``-record chunk of the stream
+        by shard, buffers whole shard batches at once, and flushes each
+        watermark-crossing trace exactly once per shard batch, keeping
+        the one-oracle-call-per-flush guarantee while the per-record
+        overhead collapses into per-batch overhead.  Flush boundaries
+        coarsen to the chunk, which never changes a reported ratio on
+        streams carrying sends metadata (the worst ratio is a function
+        of the observed graph, and eviction pins keep every cut safe).
+        On metadata-free streams under an ``event_budget``, moving the
+        flush points moves the budget-eviction points too, so *which*
+        traces end up degraded -- with which lower-bound ratios -- can
+        differ from the per-record loop, exactly as in the degraded
+        regime the class docstring describes.  Idle-age
+        auto-retirement is likewise probed once per shard batch: ages
+        are measured in the same stream-order ticks as per-record
+        ingestion (each record's touch time is its stream position),
+        but a borderline-idle trace whose next record arrives in the
+        same chunk is *not* retired mid-chunk the way a per-record
+        loop would retire it.  Which borderline traces end up
+        retired-then-reopened (and hence flagged degraded) can
+        therefore differ from the per-record loop; each path is
+        individually deterministic and sound (degraded ratios are
+        flagged lower bounds, everything else exact).
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        group = self._group
+        n_shards = self.n_shards
+        route = _shard_index
+        pending: dict[int, list[tuple[int, TraceId, ReceiveRecord]]] = {}
+        count = 0
+        tick = group.tick
         for trace_id, record in stream:
-            self.ingest(trace_id, record)
+            tick += 1
+            pending.setdefault(route(trace_id, n_shards), []).append(
+                (tick, trace_id, record)
+            )
+            count += 1
+            if count >= chunk_size:
+                for shard_index in sorted(pending):
+                    group.ingest_batch(shard_index, pending[shard_index])
+                pending.clear()
+                count = 0
+                tick = group.tick
+        for shard_index in sorted(pending):
+            group.ingest_batch(shard_index, pending[shard_index])
 
     def flush(self, trace_id: TraceId | None = None) -> None:
         """Absorb pending records (of one trace, or of every trace)."""
         if trace_id is not None:
-            shard = self._shards[self.shard_of(trace_id)]
-            state = shard.traces.get(trace_id)
-            if state is not None:
-                self._flush_state(shard, state)
+            self._group.flush_trace(self.shard_of(trace_id), trace_id)
         else:
-            for shard in self._shards:
-                # Snapshot: a violation callback may close() traces
-                # (their detached states flush as no-ops afterwards).
-                for state in list(shard.traces.values()):
-                    self._flush_state(shard, state)
-        self._maybe_enforce_budget()
+            self._group.flush_all()
 
     def close(self, trace_id: TraceId) -> TraceSummary:
         """Retire a finished trace: flush it, record an immutable
@@ -501,332 +381,47 @@ class MonitorFleet:
         trace was re-opened after retirement, the summaries are merged
         (maximum ratio, summed counters) and flagged degraded.
         """
-        shard = self._shards[self.shard_of(trace_id)]
-        state = shard.traces.get(trace_id)
-        if state is None:
-            summary = shard.retired.get(trace_id)
-            if summary is None:
-                raise KeyError(f"unknown trace {trace_id!r}")
-            return summary
-        self._flush_state(shard, state)
-        if shard.traces.get(trace_id) is not state:
-            # A violation callback fired by that flush already closed
-            # the trace reentrantly; its summary is authoritative.
-            return shard.retired[trace_id]
-        monitor = state.monitor
-        summary = TraceSummary(
-            trace_id=trace_id,
-            worst_ratio=monitor.worst_ratio,
-            n_records=state.n_records,
-            oracle_calls=monitor.oracle_calls,
-            violation=monitor.violation,
-            degraded=state.degraded,
-        )
-        previous = shard.retired.get(trace_id)
-        if previous is not None:
-            ratios = [
-                r
-                for r in (previous.worst_ratio, summary.worst_ratio)
-                if r is not None
-            ]
-            summary = TraceSummary(
-                trace_id=trace_id,
-                worst_ratio=max(ratios) if ratios else None,
-                n_records=previous.n_records + summary.n_records,
-                oracle_calls=previous.oracle_calls + summary.oracle_calls,
-                violation=previous.violation or summary.violation,
-                degraded=True,
-            )
-        shard.retired[trace_id] = summary
-        shard.retired_oracle_calls += monitor.oracle_calls
-        self._live_events -= monitor.n_events
-        del shard.traces[trace_id]
-        # The fleet's composition changed: a sweep that was futile
-        # before may now succeed at the same live count.
-        self._futile_at = None
-        return summary
-
-    def _auto_retire(self) -> None:
-        """Close traces idle for ``auto_retire_after`` fleet ingests.
-
-        Each shard's trace table is kept in ingest order, so only its
-        first entry can be stale; the sweep pops stale heads until each
-        shard's oldest trace is young enough -- O(shards) per ingest
-        when nothing retires.  Retirement goes through :meth:`close`,
-        i.e. the reopen-safe :class:`TraceSummary` path: a late record
-        for a retired trace re-opens it with gap-filled timelines and
-        the merged summary flagged degraded, exactly as after an
-        explicit close.
-        """
-        age = self.auto_retire_after
-        if age is None:
-            return
-        for shard in self._shards:
-            while shard.traces:
-                trace_id, state = next(iter(shard.traces.items()))
-                if self._tick - state.last_touch < age:
-                    break
-                self.close(trace_id)
-                shard.auto_retired += 1
-
-    # ------------------------------------------------------------------
-    # flushing and the memory budget
-    # ------------------------------------------------------------------
-
-    def _flush_state(self, shard: _Shard, state: _TraceState) -> None:
-        if not state.pending:
-            return
-        batch = state.pending
-        state.pending = []
-        if state.reopened:
-            self._fill_gaps(state.monitor, batch)
-        for record in batch:
-            state.frontier[record.event.process] = record.event.index
-            if record.sender is not None and record.send_event is not None:
-                key = (record.send_event, record.event.process)
-                if state.in_flight.get(key, 0) > 0:
-                    state.in_flight[key] -= 1
-                    if state.in_flight[key] == 0:
-                        del state.in_flight[key]
-            for send in record.sends:
-                state.in_flight[(record.event, send.dest)] += 1
-        state.monitor.observe_batch(batch)
-        state.n_records += len(batch)
-        shard.flushes += 1
-        self._live_events += state.monitor.n_events - state.live_cached
-        state.live_cached = state.monitor.n_events
-        # Absorbing records invalidates every "retrying is futile" memo:
-        # pins and settledness moved, and comparing raw live-event
-        # *counts* alone can collide (absorb N, evict N elsewhere lands
-        # back on the memoized count and would skip a viable attempt).
-        state.evict_marker = None
-        self._futile_at = None
-        # Bookkeeping is consistent from here on: violation callbacks
-        # recorded by the batch may now re-enter the fleet.
-        self._fire_deferred_violations()
-
-    @staticmethod
-    def _fill_gaps(
-        monitor: OnlineAbcMonitor, batch: list[ReceiveRecord]
-    ) -> None:
-        """Reconstruct the local-timeline skeleton a re-opened trace's
-        fresh monitor is missing.
-
-        A record arriving after retirement carries its original event
-        index, which the fresh monitor's per-process timelines don't
-        reach yet.  The gap events are exactly the (process, index)
-        identities of the retired prefix, so adding them as bare events
-        restores local order -- and lets late messages from pre-close
-        send events re-attach -- while the prefix's own message edges
-        stay lost, which is what the trace's ``degraded`` flag reports.
-        """
-        filled: dict[ProcessId, int] = {}
-
-        def fill_below(process: ProcessId, stop: int) -> None:
-            expected = filled.get(process, monitor.n_events_of(process))
-            for gap in range(expected, stop):
-                monitor.observe_event(Event(process, gap))
-            filled[process] = max(expected, stop)
-
-        for record in batch:
-            if record.send_event is not None:
-                # The triggering send may reference the retired prefix
-                # of a process with no receive in this batch.
-                fill_below(
-                    record.send_event.process, record.send_event.index + 1
-                )
-            fill_below(record.event.process, record.event.index)
-            filled[record.event.process] = record.event.index + 1
-
-    def _maybe_enforce_budget(self) -> None:
-        """Evict prefixes, least-recently-ingested traces first, until
-        the fleet is back under its event budget.
-
-        Per trace, eviction first tries the prefix the no-crossing
-        criterion proves exactly safe (frontiers and in-flight sends
-        pinned).  When that removes nothing -- a causal chain links
-        history to the frontier, the shape where the old fleet was
-        powerless -- it falls back to *summary compaction* of
-        everything below the pins: the monitor replaces the prefix by
-        boundary summary edges that keep every reported ratio
-        bit-identical (see
-        :meth:`~repro.analysis.online.OnlineAbcMonitor.forget_prefix`),
-        so the budget is a real bound on chain-shaped traces too.
-        Neither path trades exactness for memory; a pass that cannot
-        reach the budget -- every survivor is already compacted to its
-        pinned core -- is counted in ``budget_overruns`` rather than
-        forced.
-
-        ``peak_live_events`` is the post-enforcement watermark: between
-        absorbing a batch and enforcing the budget, the live count may
-        transiently exceed it by at most that one batch.
-        """
-        budget = self.event_budget
-        if budget is None or self._live_events <= budget or self._enforcing:
-            self._note_peak()
-            return
-        if self._live_events == self._futile_at:
-            # Nothing absorbed since a pass that could not reach the
-            # budget: re-sweeping is provably futile, skip it.
-            self._note_peak()
-            return
-        self._enforcing = True
-        try:
-            candidates = sorted(
-                (
-                    (state.last_touch, shard, trace_id, state)
-                    for shard in self._shards
-                    for trace_id, state in shard.traces.items()
-                ),
-                key=lambda item: item[0],
-            )
-            for _touch, shard, trace_id, state in candidates:
-                if self._live_events <= budget:
-                    self._futile_at = None
-                    return
-                if shard.traces.get(trace_id) is not state:
-                    continue  # closed reentrantly earlier in this pass
-                # Pending buffers are NOT force-flushed here: eviction
-                # works on the absorbed digraph, whose pins (frontier,
-                # announced in-flight sends) already cover everything a
-                # pending record can reference, and forcing flushes
-                # would collapse the batching win fleet-wide whenever
-                # the fleet sits over budget.
-                if state.monitor.n_events == state.evict_marker:
-                    continue  # unchanged since a known-futile attempt
-                pinned = state.pinned_events()
-                settled = state.monitor.settled_prefix(pinned)
-                removed = (
-                    state.monitor.forget_prefix(settled) if settled else 0
-                )
-                if self._live_events - removed > budget:
-                    # Exact removal missed the budget -- blocked
-                    # entirely on chain shapes, or insufficient on
-                    # traces mixing settleable activity with a
-                    # chain-shaped core: compact the remaining past
-                    # into summary edges too, so the budget stays a
-                    # real bound on every shape.
-                    cut = state.monitor.compactable_prefix(pinned)
-                    if cut:
-                        summarized = state.monitor.forget_prefix(
-                            cut, summarize=True
-                        )
-                        if summarized:
-                            shard.summary_compactions += 1
-                            removed += summarized
-                if removed:
-                    state.evict_marker = None
-                    shard.evictions += 1
-                    shard.tombstoned += removed
-                    self._live_events -= removed
-                    state.live_cached = state.monitor.n_events
-                else:
-                    state.evict_marker = state.monitor.n_events
-            if self._live_events > budget:
-                self.budget_overruns += 1
-                self._futile_at = self._live_events
-            else:
-                self._futile_at = None
-        finally:
-            self._enforcing = False
-            self._note_peak()
-
-    def _note_peak(self) -> None:
-        if self._live_events > self.peak_live_events:
-            self.peak_live_events = self._live_events
+        return self._group.close(self.shard_of(trace_id), trace_id)
 
     # ------------------------------------------------------------------
     # per-trace queries
     # ------------------------------------------------------------------
-
-    @staticmethod
-    def _merged_ratio(
-        state: _TraceState, summary: TraceSummary | None
-    ) -> Fraction | None:
-        """An open trace's ratio, merged with its pre-reopen summary:
-        the historical maximum is kept across retirement, matching the
-        lower-bound semantics of the ``degraded`` flag."""
-        ratio = state.monitor.worst_ratio
-        if summary is None or summary.worst_ratio is None:
-            return ratio
-        if ratio is None or summary.worst_ratio > ratio:
-            return summary.worst_ratio
-        return ratio
 
     def worst_ratio(self, trace_id: TraceId) -> Fraction | None:
         """The trace's exact running worst relevant ratio (pending
         records flushed first); falls back to the retired summary.  A
         trace re-opened after retirement reports the maximum of its
         retired summary and its post-reopen suffix."""
-        shard = self._shards[self.shard_of(trace_id)]
-        state = shard.traces.get(trace_id)
-        if state is not None:
-            self._flush_state(shard, state)
-            self._maybe_enforce_budget()
-            return self._merged_ratio(state, shard.retired.get(trace_id))
-        summary = shard.retired.get(trace_id)
-        if summary is None:
-            raise KeyError(f"unknown trace {trace_id!r}")
-        return summary.worst_ratio
+        return self._group.worst_ratio(self.shard_of(trace_id), trace_id)
 
     def monitor_of(self, trace_id: TraceId) -> OnlineAbcMonitor:
         """Direct access to an open trace's monitor (flushed first), for
         speculative queries (``would_violate``) or inspection."""
-        shard = self._shards[self.shard_of(trace_id)]
-        state = shard.traces.get(trace_id)
-        if state is None:
-            raise KeyError(f"unknown or retired trace {trace_id!r}")
-        self._flush_state(shard, state)
-        self._maybe_enforce_budget()
-        return state.monitor
+        return self._group.monitor_of(self.shard_of(trace_id), trace_id)
 
     def is_degraded(self, trace_id: TraceId) -> bool:
         """Whether the trace's ratio is a lower bound rather than exact
         (unsafe eviction detected, or the trace was re-opened)."""
-        shard = self._shards[self.shard_of(trace_id)]
-        state = shard.traces.get(trace_id)
-        if state is not None:
-            return state.degraded
-        summary = shard.retired.get(trace_id)
-        if summary is None:
-            raise KeyError(f"unknown trace {trace_id!r}")
-        return summary.degraded
+        return self._group.is_degraded(self.shard_of(trace_id), trace_id)
 
     # ------------------------------------------------------------------
     # fleet-level aggregates
     # ------------------------------------------------------------------
 
-    def _all_ratios(self) -> list[tuple[TraceId, Fraction | None]]:
-        """(trace_id, worst ratio) over open and retired traces, with
-        everything pending flushed so the ratios are current.  Each
-        trace appears exactly once: a trace re-opened after retirement
-        is listed as open, with its retired maximum merged in."""
-        self.flush()
-        out: list[tuple[TraceId, Fraction | None]] = []
-        for shard in self._shards:
-            for trace_id, state in shard.traces.items():
-                out.append(
-                    (trace_id, self._merged_ratio(state, shard.retired.get(trace_id)))
-                )
-            for trace_id, summary in shard.retired.items():
-                if trace_id not in shard.traces:
-                    out.append((trace_id, summary.worst_ratio))
-        return out
-
     @property
     def live_events(self) -> int:
         """Total live digraph events across all open monitors."""
-        return self._live_events
+        return self._group.live_events
 
     @property
     def open_traces(self) -> int:
-        return sum(len(shard.traces) for shard in self._shards)
+        return self._group.open_traces
 
     @property
     def retired_traces(self) -> int:
         """Retired traces not currently re-opened (each trace counts
         exactly once between here and :attr:`open_traces`)."""
-        return sum(shard.n_retired() for shard in self._shards)
+        return self._group.retired_traces
 
     def __len__(self) -> int:
         """Number of distinct traces ever seen (open + retired)."""
@@ -837,17 +432,13 @@ class MonitorFleet:
         relevant ratio (``None`` = no relevant cycle).  Ratios are exact
         rationals, so the histogram needs no binning; bucket the keys
         with ``float()`` for plotting."""
-        return dict(Counter(ratio for _trace_id, ratio in self._all_ratios()))
-
-    def _violating_ids(self) -> tuple[TraceId, ...]:
-        """Deduplicated violation ids, first-detection order (no flush)."""
-        return tuple(dict.fromkeys(self._violations))
+        return ratio_histogram(self._group.all_ratios())
 
     def violating_traces(self) -> tuple[TraceId, ...]:
         """Ids of traces whose worst ratio reached the monitored ``xi``,
         in first-detection order."""
         self.flush()
-        return self._violating_ids()
+        return self._group.violating_ids()
 
     def top_k_riskiest(
         self, k: int
@@ -858,54 +449,33 @@ class MonitorFleet:
         The closer a trace's ratio is to the deployment's ``Xi``, the
         less asynchrony headroom it has left -- this is the fleet-level
         watchlist."""
-        if k < 0:
-            raise ValueError("k must be non-negative")
-        items = sorted(self._all_ratios(), key=lambda it: str(it[0]))
-        items.sort(
-            key=lambda it: it[1] if it[1] is not None else Fraction(0),
-            reverse=True,
-        )
-        return items[:k]
+        return top_k_riskiest(self._group.all_ratios(), k)
 
     def report(self) -> FleetReport:
         """A :class:`FleetReport` snapshot (pending records flushed)."""
         self.flush()
-        # One count per distinct trace: an open trace re-opened after
-        # retirement is already degraded via its ``reopened`` flag.
-        degraded = sum(
-            1
-            for shard in self._shards
-            for state in shard.traces.values()
-            if state.degraded
-        ) + sum(
-            1
-            for shard in self._shards
-            for trace_id, summary in shard.retired.items()
-            if summary.degraded and trace_id not in shard.traces
-        )
+        group = self._group
+        stats = group.shard_stats()
         return FleetReport(
             xi=None if self.xi is None else Fraction(self.xi),
-            n_shards=len(self._shards),
-            batch_size=self.batch_size,
-            event_budget=self.event_budget,
-            open_traces=self.open_traces,
-            retired_traces=self.retired_traces,
-            records=sum(shard.records for shard in self._shards),
-            flushes=sum(shard.flushes for shard in self._shards),
-            oracle_calls=sum(shard.oracle_calls() for shard in self._shards),
-            live_events=self._live_events,
-            peak_live_events=self.peak_live_events,
-            tombstoned_events=sum(shard.tombstoned for shard in self._shards),
-            evictions=sum(shard.evictions for shard in self._shards),
-            summary_compactions=sum(
-                shard.summary_compactions for shard in self._shards
-            ),
-            summary_edges=sum(
-                shard.summary_edges() for shard in self._shards
-            ),
-            auto_retired=sum(shard.auto_retired for shard in self._shards),
-            budget_overruns=self.budget_overruns,
-            degraded_traces=degraded,
-            violating_traces=self._violating_ids(),
-            shards=tuple(shard.stats() for shard in self._shards),
+            n_shards=self.n_shards,
+            batch_size=group.batch_size,
+            event_budget=group.event_budget,
+            open_traces=group.open_traces,
+            retired_traces=group.retired_traces,
+            records=sum(s.records for s in stats),
+            flushes=sum(s.flushes for s in stats),
+            oracle_calls=sum(s.oracle_calls for s in stats),
+            live_events=group.live_events,
+            peak_live_events=group.peak_live_events,
+            tombstoned_events=sum(s.tombstoned_events for s in stats),
+            evictions=sum(s.evictions for s in stats),
+            summary_compactions=sum(s.summary_compactions for s in stats),
+            summary_edges=sum(s.summary_edges for s in stats),
+            auto_retired=sum(s.auto_retired for s in stats),
+            budget_overruns=group.budget_overruns,
+            degraded_traces=group.degraded_traces(),
+            violating_traces=group.violating_ids(),
+            shards=tuple(stats),
+            auto_compactions=sum(s.auto_compactions for s in stats),
         )

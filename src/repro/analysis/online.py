@@ -50,6 +50,15 @@ because the monitor only ever refreshes at ratios strictly above that
 maximum (the Farey-successor step), every ratio it reports after
 summary compaction is still bit-identical to an uncompacted monitor's.
 
+Compaction *cadence* can be left to the monitor itself: constructed
+with ``compact_threshold=t``, the monitor tracks its own in-flight
+sends from record metadata and summary-compacts whenever the live
+digraph outgrows ``t`` times its boundary (the frontier plus pinned
+send events) -- an adaptive trigger that compacts exactly when there is
+something worth reclaiming, instead of every k records regardless of
+how little a fixed cadence would remove (see
+:meth:`OnlineAbcMonitor.maybe_compact`).
+
 A third facility serves the *multi-trace* deployment of
 :mod:`repro.analysis.fleet`: :meth:`OnlineAbcMonitor.observe_batch`
 absorbs a burst of records with the refresh deferred to the end of the
@@ -116,6 +125,16 @@ class OnlineAbcMonitor:
         on_ratio_increase: called with a :class:`RatioChange` every time
             the running worst ratio grows (including its first
             appearance).
+        compact_threshold: optional adaptive compaction cadence
+            (``> 1``).  The monitor then tracks in-flight sends from
+            record metadata (``record.sends``) and summary-compacts its
+            digraph whenever the live event count exceeds the threshold
+            times the boundary it would keep -- bounding memory by
+            ``threshold * O(frontier + in-flight sends)`` with every
+            reported ratio still bit-identical.  Only streams carrying
+            complete sends metadata keep the monitor exact under this
+            mode (as with fleet eviction, an unannounced in-flight send
+            degrades the ratio to a counted lower bound).
     """
 
     def __init__(
@@ -126,16 +145,28 @@ class OnlineAbcMonitor:
         keep_message: Callable[[ReceiveRecord], bool] | None = None,
         on_violation: Callable[[CycleClassification], None] | None = None,
         on_ratio_increase: Callable[[RatioChange], None] | None = None,
+        compact_threshold: float | None = None,
     ) -> None:
+        if compact_threshold is not None and compact_threshold <= 1:
+            raise ValueError(
+                "compact_threshold must exceed 1 (the live/boundary ratio "
+                f"is at least 1), got {compact_threshold}"
+            )
         self.xi: Fraction | None = None if xi is None else as_xi(xi)
         self.faulty = frozenset(faulty)
         self.drop_faulty = drop_faulty
         self.keep_message = keep_message
         self.on_violation = on_violation
         self.on_ratio_increase = on_ratio_increase
+        self.compact_threshold = compact_threshold
         self.changes: list[RatioChange] = []
         self.violation: CycleClassification | None = None
         self.forgotten_message_edges = 0
+        self.auto_compactions = 0
+        # (send event, destination) -> announced-but-unarrived messages;
+        # maintained only under compact_threshold (the fleet tracks its
+        # own copy per trace for eviction pinning).
+        self._in_flight: dict[tuple[Event, ProcessId], int] = {}
         self._checker = AdmissibilityChecker()
         self._worst: Fraction | None = None
 
@@ -221,6 +252,9 @@ class OnlineAbcMonitor:
                 self.forgotten_message_edges += 1
             else:
                 self.observe_message(src, record.event)
+        if self.compact_threshold is not None:
+            self._track_record(record)
+            self.maybe_compact()
         return self._worst
 
     def observe_trace(self, trace: Iterable[ReceiveRecord]) -> Fraction | None:
@@ -254,8 +288,11 @@ class OnlineAbcMonitor:
         in-flight messages keeps the count at zero and the monitor exact.
         """
         added = False
+        track = self.compact_threshold is not None
         for record in records:
             self.observe_event(record.event)
+            if track:
+                self._track_record(record)
             if message_kept(
                 record, self.faulty, self.drop_faulty, self.keep_message
             ):
@@ -268,6 +305,11 @@ class OnlineAbcMonitor:
                     added = True
         if added:
             self._refresh()
+        if track:
+            # After the refresh: the compaction floor is the *current*
+            # running worst, which keeps the compacted digraph exact for
+            # every ratio the Farey-successor step will ever probe.
+            self.maybe_compact()
         return self._worst
 
     def observe_event(self, event: Event) -> None:
@@ -416,6 +458,84 @@ class OnlineAbcMonitor:
                 events, mode="summary", floor=self._worst
             )
         return self._checker.remove_prefix(events)
+
+    # ------------------------------------------------------------------
+    # adaptive compaction cadence
+    # ------------------------------------------------------------------
+
+    def _track_record(self, record: ReceiveRecord) -> None:
+        """Maintain the in-flight send counter behind adaptive
+        compaction (mirrors the fleet's per-trace pinning bookkeeping)."""
+        in_flight = self._in_flight
+        if record.sender is not None and record.send_event is not None:
+            key = (record.send_event, record.event.process)
+            if in_flight.get(key, 0) > 0:
+                in_flight[key] -= 1
+                if not in_flight[key]:
+                    del in_flight[key]
+        for send in record.sends:
+            dst_key = (record.event, send.dest)
+            in_flight[dst_key] = in_flight.get(dst_key, 0) + 1
+
+    def _pinned_in_flight(self) -> list[Event]:
+        return [key[0] for key, n in self._in_flight.items() if n > 0]
+
+    def _compactable_size(self) -> int:
+        """How many live events summary compaction could reclaim right
+        now, without materializing the cut.
+
+        Mirrors :meth:`~repro.core.synchrony.AdmissibilityChecker.summarizable_prefix`
+        arithmetically: per process, everything strictly below the
+        frontier and below the lowest pinned in-flight send is
+        removable.  O(processes + in-flight sends) -- cheap enough to
+        evaluate per record, which is what makes the adaptive trigger
+        affordable where materializing the prefix each time would not
+        be.
+        """
+        checker = self._checker
+        stops = {
+            process: checker.n_events_of(process) - 1
+            for process in checker.processes
+        }
+        for (event, _dest), n in self._in_flight.items():
+            if n > 0:
+                stop = stops.get(event.process)
+                if stop is not None and event.index < stop:
+                    stops[event.process] = event.index
+        return sum(
+            max(0, stop - checker.first_live_index(process))
+            for process, stop in stops.items()
+        )
+
+    def maybe_compact(self) -> int:
+        """Summary-compact iff the live digraph outgrew its boundary.
+
+        The trigger is the live/boundary ratio: with ``b`` events that
+        must stay (frontiers plus in-flight send pins) and ``n`` live
+        events, compaction runs when ``n > threshold * b`` -- i.e. when
+        at least ``(threshold - 1) * b`` events are actually
+        reclaimable.  Unlike a fixed every-k cadence this never pays a
+        compaction that would reclaim little (deep pins, fresh
+        digraph), and never lets the digraph grow past ``threshold``
+        times its irreducible boundary; reported ratios stay
+        bit-identical either way (the summary-mode contract).  Returns
+        the number of events compacted away (0 = not triggered).
+        """
+        threshold = self.compact_threshold
+        if threshold is None:
+            return 0
+        live = self._checker.n_events
+        removable = self._compactable_size()
+        boundary = live - removable
+        if removable <= 0 or live <= threshold * max(boundary, 1):
+            return 0
+        cut = self._checker.summarizable_prefix(self._pinned_in_flight())
+        if not cut:
+            return 0
+        removed = self.forget_prefix(cut, summarize=True)
+        if removed:
+            self.auto_compactions += 1
+        return removed
 
     @classmethod
     def from_trace(

@@ -289,6 +289,18 @@ class SummaryEdge:
     would copy O(summarized history) steps per compaction -- while
     :attr:`steps` still expands, on demand (witness extraction only),
     into the full step walk of the original execution graph.
+
+    Pickling flattens: the structurally shared ``parts`` chain can nest
+    one :class:`SummaryEdge` per compaction round, so default
+    dataclass pickling would recurse once per round and overflow the
+    interpreter's recursion limit on long-compacted monitors (the
+    parallel runtime ships checkpoint/summary state between processes,
+    where that is fatal rather than theoretical).  ``__reduce__``
+    therefore serializes the *iteratively* flattened :attr:`steps`
+    walk: the unpickled edge is semantically identical (same endpoints,
+    profile, and realizing steps) but owns its walk flat, trading the
+    structural sharing -- which only ever mattered for in-process
+    compaction cost -- for bounded pickle depth.
     """
 
     tail: Event
@@ -297,6 +309,19 @@ class SummaryEdge:
     backward: int
     local: int
     parts: tuple["Step | SummaryEdge", ...]
+
+    def __reduce__(self) -> tuple:
+        return (
+            SummaryEdge,
+            (
+                self.tail,
+                self.head,
+                self.forward,
+                self.backward,
+                self.local,
+                self.steps,
+            ),
+        )
 
     @property
     def profile(self) -> tuple[int, int, int]:

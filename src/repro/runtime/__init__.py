@@ -1,0 +1,50 @@
+"""The parallel fleet runtime: share-nothing shards on worker backends.
+
+This package executes the monitoring plane itself as an asynchronous
+system of independent workers -- the deployment shape the ROADMAP's
+"actually running shards on worker threads/processes" item asked for:
+
+* :mod:`repro.runtime.shard` -- the backend-agnostic shard engine
+  (:class:`ShardGroup` / :class:`FleetShard` / the :class:`ShardRuntime`
+  protocol), extracted from the serial fleet so both front ends share
+  one shard implementation;
+* :mod:`repro.runtime.codec` -- the compact wire encoding for records,
+  ratios, summaries, statistics and violation witnesses;
+* :mod:`repro.runtime.worker` -- the worker-side message loop driving
+  one :class:`ShardGroup`;
+* :mod:`repro.runtime.backends` -- process and thread execution
+  backends (bounded inboxes, liveness probing);
+* :mod:`repro.runtime.parallel` -- the :class:`ParallelFleet` facade:
+  the serial fleet's ``ingest / ingest_many / flush / close /
+  worst_ratio / report`` surface, with shards spread across workers,
+  a global event budget apportioned and rebalanced per worker, and
+  per-trace results bit-identical to :class:`repro.analysis.fleet.MonitorFleet`.
+"""
+
+from repro.runtime.backends import ProcessBackend, ThreadBackend, WorkerCrashed
+from repro.runtime.parallel import ParallelFleet
+from repro.runtime.shard import (
+    FleetReport,
+    FleetShard,
+    ShardGroup,
+    ShardRuntime,
+    ShardStats,
+    TraceId,
+    TraceState,
+    TraceSummary,
+)
+
+__all__ = [
+    "FleetReport",
+    "FleetShard",
+    "ParallelFleet",
+    "ProcessBackend",
+    "ShardGroup",
+    "ShardRuntime",
+    "ShardStats",
+    "ThreadBackend",
+    "TraceId",
+    "TraceState",
+    "TraceSummary",
+    "WorkerCrashed",
+]

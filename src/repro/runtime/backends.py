@@ -1,0 +1,211 @@
+"""Execution backends: where worker shard groups actually run.
+
+A backend's single job is to put :func:`repro.runtime.worker.worker_main`
+somewhere with a bounded inbox and an outbox, and to answer "is that
+worker still alive?".  Two implementations:
+
+* :class:`ProcessBackend` -- one OS process per worker
+  (``multiprocessing``; ``fork`` where available, ``spawn`` otherwise).
+  The real-parallelism backend: workers bypass the GIL, so a fleet's
+  oracle work scales with cores.
+* :class:`ThreadBackend` -- one daemon thread per worker with plain
+  ``queue.Queue`` pipes.  No parallel speedup (the GIL serializes the
+  oracle), but identical protocol semantics with zero process-spawn
+  overhead and in-process tracebacks: the debugging and
+  low-overhead-correctness backend, and the only one that accepts
+  non-picklable configuration (``monitor_factory``).
+
+Both expose the same :class:`WorkerHandle` surface; the dispatcher in
+:mod:`repro.runtime.parallel` never branches on the backend.  Bounded
+inboxes are the backpressure mechanism: a ``put`` into a full inbox
+blocks (in timeout slices probing liveness), so a dispatcher can never
+run unboundedly ahead of a slow worker, and a dead worker turns the
+block into :class:`WorkerCrashed` instead of a hang.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+from typing import Any, Callable, Iterable
+
+from repro.runtime.worker import worker_main
+
+__all__ = [
+    "ProcessBackend",
+    "ThreadBackend",
+    "WorkerCrashed",
+    "WorkerHandle",
+]
+
+# Seconds between liveness probes while blocked on a full inbox or an
+# empty outbox; purely an upper bound on crash-detection latency.
+_PROBE_INTERVAL = 0.05
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker died (crash message received, or its process/thread is
+    gone); the message names the worker, its shards, and -- when the
+    worker managed to send one -- the original traceback."""
+
+
+class WorkerHandle:
+    """One live worker: its queues plus backend-specific liveness."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        inbox: Any,
+        outbox: Any,
+        is_alive: Callable[[], bool],
+        join: Callable[[float], None],
+    ) -> None:
+        self.worker_id = worker_id
+        self.inbox = inbox
+        self.outbox = outbox
+        self._is_alive = is_alive
+        self._join = join
+
+    def alive(self) -> bool:
+        return self._is_alive()
+
+    def put(self, message: tuple, timeout: float | None = None) -> None:
+        """Enqueue with backpressure: block while the inbox is full,
+        probing liveness so a dead worker raises instead of hanging."""
+        deadline = None if timeout is None else timeout
+        waited = 0.0
+        while True:
+            try:
+                self.inbox.put(message, timeout=_PROBE_INTERVAL)
+                return
+            except queue.Full:
+                waited += _PROBE_INTERVAL
+                if not self.alive():
+                    raise WorkerCrashed(
+                        f"worker {self.worker_id} died with a full inbox"
+                    ) from None
+                if deadline is not None and waited >= deadline:
+                    raise TimeoutError(
+                        f"worker {self.worker_id} inbox full for {waited:.1f}s"
+                    ) from None
+
+    def get(self, timeout: float | None = None) -> tuple:
+        """Dequeue one outbound message, probing liveness while empty."""
+        waited = 0.0
+        while True:
+            try:
+                return self.outbox.get(timeout=_PROBE_INTERVAL)
+            except queue.Empty:
+                waited += _PROBE_INTERVAL
+                if not self.alive():
+                    # One final grace read: the worker may have emitted
+                    # its crash notice and exited between probes (a
+                    # process queue's feeder thread can lag the exit).
+                    try:
+                        return self.outbox.get(timeout=0.25)
+                    except queue.Empty:
+                        raise WorkerCrashed(
+                            f"worker {self.worker_id} died without replying"
+                        ) from None
+                if timeout is not None and waited >= timeout:
+                    raise TimeoutError(
+                        f"worker {self.worker_id} silent for {waited:.1f}s"
+                    ) from None
+
+    def get_nowait(self) -> tuple | None:
+        """Opportunistic drain: one message if immediately available."""
+        try:
+            return self.outbox.get_nowait()
+        except queue.Empty:
+            return None
+
+    def join(self, timeout: float = 5.0) -> None:
+        self._join(timeout)
+
+
+class ProcessBackend:
+    """Workers as OS processes (the parallel-throughput backend).
+
+    Args:
+        start_method: ``multiprocessing`` start method; default prefers
+            ``fork`` (cheap, inherits the imported library) and falls
+            back to the platform default (``spawn`` on Windows/macOS,
+            which requires picklable configuration -- the wire codec
+            keeps everything else plain already).
+    """
+
+    supports_callables = False
+
+    def __init__(self, start_method: str | None = None) -> None:
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else None
+        self._ctx = multiprocessing.get_context(start_method)
+        self._processes: list[multiprocessing.process.BaseProcess] = []
+
+    def spawn(
+        self,
+        worker_id: int,
+        shard_indices: Iterable[int],
+        config: dict[str, Any],
+        inbox_capacity: int,
+    ) -> WorkerHandle:
+        inbox = self._ctx.Queue(maxsize=inbox_capacity)
+        outbox = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, tuple(shard_indices), config, inbox, outbox),
+            daemon=True,
+            name=f"fleet-worker-{worker_id}",
+        )
+        process.start()
+        self._processes.append(process)
+
+        def join(timeout: float) -> None:
+            process.join(timeout)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(1.0)
+
+        return WorkerHandle(
+            worker_id, inbox, outbox, process.is_alive, join
+        )
+
+
+class ThreadBackend:
+    """Workers as daemon threads (debug / low-overhead correctness).
+
+    Shares the process with the dispatcher: no serialization actually
+    copies (queues pass tuples by reference -- the codec still runs, so
+    the wire format is exercised identically), tracebacks surface
+    in-process, and non-picklable configuration such as
+    ``monitor_factory`` works.  The GIL serializes oracle work, so use
+    :class:`ProcessBackend` for throughput.
+    """
+
+    supports_callables = True
+
+    def __init__(self) -> None:
+        self._threads: list[threading.Thread] = []
+
+    def spawn(
+        self,
+        worker_id: int,
+        shard_indices: Iterable[int],
+        config: dict[str, Any],
+        inbox_capacity: int,
+    ) -> WorkerHandle:
+        inbox: queue.Queue = queue.Queue(maxsize=inbox_capacity)
+        outbox: queue.Queue = queue.Queue()
+        thread = threading.Thread(
+            target=worker_main,
+            args=(worker_id, tuple(shard_indices), config, inbox, outbox),
+            daemon=True,
+            name=f"fleet-worker-{worker_id}",
+        )
+        thread.start()
+        self._threads.append(thread)
+        return WorkerHandle(
+            worker_id, inbox, outbox, thread.is_alive, thread.join
+        )

@@ -1,0 +1,308 @@
+"""The wire layer: compact, deterministic encodings for fleet traffic.
+
+Everything that crosses a worker boundary -- record batches inbound,
+ratios, summaries, statistics and violation notices outbound -- passes
+through this module.  The encodings are *plain nested tuples of
+primitives* (ints, floats, strings, ``None``, and opaque payloads),
+for three reasons:
+
+* **Transport independence.**  Plain tuples pickle at C speed over a
+  ``multiprocessing`` pipe, cross a thread-backend queue by reference,
+  and could be framed onto any byte transport -- the runtime's
+  backends share one codec.
+* **No rich types on the wire.**  Library classes evolve; the wire
+  format is this module's tuples alone, so a worker never unpickles an
+  arbitrary class graph, and pickling quirks of deep structures (e.g.
+  the structurally shared walks inside
+  :class:`~repro.core.synchrony.SummaryEdge`) stay out of the
+  protocol entirely -- witnesses are encoded as flat step lists.
+* **Determinism.**  Encoding is a pure function of the value: equal
+  inputs produce equal (and comparably ordered) encodings, which the
+  dispatcher's deterministic violation merge relies on.
+
+Exact rationals survive the trip: a :class:`~fractions.Fraction` is
+encoded as its ``(numerator, denominator)`` pair, so the bit-identity
+contract of the parallel fleet is decided by graph content, never by
+serialization.  ``payload`` fields are passed through opaquely (they
+must then be transportable by the chosen backend; the bundled
+workload generators use ``None``).
+
+Round-tripping is total on the types it names: ``decode_x(encode_x(v))``
+reconstructs an equal value, property-tested over randomized workload
+streams (metadata-free ones included) in ``tests/runtime/test_codec.py``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.cycles import Cycle, CycleClassification, Step
+from repro.core.events import Event
+from repro.core.execution_graph import LocalEdge, MessageEdge
+from repro.runtime.shard import ShardStats, TraceId, TraceSummary
+from repro.sim.trace import ReceiveRecord, SendRecord
+
+__all__ = [
+    "decode_fraction",
+    "decode_notice",
+    "decode_record",
+    "decode_records",
+    "decode_stats",
+    "decode_summary",
+    "decode_witness",
+    "encode_fraction",
+    "encode_notice",
+    "encode_record",
+    "encode_records",
+    "encode_stats",
+    "encode_summary",
+    "encode_witness",
+]
+
+
+# ----------------------------------------------------------------------
+# fractions
+# ----------------------------------------------------------------------
+
+
+def encode_fraction(value: Fraction | None) -> tuple[int, int] | None:
+    """``Fraction`` -> ``(numerator, denominator)`` (``None`` passes)."""
+    if value is None:
+        return None
+    return (value.numerator, value.denominator)
+
+
+def decode_fraction(wire: tuple[int, int] | None) -> Fraction | None:
+    if wire is None:
+        return None
+    return Fraction(wire[0], wire[1])
+
+
+# ----------------------------------------------------------------------
+# receive records
+# ----------------------------------------------------------------------
+
+
+def encode_record(record: ReceiveRecord) -> tuple:
+    """One receive record as a flat tuple.
+
+    Field order: ``(process, index, time, sender, send_process,
+    send_index, send_time, payload, processed, sends)`` with ``sends``
+    a tuple of ``(dest, payload, delay, deliver_time)`` rows.  Wake-ups
+    carry ``None`` in the sender/send fields, exactly as the record
+    does.
+    """
+    event = record.event
+    send_event = record.send_event
+    sends = record.sends
+    return (
+        event.process,
+        event.index,
+        record.time,
+        record.sender,
+        None if send_event is None else send_event.process,
+        None if send_event is None else send_event.index,
+        record.send_time,
+        record.payload,
+        record.processed,
+        tuple(
+            (send.dest, send.payload, send.delay, send.deliver_time)
+            for send in sends
+        )
+        if sends
+        else (),
+    )
+
+
+def decode_record(wire: tuple) -> ReceiveRecord:
+    (
+        process,
+        index,
+        time,
+        sender,
+        send_process,
+        send_index,
+        send_time,
+        payload,
+        processed,
+        sends,
+    ) = wire
+    # Trusted-path construction throughout: the wire only ever carries
+    # values our own encoder read out of live records, and this runs
+    # once per record on every worker -- the frozen dataclasses'
+    # checked ``__init__``s (each field crossing object.__setattr__,
+    # plus Event.__post_init__ validation) are the dominant cost of a
+    # naive decode, so instances are built via ``__new__`` + direct
+    # ``__dict__`` stores.  Equality/hash semantics are unchanged
+    # (both derive from the fields).
+    event = Event.__new__(Event)
+    event_fields = event.__dict__
+    event_fields["process"] = process
+    event_fields["index"] = index
+    if send_process is None:
+        send_event = None
+    else:
+        send_event = Event.__new__(Event)
+        send_fields = send_event.__dict__
+        send_fields["process"] = send_process
+        send_fields["index"] = send_index
+    if sends:
+        decoded_sends = []
+        for d, p, dl, dt in sends:
+            send = SendRecord.__new__(SendRecord)
+            row = send.__dict__
+            row["dest"] = d
+            row["payload"] = p
+            row["delay"] = dl
+            row["deliver_time"] = dt
+            decoded_sends.append(send)
+        sends = tuple(decoded_sends)
+    else:
+        sends = ()
+    record = ReceiveRecord.__new__(ReceiveRecord)
+    fields = record.__dict__
+    fields["event"] = event
+    fields["time"] = time
+    fields["sender"] = sender
+    fields["send_event"] = send_event
+    fields["send_time"] = send_time
+    fields["payload"] = payload
+    fields["processed"] = processed
+    fields["sends"] = sends
+    return record
+
+
+def encode_records(
+    batch: list[tuple[int, TraceId, ReceiveRecord]],
+) -> list[tuple]:
+    """A shard batch: ``(tick, trace_id, record)`` rows, records encoded."""
+    return [
+        (tick, trace_id, encode_record(record))
+        for tick, trace_id, record in batch
+    ]
+
+
+def decode_records(
+    wire: list[tuple],
+) -> list[tuple[int, TraceId, ReceiveRecord]]:
+    return [
+        (tick, trace_id, decode_record(record))
+        for tick, trace_id, record in wire
+    ]
+
+
+# ----------------------------------------------------------------------
+# violation witnesses
+# ----------------------------------------------------------------------
+
+
+def encode_witness(witness: CycleClassification | None) -> tuple | None:
+    """A witness cycle as ``(relevant, fwd, bwd, steps)``.
+
+    Each step row is ``(is_message, src_process, src_index, dst_process,
+    dst_index, direction)``.  Witness walks contain only genuine
+    execution-graph steps (summary edges are expanded before a witness
+    is ever produced -- see
+    :meth:`~repro.core.synchrony.AdmissibilityChecker.violating_cycle`),
+    so two edge kinds cover the wire format.
+    """
+    if witness is None:
+        return None
+    return (
+        witness.relevant,
+        witness.forward_messages,
+        witness.backward_messages,
+        tuple(
+            (
+                step.edge.is_message,
+                step.edge.src.process,
+                step.edge.src.index,
+                step.edge.dst.process,
+                step.edge.dst.index,
+                step.direction,
+            )
+            for step in witness.cycle.steps
+        ),
+    )
+
+
+def decode_witness(wire: tuple | None) -> CycleClassification | None:
+    if wire is None:
+        return None
+    relevant, forward, backward, steps = wire
+    decoded = []
+    for is_message, sp, si, dp, di, direction in steps:
+        edge_type = MessageEdge if is_message else LocalEdge
+        decoded.append(
+            Step(edge_type(Event(sp, si), Event(dp, di)), direction)
+        )
+    return CycleClassification(
+        cycle=Cycle(tuple(decoded)),
+        relevant=relevant,
+        forward_messages=forward,
+        backward_messages=backward,
+    )
+
+
+# ----------------------------------------------------------------------
+# summaries, statistics, notices
+# ----------------------------------------------------------------------
+
+
+def encode_summary(summary: TraceSummary) -> tuple:
+    return (
+        summary.trace_id,
+        encode_fraction(summary.worst_ratio),
+        summary.n_records,
+        summary.oracle_calls,
+        encode_witness(summary.violation),
+        summary.degraded,
+    )
+
+
+def decode_summary(wire: tuple) -> TraceSummary:
+    trace_id, ratio, n_records, oracle_calls, violation, degraded = wire
+    return TraceSummary(
+        trace_id=trace_id,
+        worst_ratio=decode_fraction(ratio),
+        n_records=n_records,
+        oracle_calls=oracle_calls,
+        violation=decode_witness(violation),
+        degraded=degraded,
+    )
+
+
+def encode_stats(stats: ShardStats) -> tuple:
+    return (
+        stats.shard,
+        stats.open_traces,
+        stats.retired_traces,
+        stats.records,
+        stats.flushes,
+        stats.oracle_calls,
+        stats.live_events,
+        stats.tombstoned_events,
+        stats.evictions,
+        stats.summary_compactions,
+        stats.summary_edges,
+        stats.auto_retired,
+        stats.auto_compactions,
+    )
+
+
+def decode_stats(wire: tuple) -> ShardStats:
+    return ShardStats(*wire)
+
+
+def encode_notice(
+    tick: int, trace_id: TraceId, witness: CycleClassification
+) -> tuple:
+    """A violation notice: the trigger tick (the violating trace's last
+    absorbed global ingest position -- the dispatcher's deterministic
+    merge key), the trace id, and the encoded witness."""
+    return (tick, trace_id, encode_witness(witness))
+
+
+def decode_notice(wire: tuple) -> tuple[int, TraceId, CycleClassification]:
+    tick, trace_id, witness = wire
+    return (tick, trace_id, decode_witness(witness))

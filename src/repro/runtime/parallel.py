@@ -1,0 +1,891 @@
+"""`ParallelFleet`: the serial fleet's surface, executed on workers.
+
+The monitoring plane as an asynchronous system of independent workers:
+trace records are hash-routed (the serial fleet's CRC32 routing,
+unchanged) to shards, shards are partitioned round-robin across
+``n_workers`` worker backends, and each worker drives its shard subset
+as one :class:`~repro.runtime.shard.ShardGroup` -- the exact engine the
+serial :class:`~repro.analysis.fleet.MonitorFleet` runs in process.
+The facade keeps the serial surface: ``ingest``, ``ingest_many``,
+``flush``, ``close``, ``worst_ratio``, ``is_degraded``, the aggregate
+queries, and ``report`` returning the same :class:`FleetReport`.
+
+**Bit-identity contract.**  A trace's worst ratio is a function of its
+record sequence alone; the dispatcher preserves per-trace record order
+(single-threaded routing into FIFO per-worker queues) and workers run
+the serial engine with the serial watermark, so every per-trace worst
+ratio, degradation flag, and the *set* of violating traces are
+bit-identical to a serial ``MonitorFleet`` fed the same stream (two
+narrow carve-outs below) --
+property-tested across backends in ``tests/runtime/test_parallel.py``
+and gated at scale by ``benchmarks/bench_parallel.py``.  What may
+differ is scheduling-shaped metadata: flush counts (wire batching
+coalesces flush boundaries), eviction/compaction counters (each worker
+enforces its budget share against its own LRU order), and the *order*
+of violation reporting (see below).  Two documented carve-outs.  First, *budget eviction on metadata-free
+streams*: without ``record.sends`` announcements, eviction under an
+``event_budget`` can cut a prefix an unseen in-flight message still
+crosses (the documented degraded regime), and serial and parallel make
+those unsafe cuts at different points -- one global LRU versus each
+worker's LRU over its share -- so *which* traces end up flagged
+``degraded`` (with honestly-flagged lower-bound ratios) can differ
+between the front ends.  Streams carrying sends metadata keep eviction
+exact everywhere, so the bit-identity contract is unaffected.  Second,
+``auto_retire_after``.  Idle ages are measured in the same global
+stream ticks as the serial fleet (each record's touch time is its
+stream position), but a worker's clock advances only when it receives
+a batch or a barrier, and retirement probes run at batch granularity
+-- so *when* an idle trace retires is backend-dependent.  A trace that
+is retired and then receives more records reopens degraded (by
+design), and because shifting one retirement shifts every later
+retire/reopen decision on that trace, serial and parallel can disagree
+on which borderline-idle traces end up flagged -- in either direction.
+Each front end remains individually sound (degraded ratios are
+honestly-flagged lower bounds, everything else exact) and individually
+deterministic; workloads without auto-retirement carry the full
+bit-identity contract.
+
+**Batching and backpressure.**  Ingestion buffers per shard and ships
+``wire_batch``-record batches; a worker absorbs a batch through the
+engine's bulk path (buffer all, flush watermark-crossers once).
+Per-worker inboxes are bounded (``inbox_capacity`` batches): a full
+inbox blocks the dispatcher in liveness-probing slices, so a slow
+worker throttles ingestion instead of accumulating unbounded backlog,
+and a dead one raises instead of hanging.
+
+**Deterministic violation merge.**  Workers stamp each violation with
+the violating trace's last absorbed global ingest tick at the
+detecting flush (deterministic for a fixed fleet configuration --
+flush boundaries, and with them the tick, depend on ``wire_batch``)
+and push it unsolicited.  The dispatcher fires
+``on_violation`` callbacks only at *sync barriers* (``flush()``,
+``report()``, ``violating_traces()``, ``shutdown()`` -- points where
+every worker has acknowledged everything dispatched before the
+barrier), sorted by ``(tick, str(trace_id))``: the firing order is a
+function of the call sequence, not of worker scheduling, and
+``violating_traces()`` returns that merged order.
+
+**Budget apportionment and rebalancing.**  A global ``event_budget``
+is split evenly across workers at start; at each barrier the
+dispatcher re-apportions it proportionally to the workers' live-event
+demand (a floor keeps every worker operable).  Budget epochs make the
+reported watermark sound: each worker's post-enforcement peak is reset
+when its share changes, and the fleet-level ``peak_live_events`` is
+the maximum over epochs of the summed per-worker peaks -- within an
+epoch the shares are static and sum to at most the budget, so the
+reported watermark can only *over*-estimate the true global peak,
+never hide an overrun.
+
+**Crash containment.**  A worker that dies (its own traceback, or a
+vanished process) is marked dead at the next interaction: its shards
+are reported in ``FleetReport.crashed_shards`` with their last-synced
+statistics, records routed to them are dropped and counted
+(``dropped_records``), per-trace queries against them raise
+:class:`~repro.runtime.backends.WorkerCrashed` naming the worker and
+shards -- and every other worker keeps serving.  No code path waits
+unboundedly on a dead peer.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Callable, Iterable
+
+from repro.analysis.online import OnlineAbcMonitor
+from repro.core.cycles import CycleClassification
+from repro.core.events import ProcessId
+from repro.runtime import codec
+from repro.runtime.backends import (
+    ProcessBackend,
+    ThreadBackend,
+    WorkerCrashed,
+    WorkerHandle,
+)
+from repro.runtime.shard import (
+    FleetReport,
+    ShardStats,
+    TraceId,
+    TraceSummary,
+    ratio_histogram,
+    shard_index_of as _shard_index,
+    top_k_riskiest,
+)
+from repro.sim.trace import ReceiveRecord
+
+__all__ = ["ParallelFleet"]
+
+
+class ParallelFleet:
+    """The multi-worker fleet front end (see the module docstring).
+
+    Args:
+        xi: optional synchrony parameter, as in the serial fleet.
+        n_workers: worker count (``>= 1``); shards are partitioned
+            round-robin, so ``n_shards`` must be at least ``n_workers``.
+        n_shards: global shard count (default 8, the serial default).
+        batch_size: the serial per-trace flush watermark, applied
+            unchanged inside each worker.
+        event_budget: *global* live-event budget, apportioned across
+            workers and rebalanced at barriers (``None`` disables).
+        auto_retire_after: idle age in global ingest ticks (the
+            dispatcher's record counter, so idleness means the same
+            thing as in the serial fleet).  Retirement *timing* is
+            batch-granular and therefore backend-dependent -- see the
+            module docstring's carve-out.
+        compact_threshold: adaptive compaction cadence, per monitor.
+        faulty / drop_faulty: per-monitor message filtering.
+        backend: ``"process"`` (default), ``"thread"``, or a backend
+            instance (anything with ``spawn(...) -> WorkerHandle``).
+        start_method: multiprocessing start method for the default
+            process backend.
+        wire_batch: records per shard batch shipped to workers;
+            the batching lever of the dispatcher (latency vs. framing
+            overhead), invisible to reported ratios.
+        inbox_capacity: bounded-inbox depth per worker, in batches
+            (the backpressure lever).
+        rebalance: re-apportion the budget by live-event demand at
+            barriers (``False`` freezes the initial even split).
+        monitor_factory: per-trace monitor customization; requires a
+            backend whose workers share the dispatcher's address space
+            (the thread backend).
+        on_violation: ``callback(trace_id, witness)``, fired at sync
+            barriers in the deterministic merged order.
+    """
+
+    def __init__(
+        self,
+        xi: Fraction | float | int | str | None = None,
+        *,
+        n_workers: int = 2,
+        n_shards: int | None = None,
+        batch_size: int = 32,
+        event_budget: int | None = None,
+        auto_retire_after: int | None = None,
+        compact_threshold: float | None = None,
+        faulty: frozenset[ProcessId] | set[ProcessId] = frozenset(),
+        drop_faulty: bool = True,
+        backend: str | Any = "process",
+        start_method: str | None = None,
+        wire_batch: int = 256,
+        inbox_capacity: int = 16,
+        rebalance: bool = True,
+        monitor_factory: Callable[[TraceId], OnlineAbcMonitor] | None = None,
+        on_violation: Callable[[TraceId, CycleClassification], None] | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        if n_shards is None:
+            n_shards = max(8, n_workers)
+        if n_shards < n_workers:
+            raise ValueError(
+                f"n_shards ({n_shards}) must be at least n_workers "
+                f"({n_workers}): every worker needs a shard"
+            )
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if wire_batch < 1:
+            raise ValueError("wire_batch must be positive")
+        if inbox_capacity < 1:
+            # Queue(maxsize=0) means *unbounded* -- the opposite of
+            # what a caller asking for the tightest bound intends, and
+            # it silently voids the backpressure guarantee.
+            raise ValueError("inbox_capacity must be positive")
+        if compact_threshold is not None and compact_threshold <= 1:
+            raise ValueError(
+                "compact_threshold must exceed 1, got "
+                f"{compact_threshold}"
+            )
+        if event_budget is not None and event_budget < n_workers:
+            raise ValueError(
+                "event_budget must be at least n_workers (every worker "
+                f"needs a positive share), got {event_budget}"
+            )
+        if auto_retire_after is not None and auto_retire_after < 1:
+            raise ValueError("auto_retire_after must be positive (or None)")
+        if backend == "process":
+            backend = ProcessBackend(start_method)
+        elif backend == "thread":
+            backend = ThreadBackend()
+        elif isinstance(backend, str):
+            raise ValueError(
+                f"unknown backend {backend!r}: choose 'process', 'thread', "
+                "or pass a backend instance"
+            )
+        if monitor_factory is not None and not getattr(
+            backend, "supports_callables", False
+        ):
+            raise ValueError(
+                "monitor_factory requires a shared-address-space backend "
+                "(backend='thread'); it cannot cross a process boundary"
+            )
+        self._xi = xi
+        self._n_shards = n_shards
+        self._n_workers = n_workers
+        self._batch_size = batch_size
+        self._event_budget = event_budget
+        self.wire_batch = wire_batch
+        self.rebalance = rebalance
+        self.on_violation = on_violation
+        self._backend = backend
+        self._tick = 0
+        self._req = 0
+        self._stopped = False
+        self.dropped_records = 0
+        # Violation notices: pending rows are (tick, trace_id, wire
+        # witness); once fired only (tick, trace_id) is retained -- a
+        # long-running fleet must not hold every witness walk forever.
+        self._pending_notices: list[tuple] = []
+        self._fired_notices: list[tuple[int, TraceId]] = []
+        # Per-shard outgoing buffers of (tick, trace_id, encoded record).
+        self._buffers: dict[int, list[tuple]] = {}
+        # trace id -> shard memo: routing hashes each id once, not once
+        # per record (the ingest hot path).  Bounded: on unbounded
+        # trace populations (the workloads auto-retirement and the
+        # event budget exist to survive) the memo is cleared and
+        # rebuilt rather than growing one entry per id forever --
+        # routing is a cheap pure function, the memo is only a cache.
+        self._route: dict[TraceId, int] = {}
+        self._route_memo_max = 1 << 18
+        # Worker bookkeeping.
+        self._dead: dict[int, str] = {}
+        # Records shipped per worker: reconciles in-flight loss when a
+        # worker crashes (see _mark_dead).
+        self._shipped: dict[int, int] = {}
+        self._live_cache: dict[int, int] = {}
+        self._epoch_peak: dict[int, int] = {}
+        self._last_report: dict[int, tuple] = {}
+        self._peak = 0
+        share = None
+        if event_budget is not None:
+            share = event_budget // n_workers
+        self._shares: dict[int, int | None] = {
+            w: (share + 1 if share is not None
+                and w < event_budget - share * n_workers else share)
+            for w in range(n_workers)
+        }
+        self._handles: list[WorkerHandle] = []
+        for worker_id in range(n_workers):
+            config = {
+                "xi": codec.encode_fraction(
+                    None if xi is None else Fraction(xi)
+                ),
+                "batch_size": batch_size,
+                "event_budget": self._shares[worker_id],
+                "auto_retire_after": auto_retire_after,
+                "compact_threshold": compact_threshold,
+                "faulty": tuple(faulty),
+                "drop_faulty": drop_faulty,
+            }
+            if monitor_factory is not None:
+                config["monitor_factory"] = monitor_factory
+            self._handles.append(
+                backend.spawn(
+                    worker_id,
+                    tuple(range(worker_id, n_shards, n_workers)),
+                    config,
+                    inbox_capacity,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # spawn-time configuration (read-only: these were shipped to the
+    # workers at spawn, and there is no re-propagation protocol --
+    # unlike the serial fleet's in-process retunable properties, a
+    # write here would change only what report() echoes while every
+    # worker kept the old value.  Assignment therefore raises instead
+    # of silently lying.)
+    # ------------------------------------------------------------------
+
+    @property
+    def xi(self) -> Fraction | float | int | str | None:
+        return self._xi
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    @property
+    def event_budget(self) -> int | None:
+        return self._event_budget
+
+    # ------------------------------------------------------------------
+    # routing and low-level messaging
+    # ------------------------------------------------------------------
+
+    def shard_of(self, trace_id: TraceId) -> int:
+        """The (serial-identical) shard index ``trace_id`` routes to."""
+        return _shard_index(trace_id, self.n_shards)
+
+    def worker_of(self, shard_index: int) -> int:
+        """The worker owning a shard (round-robin partition)."""
+        return shard_index % self.n_workers
+
+    def shards_of_worker(self, worker_id: int) -> tuple[int, ...]:
+        return tuple(range(worker_id, self.n_shards, self.n_workers))
+
+    def crashed_shards(self) -> tuple[int, ...]:
+        """Shards owned by dead workers, ascending (empty = all healthy)."""
+        return tuple(
+            sorted(
+                shard
+                for worker_id in self._dead
+                for shard in self.shards_of_worker(worker_id)
+            )
+        )
+
+    def _require_alive(self, worker_id: int) -> WorkerHandle:
+        if worker_id in self._dead:
+            raise self._crash_error(worker_id)
+        return self._handles[worker_id]
+
+    def _mark_dead(self, worker_id: int, reason: str) -> None:
+        if worker_id in self._dead:
+            return
+        # Salvage whatever the worker managed to say (its crash message
+        # carries the original traceback).
+        handle = self._handles[worker_id]
+        while True:
+            message = handle.get_nowait()
+            if message is None:
+                break
+            kind = message[0]
+            if kind == "crash":
+                reason = message[2]
+            elif kind == "reply":
+                # A reply that raced the crash past the grace read in
+                # WorkerHandle.get (a process queue's feeder thread can
+                # lag the exit): its request already failed, so drop
+                # the payload but keep the piggybacked notices and
+                # telemetry -- and never let it escape as a protocol
+                # violation, which would crash the dispatcher inside
+                # the crash-containment path itself.
+                _k, _rid, _payload, notices, live, peak = message
+                self._pending_notices.extend(notices)
+                self._live_cache[worker_id] = live
+                self._epoch_peak[worker_id] = peak
+            else:
+                self._absorb(worker_id, message)
+        self._dead[worker_id] = reason
+        # Batches already handed to the queue but never absorbed are
+        # gone with the worker; account them so records +
+        # dropped_records reconciles against the ingest count.  The
+        # worker's absorbed total comes from its last-synced report --
+        # anything it absorbed after that sync is over-counted as
+        # dropped (a conservative, never-silent estimate).
+        last = self._last_report.get(worker_id)
+        absorbed = (
+            sum(codec.decode_stats(row).records for row in last[0])
+            if last is not None
+            else 0
+        )
+        self.dropped_records += max(
+            0, self._shipped.get(worker_id, 0) - absorbed
+        )
+
+    def _absorb(self, worker_id: int, message: tuple) -> None:
+        """Handle one unsolicited outbound message."""
+        kind = message[0]
+        if kind == "notices":
+            _kind, notices, live, peak = message
+            self._pending_notices.extend(notices)
+            self._live_cache[worker_id] = live
+            self._epoch_peak[worker_id] = peak
+        elif kind == "crash":
+            self._mark_dead(worker_id, message[2])
+        else:  # pragma: no cover - protocol violation
+            raise RuntimeError(
+                f"unexpected message from worker {worker_id}: {message[0]!r}"
+            )
+
+    def _drain(self, worker_id: int) -> None:
+        handle = self._handles[worker_id]
+        while worker_id not in self._dead:
+            message = handle.get_nowait()
+            if message is None:
+                return
+            self._absorb(worker_id, message)
+
+    def _post(self, worker_id: int, message: tuple) -> int:
+        """Send a request (reply collected separately); returns req id."""
+        self._req += 1
+        handle = self._require_alive(worker_id)
+        try:
+            handle.put((message[0], self._req, *message[1:]))
+        except WorkerCrashed as exc:
+            self._mark_dead(worker_id, str(exc))
+            raise self._crash_error(worker_id) from None
+        return self._req
+
+    def _collect(self, worker_id: int, req_id: int) -> Any:
+        """Await one worker's reply, absorbing unsolicited messages."""
+        handle = self._handles[worker_id]
+        while True:
+            try:
+                message = handle.get()
+            except WorkerCrashed as exc:
+                self._mark_dead(worker_id, str(exc))
+                raise self._crash_error(worker_id) from None
+            if message[0] == "reply":
+                _kind, rid, payload, notices, live, peak = message
+                self._pending_notices.extend(notices)
+                self._live_cache[worker_id] = live
+                self._epoch_peak[worker_id] = peak
+                if rid != req_id:  # pragma: no cover - protocol violation
+                    raise RuntimeError(
+                        f"worker {worker_id} answered request {rid}, "
+                        f"expected {req_id}"
+                    )
+                if payload[0] == "err":
+                    _ok, kind, text = payload
+                    if kind == "KeyError":
+                        raise KeyError(text)
+                    raise RuntimeError(text)  # pragma: no cover
+                return payload[1]
+            self._absorb(worker_id, message)
+
+    def _crash_error(self, worker_id: int) -> WorkerCrashed:
+        return WorkerCrashed(
+            f"worker {worker_id} crashed; shards "
+            f"{self.shards_of_worker(worker_id)} are degraded.\n"
+            f"{self._dead.get(worker_id, '')}"
+        )
+
+    def _request(self, worker_id: int, message: tuple) -> Any:
+        return self._collect(worker_id, self._post(worker_id, message))
+
+    def _require_running(self) -> None:
+        """Queries and barriers against stopped workers would otherwise
+        misread the silence as a fleet-wide crash (review finding):
+        after shutdown() the workers are *gone*, not dead."""
+        if self._stopped:
+            raise RuntimeError("the fleet has been shut down")
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(self, trace_id: TraceId, record: ReceiveRecord) -> None:
+        """Route one record towards its shard's worker.
+
+        O(1) buffering: the record joins its shard's outgoing batch and
+        ships when the batch reaches ``wire_batch`` records (or at the
+        next barrier).  Records for a crashed worker's shards are
+        dropped and counted in :attr:`dropped_records` -- ingestion
+        never stalls on a dead peer.  When a worker crashes,
+        ``dropped_records`` also absorbs a conservative estimate of the
+        records it had been shipped but never reported absorbing (its
+        last-synced counters), so ``report().records +
+        dropped_records`` reconciles against the ingest count instead
+        of silently under-reporting in-flight loss.
+        """
+        if self._stopped:
+            raise RuntimeError("the fleet has been shut down")
+        self._tick += 1
+        shard = self._route.get(trace_id)
+        if shard is None:
+            if len(self._route) >= self._route_memo_max:
+                self._route.clear()
+            shard = self._route[trace_id] = self.shard_of(trace_id)
+        buffer = self._buffers.setdefault(shard, [])
+        buffer.append((self._tick, trace_id, codec.encode_record(record)))
+        if len(buffer) >= self.wire_batch:
+            self._ship(shard)
+
+    def ingest_many(
+        self, stream: Iterable[tuple[TraceId, ReceiveRecord]]
+    ) -> None:
+        """Consume an interleaved ``(trace_id, record)`` stream; the
+        per-shard wire batching makes this the grouped bulk path by
+        construction."""
+        # The ingest hot loop, manually inlined: the per-record call
+        # overhead of ingest() is measurable against a 2-worker speedup
+        # floor on >10^4-record streams.
+        if self._stopped:
+            raise RuntimeError("the fleet has been shut down")
+        route = self._route
+        buffers = self._buffers
+        encode = codec.encode_record
+        wire_batch = self.wire_batch
+        tick = self._tick
+        try:
+            for trace_id, record in stream:
+                tick += 1
+                shard = route.get(trace_id)
+                if shard is None:
+                    if len(route) >= self._route_memo_max:
+                        route.clear()
+                    shard = route[trace_id] = self.shard_of(trace_id)
+                buffer = buffers.get(shard)
+                if buffer is None:
+                    buffer = buffers[shard] = []
+                buffer.append((tick, trace_id, encode(record)))
+                if len(buffer) >= wire_batch:
+                    self._tick = tick
+                    self._ship(shard)
+        finally:
+            # Even when the *stream* raises mid-iteration, the ticks
+            # already stamped onto buffered records must never be
+            # reissued -- duplicate ticks would corrupt idle ages and
+            # the deterministic violation-merge keys.
+            self._tick = tick
+
+    def _ship(self, shard: int) -> None:
+        batch = self._buffers.pop(shard, None)
+        if not batch:
+            return
+        worker_id = self.worker_of(shard)
+        if worker_id in self._dead:
+            self.dropped_records += len(batch)
+            return
+        handle = self._handles[worker_id]
+        try:
+            handle.put(("ingest", shard, batch))
+        except WorkerCrashed as exc:
+            self._mark_dead(worker_id, str(exc))
+            self.dropped_records += len(batch)
+            return
+        self._shipped[worker_id] = self._shipped.get(worker_id, 0) + len(
+            batch
+        )
+        # Opportunistic drain keeps violation notices (and live-event
+        # telemetry) flowing during long pure-ingest phases.
+        self._drain(worker_id)
+
+    def _ship_all(self) -> None:
+        for shard in sorted(self._buffers):
+            self._ship(shard)
+
+    # ------------------------------------------------------------------
+    # barriers, rebalancing, violation firing
+    # ------------------------------------------------------------------
+
+    def _alive_workers(self) -> list[int]:
+        return [w for w in range(self.n_workers) if w not in self._dead]
+
+    def _barrier(self, command: str) -> dict[int, Any]:
+        """Ship everything buffered, run one command on every live
+        worker (pipelined: all posted, then all collected), note the
+        epoch watermark, fire pending violations, maybe rebalance."""
+        self._ship_all()
+        posted: dict[int, int] = {}
+        for worker_id in self._alive_workers():
+            try:
+                posted[worker_id] = self._post(
+                    worker_id, (command, self._tick)
+                )
+            except WorkerCrashed:
+                continue
+        replies: dict[int, Any] = {}
+        for worker_id, req_id in posted.items():
+            try:
+                replies[worker_id] = self._collect(worker_id, req_id)
+            except WorkerCrashed:
+                continue
+        self._note_peak()
+        self._fire_pending()
+        if self.rebalance:
+            self._rebalance()
+        return replies
+
+    def _note_peak(self) -> None:
+        candidate = sum(self._epoch_peak.values())
+        if candidate > self._peak:
+            self._peak = candidate
+
+    def _fire_pending(self) -> None:
+        if not self._pending_notices:
+            return
+        batch = sorted(
+            self._pending_notices, key=lambda n: (n[0], str(n[1]))
+        )
+        self._pending_notices.clear()
+        self._fired_notices.extend(
+            (tick, trace_id) for tick, trace_id, _w in batch
+        )
+        if self.on_violation is not None:
+            for wire in batch:
+                _tick, trace_id, witness = codec.decode_notice(wire)
+                self.on_violation(trace_id, witness)
+
+    def _rebalance(self) -> None:
+        """Re-apportion the global budget by live-event demand.
+
+        Demand-proportional with a per-worker floor (a quarter of the
+        even split): a worker holding most of the fleet's live events
+        gets most of the budget, so a skewed population does not
+        overrun one worker's share while others idle under theirs.
+        Each share change closes that worker's budget epoch (its peak
+        watermark is collected pre-reset and folded into the fleet
+        watermark) -- the accounting that keeps ``peak_live_events``
+        sound across rebalances.
+        """
+        budget = self.event_budget
+        alive = self._alive_workers()
+        if budget is None or len(alive) < 1:
+            return
+        floor = max(1, budget // (4 * self.n_workers))
+        demand = {w: self._live_cache.get(w, 0) + 1 for w in alive}
+        total_demand = sum(demand.values())
+        spendable = budget - floor * len(alive)
+        if spendable < 0:
+            shares = {w: budget // len(alive) for w in alive}
+        else:
+            shares = {
+                w: floor + spendable * demand[w] // total_demand
+                for w in alive
+            }
+        changed = {
+            w: share
+            for w, share in shares.items()
+            if share != self._shares.get(w)
+        }
+        if not changed:
+            return
+        posted: dict[int, int] = {}
+        for worker_id, share in changed.items():
+            try:
+                posted[worker_id] = self._post(
+                    worker_id, ("budget", share)
+                )
+            except WorkerCrashed:
+                continue
+            self._shares[worker_id] = share
+        for worker_id, req_id in posted.items():
+            try:
+                epoch_peak = self._collect(worker_id, req_id)
+            except WorkerCrashed:
+                continue
+            # Fold the *closed* epoch into the fleet watermark together
+            # with the other workers' current-epoch peaks.
+            current = dict(self._epoch_peak)
+            current[worker_id] = epoch_peak
+            candidate = sum(current.values())
+            if candidate > self._peak:
+                self._peak = candidate
+
+    # ------------------------------------------------------------------
+    # the serial surface
+    # ------------------------------------------------------------------
+
+    def flush(self, trace_id: TraceId | None = None) -> None:
+        """Absorb pending records (of one trace, or of every trace).
+
+        A full flush is a sync barrier: violation callbacks fire here,
+        in the deterministic merged order."""
+        self._require_running()
+        if trace_id is None:
+            self._barrier("flush")
+            return
+        shard = self.shard_of(trace_id)
+        self._ship(shard)
+        self._request(
+            self.worker_of(shard), ("flush_trace", shard, trace_id)
+        )
+
+    def close(self, trace_id: TraceId) -> TraceSummary:
+        """Retire a finished trace (serial semantics, one round trip)."""
+        self._require_running()
+        shard = self.shard_of(trace_id)
+        self._ship(shard)
+        wire = self._request(
+            self.worker_of(shard), ("close", shard, trace_id)
+        )
+        # A closed trace usually never returns; drop its routing memo
+        # entry (recomputed cheaply if it reopens).
+        self._route.pop(trace_id, None)
+        return codec.decode_summary(wire)
+
+    def worst_ratio(self, trace_id: TraceId) -> Fraction | None:
+        """The trace's exact running worst relevant ratio (its pending
+        records shipped and flushed first)."""
+        self._require_running()
+        shard = self.shard_of(trace_id)
+        self._ship(shard)
+        wire = self._request(
+            self.worker_of(shard), ("ratio", shard, trace_id)
+        )
+        return codec.decode_fraction(wire)
+
+    def is_degraded(self, trace_id: TraceId) -> bool:
+        self._require_running()
+        shard = self.shard_of(trace_id)
+        self._ship(shard)
+        return self._request(
+            self.worker_of(shard), ("degraded", shard, trace_id)
+        )
+
+    def _all_ratios(self) -> list[tuple[TraceId, Fraction | None]]:
+        self._require_running()
+        replies = self._barrier("ratios")
+        out: list[tuple[TraceId, Fraction | None]] = []
+        for worker_id in sorted(replies):
+            out.extend(
+                (trace_id, codec.decode_fraction(wire))
+                for trace_id, wire in replies[worker_id]
+            )
+        return out
+
+    def worst_ratio_histogram(self) -> dict[Fraction | None, int]:
+        return ratio_histogram(self._all_ratios())
+
+    def top_k_riskiest(
+        self, k: int
+    ) -> list[tuple[TraceId, Fraction | None]]:
+        return top_k_riskiest(self._all_ratios(), k)
+
+    def violating_traces(self) -> tuple[TraceId, ...]:
+        """Ids of violating traces in the deterministic merged order
+        (ascending trigger tick, trace id as tie-break)."""
+        self._require_running()
+        self._barrier("flush")
+        return self._violating_ids()
+
+    def _violating_ids(self) -> tuple[TraceId, ...]:
+        ordered = sorted(
+            self._fired_notices, key=lambda n: (n[0], str(n[1]))
+        )
+        return tuple(dict.fromkeys(trace_id for _t, trace_id in ordered))
+
+    def report(self) -> FleetReport:
+        """A merged :class:`FleetReport` (a sync barrier).
+
+        Crashed workers contribute their last-synced statistics and
+        their shards are listed in ``crashed_shards``.
+        """
+        self._require_running()
+        replies = self._barrier("report")
+        self._last_report.update(replies)
+        stats: list[ShardStats] = []
+        open_traces = retired = degraded = overruns = 0
+        for worker_id in sorted(self._last_report):
+            wire_stats, w_open, w_retired, w_degraded, w_overruns = (
+                self._last_report[worker_id]
+            )
+            stats.extend(codec.decode_stats(row) for row in wire_stats)
+            open_traces += w_open
+            retired += w_retired
+            degraded += w_degraded
+            overruns += w_overruns
+        stats.sort(key=lambda s: s.shard)
+        return FleetReport(
+            xi=None if self.xi is None else Fraction(self.xi),
+            n_shards=self.n_shards,
+            batch_size=self.batch_size,
+            event_budget=self.event_budget,
+            open_traces=open_traces,
+            retired_traces=retired,
+            records=sum(s.records for s in stats),
+            flushes=sum(s.flushes for s in stats),
+            oracle_calls=sum(s.oracle_calls for s in stats),
+            live_events=sum(s.live_events for s in stats),
+            peak_live_events=self._peak,
+            tombstoned_events=sum(s.tombstoned_events for s in stats),
+            evictions=sum(s.evictions for s in stats),
+            summary_compactions=sum(s.summary_compactions for s in stats),
+            summary_edges=sum(s.summary_edges for s in stats),
+            auto_retired=sum(s.auto_retired for s in stats),
+            budget_overruns=overruns,
+            degraded_traces=degraded,
+            violating_traces=self._violating_ids(),
+            shards=tuple(stats),
+            auto_compactions=sum(s.auto_compactions for s in stats),
+            crashed_shards=self.crashed_shards(),
+        )
+
+    def _counters(self) -> tuple[int, int, int]:
+        """(live events, open traces, retired traces) across workers.
+
+        A pure counter read -- no buffer shipping, no worker flushes,
+        no callback firing, no rebalancing -- so polling these
+        properties inside an ingest loop costs one round trip per
+        worker and cannot collapse wire batching (the serial
+        properties are pure reads too).  Counts therefore reflect
+        *absorbed* records; batches still queued or buffered are not
+        yet included.
+        """
+        self._require_running()
+        posted: dict[int, int] = {}
+        for worker_id in self._alive_workers():
+            try:
+                posted[worker_id] = self._post(worker_id, ("counters",))
+            except WorkerCrashed:
+                continue
+        live = opened = retired = 0
+        for worker_id, req_id in posted.items():
+            try:
+                w_live, w_open, w_retired = self._collect(worker_id, req_id)
+            except WorkerCrashed:
+                continue
+            live += w_live
+            opened += w_open
+            retired += w_retired
+        return live, opened, retired
+
+    @property
+    def live_events(self) -> int:
+        """Total live digraph events across workers (absorbed records;
+        see :meth:`_counters` for the read semantics)."""
+        return self._counters()[0]
+
+    @property
+    def open_traces(self) -> int:
+        return self._counters()[1]
+
+    @property
+    def retired_traces(self) -> int:
+        return self._counters()[2]
+
+    def __len__(self) -> int:
+        _live, opened, retired = self._counters()
+        return opened + retired
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Graceful drain: flush (a final barrier), stop workers, join.
+
+        Idempotent.  The closing flush barrier runs *before* the fleet
+        is marked stopped, so the last violation callbacks fire while
+        re-entering the fleet is still legal (the reentrancy the serial
+        fleet documents); the stop round after it cannot produce new
+        violations (everything was just absorbed and nothing ingests in
+        between).  Crashed workers are skipped -- their shards were
+        already surfaced."""
+        if self._stopped:
+            return
+        self._barrier("flush")
+        self._stopped = True
+        posted: dict[int, int] = {}
+        for worker_id in self._alive_workers():
+            try:
+                posted[worker_id] = self._post(worker_id, ("stop",))
+            except WorkerCrashed:
+                continue
+        for worker_id, req_id in posted.items():
+            try:
+                self._collect(worker_id, req_id)
+            except WorkerCrashed:
+                continue
+        self._note_peak()
+        for worker_id in self._alive_workers():
+            self._handles[worker_id].join()
+        # Stragglers should not exist (see above); fired after the
+        # joins so a misbehaving callback can never leave workers
+        # unjoined.
+        self._fire_pending()
+
+    def __enter__(self) -> "ParallelFleet":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.shutdown()

@@ -1,0 +1,246 @@
+"""The worker-side message loop: one :class:`ShardGroup` behind a queue.
+
+A worker owns a fixed subset of the global shard space and drives it as
+one :class:`~repro.runtime.shard.ShardGroup` -- the same engine the
+serial fleet runs in process -- in response to protocol messages from
+the dispatcher.  The loop is single-threaded and processes its inbox in
+FIFO order, so per-trace record order (guaranteed by the dispatcher's
+per-shard batching) translates directly into per-trace observation
+order, which is what makes worker-side ratios bit-identical to the
+serial fleet's.
+
+Protocol (all messages are plain tuples; payloads go through
+:mod:`repro.runtime.codec`):
+
+=====================  ==============================================
+inbound                meaning
+=====================  ==============================================
+``("ingest", s, b)``    absorb shard batch ``b`` into shard ``s``
+                        (buffer, auto-retire probe, watermark flushes)
+``("flush", r, t)``     advance the clock to tick ``t`` (with an
+                        auto-retire probe -- a quiet worker must still
+                        retire its idle traces), flush all
+``("flush_trace", r, s, tid)``  flush one trace
+``("close", r, s, tid)``        retire a trace -> encoded summary
+``("ratio", r, s, tid)``        worst ratio -> encoded fraction
+``("degraded", r, s, tid)``     degradation flag -> bool
+``("ratios", r, t)``            all (trace id, encoded ratio) pairs
+``("counters", r)``             (live, open, retired) -- pure read, no
+                                flush (cheap telemetry polling)
+``("report", r, t)``            encoded shard stats + group counters
+``("budget", r, n)``            re-apportioned event budget; replies
+                                with the closed epoch's peak watermark
+``("stop", r)``                 graceful drain: flush, ack, exit
+=====================  ==============================================
+
+Replies are ``("reply", req_id, payload, notices, live, peak)`` where
+``payload`` is ``("ok", value)`` or ``("err", kind, message)`` (the
+dispatcher re-raises ``KeyError`` locally, preserving the serial
+surface), ``notices`` are the violation notices accumulated since the
+last send, and ``live``/``peak`` feed the dispatcher's budget
+rebalancing and epoch watermark.  ``ingest`` sends no reply; pending
+notices are pushed unsolicited as ``("notices", notices, live, peak)``
+so violations never wait for the next query.  Any exception escaping a
+handler emits ``("crash", worker_id, traceback)`` and ends the worker:
+the dispatcher then surfaces the worker's shards as crashed/degraded
+instead of hanging on a silent peer.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any
+
+from repro.runtime import codec
+from repro.runtime.shard import ShardGroup, TraceId
+
+__all__ = ["worker_main"]
+
+
+def _build_group(
+    shard_indices: tuple[int, ...],
+    config: dict[str, Any],
+    notices: list[tuple],
+) -> ShardGroup:
+    group = ShardGroup(
+        shard_indices,
+        xi=codec.decode_fraction(config["xi"]),
+        batch_size=config["batch_size"],
+        event_budget=config["event_budget"],
+        auto_retire_after=config["auto_retire_after"],
+        compact_threshold=config["compact_threshold"],
+        faulty=frozenset(config["faulty"]),
+        drop_faulty=config["drop_faulty"],
+        monitor_factory=config.get("monitor_factory"),
+    )
+
+    def emit(trace_id: TraceId, witness) -> None:
+        # The deterministic merge key is the violating trace's last
+        # absorbed global ingest tick at the detecting flush.  Flush
+        # boundaries -- and with them this tick -- depend on the wire
+        # batching, so the key is deterministic for a fixed fleet
+        # configuration and call sequence (what the merge contract
+        # promises), not invariant across configurations.
+        tick = group.tick
+        for shard in group.shards.values():
+            state = shard.traces.get(trace_id)
+            if state is not None:
+                tick = state.last_touch
+                break
+        notices.append(codec.encode_notice(tick, trace_id, witness))
+
+    group.emit_violation = emit
+    return group
+
+
+def worker_main(
+    worker_id: int,
+    shard_indices: tuple[int, ...],
+    config: dict[str, Any],
+    inbox: Any,
+    outbox: Any,
+) -> None:
+    """Run one worker until ``("stop", ...)`` or a crash.
+
+    ``inbox``/``outbox`` are queue-likes (``multiprocessing.Queue`` or
+    ``queue.Queue``); the loop never touches anything else, which is
+    what makes the worker backend-agnostic.
+    """
+    notices: list[tuple] = []
+    group = _build_group(tuple(shard_indices), config, notices)
+
+    def drain_notices() -> list[tuple]:
+        out = notices[:]
+        notices.clear()
+        return out
+
+    def reply(req_id: int, payload: tuple) -> None:
+        outbox.put(
+            (
+                "reply",
+                req_id,
+                payload,
+                drain_notices(),
+                group.live_events,
+                group.peak_live_events,
+            )
+        )
+
+    def advance(tick: int) -> None:
+        # A barrier advances this worker's clock to the dispatcher's
+        # global ingest count -- and must also probe retirement: the
+        # serial fleet sweeps on every ingest anywhere, so by barrier
+        # time it has already retired anything this age covers, while
+        # a worker whose shards stopped receiving traffic would
+        # otherwise hold its idle traces (and their budget share) open
+        # forever.  Retirement *timing* still differs from serial by
+        # design -- the documented carve-out -- but never by "never".
+        group.tick = max(group.tick, tick)
+        group.auto_retire()
+
+    try:
+        while True:
+            message = inbox.get()
+            cmd = message[0]
+            if cmd == "ingest":
+                _cmd, shard_index, wire_batch = message
+                group.ingest_batch(
+                    shard_index, codec.decode_records(wire_batch)
+                )
+                if notices:
+                    outbox.put(
+                        (
+                            "notices",
+                            drain_notices(),
+                            group.live_events,
+                            group.peak_live_events,
+                        )
+                    )
+            elif cmd == "flush":
+                _cmd, req_id, tick = message
+                advance(tick)
+                group.flush_all()
+                reply(req_id, ("ok", None))
+            elif cmd == "flush_trace":
+                _cmd, req_id, shard_index, trace_id = message
+                group.flush_trace(shard_index, trace_id)
+                reply(req_id, ("ok", None))
+            elif cmd == "close":
+                _cmd, req_id, shard_index, trace_id = message
+                try:
+                    summary = group.close(shard_index, trace_id)
+                except KeyError as exc:
+                    reply(req_id, ("err", "KeyError", str(exc)))
+                else:
+                    reply(req_id, ("ok", codec.encode_summary(summary)))
+            elif cmd == "ratio":
+                _cmd, req_id, shard_index, trace_id = message
+                try:
+                    ratio = group.worst_ratio(shard_index, trace_id)
+                except KeyError as exc:
+                    reply(req_id, ("err", "KeyError", str(exc)))
+                else:
+                    reply(req_id, ("ok", codec.encode_fraction(ratio)))
+            elif cmd == "degraded":
+                _cmd, req_id, shard_index, trace_id = message
+                try:
+                    flag = group.is_degraded(shard_index, trace_id)
+                except KeyError as exc:
+                    reply(req_id, ("err", "KeyError", str(exc)))
+                else:
+                    reply(req_id, ("ok", flag))
+            elif cmd == "ratios":
+                _cmd, req_id, tick = message
+                advance(tick)
+                pairs = [
+                    (trace_id, codec.encode_fraction(ratio))
+                    for trace_id, ratio in group.all_ratios()
+                ]
+                reply(req_id, ("ok", pairs))
+            elif cmd == "counters":
+                _cmd, req_id = message
+                reply(
+                    req_id,
+                    (
+                        "ok",
+                        (
+                            group.live_events,
+                            group.open_traces,
+                            group.retired_traces,
+                        ),
+                    ),
+                )
+            elif cmd == "report":
+                _cmd, req_id, tick = message
+                advance(tick)
+                group.flush_all()
+                payload = (
+                    [codec.encode_stats(s) for s in group.shard_stats()],
+                    group.open_traces,
+                    group.retired_traces,
+                    group.degraded_traces(),
+                    group.budget_overruns,
+                )
+                reply(req_id, ("ok", payload))
+            elif cmd == "budget":
+                _cmd, req_id, event_budget = message
+                epoch_peak = group.reset_peak()
+                group.set_budget(event_budget)
+                reply(req_id, ("ok", epoch_peak))
+            elif cmd == "stop":
+                _cmd, req_id = message
+                # Graceful drain: absorb everything buffered so the
+                # final notices and counters are complete.
+                group.flush_all()
+                reply(req_id, ("ok", None))
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise ValueError(f"unknown worker command {cmd!r}")
+    except BaseException:
+        # Surface the failure instead of dying silently: the dispatcher
+        # turns this into degraded shards, never a hung fleet.
+        try:
+            outbox.put(("crash", worker_id, traceback.format_exc()))
+        except Exception:  # pragma: no cover - outbox itself broken
+            pass
+        return

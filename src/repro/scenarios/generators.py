@@ -38,6 +38,7 @@ knowable and budget-driven eviction stays exact.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from fractions import Fraction
 from typing import Iterator, Sequence
@@ -65,6 +66,7 @@ __all__ = [
     "concurrent_workload",
     "profiled_trace_records",
     "relay_chain_workload",
+    "strip_sends_metadata",
 ]
 
 
@@ -618,6 +620,22 @@ def relay_chain_workload(
     return _materialize_records(
         _relay_skeleton(rng, n_records, n_processes)[:n_records]
     )
+
+
+def strip_sends_metadata(
+    records: Sequence[ReceiveRecord],
+) -> list[ReceiveRecord]:
+    """The same stream without its ``sends`` announcements.
+
+    Models the *degraded* ingestion regime: triggering-message fields
+    stay (the graph is unchanged), but no record announces what its
+    step sent, so in-flight messages are unknowable -- budget-driven
+    eviction and adaptive compaction can then cut a prefix an unseen
+    message still crosses, which the monitoring layers must survive by
+    flagging (``degraded``) rather than crashing.  Used by the wire
+    codec and fleet degradation tests.
+    """
+    return [dataclasses.replace(r, sends=()) for r in records]
 
 
 def concurrent_workload(

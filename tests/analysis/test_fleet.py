@@ -113,6 +113,96 @@ class TestExactness:
         assert fleet.worst_ratio("t") == reference.worst_ratio
 
 
+class TestBulkIngest:
+    """ingest_many groups per shard and flushes once per shard batch."""
+
+    @pytest.mark.parametrize("seed,chunk", [(0, 16), (1, 128), (2, 10_000)])
+    def test_bulk_ingest_bit_identical_to_per_record(self, seed, chunk):
+        """Grouping only coarsens flush boundaries, which never changes
+        a reported ratio, a degradation flag, or the violating set."""
+        stream = list(
+            concurrent_workload(
+                random.Random(seed), n_traces=10, records_per_trace=(15, 40)
+            )
+        )
+        loop = MonitorFleet(n_shards=4, batch_size=8, event_budget=200)
+        for trace_id, record in stream:
+            loop.ingest(trace_id, record)
+        bulk = MonitorFleet(n_shards=4, batch_size=8, event_budget=200)
+        bulk.ingest_many(stream, chunk_size=chunk)
+        for trace_id in by_trace(stream):
+            assert bulk.worst_ratio(trace_id) == loop.worst_ratio(trace_id)
+            assert bulk.is_degraded(trace_id) == loop.is_degraded(trace_id)
+        assert bulk.report().records == len(stream)
+
+    def test_bulk_ingest_coalesces_flushes_and_oracle_work(self):
+        """The point of the grouping: a bulk stream hammering one trace
+        flushes once per shard batch instead of once per watermark
+        crossing -- visibly fewer flushes (and no more oracle calls)
+        at identical ratios."""
+        records = profiled_trace_records(random.Random(3), "storm", 200)
+        stream = [("t", record) for record in records]
+        loop = MonitorFleet(batch_size=8)
+        for trace_id, record in stream:
+            loop.ingest(trace_id, record)
+        loop.flush()
+        bulk = MonitorFleet(batch_size=8)
+        bulk.ingest_many(stream, chunk_size=64)
+        bulk.flush()
+        loop_report = loop.report()
+        bulk_report = bulk.report()
+        assert bulk_report.flushes < loop_report.flushes
+        assert bulk_report.oracle_calls <= loop_report.oracle_calls
+        assert bulk.worst_ratio("t") == loop.worst_ratio("t")
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            MonitorFleet().ingest_many([], chunk_size=0)
+
+    def test_bulk_ingest_touch_times_are_stream_ticks(self):
+        """Regression (review finding): shard batches are processed
+        sequentially, so stamping the *group clock* as the touch time
+        inflated later shards' records and skewed idle ages.  A
+        record's touch time must be its stream position."""
+        stream = list(
+            concurrent_workload(
+                random.Random(7), n_traces=8, records_per_trace=(5, 15)
+            )
+        )
+        fleet = MonitorFleet(n_shards=4, batch_size=8)
+        fleet.ingest_many(stream, chunk_size=10_000)  # one chunk
+        last_position = {}
+        for position, (trace_id, _record) in enumerate(stream, start=1):
+            last_position[trace_id] = position
+        for shard in fleet._shards:
+            for trace_id, state in shard.traces.items():
+                assert state.last_touch == last_position[trace_id]
+
+    def test_bulk_ingest_auto_retire_is_deterministic(self):
+        """Auto-retirement under bulk ingest is batch-granular (it may
+        legitimately differ from the per-record loop on borderline
+        traces) but must be a pure function of the stream."""
+        stream = list(
+            concurrent_workload(
+                random.Random(7), n_traces=12, records_per_trace=(10, 30)
+            )
+        )
+
+        def run():
+            fleet = MonitorFleet(
+                n_shards=4, batch_size=8, auto_retire_after=5
+            )
+            fleet.ingest_many(stream, chunk_size=64)
+            report = fleet.report()
+            flags = {
+                trace_id: fleet.is_degraded(trace_id)
+                for trace_id in by_trace(stream)
+            }
+            return report.auto_retired, report.degraded_traces, flags
+
+        assert run() == run()
+
+
 class TestMemoryBudget:
     def test_peak_watermark_bounded_on_settleable_workload(self):
         """Bursts and idlers settle between clusters, so the eviction
@@ -394,6 +484,33 @@ class TestConstruction:
             MonitorFleet(batch_size=0)
         with pytest.raises(ValueError):
             MonitorFleet(event_budget=0)
+
+    def test_runtime_reconfiguration(self):
+        """batch_size/event_budget/auto_retire_after/xi stay writable
+        at runtime (they were plain attributes before the engine
+        extraction); a tightened budget takes effect immediately."""
+        records = profiled_trace_records(random.Random(6), "burst", 120)
+        fleet = MonitorFleet(batch_size=16)
+        for record in records:
+            fleet.ingest("t", record)
+        fleet.flush()
+        assert fleet.event_budget is None and fleet.live_events > 40
+        fleet.event_budget = 40  # tighten mid-stream: enforces now
+        assert fleet.event_budget == 40
+        assert fleet.live_events <= 40
+        assert fleet.worst_ratio("t") == standalone_ratio(records)
+        fleet.batch_size = 4
+        assert fleet.batch_size == 4
+        fleet.auto_retire_after = 1000
+        assert fleet.auto_retire_after == 1000
+        fleet.xi = Fraction(2)
+        assert fleet.xi == Fraction(2)
+        with pytest.raises(ValueError):
+            fleet.event_budget = 0
+        with pytest.raises(ValueError):
+            fleet.batch_size = 0
+        with pytest.raises(ValueError):
+            fleet.auto_retire_after = 0
 
     def test_monitor_factory_customization(self):
         seen = []

@@ -454,3 +454,65 @@ class TestReviewRegressions:
         assert monitor.observe(late) is None  # no raise
         assert monitor.forgotten_message_edges == 1
         assert monitor.n_events == 3  # p0:1, p1:0, p1:1 (p0:0 compacted)
+
+
+class TestPickleSafety:
+    """Summary state must survive serialization (the parallel runtime
+    forks/ships monitors and their compacted digraphs)."""
+
+    def test_deeply_nested_summary_edge_pickles_flat(self):
+        """One nesting level per compaction round: default dataclass
+        pickling would recurse past the interpreter limit on a
+        long-compacted monitor.  __reduce__ flattens iteratively."""
+        import pickle
+        import sys
+
+        from repro.core.cycles import AGAINST, Step
+        from repro.core.execution_graph import LocalEdge
+
+        step = Step(LocalEdge(Event(0, 0), Event(0, 1)), AGAINST)
+        edge = SummaryEdge(
+            tail=Event(0, 1), head=Event(0, 0),
+            forward=0, backward=0, local=1, parts=(step,),
+        )
+        depth = sys.getrecursionlimit() * 2
+        for _ in range(depth):
+            edge = SummaryEdge(
+                tail=edge.tail, head=edge.head,
+                forward=edge.forward, backward=edge.backward,
+                local=edge.local, parts=(edge,),
+            )
+        wire = pickle.dumps(edge)
+        copy = pickle.loads(wire)
+        assert copy.profile == edge.profile
+        assert copy.tail == edge.tail and copy.head == edge.head
+        assert copy.steps == (step,)
+        # The copy is flat: its parts ARE its steps.
+        assert copy.parts == copy.steps
+
+    def test_repeatedly_compacted_monitor_round_trips(self):
+        """A monitor carrying hundreds of compaction rounds (nested
+        summaries, profile tables, tombstone state) pickles and keeps
+        answering bit-identically, including under further extension."""
+        import pickle
+
+        from repro.scenarios.generators import relay_chain_workload
+
+        records = relay_chain_workload(random.Random(5), 400)
+        monitor = OnlineAbcMonitor(compact_threshold=1.5)
+        for record in records[:300]:
+            monitor.observe(record)
+        assert monitor.auto_compactions > 50  # genuinely deep nesting
+        copy = pickle.loads(pickle.dumps(monitor))
+        assert copy.worst_ratio == monitor.worst_ratio
+        assert copy.n_events == monitor.n_events
+        for record in records[300:]:
+            assert copy.observe(record) == monitor.observe(record)
+
+    def test_checkpoint_pickles(self):
+        import pickle
+
+        checker = AdmissibilityChecker()
+        checker.add_event(Event(0, 0))
+        token = checker.checkpoint()
+        assert pickle.loads(pickle.dumps(token)) == token

@@ -1,0 +1,206 @@
+"""Round-trip tests for the wire codec.
+
+The contract: every value the parallel runtime puts on the wire --
+records (with and without sends metadata), exact rationals, trace
+summaries, shard statistics, violation notices with their witness
+cycles -- decodes back to an equal value, and the encoded form contains
+only plain primitives (transportable by any backend, no library classes
+on the wire).
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.online import OnlineAbcMonitor
+from repro.runtime.codec import (
+    decode_fraction,
+    decode_notice,
+    decode_record,
+    decode_records,
+    decode_stats,
+    decode_summary,
+    decode_witness,
+    encode_fraction,
+    encode_notice,
+    encode_record,
+    encode_records,
+    encode_stats,
+    encode_summary,
+    encode_witness,
+)
+from repro.runtime.shard import ShardStats, TraceSummary
+from repro.scenarios.generators import (
+    profiled_trace_records,
+    strip_sends_metadata,
+)
+
+PROFILES = ("storm", "burst", "idler", "relay")
+
+
+def assert_plain(value):
+    """Encoded values must be primitives/tuples/lists all the way down."""
+    if isinstance(value, (tuple, list)):
+        for item in value:
+            assert_plain(item)
+    else:
+        assert value is None or isinstance(value, (int, float, str, bool))
+
+
+# ----------------------------------------------------------------------
+# records over randomized workload streams
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("seed", range(4))
+def test_profiled_records_round_trip(profile, seed):
+    records = profiled_trace_records(random.Random(seed), profile, 60)
+    for record in records:
+        wire = encode_record(record)
+        assert_plain(wire)
+        assert decode_record(wire) == record
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_metadata_free_records_round_trip(profile):
+    """The degraded regime: stripped sends survive the trip as
+    genuinely empty metadata (not as a lossy placeholder)."""
+    records = strip_sends_metadata(
+        profiled_trace_records(random.Random(7), profile, 40)
+    )
+    for record in records:
+        decoded = decode_record(encode_record(record))
+        assert decoded == record
+        assert decoded.sends == ()
+
+
+def test_batch_round_trip_preserves_ticks_and_ids():
+    records = profiled_trace_records(random.Random(3), "burst", 30)
+    batch = [(i + 1, f"trace-{i % 3}", r) for i, r in enumerate(records)]
+    wire = encode_records(batch)
+    assert_plain([row[2] for row in wire])
+    assert decode_records(wire) == batch
+
+
+# ----------------------------------------------------------------------
+# fractions (hypothesis: exactness is the whole point)
+# ----------------------------------------------------------------------
+
+
+@given(
+    num=st.integers(min_value=0, max_value=10**12),
+    den=st.integers(min_value=1, max_value=10**12),
+)
+@settings(max_examples=200, deadline=None)
+def test_fraction_round_trip_is_exact(num, den):
+    value = Fraction(num, den)
+    wire = encode_fraction(value)
+    assert_plain(wire)
+    assert decode_fraction(wire) == value
+
+
+def test_none_fraction_passes():
+    assert encode_fraction(None) is None
+    assert decode_fraction(None) is None
+
+
+# ----------------------------------------------------------------------
+# witnesses: real violating cycles from monitored streams
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_witness_round_trip_from_real_violations(seed):
+    records = profiled_trace_records(random.Random(seed), "storm", 80)
+    monitor = OnlineAbcMonitor(xi=Fraction(2))
+    for record in records:
+        monitor.observe(record)
+    witness = monitor.violation
+    assert witness is not None, "storm workloads must violate Xi=2"
+    wire = encode_witness(witness)
+    assert_plain(wire)
+    decoded = decode_witness(wire)
+    assert decoded == witness
+    assert decoded.ratio == witness.ratio
+    assert decoded.cycle.steps == witness.cycle.steps
+
+
+def test_witness_none_passes():
+    assert encode_witness(None) is None
+    assert decode_witness(None) is None
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_notice_round_trip(seed):
+    records = profiled_trace_records(random.Random(seed), "storm", 80)
+    monitor = OnlineAbcMonitor(xi=Fraction(2))
+    for record in records:
+        monitor.observe(record)
+    wire = encode_notice(17, f"trace-{seed}", monitor.violation)
+    assert_plain(wire)
+    tick, trace_id, witness = decode_notice(wire)
+    assert (tick, trace_id) == (17, f"trace-{seed}")
+    assert witness == monitor.violation
+
+
+# ----------------------------------------------------------------------
+# summaries and statistics
+# ----------------------------------------------------------------------
+
+
+@given(
+    trace_id=st.one_of(st.text(max_size=20), st.integers()),
+    ratio=st.one_of(
+        st.none(),
+        st.builds(
+            Fraction,
+            st.integers(min_value=1, max_value=10**6),
+            st.integers(min_value=1, max_value=10**6),
+        ),
+    ),
+    n_records=st.integers(min_value=0, max_value=10**9),
+    oracle_calls=st.integers(min_value=0, max_value=10**9),
+    degraded=st.booleans(),
+)
+@settings(max_examples=100, deadline=None)
+def test_summary_round_trip(trace_id, ratio, n_records, oracle_calls, degraded):
+    summary = TraceSummary(
+        trace_id=trace_id,
+        worst_ratio=ratio,
+        n_records=n_records,
+        oracle_calls=oracle_calls,
+        violation=None,
+        degraded=degraded,
+    )
+    wire = encode_summary(summary)
+    assert_plain(wire)
+    assert decode_summary(wire) == summary
+
+
+def test_summary_with_witness_round_trips():
+    records = profiled_trace_records(random.Random(2), "storm", 80)
+    monitor = OnlineAbcMonitor(xi=Fraction(2))
+    for record in records:
+        monitor.observe(record)
+    summary = TraceSummary(
+        trace_id="hot",
+        worst_ratio=monitor.worst_ratio,
+        n_records=len(records),
+        oracle_calls=monitor.oracle_calls,
+        violation=monitor.violation,
+        degraded=False,
+    )
+    assert decode_summary(encode_summary(summary)) == summary
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=10**9), min_size=13, max_size=13))
+@settings(max_examples=100, deadline=None)
+def test_stats_round_trip(values):
+    stats = ShardStats(*values)
+    wire = encode_stats(stats)
+    assert_plain(wire)
+    assert decode_stats(wire) == stats
