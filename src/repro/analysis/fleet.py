@@ -74,6 +74,7 @@ fleet report instead of silently losing exactness.
 
 from __future__ import annotations
 
+import os
 from fractions import Fraction
 from typing import Callable, Iterable
 
@@ -83,6 +84,7 @@ from repro.core.events import ProcessId
 from repro.runtime.shard import (
     FleetReport,
     FleetShard,
+    MonitorSpec,
     ShardGroup,
     ShardStats,
     TraceId,
@@ -100,6 +102,13 @@ __all__ = [
     "TraceId",
     "TraceSummary",
 ]
+
+# Serial fleet snapshot frame: ("abc-fleet-snapshot", version,
+# config_row, group_frame).  Unlike the parallel durability plane
+# (journals + periodic checkpoints), this is a one-shot image: the
+# whole fleet -- configuration *and* state -- as one picklable frame.
+_SNAPSHOT_MAGIC = "abc-fleet-snapshot"
+_SNAPSHOT_VERSION = 1
 
 
 class MonitorFleet:
@@ -145,8 +154,21 @@ class MonitorFleet:
             for per-trace monitor customization; the fleet chains its
             own violation bookkeeping onto the returned monitor's
             ``on_violation``.
+        monitor_specs: declarative per-trace monitor configuration --
+            one :class:`~repro.runtime.shard.MonitorSpec` applied to
+            every trace, or a ``{trace_id: MonitorSpec}`` mapping
+            (unlisted traces get the fleet defaults).  Plain data, so
+            the same registry drives :class:`repro.runtime.ParallelFleet`
+            process workers unchanged; ignored when ``monitor_factory``
+            is given.
         on_violation: called as ``on_violation(trace_id, witness)`` the
             first time a trace's worst ratio reaches ``xi``.
+
+    The fleet is a context manager: ``with MonitorFleet(...) as fleet:``
+    closes it on exit.  A closed fleet rejects further ingestion with
+    ``RuntimeError`` but still answers queries; :meth:`snapshot` /
+    :meth:`restore` round-trip the whole fleet (configuration included)
+    through one picklable frame or a file.
     """
 
     def __init__(
@@ -161,6 +183,7 @@ class MonitorFleet:
         faulty: frozenset[ProcessId] | set[ProcessId] = frozenset(),
         drop_faulty: bool = True,
         monitor_factory: Callable[[TraceId], OnlineAbcMonitor] | None = None,
+        monitor_specs: MonitorSpec | dict[TraceId, MonitorSpec] | None = None,
         on_violation: Callable[[TraceId, CycleClassification], None] | None = None,
     ) -> None:
         if n_shards < 1:
@@ -171,7 +194,15 @@ class MonitorFleet:
             raise ValueError("event_budget must be positive (or None)")
         if auto_retire_after is not None and auto_retire_after < 1:
             raise ValueError("auto_retire_after must be positive (or None)")
+        if monitor_specs is not None and not isinstance(
+            monitor_specs, (MonitorSpec, dict)
+        ):
+            raise TypeError(
+                "monitor_specs must be a MonitorSpec or a "
+                "{trace_id: MonitorSpec} mapping"
+            )
         self.on_violation = on_violation
+        self._closed = False
         self._group = ShardGroup(
             range(n_shards),
             xi=xi,
@@ -182,6 +213,7 @@ class MonitorFleet:
             faulty=faulty,
             drop_faulty=drop_faulty,
             monitor_factory=monitor_factory,
+            monitor_specs=monitor_specs,
             emit_violation=self._emit_violation,
         )
 
@@ -301,6 +333,8 @@ class MonitorFleet:
         trace's buffer reaches ``batch_size`` (or on :meth:`flush`),
         so a burst of records on one trace pays a single refresh.
         """
+        if self._closed:
+            raise RuntimeError("the fleet has been closed")
         self._group.ingest(self.shard_of(trace_id), trace_id, record)
 
     def ingest_many(
@@ -341,6 +375,8 @@ class MonitorFleet:
         """
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        if self._closed:
+            raise RuntimeError("the fleet has been closed")
         group = self._group
         n_shards = self.n_shards
         route = _shard_index
@@ -369,19 +405,144 @@ class MonitorFleet:
         else:
             self._group.flush_all()
 
-    def close(self, trace_id: TraceId) -> TraceSummary:
-        """Retire a finished trace: flush it, record an immutable
-        summary, and free its digraph entirely.
+    def close(self, trace_id: TraceId | None = None) -> TraceSummary | None:
+        """Retire a finished trace -- or, with no argument, the fleet.
 
-        Closing is the deterministic memory lever -- a closed trace costs
-        a summary, not a digraph -- and keeps aggregate queries exact:
-        the summary's ratio *is* the trace's final running worst ratio.
-        Closing an unknown trace raises ``KeyError``; closing a
-        previously retired trace returns its summary unchanged.  If the
-        trace was re-opened after retirement, the summaries are merged
-        (maximum ratio, summed counters) and flagged degraded.
+        With a ``trace_id``: flush it, record an immutable summary, and
+        free its digraph entirely.  Closing is the deterministic memory
+        lever -- a closed trace costs a summary, not a digraph -- and
+        keeps aggregate queries exact: the summary's ratio *is* the
+        trace's final running worst ratio.  Closing an unknown trace
+        raises ``KeyError``; closing a previously retired trace returns
+        its summary unchanged.  If the trace was re-opened after
+        retirement, the summaries are merged (maximum ratio, summed
+        counters) and flagged degraded.
+
+        With no argument (the context-manager exit path, matching
+        :meth:`ParallelFleet.close`): flush everything and mark the
+        fleet closed.  Idempotent; a closed fleet raises
+        ``RuntimeError`` on further ingestion while every query --
+        ratios, reports, per-trace close -- keeps answering from the
+        final state.
         """
+        if trace_id is None:
+            if not self._closed:
+                self._group.flush_all()
+                self._closed = True
+            return None
         return self._group.close(self.shard_of(trace_id), trace_id)
+
+    def __enter__(self) -> "MonitorFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self, path: str | os.PathLike | None = None) -> tuple:
+        """The whole fleet as one picklable frame (optionally written
+        to ``path`` in the durability plane's WAL frame format).
+
+        The frame carries both the configuration row (xi, sharding,
+        batching, budget, retirement, compaction, faulty set, monitor
+        specs) and the shard group image -- pending buffers included,
+        taken without flushing -- so :meth:`restore` rebuilds the fleet
+        mid-stream, flush boundaries and all.  Callbacks
+        (``on_violation``, ``monitor_factory``) are not picklable state
+        and must be re-supplied to :meth:`restore`.
+        """
+        from repro.runtime import codec
+
+        group = self._group
+        config = (
+            codec.encode_fraction(
+                None if group.xi is None else Fraction(group.xi)
+            ),
+            self.n_shards,
+            group.batch_size,
+            group.event_budget,
+            group.auto_retire_after,
+            group.compact_threshold,
+            tuple(group.faulty),
+            group.drop_faulty,
+            codec.encode_specs(group.monitor_specs),
+        )
+        frame = (
+            _SNAPSHOT_MAGIC,
+            _SNAPSHOT_VERSION,
+            config,
+            group.snapshot(),
+        )
+        if path is not None:
+            from repro.runtime.durable import write_frames
+
+            write_frames(path, [frame])
+        return frame
+
+    @classmethod
+    def restore(
+        cls,
+        source: tuple | str | os.PathLike,
+        *,
+        monitor_factory: Callable[[TraceId], OnlineAbcMonitor] | None = None,
+        on_violation: Callable[[TraceId, CycleClassification], None] | None = None,
+    ) -> "MonitorFleet":
+        """Rebuild a fleet from a :meth:`snapshot` frame or file.
+
+        Per-trace worst ratios, degraded flags, violating sets, pending
+        buffers and all counters are bit-identical to the snapshotted
+        fleet's; ``monitor_factory`` / ``on_violation`` are re-attached
+        from the keyword arguments (callbacks do not survive pickling).
+        """
+        if isinstance(source, (str, os.PathLike)):
+            from repro.runtime.durable import read_frames
+
+            frames = list(read_frames(source))
+            if not frames:
+                raise ValueError(f"no snapshot frame in {source!r}")
+            source = frames[0]
+        if not (
+            isinstance(source, tuple)
+            and len(source) == 4
+            and source[0] == _SNAPSHOT_MAGIC
+        ):
+            raise ValueError("not a MonitorFleet snapshot frame")
+        _magic, version, config, group_frame = source
+        if version != _SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported fleet snapshot version {version!r}"
+            )
+        from repro.runtime import codec
+
+        (
+            xi_wire,
+            n_shards,
+            batch_size,
+            event_budget,
+            auto_retire_after,
+            compact_threshold,
+            faulty,
+            drop_faulty,
+            specs_wire,
+        ) = config
+        fleet = cls(
+            codec.decode_fraction(xi_wire),
+            n_shards=n_shards,
+            batch_size=batch_size,
+            event_budget=event_budget,
+            auto_retire_after=auto_retire_after,
+            compact_threshold=compact_threshold,
+            faulty=frozenset(faulty),
+            drop_faulty=drop_faulty,
+            monitor_factory=monitor_factory,
+            monitor_specs=codec.decode_specs(specs_wire),
+            on_violation=on_violation,
+        )
+        fleet._group.load_snapshot(group_frame)
+        return fleet
 
     # ------------------------------------------------------------------
     # per-trace queries

@@ -7,25 +7,34 @@ system of independent workers -- the deployment shape the ROADMAP's
 * :mod:`repro.runtime.shard` -- the backend-agnostic shard engine
   (:class:`ShardGroup` / :class:`FleetShard` / the :class:`ShardRuntime`
   protocol), extracted from the serial fleet so both front ends share
-  one shard implementation;
+  one shard implementation; traces are first-class movable units
+  (``export_trace`` / ``import_trace`` / group ``snapshot``);
 * :mod:`repro.runtime.codec` -- the compact wire encoding for records,
-  ratios, summaries, statistics and violation witnesses;
+  ratios, summaries, statistics, violation witnesses, and the
+  snapshot/WAL frames of the durability plane;
 * :mod:`repro.runtime.worker` -- the worker-side message loop driving
   one :class:`ShardGroup`;
 * :mod:`repro.runtime.backends` -- process and thread execution
   backends (bounded inboxes, liveness probing);
+* :mod:`repro.runtime.durable` -- record journals plus periodic shard
+  snapshots (:class:`Durability` / :class:`DurableStore`): the
+  persistence layer behind worker recovery and whole-fleet restore;
 * :mod:`repro.runtime.parallel` -- the :class:`ParallelFleet` facade:
   the serial fleet's ``ingest / ingest_many / flush / close /
-  worst_ratio / report`` surface, with shards spread across workers,
-  a global event budget apportioned and rebalanced per worker, and
-  per-trace results bit-identical to :class:`repro.analysis.fleet.MonitorFleet`.
+  worst_ratio / report`` surface, with shards spread across workers
+  through an explicit (migratable) placement table, a global event
+  budget apportioned and rebalanced per worker, crash *recovery* under
+  ``durability=``, and per-trace results bit-identical to
+  :class:`repro.analysis.fleet.MonitorFleet`.
 """
 
 from repro.runtime.backends import ProcessBackend, ThreadBackend, WorkerCrashed
+from repro.runtime.durable import Durability, DurableStore
 from repro.runtime.parallel import ParallelFleet
 from repro.runtime.shard import (
     FleetReport,
     FleetShard,
+    MonitorSpec,
     ShardGroup,
     ShardRuntime,
     ShardStats,
@@ -35,8 +44,11 @@ from repro.runtime.shard import (
 )
 
 __all__ = [
+    "Durability",
+    "DurableStore",
     "FleetReport",
     "FleetShard",
+    "MonitorSpec",
     "ParallelFleet",
     "ProcessBackend",
     "ShardGroup",

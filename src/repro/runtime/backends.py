@@ -182,6 +182,12 @@ class ThreadBackend:
     in-process, and non-picklable configuration such as
     ``monitor_factory`` works.  The GIL serializes oracle work, so use
     :class:`ProcessBackend` for throughput.
+
+    Per-trace configuration no longer forces this backend: declarative
+    :class:`~repro.runtime.MonitorSpec` rows (``monitor_specs=``) are
+    picklable, cross process boundaries, and survive
+    ``ParallelFleet.restore`` -- reserve ``monitor_factory`` for
+    construction that is genuinely dynamic.
     """
 
     supports_callables = True

@@ -30,32 +30,74 @@ workload generators use ``None``).
 Round-tripping is total on the types it names: ``decode_x(encode_x(v))``
 reconstructs an equal value, property-tested over randomized workload
 streams (metadata-free ones included) in ``tests/runtime/test_codec.py``.
+
+**Snapshot and WAL frames.**  The durability plane
+(:mod:`repro.runtime.durable`) persists the same frames the migration
+protocol ships between workers: a *trace-state frame* captures one open
+trace (its live monitor as a pickle blob -- the one deliberately opaque
+payload, justified by the PR 5 bit-identical-monitor-pickling property
+-- plus the shard-side bookkeeping as plain tuples), a *shard image*
+captures one :class:`~repro.runtime.shard.FleetShard` (trace frames,
+retired summaries, lifetime counters), and a *group snapshot* captures
+a whole :class:`~repro.runtime.shard.ShardGroup` (shard images plus the
+group clock, violation log, and watermark).  Monitor callbacks never
+enter a frame: they are stripped before pickling and re-wired by the
+importing group, so frames stay transportable across processes and
+restarts.  Frames carry a magic tag and a version so a store written by
+one build fails loudly, not subtly, under another.
 """
 
 from __future__ import annotations
 
+import pickle
 from fractions import Fraction
+from typing import TYPE_CHECKING
 
 from repro.core.cycles import Cycle, CycleClassification, Step
 from repro.core.events import Event
 from repro.core.execution_graph import LocalEdge, MessageEdge
-from repro.runtime.shard import ShardStats, TraceId, TraceSummary
+from repro.runtime.shard import (
+    FleetShard,
+    MonitorSpec,
+    ShardStats,
+    TraceId,
+    TraceState,
+    TraceSummary,
+)
 from repro.sim.trace import ReceiveRecord, SendRecord
 
+if TYPE_CHECKING:
+    from repro.analysis.online import OnlineAbcMonitor
+    from repro.runtime.shard import ShardGroup
+
 __all__ = [
+    "GROUP_SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
     "decode_fraction",
+    "decode_group_snapshot",
+    "decode_monitor",
     "decode_notice",
     "decode_record",
     "decode_records",
+    "decode_shard_image",
+    "decode_spec",
+    "decode_specs",
     "decode_stats",
     "decode_summary",
+    "decode_trace_state",
     "decode_witness",
     "encode_fraction",
+    "encode_group_snapshot",
+    "encode_monitor",
     "encode_notice",
     "encode_record",
     "encode_records",
+    "encode_shard_image",
+    "encode_spec",
+    "encode_specs",
     "encode_stats",
     "encode_summary",
+    "encode_trace_state",
     "encode_witness",
 ]
 
@@ -306,3 +348,241 @@ def encode_notice(
 def decode_notice(wire: tuple) -> tuple[int, TraceId, CycleClassification]:
     tick, trace_id, witness = wire
     return (tick, trace_id, decode_witness(witness))
+
+
+# ----------------------------------------------------------------------
+# monitor specs
+# ----------------------------------------------------------------------
+
+
+def encode_spec(spec: MonitorSpec) -> tuple:
+    """One :class:`~repro.runtime.shard.MonitorSpec` as a plain tuple
+    (``None`` fields mean "inherit the fleet default", as in the spec)."""
+    return (
+        encode_fraction(None if spec.xi is None else Fraction(spec.xi)),
+        spec.compact_threshold,
+        None if spec.faulty is None else tuple(spec.faulty),
+        spec.drop_faulty,
+    )
+
+
+def decode_spec(wire: tuple) -> MonitorSpec:
+    xi, compact_threshold, faulty, drop_faulty = wire
+    return MonitorSpec(
+        xi=decode_fraction(xi),
+        compact_threshold=compact_threshold,
+        faulty=None if faulty is None else frozenset(faulty),
+        drop_faulty=drop_faulty,
+    )
+
+
+def encode_specs(
+    specs: MonitorSpec | dict[TraceId, MonitorSpec] | None,
+) -> tuple | None:
+    """A spec registry: either one fleet-wide default spec or a
+    per-trace-id mapping (the wire shape of ``monitor_specs``)."""
+    if specs is None:
+        return None
+    if isinstance(specs, MonitorSpec):
+        return ("one", encode_spec(specs))
+    return (
+        "map",
+        tuple(
+            (trace_id, encode_spec(spec))
+            for trace_id, spec in specs.items()
+        ),
+    )
+
+
+def decode_specs(
+    wire: tuple | None,
+) -> MonitorSpec | dict[TraceId, MonitorSpec] | None:
+    if wire is None:
+        return None
+    kind, payload = wire
+    if kind == "one":
+        return decode_spec(payload)
+    return {trace_id: decode_spec(row) for trace_id, row in payload}
+
+
+# ----------------------------------------------------------------------
+# snapshot frames: monitors, trace states, shard images, group images
+# ----------------------------------------------------------------------
+
+GROUP_SNAPSHOT_MAGIC = "abc-group-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+def encode_monitor(monitor: OnlineAbcMonitor) -> bytes:
+    """A live monitor as a pickle blob, callbacks stripped.
+
+    The monitor's ``on_violation`` is the owning group's bookkeeping
+    closure (unpicklable by construction) and ``on_ratio_increase`` is
+    caller-owned; both are transport concerns of the *receiving* side,
+    which re-wires its own, so they are nulled around the dump and
+    restored on the live object.  Everything else -- checker digraph,
+    summary edges, tombstone state, ratio history -- pickles
+    bit-identically (the PR 5 property this frame spends).
+    """
+    saved_violation = monitor.on_violation
+    saved_increase = monitor.on_ratio_increase
+    monitor.on_violation = None
+    monitor.on_ratio_increase = None
+    try:
+        return pickle.dumps(monitor, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        monitor.on_violation = saved_violation
+        monitor.on_ratio_increase = saved_increase
+
+
+def decode_monitor(blob: bytes) -> OnlineAbcMonitor:
+    return pickle.loads(blob)
+
+
+def encode_trace_state(trace_id: TraceId, state: TraceState) -> tuple:
+    """One open trace as a movable unit: monitor blob + bookkeeping.
+
+    ``pending`` is carried verbatim (snapshots never force a flush:
+    flush boundaries are scheduling-shaped state the importing side
+    should reproduce, not observe).  ``evict_marker`` is deliberately
+    dropped -- a futility memo is only valid against the group that
+    computed it.
+    """
+    return (
+        trace_id,
+        encode_monitor(state.monitor),
+        tuple(encode_record(record) for record in state.pending),
+        tuple(
+            (event.process, event.index, dest, count)
+            for (event, dest), count in state.in_flight.items()
+        ),
+        tuple(state.frontier.items()),
+        state.n_records,
+        state.last_touch,
+        state.live_cached,
+        state.reopened,
+    )
+
+
+def decode_trace_state(wire: tuple) -> tuple[TraceId, TraceState]:
+    """Rebuild a trace state; the caller (an importing group) must
+    re-wire the monitor's violation bookkeeping."""
+    from collections import Counter
+
+    (
+        trace_id,
+        blob,
+        pending,
+        in_flight,
+        frontier,
+        n_records,
+        last_touch,
+        live_cached,
+        reopened,
+    ) = wire
+    state = TraceState(decode_monitor(blob), reopened=reopened)
+    state.pending = [decode_record(row) for row in pending]
+    state.in_flight = Counter(
+        {
+            (Event(process, index), dest): count
+            for process, index, dest, count in in_flight
+        }
+    )
+    state.frontier = dict(frontier)
+    state.n_records = n_records
+    state.last_touch = last_touch
+    state.live_cached = live_cached
+    return trace_id, state
+
+
+def encode_shard_image(shard: FleetShard) -> tuple:
+    """One whole :class:`FleetShard`: open traces (in LRU ingest order,
+    which the decode preserves), retired summaries, lifetime counters.
+    The unit of migration -- and the per-shard row of a snapshot."""
+    return (
+        shard.index,
+        tuple(
+            encode_trace_state(trace_id, state)
+            for trace_id, state in shard.traces.items()
+        ),
+        tuple(encode_summary(s) for s in shard.retired.values()),
+        shard.records,
+        shard.flushes,
+        shard.tombstoned,
+        shard.evictions,
+        shard.summary_compactions,
+        shard.auto_retired,
+        shard.retired_oracle_calls,
+    )
+
+
+def decode_shard_image(wire: tuple) -> FleetShard:
+    """Rebuild a :class:`FleetShard`; monitors arrive unwired (the
+    importing group re-attaches its violation bookkeeping)."""
+    (
+        index,
+        trace_frames,
+        retired_rows,
+        records,
+        flushes,
+        tombstoned,
+        evictions,
+        summary_compactions,
+        auto_retired,
+        retired_oracle_calls,
+    ) = wire
+    shard = FleetShard(index)
+    for frame in trace_frames:
+        trace_id, state = decode_trace_state(frame)
+        shard.traces[trace_id] = state
+    for row in retired_rows:
+        summary = decode_summary(row)
+        shard.retired[summary.trace_id] = summary
+    shard.records = records
+    shard.flushes = flushes
+    shard.tombstoned = tombstoned
+    shard.evictions = evictions
+    shard.summary_compactions = summary_compactions
+    shard.auto_retired = auto_retired
+    shard.retired_oracle_calls = retired_oracle_calls
+    return shard
+
+
+def encode_group_snapshot(group: ShardGroup) -> tuple:
+    """A whole group as one codec-framed image: every shard image plus
+    the group clock, violation log (detection order -- what
+    ``violating_ids`` reports), overrun count and peak watermark.
+    Taken without flushing: the image reproduces the group mid-stream,
+    pending buffers and all."""
+    return (
+        GROUP_SNAPSHOT_MAGIC,
+        SNAPSHOT_VERSION,
+        group.tick,
+        tuple(group.violations),
+        group.budget_overruns,
+        group.peak_live_events,
+        tuple(
+            encode_shard_image(shard) for shard in group.shards.values()
+        ),
+    )
+
+
+def decode_group_snapshot(
+    wire: tuple,
+) -> tuple[int, list[TraceId], int, int, list[FleetShard]]:
+    """-> (tick, violations, budget_overruns, peak, shards)."""
+    if not isinstance(wire, tuple) or wire[:1] != (GROUP_SNAPSHOT_MAGIC,):
+        raise ValueError("not a shard-group snapshot frame")
+    magic, version, tick, violations, overruns, peak, images = wire
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"snapshot version {version} not supported "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    return (
+        tick,
+        list(violations),
+        overruns,
+        peak,
+        [decode_shard_image(image) for image in images],
+    )

@@ -1,0 +1,278 @@
+"""The durability plane: record journals plus periodic shard snapshots.
+
+PR 5 proved that live monitors -- checker digraphs, deep
+``SummaryEdge`` chains, tombstone state -- pickle bit-identically;
+this module spends that primitive on crash recovery.  The scheme is
+the classic snapshot + write-ahead-log pair (in the spirit of
+cylc-flow's ``rundb.py``/``suite_db_mgr.py``, per the roadmap notes),
+kept stdlib-only:
+
+* **Record journal (WAL).**  Every ingested record is appended, as a
+  ``(tick, shard, trace_id, wire_record)`` frame, to the journal of
+  the worker its shard is *currently placed on*.  Frames buffer in
+  memory at ingest time (tick order by construction) and hit disk when
+  the dispatcher ships the corresponding wire batch -- so anything a
+  worker may have absorbed is on disk no later than it left the
+  dispatcher.  Files are length-prefixed, CRC-guarded pickle frames; a
+  reader stops cleanly at a torn tail, so a crash mid-append costs at
+  most the interrupted frame.
+
+* **Snapshots.**  At a checkpoint, every worker emits its
+  :meth:`~repro.runtime.shard.ShardGroup.snapshot` frame (taken
+  *without* flushing: pending buffers travel verbatim).  The store
+  writes one snapshot file per worker plus a metadata frame carrying
+  the fleet configuration, the placement table, and the dispatcher's
+  own durable state; the metadata ``os.replace`` is the commit point.
+  Journals are then reset -- a WAL frame is live only until the first
+  checkpoint whose snapshots subsume it (and a replay additionally
+  skips frames at or below the committed tick, so a crash between the
+  commit and the reset cannot double-apply).
+
+* **Recovery.**  A crashed worker is respawned, handed its snapshot,
+  and replayed its journal suffix; a whole fleet restarts from the
+  metadata + snapshots + merged journals.  Per-worker journals flush
+  at different moments, so after a full-process crash the on-disk
+  frames cover a *ragged* frontier; :func:`contiguous_prefix` computes
+  the longest gap-free tick prefix, which is exactly the stream prefix
+  the restored fleet has provably absorbed -- the producer resumes
+  from ``fleet.ingested_records``.
+
+Frame format (all integers big-endian): ``[length u32][crc32 u32]
+[payload]`` where ``payload`` is a pickled plain tuple.  See
+:class:`Durability` for the user-facing configuration and
+:mod:`repro.runtime.parallel` for the protocol that drives this store.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+__all__ = [
+    "Durability",
+    "DurableStore",
+    "contiguous_prefix",
+    "read_frames",
+    "write_frames",
+]
+
+_HEADER = struct.Struct(">II")
+_MAX_FRAME = 1 << 31
+_META_NAME = "meta.bin"
+
+
+@dataclass(frozen=True)
+class Durability:
+    """Configuration of a fleet's durability plane.
+
+    Attributes:
+        root: directory holding the journals, snapshots and metadata
+            (created on demand; one fleet per directory).
+        checkpoint_every: records between automatic checkpoints
+            (``None`` = only explicit :meth:`ParallelFleet.checkpoint`
+            calls and the forced checkpoints around migration).
+        fsync: ``os.fsync`` every journal flush and snapshot write.
+            Off by default: the journals then survive *process* crashes
+            (the failure mode recovery targets) but a same-instant OS
+            crash may cost the tail.
+        max_recoveries: per-worker respawn budget.  A deterministic
+            poison record would otherwise crash-recover-replay forever;
+            once the budget is spent the worker stays dead and its
+            shards degrade, exactly as without durability.
+    """
+
+    root: str | os.PathLike
+    checkpoint_every: int | None = 50_000
+    fsync: bool = False
+    max_recoveries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive (or None)")
+        if self.max_recoveries < 0:
+            raise ValueError("max_recoveries must be non-negative")
+
+
+def write_frames(path: str | os.PathLike, frames: Iterable[Any]) -> None:
+    """Write pickled frames to ``path`` (truncating) in WAL format."""
+    with open(path, "wb") as fh:
+        for frame in frames:
+            payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
+            fh.write(payload)
+
+
+def read_frames(path: str | os.PathLike) -> Iterator[Any]:
+    """Yield frames from a WAL-format file, stopping at a torn tail.
+
+    A truncated header, truncated payload, implausible length, or CRC
+    mismatch ends iteration cleanly: those are exactly the states an
+    append interrupted by a crash leaves behind, and everything before
+    the tear is intact by construction (appends are sequential).
+    """
+    with open(path, "rb") as fh:
+        while True:
+            header = fh.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                return
+            length, crc = _HEADER.unpack(header)
+            if length > _MAX_FRAME:
+                return
+            payload = fh.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                return
+            yield pickle.loads(payload)
+
+
+def contiguous_prefix(
+    frames: Iterable[tuple], after_tick: int
+) -> tuple[list[tuple], int]:
+    """The longest gap-free run of WAL frames following ``after_tick``.
+
+    Every ingest stamps exactly one global tick, so the union of all
+    journals *should* cover ``after_tick+1, after_tick+2, ...`` -- but
+    per-worker journals flush at different moments (and tails can
+    tear), so the union may stop raggedly.  Only the contiguous prefix
+    is a stream prefix the restored fleet can honestly claim; returns
+    ``(frames_in_tick_order, last_covered_tick)``.
+    """
+    ordered = sorted(
+        (f for f in frames if f[0] > after_tick), key=lambda f: f[0]
+    )
+    prefix: list[tuple] = []
+    tick = after_tick
+    for frame in ordered:
+        if frame[0] != tick + 1:
+            break
+        tick = frame[0]
+        prefix.append(frame)
+    return prefix, tick
+
+
+class DurableStore:
+    """One fleet's on-disk state: per-worker journals, snapshots, meta.
+
+    Layout under ``root``::
+
+        meta.bin             committed checkpoint metadata (one frame);
+                             its atomic replace is the commit point
+        snap-<epoch>-w<k>.bin  worker ``k``'s group snapshot (one frame)
+        wal-w<k>.log         worker ``k``'s record journal
+
+    The store itself is mechanism only -- what goes *into* frames and
+    when checkpoints happen is the dispatcher's protocol (see
+    :mod:`repro.runtime.parallel`).
+    """
+
+    def __init__(self, root: str | os.PathLike, *, fsync: bool = False) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        # Per-worker in-memory journal tails, appended at ingest time
+        # (hence tick-ordered), written out by flush().
+        self._pending: dict[int, list[tuple]] = {}
+
+    # -- journal ------------------------------------------------------
+
+    def wal_path(self, worker_id: int) -> Path:
+        return self.root / f"wal-w{worker_id}.log"
+
+    def append(
+        self, worker_id: int, tick: int, shard: int, trace_id, wire_record
+    ) -> None:
+        """Buffer one record frame on its worker's journal tail."""
+        self._pending.setdefault(worker_id, []).append(
+            (tick, shard, trace_id, wire_record)
+        )
+
+    def flush(self, worker_id: int) -> None:
+        """Write the buffered tail to the worker's journal file."""
+        tail = self._pending.pop(worker_id, None)
+        if not tail:
+            return
+        with open(self.wal_path(worker_id), "ab") as fh:
+            for frame in tail:
+                payload = pickle.dumps(
+                    frame, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                fh.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
+                fh.write(payload)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+
+    def flush_all(self) -> None:
+        for worker_id in list(self._pending):
+            self.flush(worker_id)
+
+    def wal_frames(self, worker_id: int, after_tick: int) -> list[tuple]:
+        """The worker's journal frames above ``after_tick`` (buffered
+        tail flushed first, so the answer is complete)."""
+        self.flush(worker_id)
+        path = self.wal_path(worker_id)
+        if not path.exists():
+            return []
+        return [f for f in read_frames(path) if f[0] > after_tick]
+
+    # -- checkpoints --------------------------------------------------
+
+    def snapshot_path(self, epoch: int, worker_id: int) -> Path:
+        return self.root / f"snap-{epoch:08d}-w{worker_id}.bin"
+
+    def checkpoint(
+        self, meta: dict[str, Any], snapshots: dict[int, tuple]
+    ) -> None:
+        """Commit one checkpoint: snapshots, then metadata (the commit
+        point), then journal reset and old-epoch cleanup.
+
+        ``meta`` must carry ``"epoch"`` and ``"tick"``.  A crash before
+        the metadata replace leaves the previous checkpoint authoritative
+        (the new snapshot files are unreferenced garbage, cleaned at the
+        next commit); a crash after it leaves stale journal frames,
+        which replay skips by tick.
+        """
+        epoch = meta["epoch"]
+        for worker_id, frame in snapshots.items():
+            path = self.snapshot_path(epoch, worker_id)
+            write_frames(path, [frame])
+            if self.fsync:
+                with open(path, "rb") as fh:
+                    os.fsync(fh.fileno())
+        tmp = self.root / (_META_NAME + ".tmp")
+        write_frames(tmp, [meta])
+        if self.fsync:
+            with open(tmp, "rb") as fh:
+                os.fsync(fh.fileno())
+        os.replace(tmp, self.root / _META_NAME)
+        self._pending.clear()
+        for path in self.root.glob("wal-w*.log"):
+            path.unlink()
+        for path in self.root.glob("snap-*-w*.bin"):
+            if not path.name.startswith(f"snap-{epoch:08d}-"):
+                path.unlink()
+
+    def load(self) -> tuple[dict[str, Any], dict[int, tuple]] | None:
+        """The committed checkpoint: ``(meta, {worker_id: snapshot})``,
+        or ``None`` when no checkpoint was ever committed."""
+        meta_path = self.root / _META_NAME
+        if not meta_path.exists():
+            return None
+        frames = list(read_frames(meta_path))
+        if not frames:
+            raise ValueError(f"corrupt checkpoint metadata: {meta_path}")
+        meta = frames[0]
+        epoch = meta["epoch"]
+        snapshots: dict[int, tuple] = {}
+        prefix = f"snap-{epoch:08d}-w"
+        for path in sorted(self.root.glob(f"{prefix}*.bin")):
+            worker_id = int(path.name[len(prefix) : -len(".bin")])
+            rows = list(read_frames(path))
+            if not rows:
+                raise ValueError(f"corrupt snapshot frame: {path}")
+            snapshots[worker_id] = rows[0]
+        return meta, snapshots

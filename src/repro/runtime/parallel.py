@@ -84,10 +84,39 @@ statistics, records routed to them are dropped and counted
 :class:`~repro.runtime.backends.WorkerCrashed` naming the worker and
 shards -- and every other worker keeps serving.  No code path waits
 unboundedly on a dead peer.
+
+**Durability and recovery.**  With ``durability=`` configured (see
+:class:`~repro.runtime.durable.Durability`), crash containment becomes
+crash *recovery*: every ingested record is journaled write-ahead (its
+frame reaches disk no later than its wire batch leaves the
+dispatcher), periodic checkpoints store each worker's full
+:meth:`~repro.runtime.shard.ShardGroup.snapshot`, and a dead worker is
+respawned, handed its last snapshot, and replayed its journal suffix
+-- the fleet then reports zero ``crashed_shards`` and bit-identical
+per-trace ratios, degraded flags, and violating sets.  A whole fleet
+restarts the same way: :meth:`ParallelFleet.restore` rebuilds the
+dispatcher from the checkpoint metadata, restores every worker, and
+replays the journals' contiguous tick prefix; the producer resumes
+feeding from ``fleet.ingested_records``.  Recovery is bounded by
+``max_recoveries`` per worker -- a deterministic poison record
+eventually degrades the shards exactly as without durability.
+
+**Placement and migration.**  Shard-to-worker placement is an explicit
+table (initially the round-robin split), not a hash: the dispatcher
+can :meth:`migrate_shard` a live shard -- open traces, retired
+summaries, counters -- between workers (ship, fence, export, import,
+repoint), and :meth:`rebalance_placement` moves the heaviest shards
+off any worker whose live-event share exceeds a threshold multiple of
+the mean, unpinning hash-skewed trace populations that the
+budget-share rebalancing alone cannot fix.  Trace-to-shard routing is
+untouched (the serial CRC32 function), so migration is invisible to
+reported ratios; under durability every migration commits a
+checkpoint, keeping journals and snapshots placement-consistent.
 """
 
 from __future__ import annotations
 
+import os
 from fractions import Fraction
 from typing import Any, Callable, Iterable
 
@@ -101,8 +130,15 @@ from repro.runtime.backends import (
     WorkerCrashed,
     WorkerHandle,
 )
+from repro.runtime.durable import (
+    Durability,
+    DurableStore,
+    contiguous_prefix,
+    write_frames,
+)
 from repro.runtime.shard import (
     FleetReport,
+    MonitorSpec,
     ShardStats,
     TraceId,
     TraceSummary,
@@ -145,9 +181,18 @@ class ParallelFleet:
             (the backpressure lever).
         rebalance: re-apportion the budget by live-event demand at
             barriers (``False`` freezes the initial even split).
-        monitor_factory: per-trace monitor customization; requires a
-            backend whose workers share the dispatcher's address space
-            (the thread backend).
+        monitor_factory: per-trace monitor customization as an
+            arbitrary callable; requires a backend whose workers share
+            the dispatcher's address space (the thread backend).  For
+            process backends use ``monitor_specs``.
+        monitor_specs: declarative per-trace monitor configuration --
+            one :class:`~repro.runtime.shard.MonitorSpec` for every
+            trace, or a ``{trace_id: MonitorSpec}`` mapping.  Plain
+            data, so it crosses the process boundary (the
+            ``monitor_factory`` gap, closed).
+        durability: a :class:`~repro.runtime.durable.Durability` (or a
+            directory path, for the defaults) enabling the journal +
+            snapshot recovery plane -- see the module docstring.
         on_violation: ``callback(trace_id, witness)``, fired at sync
             barriers in the deterministic merged order.
     """
@@ -170,7 +215,10 @@ class ParallelFleet:
         inbox_capacity: int = 16,
         rebalance: bool = True,
         monitor_factory: Callable[[TraceId], OnlineAbcMonitor] | None = None,
+        monitor_specs: MonitorSpec | dict[TraceId, MonitorSpec] | None = None,
+        durability: Durability | str | os.PathLike | None = None,
         on_violation: Callable[[TraceId, CycleClassification], None] | None = None,
+        _restore: tuple[dict, dict] | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -216,21 +264,78 @@ class ParallelFleet:
         ):
             raise ValueError(
                 "monitor_factory requires a shared-address-space backend "
-                "(backend='thread'); it cannot cross a process boundary"
+                "(backend='thread'); it cannot cross a process boundary "
+                "-- use monitor_specs for picklable configuration"
             )
+        if monitor_specs is not None and not isinstance(
+            monitor_specs, (MonitorSpec, dict)
+        ):
+            raise TypeError(
+                "monitor_specs must be a MonitorSpec or a "
+                "{trace_id: MonitorSpec} mapping"
+            )
+        if isinstance(durability, (str, os.PathLike)):
+            durability = Durability(root=durability)
         self._xi = xi
         self._n_shards = n_shards
         self._n_workers = n_workers
         self._batch_size = batch_size
         self._event_budget = event_budget
+        self._auto_retire_after = auto_retire_after
+        self._compact_threshold = compact_threshold
+        self._faulty = frozenset(faulty)
+        self._drop_faulty = drop_faulty
+        self._monitor_factory = monitor_factory
+        self._monitor_specs = monitor_specs
+        self._inbox_capacity = inbox_capacity
         self.wire_batch = wire_batch
         self.rebalance = rebalance
         self.on_violation = on_violation
         self._backend = backend
+        if isinstance(backend, ProcessBackend):
+            self._backend_kind = "process"
+        elif isinstance(backend, ThreadBackend):
+            self._backend_kind = "thread"
+        else:
+            self._backend_kind = "custom"
         self._tick = 0
         self._req = 0
         self._stopped = False
         self.dropped_records = 0
+        # Explicit shard -> worker placement (initially the round-robin
+        # split; migration repoints entries live).
+        self._placement: dict[int, int] = (
+            {int(s): int(w) for s, w in _restore[0]["placement"].items()}
+            if _restore is not None
+            else {s: s % n_workers for s in range(n_shards)}
+        )
+        # The durability plane (None = PR 5 crash containment only).
+        self._durability = durability
+        self._durable = (
+            DurableStore(durability.root, fsync=durability.fsync)
+            if durability is not None
+            else None
+        )
+        self._ckpt_epoch = 0
+        self._ckpt_tick = 0
+        self._records_since_ckpt = 0
+        self._in_checkpoint = False
+        self._recoveries: dict[int, int] = {}
+        # Dropped-record estimates of crashed-but-recoverable workers:
+        # folded into dropped_records only if recovery fails for good.
+        self._pending_drop: dict[int, int] = {}
+        # Last committed checkpoint's snapshot frames, by worker.
+        self._snap_cache: dict[int, tuple] = {}
+        if (
+            self._durable is not None
+            and _restore is None
+            and (self._durable.root / "meta.bin").exists()
+        ):
+            raise ValueError(
+                f"{self._durable.root} already holds a committed fleet "
+                "checkpoint; use ParallelFleet.restore() to resume it, "
+                "or point durability at a fresh directory"
+            )
         # Violation notices: pending rows are (tick, trace_id, wire
         # witness); once fired only (tick, trace_id) is retained -- a
         # long-running fleet must not hold every witness walk forever.
@@ -255,37 +360,64 @@ class ParallelFleet:
         self._epoch_peak: dict[int, int] = {}
         self._last_report: dict[int, tuple] = {}
         self._peak = 0
-        share = None
-        if event_budget is not None:
-            share = event_budget // n_workers
-        self._shares: dict[int, int | None] = {
-            w: (share + 1 if share is not None
-                and w < event_budget - share * n_workers else share)
-            for w in range(n_workers)
-        }
+        if _restore is not None:
+            self._shares: dict[int, int | None] = {
+                int(w): share for w, share in _restore[0]["shares"].items()
+            }
+        else:
+            share = None
+            if event_budget is not None:
+                share = event_budget // n_workers
+            self._shares = {
+                w: (share + 1 if share is not None
+                    and w < event_budget - share * n_workers else share)
+                for w in range(n_workers)
+            }
         self._handles: list[WorkerHandle] = []
         for worker_id in range(n_workers):
-            config = {
-                "xi": codec.encode_fraction(
-                    None if xi is None else Fraction(xi)
-                ),
-                "batch_size": batch_size,
-                "event_budget": self._shares[worker_id],
-                "auto_retire_after": auto_retire_after,
-                "compact_threshold": compact_threshold,
-                "faulty": tuple(faulty),
-                "drop_faulty": drop_faulty,
-            }
-            if monitor_factory is not None:
-                config["monitor_factory"] = monitor_factory
             self._handles.append(
                 backend.spawn(
                     worker_id,
-                    tuple(range(worker_id, n_shards, n_workers)),
-                    config,
+                    self.shards_of_worker(worker_id),
+                    self._worker_config(worker_id),
                     inbox_capacity,
                 )
             )
+        if _restore is not None:
+            meta = _restore[0]
+            self._tick = meta["tick"]
+            self._ckpt_epoch = meta["epoch"]
+            self._ckpt_tick = meta["tick"]
+            self._fired_notices = list(meta["fired_notices"])
+            self.dropped_records = meta["dropped_records"]
+            self._peak = meta["peak"]
+            self._recoveries = {
+                int(w): n for w, n in meta["recoveries"].items()
+            }
+            self._dead = {int(w): r for w, r in meta["dead"].items()}
+        elif self._durable is not None:
+            # Epoch-1 baseline: empty snapshots plus the full
+            # configuration, so both worker recovery and a whole-fleet
+            # restore work before the first periodic checkpoint.
+            self._checkpoint()
+
+    def _worker_config(self, worker_id: int) -> dict[str, Any]:
+        """The spawn-time config dict (also used by recovery respawns)."""
+        config = {
+            "xi": codec.encode_fraction(
+                None if self._xi is None else Fraction(self._xi)
+            ),
+            "batch_size": self._batch_size,
+            "event_budget": self._shares.get(worker_id),
+            "auto_retire_after": self._auto_retire_after,
+            "compact_threshold": self._compact_threshold,
+            "faulty": tuple(self._faulty),
+            "drop_faulty": self._drop_faulty,
+            "monitor_specs": codec.encode_specs(self._monitor_specs),
+        }
+        if self._monitor_factory is not None:
+            config["monitor_factory"] = self._monitor_factory
+        return config
 
     # ------------------------------------------------------------------
     # spawn-time configuration (read-only: these were shipped to the
@@ -325,11 +457,23 @@ class ParallelFleet:
         return _shard_index(trace_id, self.n_shards)
 
     def worker_of(self, shard_index: int) -> int:
-        """The worker owning a shard (round-robin partition)."""
-        return shard_index % self.n_workers
+        """The worker currently owning a shard (placement-table read;
+        initially the round-robin split, repointed by migration)."""
+        return self._placement[shard_index]
 
     def shards_of_worker(self, worker_id: int) -> tuple[int, ...]:
-        return tuple(range(worker_id, self.n_shards, self.n_workers))
+        return tuple(
+            sorted(
+                shard
+                for shard, owner in self._placement.items()
+                if owner == worker_id
+            )
+        )
+
+    @property
+    def placement(self) -> dict[int, int]:
+        """A copy of the shard -> worker placement table."""
+        return dict(self._placement)
 
     def crashed_shards(self) -> tuple[int, ...]:
         """Shards owned by dead workers, ascending (empty = all healthy)."""
@@ -342,7 +486,7 @@ class ParallelFleet:
         )
 
     def _require_alive(self, worker_id: int) -> WorkerHandle:
-        if worker_id in self._dead:
+        if worker_id in self._dead and not self._try_recover(worker_id):
             raise self._crash_error(worker_id)
         return self._handles[worker_id]
 
@@ -386,9 +530,98 @@ class ParallelFleet:
             if last is not None
             else 0
         )
-        self.dropped_records += max(
-            0, self._shipped.get(worker_id, 0) - absorbed
+        estimate = max(0, self._shipped.get(worker_id, 0) - absorbed)
+        if self._recoverable(worker_id):
+            # Recovery will replay these records from the journal; the
+            # estimate is only charged if recovery fails for good.
+            self._pending_drop[worker_id] = estimate
+        else:
+            self.dropped_records += estimate + self._pending_drop.pop(
+                worker_id, 0
+            )
+
+    def _recoverable(self, worker_id: int) -> bool:
+        return (
+            self._durable is not None
+            and not self._stopped
+            and self._recoveries.get(worker_id, 0)
+            < self._durability.max_recoveries
         )
+
+    def _try_recover(self, worker_id: int) -> bool:
+        """Respawn a dead worker from its snapshot + journal suffix.
+
+        Returns ``True`` when the worker is (back) alive.  One attempt
+        per call, ``max_recoveries`` attempts per worker overall: a
+        deterministic poison record crashes the respawn during replay,
+        burns one attempt, and eventually leaves the worker dead -- the
+        PR 5 degraded-shards behavior, now a fallback instead of the
+        only answer.
+        """
+        if worker_id not in self._dead:
+            return True
+        if not self._recoverable(worker_id):
+            self.dropped_records += self._pending_drop.pop(worker_id, 0)
+            return False
+        self._recoveries[worker_id] = (
+            self._recoveries.get(worker_id, 0) + 1
+        )
+        shards = self.shards_of_worker(worker_id)
+        handle = self._backend.spawn(
+            worker_id,
+            shards,
+            self._worker_config(worker_id),
+            self._inbox_capacity,
+        )
+        self._handles[worker_id] = handle
+        del self._dead[worker_id]
+        self._live_cache[worker_id] = 0
+        self._epoch_peak[worker_id] = 0
+        try:
+            snap = self._snap_cache.get(worker_id)
+            if snap is not None:
+                self._request(worker_id, ("restore", snap))
+            # Replay the journal suffix.  Records still sitting in the
+            # dispatcher's per-shard buffers were journaled at ingest
+            # time too, so the replay delivers them as well -- drop the
+            # buffers to keep delivery exactly-once.
+            frames = self._durable.wal_frames(worker_id, self._ckpt_tick)
+            by_shard: dict[int, list[tuple]] = {}
+            for tick, shard, trace_id, wire in frames:
+                by_shard.setdefault(shard, []).append(
+                    (tick, trace_id, wire)
+                )
+            for shard in sorted(by_shard):
+                handle.put(("ingest", shard, by_shard[shard]))
+            for shard in shards:
+                self._buffers.pop(shard, None)
+            self._request(worker_id, ("fence", self._tick))
+        except WorkerCrashed:
+            return False
+        # Replay re-detects violations whose first notice already fired
+        # before the crash (the snapshot predates the detection); keep
+        # callbacks once-per-detection by dropping those re-detections.
+        fired = {trace_id for _tick, trace_id in self._fired_notices}
+        owned = set(shards)
+        self._pending_notices = [
+            notice
+            for notice in self._pending_notices
+            if not (
+                notice[1] in fired and self.shard_of(notice[1]) in owned
+            )
+        ]
+        # Refresh the last-synced report so future crash accounting
+        # starts from the recovered state, not the pre-crash one.
+        try:
+            reply = self._request(worker_id, ("report", self._tick))
+        except WorkerCrashed:
+            return False
+        self._last_report[worker_id] = reply
+        self._shipped[worker_id] = sum(
+            codec.decode_stats(row).records for row in reply[0]
+        )
+        self._pending_drop.pop(worker_id, None)
+        return True
 
     def _absorb(self, worker_id: int, message: tuple) -> None:
         """Handle one unsolicited outbound message."""
@@ -495,9 +728,16 @@ class ParallelFleet:
                 self._route.clear()
             shard = self._route[trace_id] = self.shard_of(trace_id)
         buffer = self._buffers.setdefault(shard, [])
-        buffer.append((self._tick, trace_id, codec.encode_record(record)))
+        wire = codec.encode_record(record)
+        buffer.append((self._tick, trace_id, wire))
+        if self._durable is not None:
+            self._durable.append(
+                self._placement[shard], self._tick, shard, trace_id, wire
+            )
+            self._records_since_ckpt += 1
         if len(buffer) >= self.wire_batch:
             self._ship(shard)
+            self._maybe_checkpoint()
 
     def ingest_many(
         self, stream: Iterable[tuple[TraceId, ReceiveRecord]]
@@ -514,6 +754,8 @@ class ParallelFleet:
         buffers = self._buffers
         encode = codec.encode_record
         wire_batch = self.wire_batch
+        durable = self._durable
+        placement = self._placement
         tick = self._tick
         try:
             for trace_id, record in stream:
@@ -526,10 +768,18 @@ class ParallelFleet:
                 buffer = buffers.get(shard)
                 if buffer is None:
                     buffer = buffers[shard] = []
-                buffer.append((tick, trace_id, encode(record)))
+                wire = encode(record)
+                buffer.append((tick, trace_id, wire))
+                if durable is not None:
+                    durable.append(
+                        placement[shard], tick, shard, trace_id, wire
+                    )
+                    self._records_since_ckpt += 1
                 if len(buffer) >= wire_batch:
                     self._tick = tick
                     self._ship(shard)
+                    if durable is not None:
+                        self._maybe_checkpoint()
         finally:
             # Even when the *stream* raises mid-iteration, the ticks
             # already stamped onto buffered records must never be
@@ -543,13 +793,23 @@ class ParallelFleet:
             return
         worker_id = self.worker_of(shard)
         if worker_id in self._dead:
+            if self._try_recover(worker_id):
+                # The popped batch was journaled at ingest time, so the
+                # recovery replay already delivered it.
+                return
             self.dropped_records += len(batch)
             return
         handle = self._handles[worker_id]
+        if self._durable is not None:
+            # Write-ahead: the journal holds every record before its
+            # wire batch leaves the dispatcher.
+            self._durable.flush(worker_id)
         try:
             handle.put(("ingest", shard, batch))
         except WorkerCrashed as exc:
             self._mark_dead(worker_id, str(exc))
+            if self._try_recover(worker_id):
+                return  # journaled above; the replay delivered it
             self.dropped_records += len(batch)
             return
         self._shipped[worker_id] = self._shipped.get(worker_id, 0) + len(
@@ -574,6 +834,9 @@ class ParallelFleet:
         """Ship everything buffered, run one command on every live
         worker (pipelined: all posted, then all collected), note the
         epoch watermark, fire pending violations, maybe rebalance."""
+        if self._durable is not None:
+            for worker_id in list(self._dead):
+                self._try_recover(worker_id)
         self._ship_all()
         posted: dict[int, int] = {}
         for worker_id in self._alive_workers():
@@ -672,6 +935,323 @@ class ParallelFleet:
                 self._peak = candidate
 
     # ------------------------------------------------------------------
+    # durability: checkpoints and whole-fleet restore
+    # ------------------------------------------------------------------
+
+    @property
+    def ingested_records(self) -> int:
+        """Records accepted so far (the global ingest tick).  After
+        :meth:`restore` this is the count the recovered state provably
+        covers -- the producer resumes feeding from here."""
+        return self._tick
+
+    def _maybe_checkpoint(self) -> None:
+        every = (
+            None
+            if self._durability is None
+            else self._durability.checkpoint_every
+        )
+        if (
+            every is not None
+            and self._records_since_ckpt >= every
+            and not self._in_checkpoint
+        ):
+            self._checkpoint()
+
+    def checkpoint(self) -> None:
+        """Commit a durable checkpoint now (snapshot barrier + journal
+        reset).  Periodic checkpoints run automatically every
+        ``Durability.checkpoint_every`` records; this forces one."""
+        self._require_running()
+        if self._durable is None:
+            raise RuntimeError("this fleet has no durability configured")
+        self._checkpoint()
+
+    def _checkpoint(self) -> None:
+        if self._in_checkpoint:
+            return
+        self._in_checkpoint = True
+        try:
+            # A worker whose death is first *detected* inside the
+            # snapshot barrier contributes no snapshot to that round.
+            # Committing anyway would delete the journal frames its
+            # recovery still needs (and evict its cached snapshot) --
+            # silent state loss.  So: while any dead worker is still
+            # recoverable, recover it (the barrier preamble does) and
+            # re-run the barrier.  Each failed attempt burns recovery
+            # budget, so the loop terminates; a worker that exhausts
+            # its budget is dropped from the checkpoint exactly like
+            # any other permanently-degraded worker.
+            while True:
+                snapshots = self._barrier("snapshot")
+                if not any(
+                    self._recoverable(worker_id)
+                    for worker_id in self._dead
+                ):
+                    break
+            self._snap_cache = dict(snapshots)
+            meta = {
+                "epoch": self._ckpt_epoch + 1,
+                "tick": self._tick,
+                "placement": dict(self._placement),
+                "shares": dict(self._shares),
+                "fired_notices": list(self._fired_notices),
+                "dropped_records": self.dropped_records,
+                "peak": self._peak,
+                "recoveries": dict(self._recoveries),
+                "dead": dict(self._dead),
+                "config": self._config_meta(),
+            }
+            self._durable.checkpoint(meta, snapshots)
+            self._ckpt_epoch = meta["epoch"]
+            self._ckpt_tick = self._tick
+            self._records_since_ckpt = 0
+        finally:
+            self._in_checkpoint = False
+
+    def _config_meta(self) -> dict[str, Any]:
+        return {
+            "xi": codec.encode_fraction(
+                None if self._xi is None else Fraction(self._xi)
+            ),
+            "n_workers": self._n_workers,
+            "n_shards": self._n_shards,
+            "batch_size": self._batch_size,
+            "event_budget": self._event_budget,
+            "auto_retire_after": self._auto_retire_after,
+            "compact_threshold": self._compact_threshold,
+            "faulty": tuple(self._faulty),
+            "drop_faulty": self._drop_faulty,
+            "backend": self._backend_kind,
+            "wire_batch": self.wire_batch,
+            "inbox_capacity": self._inbox_capacity,
+            "rebalance": self.rebalance,
+            "monitor_specs": codec.encode_specs(self._monitor_specs),
+            "checkpoint_every": self._durability.checkpoint_every,
+            "fsync": self._durability.fsync,
+            "max_recoveries": self._durability.max_recoveries,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        path: str | os.PathLike,
+        *,
+        backend: str | Any | None = None,
+        start_method: str | None = None,
+        on_violation: Callable[[TraceId, CycleClassification], None]
+        | None = None,
+    ) -> "ParallelFleet":
+        """Rebuild a fleet from its durability directory after a full
+        process restart.
+
+        Workers are respawned with the committed placement, handed
+        their checkpoint snapshots, and replayed the journals'
+        contiguous tick prefix; per-trace worst ratios, degraded flags
+        and violating sets are bit-identical to the state the journals
+        cover.  The producer resumes from ``fleet.ingested_records``
+        (records past the contiguous journal frontier were never made
+        durable and must be re-fed).
+
+        ``monitor_factory`` fleets cannot restore (a callable is not in
+        the metadata); everything declarative -- including
+        ``monitor_specs`` -- round-trips.
+        """
+        store = DurableStore(path)
+        loaded = store.load()
+        if loaded is None:
+            raise FileNotFoundError(
+                f"no committed fleet checkpoint under {path}"
+            )
+        meta, snapshots = loaded
+        cfg = meta["config"]
+        if backend is None:
+            backend = cfg["backend"]
+            if backend == "custom":
+                raise ValueError(
+                    "this fleet ran on a custom backend instance; pass "
+                    "backend=... to restore()"
+                )
+        durability = Durability(
+            root=path,
+            checkpoint_every=cfg["checkpoint_every"],
+            fsync=cfg["fsync"],
+            max_recoveries=cfg["max_recoveries"],
+        )
+        fleet = cls(
+            codec.decode_fraction(cfg["xi"]),
+            n_workers=cfg["n_workers"],
+            n_shards=cfg["n_shards"],
+            batch_size=cfg["batch_size"],
+            event_budget=cfg["event_budget"],
+            auto_retire_after=cfg["auto_retire_after"],
+            compact_threshold=cfg["compact_threshold"],
+            faulty=frozenset(cfg["faulty"]),
+            drop_faulty=cfg["drop_faulty"],
+            backend=backend,
+            start_method=start_method,
+            wire_batch=cfg["wire_batch"],
+            inbox_capacity=cfg["inbox_capacity"],
+            rebalance=cfg["rebalance"],
+            monitor_specs=codec.decode_specs(cfg["monitor_specs"]),
+            durability=durability,
+            on_violation=on_violation,
+            _restore=(meta, snapshots),
+        )
+        fleet._finish_restore(snapshots)
+        return fleet
+
+    def _finish_restore(self, snapshots: dict[int, tuple]) -> None:
+        self._snap_cache = dict(snapshots)
+        # Post every snapshot before collecting any ack: each worker
+        # decodes its frame concurrently instead of one at a time, and
+        # the replay batches below queue up behind the restore in the
+        # same FIFO inbox, so ordering needs no round trip.
+        acks: dict[int, int] = {}
+        for worker_id, frame in snapshots.items():
+            if worker_id in self._dead:
+                continue
+            acks[worker_id] = self._post(worker_id, ("restore", frame))
+        # Per-worker journals flush at different moments, so only the
+        # contiguous tick prefix of their union is a stream prefix the
+        # restored fleet can honestly claim.
+        frames: list[tuple] = []
+        for worker_id in range(self.n_workers):
+            frames.extend(
+                self._durable.wal_frames(worker_id, self._ckpt_tick)
+            )
+        prefix, last_tick = contiguous_prefix(frames, self._ckpt_tick)
+        by_shard: dict[int, list[tuple]] = {}
+        for tick, shard, trace_id, wire in prefix:
+            by_shard.setdefault(shard, []).append((tick, trace_id, wire))
+        for shard in sorted(by_shard):
+            worker_id = self._placement[shard]
+            if worker_id in self._dead:
+                continue
+            self._handles[worker_id].put(("ingest", shard, by_shard[shard]))
+        for worker_id, req_id in acks.items():
+            self._collect(worker_id, req_id)
+        self._tick = last_tick
+        # Normalize the journals to the claimed prefix: frames beyond
+        # the contiguous frontier carry ticks the resumed producer will
+        # legitimately reissue, so they must not survive on disk.
+        by_worker: dict[int, list[tuple]] = {}
+        for frame in prefix:
+            by_worker.setdefault(self._placement[frame[1]], []).append(
+                frame
+            )
+        for worker_id in range(self.n_workers):
+            write_frames(
+                self._durable.wal_path(worker_id),
+                by_worker.get(worker_id, []),
+            )
+        # One report barrier: syncs the replay (fence-by-FIFO), fires
+        # re-detected post-checkpoint violations, and refreshes the
+        # crash-accounting baselines.
+        replies = self._barrier("report")
+        self._last_report.update(replies)
+        for worker_id, reply in replies.items():
+            self._shipped[worker_id] = sum(
+                codec.decode_stats(row).records for row in reply[0]
+            )
+
+    # ------------------------------------------------------------------
+    # placement: live migration and skew rebalancing
+    # ------------------------------------------------------------------
+
+    def migrate_shard(self, shard_index: int, dest: int) -> None:
+        """Move one live shard -- open traces, retired summaries,
+        counters -- to worker ``dest``.
+
+        Protocol: ship the shard's buffered records, export on the
+        source (the request doubles as a fence behind the shipped
+        batch), import on the destination, repoint the placement
+        table.  Routing of *traces to shards* is untouched, so reported
+        ratios cannot change; under durability the move commits a
+        checkpoint, keeping journals and snapshots
+        placement-consistent.
+        """
+        self._require_running()
+        if shard_index not in self._placement:
+            raise ValueError(f"unknown shard {shard_index}")
+        if not 0 <= dest < self.n_workers:
+            raise ValueError(f"unknown worker {dest}")
+        src = self._placement[shard_index]
+        if src == dest:
+            return
+        if len(self.shards_of_worker(src)) <= 1:
+            raise ValueError(
+                f"migrating shard {shard_index} would leave worker "
+                f"{src} shardless"
+            )
+        for worker_id in (src, dest):
+            if worker_id in self._dead and not self._try_recover(worker_id):
+                raise self._crash_error(worker_id)
+        self._ship(shard_index)
+        frame = self._request(src, ("export_shard", shard_index))
+        self._request(dest, ("import_shard", frame))
+        self._placement[shard_index] = dest
+        if self._durable is not None:
+            self._checkpoint()
+
+    def rebalance_placement(
+        self, threshold: float = 2.0
+    ) -> list[tuple[int, int, int]]:
+        """Unpin hash-skewed placements: migrate the heaviest shards
+        off every worker whose live-event share exceeds ``threshold``
+        times the mean, onto the lightest workers.
+
+        A skewed trace-id population can land most live events on one
+        worker forever -- budget-share rebalancing only moves *budget*
+        toward the hot worker, never load off it.  Returns the moves
+        performed as ``(shard, source_worker, dest_worker)`` tuples
+        (empty when nothing exceeded the threshold).
+        """
+        self._require_running()
+        if threshold <= 1:
+            raise ValueError("threshold must exceed 1")
+        replies = self._barrier("report")
+        self._last_report.update(replies)
+        shard_live: dict[int, int] = {}
+        for reply in replies.values():
+            for row in reply[0]:
+                stats = codec.decode_stats(row)
+                shard_live[stats.shard] = stats.live_events
+        alive = self._alive_workers()
+        if len(alive) < 2:
+            return []
+        loads = {
+            w: sum(
+                shard_live.get(s, 0) for s in self.shards_of_worker(w)
+            )
+            for w in alive
+        }
+        mean = sum(loads.values()) / len(alive)
+        if mean <= 0:
+            return []
+        moves: list[tuple[int, int, int]] = []
+        for src in sorted(loads, key=lambda w: loads[w], reverse=True):
+            while (
+                loads[src] > threshold * mean
+                and len(self.shards_of_worker(src)) > 1
+            ):
+                shard = max(
+                    self.shards_of_worker(src),
+                    key=lambda s: shard_live.get(s, 0),
+                )
+                dest = min(
+                    (w for w in alive if w != src), key=lambda w: loads[w]
+                )
+                weight = shard_live.get(shard, 0)
+                if loads[dest] + weight >= loads[src]:
+                    break  # the move would only relocate the skew
+                self.migrate_shard(shard, dest)
+                loads[src] -= weight
+                loads[dest] += weight
+                moves.append((shard, src, dest))
+        return moves
+
+    # ------------------------------------------------------------------
     # the serial surface
     # ------------------------------------------------------------------
 
@@ -690,8 +1270,14 @@ class ParallelFleet:
             self.worker_of(shard), ("flush_trace", shard, trace_id)
         )
 
-    def close(self, trace_id: TraceId) -> TraceSummary:
-        """Retire a finished trace (serial semantics, one round trip)."""
+    def close(self, trace_id: TraceId | None = None) -> TraceSummary | None:
+        """Retire one finished trace -- or, with no argument, the whole
+        fleet (an alias for :meth:`shutdown`, the context-manager exit
+        path; idempotent, and ``ingest`` afterwards raises a clear
+        ``RuntimeError`` instead of a backend-specific crash)."""
+        if trace_id is None:
+            self.shutdown()
+            return None
         self._require_running()
         shard = self.shard_of(trace_id)
         self._ship(shard)
@@ -863,6 +1449,10 @@ class ParallelFleet:
         already surfaced."""
         if self._stopped:
             return
+        if self._durable is not None:
+            # A final checkpoint: restore() after a clean shutdown
+            # resumes from the complete state, with empty journals.
+            self._checkpoint()
         self._barrier("flush")
         self._stopped = True
         posted: dict[int, int] = {}

@@ -57,6 +57,7 @@ if TYPE_CHECKING:  # runtime import is lazy: repro.analysis imports the
 __all__ = [
     "FleetReport",
     "FleetShard",
+    "MonitorSpec",
     "ShardGroup",
     "ShardRuntime",
     "ShardStats",
@@ -107,6 +108,44 @@ def shard_index_of(trace_id: TraceId, n_shards: int) -> int:
     the same computation, so there is exactly one copy of it.
     """
     return zlib.crc32(str(trace_id).encode()) % n_shards
+
+
+@dataclass(frozen=True)
+class MonitorSpec:
+    """Picklable per-trace monitor configuration.
+
+    The declarative counterpart of ``monitor_factory``: where a factory
+    is an arbitrary callable (and therefore thread-backend-only -- a
+    closure cannot cross a process boundary), a spec is plain data that
+    the codec frames onto the wire, closing the documented
+    process-backend gap.  Every field defaults to ``None``, meaning
+    "inherit the group default" -- a spec only names the knobs it pins.
+
+    Attributes:
+        xi: synchrony parameter to monitor this trace against.
+        compact_threshold: adaptive summary-compaction cadence (must
+            exceed 1 when given, as for the group-level knob).
+        faulty: processes whose messages the monitor treats as faulty.
+        drop_faulty: whether faulty messages are dropped or kept.
+    """
+
+    xi: Fraction | float | int | str | None = None
+    compact_threshold: float | None = None
+    faulty: frozenset[ProcessId] | None = None
+    drop_faulty: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.compact_threshold is not None and self.compact_threshold <= 1:
+            raise ValueError(
+                "compact_threshold must exceed 1 (the live/boundary "
+                f"ratio is at least 1), got {self.compact_threshold}"
+            )
+        if self.faulty is not None and not isinstance(self.faulty, frozenset):
+            object.__setattr__(self, "faulty", frozenset(self.faulty))
+
+
+_NO_SPEC = MonitorSpec()
+"""The all-inherit spec: what an unlisted trace resolves to."""
 
 
 @dataclass(frozen=True)
@@ -415,7 +454,13 @@ class ShardGroup:
             to every default-constructed monitor (see
             :class:`~repro.analysis.online.OnlineAbcMonitor`).
         faulty / drop_faulty: per-monitor message filtering.
-        monitor_factory: optional ``factory(trace_id) -> OnlineAbcMonitor``.
+        monitor_factory: optional ``factory(trace_id) -> OnlineAbcMonitor``
+            (thread-backend escape hatch; prefer ``monitor_specs``).
+        monitor_specs: declarative per-trace monitor configuration --
+            either one :class:`MonitorSpec` applied to every trace or a
+            ``{trace_id: MonitorSpec}`` mapping (unlisted traces get the
+            group defaults).  Plain data, so it crosses the process
+            boundary; ignored when ``monitor_factory`` is given.
         emit_violation: called as ``emit_violation(trace_id, witness)``
             after the triggering flush finishes its bookkeeping (so the
             callback may re-enter the group, e.g. close the trace).
@@ -433,6 +478,7 @@ class ShardGroup:
         faulty: frozenset[ProcessId] | set[ProcessId] = frozenset(),
         drop_faulty: bool = True,
         monitor_factory: Callable[[TraceId], OnlineAbcMonitor] | None = None,
+        monitor_specs: MonitorSpec | dict[TraceId, MonitorSpec] | None = None,
         emit_violation: Callable[[TraceId, CycleClassification], None]
         | None = None,
     ) -> None:
@@ -453,6 +499,7 @@ class ShardGroup:
         self.faulty = frozenset(faulty)
         self.drop_faulty = drop_faulty
         self.monitor_factory = monitor_factory
+        self.monitor_specs = monitor_specs
         self.emit_violation = emit_violation
         self.shards: dict[int, FleetShard] = {
             index: FleetShard(index) for index in shard_indices
@@ -494,18 +541,46 @@ class ShardGroup:
             shard.traces[trace_id] = state
         return state
 
+    def _spec_for(self, trace_id: TraceId) -> MonitorSpec | None:
+        specs = self.monitor_specs
+        if specs is None or isinstance(specs, MonitorSpec):
+            return specs
+        return specs.get(trace_id)
+
     def _make_monitor(self, trace_id: TraceId) -> OnlineAbcMonitor:
         from repro.analysis.online import OnlineAbcMonitor
 
         if self.monitor_factory is not None:
             monitor = self.monitor_factory(trace_id)
         else:
+            spec = self._spec_for(trace_id)
+            if spec is None:
+                spec = _NO_SPEC
             monitor = OnlineAbcMonitor(
-                xi=self.xi,
-                faulty=self.faulty,
-                drop_faulty=self.drop_faulty,
-                compact_threshold=self.compact_threshold,
+                xi=self.xi if spec.xi is None else spec.xi,
+                faulty=self.faulty if spec.faulty is None else spec.faulty,
+                drop_faulty=(
+                    self.drop_faulty
+                    if spec.drop_faulty is None
+                    else spec.drop_faulty
+                ),
+                compact_threshold=(
+                    self.compact_threshold
+                    if spec.compact_threshold is None
+                    else spec.compact_threshold
+                ),
             )
+        self._wire_violation(trace_id, monitor)
+        return monitor
+
+    def _wire_violation(
+        self, trace_id: TraceId, monitor: OnlineAbcMonitor
+    ) -> None:
+        """Attach this group's violation bookkeeping to a monitor,
+        chaining any caller-installed callback.  Factored out of
+        :meth:`_make_monitor` because imported and restored monitors
+        arrive with the callback stripped (it closes over the *source*
+        group) and must be re-wired to their new owner."""
         chained = monitor.on_violation
 
         def note(witness: CycleClassification) -> None:
@@ -515,7 +590,6 @@ class ShardGroup:
             self._deferred_violations.append((trace_id, witness, chained))
 
         monitor.on_violation = note
-        return monitor
 
     def _fire_deferred_violations(self) -> None:
         while self._deferred_violations:
@@ -875,6 +949,148 @@ class ShardGroup:
     def _note_peak(self) -> None:
         if self._live_events > self.peak_live_events:
             self.peak_live_events = self._live_events
+
+    # ------------------------------------------------------------------
+    # export / import / snapshot: traces as movable, durable units
+    # ------------------------------------------------------------------
+
+    def export_trace(self, trace_id: TraceId) -> tuple:
+        """Detach one open trace and return it as a codec frame.
+
+        The frame carries the monitor (callbacks stripped), the unflushed
+        pending buffer, the in-flight/frontier bookkeeping, and -- when
+        the id was retired before re-opening -- its prior summary, so the
+        max-merge semantics of :meth:`close` survive the move.  The trace
+        leaves this group entirely: another group may :meth:`import_trace`
+        it, and the pair is a migration.  Raises ``KeyError`` for ids this
+        group doesn't hold open.
+        """
+        from repro.runtime import codec
+
+        for shard in self.shards.values():
+            state = shard.traces.get(trace_id)
+            if state is not None:
+                frame = (
+                    shard.index,
+                    codec.encode_trace_state(trace_id, state),
+                    (
+                        codec.encode_summary(shard.retired[trace_id])
+                        if trace_id in shard.retired
+                        else None
+                    ),
+                )
+                self._live_events -= state.live_cached
+                del shard.traces[trace_id]
+                shard.retired.pop(trace_id, None)
+                self._futile_at = None
+                return frame
+        raise KeyError(f"unknown or retired trace {trace_id!r}")
+
+    def import_trace(self, frame: tuple) -> TraceId:
+        """Install a trace exported by :meth:`export_trace`.
+
+        The monitor is re-wired to *this* group's violation bookkeeping;
+        a violation already detected at the source stays detected (the
+        monitor's once-only guard) and is not re-announced here.  The
+        target shard is created on demand -- after a placement change the
+        importing group legitimately owns a shard index it wasn't born
+        with.  Returns the trace id.
+        """
+        from repro.runtime import codec
+
+        shard_index, trace_frame, summary_row = frame
+        shard = self.shards.get(shard_index)
+        if shard is None:
+            shard = self.shards[shard_index] = FleetShard(shard_index)
+        trace_id, state = codec.decode_trace_state(trace_frame)
+        if trace_id in shard.traces:
+            raise ValueError(f"trace {trace_id!r} already open here")
+        self._wire_violation(trace_id, state.monitor)
+        shard.traces[trace_id] = state
+        if summary_row is not None:
+            shard.retired[trace_id] = codec.decode_summary(summary_row)
+        self._live_events += state.live_cached
+        if state.last_touch > self.tick:
+            self.tick = state.last_touch
+        self._futile_at = None
+        self._note_peak()
+        return trace_id
+
+    def export_shard(self, shard_index: int) -> tuple:
+        """Detach one whole shard -- open traces, retired summaries,
+        lifetime counters -- as a codec frame (the unit the parallel
+        dispatcher migrates).  The shard leaves this group."""
+        from repro.runtime import codec
+
+        shard = self.shards[shard_index]
+        frame = codec.encode_shard_image(shard)
+        self._live_events -= sum(
+            state.live_cached for state in shard.traces.values()
+        )
+        del self.shards[shard_index]
+        self._futile_at = None
+        return frame
+
+    def import_shard(self, frame: tuple) -> int:
+        """Install a shard exported by :meth:`export_shard`, re-wiring
+        every monitor to this group.  Returns the shard index."""
+        from repro.runtime import codec
+
+        shard = codec.decode_shard_image(frame)
+        if shard.index in self.shards:
+            raise ValueError(f"shard {shard.index} already owned here")
+        for trace_id, state in shard.traces.items():
+            self._wire_violation(trace_id, state.monitor)
+            self._live_events += state.live_cached
+            if state.last_touch > self.tick:
+                self.tick = state.last_touch
+        self.shards[shard.index] = shard
+        self._futile_at = None
+        self._note_peak()
+        return shard.index
+
+    def snapshot(self) -> tuple:
+        """The whole group as one codec frame: every shard image plus
+        the group clock, violation log, overrun count and watermark.
+
+        Taken *without* flushing -- pending buffers travel verbatim, so
+        a restored group reproduces this one mid-stream, flush
+        boundaries and all (the bit-identity the durability layer
+        rests on).  The live group is not perturbed.
+        """
+        from repro.runtime import codec
+
+        return codec.encode_group_snapshot(self)
+
+    def load_snapshot(self, frame: tuple) -> None:
+        """Replace this group's state with a :meth:`snapshot` image.
+
+        Configuration (xi, batch size, budget, specs...) is *not* in the
+        frame -- the caller rebuilds the group with its own configuration
+        and then installs the image, which is what worker recovery and
+        ``restore()`` do.  Every monitor is re-wired to this group.
+        """
+        from repro.runtime import codec
+
+        tick, violations, overruns, peak, shards = (
+            codec.decode_group_snapshot(frame)
+        )
+        self.shards = {shard.index: shard for shard in shards}
+        if not self.shards:
+            raise ValueError("snapshot holds no shards")
+        live = 0
+        for shard in self.shards.values():
+            for trace_id, state in shard.traces.items():
+                self._wire_violation(trace_id, state.monitor)
+                live += state.live_cached
+        self.tick = tick
+        self.violations = violations
+        self.budget_overruns = overruns
+        self._live_events = live
+        self.peak_live_events = peak
+        self._futile_at = None
+        self._enforcing = False
+        self._deferred_violations = []
 
     # ------------------------------------------------------------------
     # queries and aggregates

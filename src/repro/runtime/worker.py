@@ -30,6 +30,21 @@ inbound                meaning
 ``("report", r, t)``            encoded shard stats + group counters
 ``("budget", r, n)``            re-apportioned event budget; replies
                                 with the closed epoch's peak watermark
+``("fence", r, t)``             sync point: advance the clock, ack.
+                                FIFO order makes the ack proof that
+                                every earlier message was absorbed --
+                                the ordering primitive of migration
+                                and recovery (no flush: batching
+                                boundaries stay undisturbed)
+``("snapshot", r, t)``          codec-framed image of the whole group
+                                (taken *without* flushing)
+``("restore", r, f)``           replace the group's state with a
+                                snapshot frame (worker recovery /
+                                fleet restore)
+``("export_trace", r, tid)``    detach one trace -> codec frame
+``("import_trace", r, f)``      install an exported trace
+``("export_shard", r, s)``      detach one whole shard -> codec frame
+``("import_shard", r, f)``      install an exported shard
 ``("stop", r)``                 graceful drain: flush, ack, exit
 =====================  ==============================================
 
@@ -72,6 +87,7 @@ def _build_group(
         faulty=frozenset(config["faulty"]),
         drop_faulty=config["drop_faulty"],
         monitor_factory=config.get("monitor_factory"),
+        monitor_specs=codec.decode_specs(config.get("monitor_specs")),
     )
 
     def emit(trace_id: TraceId, witness) -> None:
@@ -227,6 +243,40 @@ def worker_main(
                 epoch_peak = group.reset_peak()
                 group.set_budget(event_budget)
                 reply(req_id, ("ok", epoch_peak))
+            elif cmd == "fence":
+                _cmd, req_id, tick = message
+                advance(tick)
+                reply(req_id, ("ok", None))
+            elif cmd == "snapshot":
+                _cmd, req_id, tick = message
+                advance(tick)
+                reply(req_id, ("ok", group.snapshot()))
+            elif cmd == "restore":
+                _cmd, req_id, frame = message
+                group.load_snapshot(frame)
+                reply(req_id, ("ok", None))
+            elif cmd == "export_trace":
+                _cmd, req_id, trace_id = message
+                try:
+                    frame = group.export_trace(trace_id)
+                except KeyError as exc:
+                    reply(req_id, ("err", "KeyError", str(exc)))
+                else:
+                    reply(req_id, ("ok", frame))
+            elif cmd == "import_trace":
+                _cmd, req_id, frame = message
+                reply(req_id, ("ok", group.import_trace(frame)))
+            elif cmd == "export_shard":
+                _cmd, req_id, shard_index = message
+                try:
+                    frame = group.export_shard(shard_index)
+                except KeyError as exc:
+                    reply(req_id, ("err", "KeyError", str(exc)))
+                else:
+                    reply(req_id, ("ok", frame))
+            elif cmd == "import_shard":
+                _cmd, req_id, frame = message
+                reply(req_id, ("ok", group.import_shard(frame)))
             elif cmd == "stop":
                 _cmd, req_id = message
                 # Graceful drain: absorb everything buffered so the

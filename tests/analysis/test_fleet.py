@@ -697,3 +697,125 @@ class TestMixedShapeBudget:
         assert report.peak_live_events <= budget
         assert not fleet.is_degraded("mixed")
         assert fleet.worst_ratio("mixed") == standalone_ratio(mixed)
+
+
+class TestSnapshotRestore:
+    def test_mid_stream_snapshot_restores_bit_identically(self):
+        """Snapshot a live fleet mid-stream (pending buffers included),
+        restore, feed both the rest of the stream: every per-trace
+        ratio, degraded flag, violating set and the full report must
+        match."""
+        stream = list(
+            concurrent_workload(
+                random.Random(44), n_traces=14, records_per_trace=(20, 50)
+            )
+        )
+        cut = (len(stream) * 2) // 3
+        original = MonitorFleet(
+            xi=Fraction(3, 2), n_shards=6, batch_size=8, event_budget=600
+        )
+        for trace_id, record in stream[:cut]:
+            original.ingest(trace_id, record)
+        restored = MonitorFleet.restore(original.snapshot())
+        assert restored.xi == original.xi
+        assert restored.n_shards == original.n_shards
+        assert restored.event_budget == original.event_budget
+        for trace_id, record in stream[cut:]:
+            original.ingest(trace_id, record)
+            restored.ingest(trace_id, record)
+        for trace_id in sorted({tid for tid, _ in stream}):
+            assert restored.worst_ratio(trace_id) == original.worst_ratio(
+                trace_id
+            ), trace_id
+            assert restored.is_degraded(trace_id) == original.is_degraded(
+                trace_id
+            )
+        assert restored.violating_traces() == original.violating_traces()
+        assert restored.report() == original.report()
+
+    def test_snapshot_file_round_trip(self, tmp_path):
+        stream = list(
+            concurrent_workload(
+                random.Random(9), n_traces=8, records_per_trace=(15, 30)
+            )
+        )
+        fleet = MonitorFleet(xi=Fraction(2), n_shards=4, batch_size=8)
+        fleet.ingest_many(stream)
+        path = tmp_path / "fleet.snap"
+        fleet.snapshot(path)
+        restored = MonitorFleet.restore(path)
+        for trace_id in sorted({tid for tid, _ in stream}):
+            assert restored.worst_ratio(trace_id) == fleet.worst_ratio(
+                trace_id
+            )
+        assert restored.report() == fleet.report()
+
+    def test_restore_reattaches_callbacks(self):
+        stream = list(
+            concurrent_workload(
+                random.Random(8),
+                n_traces=6,
+                records_per_trace=(40, 60),
+                profile_weights={"storm": 1.0},
+            )
+        )
+        cut = len(stream) // 4
+        fleet = MonitorFleet(xi=Fraction(2), n_shards=4, batch_size=8)
+        for trace_id, record in stream[:cut]:
+            fleet.ingest(trace_id, record)
+        already = set(fleet.violating_traces())
+        hits = []
+        restored = MonitorFleet.restore(
+            fleet.snapshot(), on_violation=lambda tid, w: hits.append(tid)
+        )
+        for trace_id, record in stream[cut:]:
+            restored.ingest(trace_id, record)
+        # The once-only guard survives the round trip: pre-cut violators
+        # never re-fire, and every fresh violator fires exactly once.
+        assert set(hits) == set(restored.violating_traces()) - already
+        assert hits, "some storm traces must first violate after the cut"
+
+    def test_restore_rejects_foreign_frames(self, tmp_path):
+        with pytest.raises(ValueError):
+            MonitorFleet.restore(("not-a-snapshot", 1, (), ()))
+        with pytest.raises(ValueError):
+            MonitorFleet.restore((1, 2))
+        empty = tmp_path / "empty.bin"
+        empty.write_bytes(b"")
+        with pytest.raises(ValueError):
+            MonitorFleet.restore(empty)
+
+
+class TestFleetClose:
+    def test_context_manager_closes_and_blocks_ingest(self):
+        records = profiled_trace_records(random.Random(3), "burst", 20)
+        with MonitorFleet(xi=Fraction(2), n_shards=4, batch_size=8) as fleet:
+            for record in records:
+                fleet.ingest("t", record)
+        fleet.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            fleet.ingest("t", records[0])
+        with pytest.raises(RuntimeError, match="closed"):
+            fleet.ingest_many([("t", records[0])])
+        # Queries keep answering from the final (flushed) state.
+        assert fleet.worst_ratio("t") == standalone_ratio(records)
+        assert fleet.report().records == len(records)
+        # Per-trace close still retires as usual.
+        assert fleet.close("t").worst_ratio == standalone_ratio(records)
+
+    def test_monitor_specs_on_the_serial_fleet(self):
+        from repro.runtime import MonitorSpec
+
+        records = profiled_trace_records(random.Random(5), "storm", 80)
+        fleet = MonitorFleet(
+            xi=Fraction(10),  # loose default: no violation
+            n_shards=4,
+            batch_size=8,
+            monitor_specs={"hot": MonitorSpec(xi=Fraction(3, 2))},
+        )
+        for record in records:
+            fleet.ingest("hot", record)
+            fleet.ingest("cold", record)
+        assert fleet.violating_traces() == ("hot",)
+        with pytest.raises(TypeError):
+            MonitorFleet(monitor_specs=42)

@@ -18,21 +18,27 @@ from hypothesis import strategies as st
 from repro.analysis.online import OnlineAbcMonitor
 from repro.runtime.codec import (
     decode_fraction,
+    decode_monitor,
     decode_notice,
     decode_record,
     decode_records,
+    decode_spec,
+    decode_specs,
     decode_stats,
     decode_summary,
     decode_witness,
     encode_fraction,
+    encode_monitor,
     encode_notice,
     encode_record,
     encode_records,
+    encode_spec,
+    encode_specs,
     encode_stats,
     encode_summary,
     encode_witness,
 )
-from repro.runtime.shard import ShardStats, TraceSummary
+from repro.runtime.shard import MonitorSpec, ShardGroup, ShardStats, TraceSummary
 from repro.scenarios.generators import (
     profiled_trace_records,
     strip_sends_metadata,
@@ -204,3 +210,193 @@ def test_stats_round_trip(values):
     wire = encode_stats(stats)
     assert_plain(wire)
     assert decode_stats(wire) == stats
+
+
+# ----------------------------------------------------------------------
+# monitor specs
+# ----------------------------------------------------------------------
+
+
+@given(
+    xi=st.one_of(
+        st.none(),
+        st.builds(
+            Fraction,
+            st.integers(min_value=1, max_value=100),
+            st.integers(min_value=1, max_value=100),
+        ),
+    ),
+    compact_threshold=st.one_of(
+        st.none(), st.floats(min_value=1.01, max_value=64.0)
+    ),
+    faulty=st.one_of(
+        st.none(), st.frozensets(st.integers(min_value=0, max_value=7))
+    ),
+    drop_faulty=st.one_of(st.none(), st.booleans()),
+)
+@settings(max_examples=100, deadline=None)
+def test_spec_round_trip(xi, compact_threshold, faulty, drop_faulty):
+    spec = MonitorSpec(
+        xi=xi,
+        compact_threshold=compact_threshold,
+        faulty=faulty,
+        drop_faulty=drop_faulty,
+    )
+    wire = encode_spec(spec)
+    assert_plain(wire)
+    assert decode_spec(wire) == spec
+
+
+def test_specs_registry_round_trip():
+    assert encode_specs(None) is None
+    assert decode_specs(None) is None
+    one = MonitorSpec(xi=Fraction(2))
+    assert decode_specs(encode_specs(one)) == one
+    mapping = {
+        "hot": MonitorSpec(xi=Fraction(3, 2), compact_threshold=4.0),
+        "cold": MonitorSpec(faulty=frozenset({1})),
+    }
+    wire = encode_specs(mapping)
+    assert_plain(wire)
+    assert decode_specs(wire) == mapping
+
+
+# ----------------------------------------------------------------------
+# snapshot frames: the durability plane's payload
+# ----------------------------------------------------------------------
+
+
+def drive(monitor, records):
+    for record in records:
+        monitor.observe(record)
+    return monitor
+
+
+class TestMonitorSnapshot:
+    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_live_monitor_round_trips_mid_stream(self, profile, seed):
+        """Cut a live monitor anywhere; the decoded copy must finish the
+        stream with exactly the same worst ratio and violation state."""
+        records = profiled_trace_records(random.Random(seed), profile, 80)
+        cut = len(records) // 2
+        original = drive(OnlineAbcMonitor(xi=Fraction(2)), records[:cut])
+        clone = decode_monitor(encode_monitor(original))
+        assert clone.worst_ratio == original.worst_ratio
+        assert clone.n_events == original.n_events
+        for both in (original, clone):
+            drive(both, records[cut:])
+        assert clone.worst_ratio == original.worst_ratio
+        assert clone.oracle_calls == original.oracle_calls
+        assert (clone.violation is None) == (original.violation is None)
+
+    def test_deep_summary_edge_chains_survive(self):
+        """Adaptive compaction rewrites the digraph into SummaryEdge
+        chains; repeated snapshot round trips through the deepest such
+        state must stay bit-identical on the rest of the stream."""
+        records = profiled_trace_records(random.Random(11), "relay", 160)
+        reference = drive(
+            OnlineAbcMonitor(xi=Fraction(2), compact_threshold=2.0), records
+        )
+        hopper = OnlineAbcMonitor(xi=Fraction(2), compact_threshold=2.0)
+        for start in range(0, len(records), 20):
+            drive(hopper, records[start : start + 20])
+            hopper = decode_monitor(encode_monitor(hopper))  # hop every 20
+        assert hopper.worst_ratio == reference.worst_ratio
+        assert hopper.n_events == reference.n_events
+        assert hopper.oracle_calls == reference.oracle_calls
+
+    def test_violation_callbacks_are_stripped_not_pickled(self):
+        hits = []
+        monitor = OnlineAbcMonitor(
+            xi=Fraction(2), on_violation=lambda w: hits.append(w)
+        )
+        records = profiled_trace_records(random.Random(0), "storm", 80)
+        drive(monitor, records)
+        assert hits, "storm workloads must violate Xi=2"
+        clone = decode_monitor(encode_monitor(monitor))
+        assert clone.on_violation is None
+        assert monitor.on_violation is not None  # the live one is untouched
+
+
+def assert_plain_or_bytes(value):
+    """Snapshot frames are plain primitives plus pickled monitor blobs
+    (``bytes``) -- still transportable by any backend."""
+    if isinstance(value, (tuple, list)):
+        for item in value:
+            assert_plain_or_bytes(item)
+    else:
+        assert value is None or isinstance(
+            value, (int, float, str, bool, bytes)
+        )
+
+
+class TestGroupSnapshot:
+    @pytest.mark.parametrize(
+        "budget,metadata_free", [(None, False), (260, False), (140, True)]
+    )
+    def test_group_snapshot_round_trip_mid_stream(self, budget, metadata_free):
+        """Snapshot a live group mid-stream -- pending buffers, eviction
+        state, degraded flags and all -- and the restored group must be
+        indistinguishable on the rest of the stream.  Covers the exact
+        regime, the budget-eviction regime, and the metadata-free
+        degraded regime."""
+        from repro.runtime.shard import shard_index_of
+
+        rng = random.Random(17)
+        streams = {
+            f"t{i}": profiled_trace_records(
+                rng, ("storm", "burst", "relay")[i % 3], 50
+            )
+            for i in range(6)
+        }
+        if metadata_free:
+            streams = {
+                tid: strip_sends_metadata(records)
+                for tid, records in streams.items()
+            }
+        merged = [
+            (tid, record)
+            for tid, records in streams.items()
+            for record in records
+        ]
+        rng.shuffle(merged)
+        # Re-sort per trace: shuffling must not break per-trace order.
+        order = {tid: iter(records) for tid, records in streams.items()}
+        merged = [(tid, next(order[tid])) for tid, _ in merged]
+
+        def make_group():
+            return ShardGroup(
+                range(4),
+                xi=Fraction(2),
+                batch_size=8,
+                event_budget=budget,
+                compact_threshold=3.0,
+            )
+
+        def feed(group, part):
+            for tid, record in part:
+                group.ingest(shard_index_of(tid, 4), tid, record)
+
+        cut = len(merged) // 2
+        original = make_group()
+        feed(original, merged[:cut])
+        frame = original.snapshot()
+        assert_plain_or_bytes(frame)
+        restored = make_group()
+        restored.load_snapshot(frame)
+        feed(original, merged[cut:])
+        feed(restored, merged[cut:])
+        for tid in streams:
+            shard = shard_index_of(tid, 4)
+            assert restored.worst_ratio(shard, tid) == original.worst_ratio(
+                shard, tid
+            ), tid
+            assert restored.is_degraded(shard, tid) == original.is_degraded(
+                shard, tid
+            )
+        assert restored.violating_ids() == original.violating_ids()
+        assert restored.live_events == original.live_events
+        original_stats = {s.shard: s for s in original.shard_stats()}
+        for stats in restored.shard_stats():
+            assert stats == original_stats[stats.shard]
