@@ -25,11 +25,23 @@ system of independent workers -- the deployment shape the ROADMAP's
   through an explicit (migratable) placement table, a global event
   budget apportioned and rebalanced per worker, crash *recovery* under
   ``durability=``, and per-trace results bit-identical to
-  :class:`repro.analysis.fleet.MonitorFleet`.
+  :class:`repro.analysis.fleet.MonitorFleet`;
+* :mod:`repro.runtime.net` -- the network ingestion plane: an asyncio
+  ingest server over N sharded fleet fronts, exactly-once producer
+  clients, and delta-streaming observability
+  (:class:`IngestServer` / :class:`ProducerClient` /
+  :class:`DeltaSubscriber`).
 """
 
 from repro.runtime.backends import ProcessBackend, ThreadBackend, WorkerCrashed
 from repro.runtime.durable import Durability, DurableStore
+from repro.runtime.net import (
+    DeltaStore,
+    DeltaSubscriber,
+    DeltaView,
+    IngestServer,
+    ProducerClient,
+)
 from repro.runtime.parallel import ParallelFleet
 from repro.runtime.shard import (
     FleetReport,
@@ -44,9 +56,14 @@ from repro.runtime.shard import (
 )
 
 __all__ = [
+    "DeltaStore",
+    "DeltaSubscriber",
+    "DeltaView",
     "Durability",
     "DurableStore",
     "FleetReport",
+    "IngestServer",
+    "ProducerClient",
     "FleetShard",
     "MonitorSpec",
     "ParallelFleet",

@@ -28,6 +28,7 @@ from __future__ import annotations
 import multiprocessing
 import queue
 import threading
+import time
 from typing import Any, Callable, Iterable
 
 from repro.runtime.worker import worker_main
@@ -72,46 +73,73 @@ class WorkerHandle:
 
     def put(self, message: tuple, timeout: float | None = None) -> None:
         """Enqueue with backpressure: block while the inbox is full,
-        probing liveness so a dead worker raises instead of hanging."""
-        deadline = None if timeout is None else timeout
-        waited = 0.0
+        probing liveness so a dead worker raises instead of hanging.
+
+        ``timeout`` is honored against the wall clock: the deadline is a
+        ``time.monotonic()`` instant, not a count of probe slices, so
+        scheduler jitter (a probe sleeping longer than its nominal
+        interval) cannot stretch the effective timeout.  A dead worker
+        always raises :class:`WorkerCrashed`, even at an expired
+        deadline -- the crash is the truer diagnosis.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         while True:
+            wait = _PROBE_INTERVAL
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    if not self.alive():
+                        raise WorkerCrashed(
+                            f"worker {self.worker_id} died with a full inbox"
+                        ) from None
+                    raise TimeoutError(
+                        f"worker {self.worker_id} inbox full for "
+                        f"{timeout:.1f}s"
+                    ) from None
+                wait = min(wait, remaining)
             try:
-                self.inbox.put(message, timeout=_PROBE_INTERVAL)
+                self.inbox.put(message, timeout=wait)
                 return
             except queue.Full:
-                waited += _PROBE_INTERVAL
                 if not self.alive():
                     raise WorkerCrashed(
                         f"worker {self.worker_id} died with a full inbox"
                     ) from None
-                if deadline is not None and waited >= deadline:
-                    raise TimeoutError(
-                        f"worker {self.worker_id} inbox full for {waited:.1f}s"
-                    ) from None
 
     def get(self, timeout: float | None = None) -> tuple:
-        """Dequeue one outbound message, probing liveness while empty."""
-        waited = 0.0
+        """Dequeue one outbound message, probing liveness while empty.
+
+        Same monotonic-deadline semantics as :meth:`put`; on a dead
+        worker one final grace read drains a reply that raced the exit.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         while True:
-            try:
-                return self.outbox.get(timeout=_PROBE_INTERVAL)
-            except queue.Empty:
-                waited += _PROBE_INTERVAL
-                if not self.alive():
-                    # One final grace read: the worker may have emitted
-                    # its crash notice and exited between probes (a
-                    # process queue's feeder thread can lag the exit).
-                    try:
-                        return self.outbox.get(timeout=0.25)
-                    except queue.Empty:
-                        raise WorkerCrashed(
-                            f"worker {self.worker_id} died without replying"
-                        ) from None
-                if timeout is not None and waited >= timeout:
+            wait = _PROBE_INTERVAL
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    if not self.alive():
+                        return self._grace_read()
                     raise TimeoutError(
-                        f"worker {self.worker_id} silent for {waited:.1f}s"
+                        f"worker {self.worker_id} silent for {timeout:.1f}s"
                     ) from None
+                wait = min(wait, remaining)
+            try:
+                return self.outbox.get(timeout=wait)
+            except queue.Empty:
+                if not self.alive():
+                    return self._grace_read()
+
+    def _grace_read(self) -> tuple:
+        """One final read on a dead worker's outbox: it may have emitted
+        its crash notice and exited between probes (a process queue's
+        feeder thread can lag the exit)."""
+        try:
+            return self.outbox.get(timeout=0.25)
+        except queue.Empty:
+            raise WorkerCrashed(
+                f"worker {self.worker_id} died without replying"
+            ) from None
 
     def get_nowait(self) -> tuple | None:
         """Opportunistic drain: one message if immediately available."""

@@ -77,6 +77,7 @@ __all__ = [
     "decode_group_snapshot",
     "decode_monitor",
     "decode_notice",
+    "decode_ratio_rows",
     "decode_record",
     "decode_records",
     "decode_shard_image",
@@ -90,6 +91,7 @@ __all__ = [
     "encode_group_snapshot",
     "encode_monitor",
     "encode_notice",
+    "encode_ratio_rows",
     "encode_record",
     "encode_records",
     "encode_shard_image",
@@ -348,6 +350,26 @@ def encode_notice(
 def decode_notice(wire: tuple) -> tuple[int, TraceId, CycleClassification]:
     tick, trace_id, witness = wire
     return (tick, trace_id, decode_witness(witness))
+
+
+def encode_ratio_rows(
+    updates: dict[TraceId, Fraction | None],
+) -> tuple[tuple[TraceId, tuple[int, int] | None], ...]:
+    """Worst-ratio update rows, coalesced last-wins per trace: the
+    piggyback payload every worker message carries to feed push-based
+    delta consumers (see :mod:`repro.runtime.net.deltas`)."""
+    return tuple(
+        (trace_id, encode_fraction(ratio))
+        for trace_id, ratio in updates.items()
+    )
+
+
+def decode_ratio_rows(
+    rows: tuple[tuple[TraceId, tuple[int, int] | None], ...],
+) -> dict[TraceId, Fraction | None]:
+    return {
+        trace_id: decode_fraction(wire) for trace_id, wire in rows
+    }
 
 
 # ----------------------------------------------------------------------

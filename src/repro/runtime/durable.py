@@ -48,6 +48,7 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import warnings
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -56,8 +57,11 @@ from typing import Any, Iterable, Iterator
 __all__ = [
     "Durability",
     "DurableStore",
+    "JournalScan",
     "contiguous_prefix",
+    "frame_bytes",
     "read_frames",
+    "scan_frames",
     "write_frames",
 ]
 
@@ -98,13 +102,22 @@ class Durability:
             raise ValueError("max_recoveries must be non-negative")
 
 
+def frame_bytes(frame: Any) -> bytes:
+    """One frame in WAL format: ``[length u32][crc32 u32][payload]``.
+
+    The single encoding shared by the journal files here and the
+    network plane's stream framing (:mod:`repro.runtime.net`): a frame
+    written by either side parses in the other.
+    """
+    payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
 def write_frames(path: str | os.PathLike, frames: Iterable[Any]) -> None:
     """Write pickled frames to ``path`` (truncating) in WAL format."""
     with open(path, "wb") as fh:
         for frame in frames:
-            payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
-            fh.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
-            fh.write(payload)
+            fh.write(frame_bytes(frame))
 
 
 def read_frames(path: str | os.PathLike) -> Iterator[Any]:
@@ -129,6 +142,125 @@ def read_frames(path: str | os.PathLike) -> Iterator[Any]:
             yield pickle.loads(payload)
 
 
+@dataclass(frozen=True)
+class JournalScan:
+    """What a full journal scan found, damage classified.
+
+    Attributes:
+        frames: every CRC-intact frame, file order (frames salvaged
+            *past* mid-file damage included -- they were committed
+            appends, and :func:`contiguous_prefix` handles the tick gap
+            the damage leaves).
+        total_bytes: the file's size.
+        bytes_discarded: bytes skipped over mid-file damage (``0`` for
+            a clean or merely torn file).
+        frames_salvaged: intact frames found after the first damage.
+        torn_tail: the file ends in a partial frame -- the normal
+            leftover of an append interrupted by a crash, not damage.
+        corrupt: mid-file damage (a CRC mismatch or implausible header
+            with valid frames after it): unlike a torn tail this means
+            committed history was lost, and a recovery claim built from
+            this journal may silently under-count.
+    """
+
+    frames: tuple
+    total_bytes: int
+    bytes_discarded: int
+    frames_salvaged: int
+    torn_tail: bool
+    corrupt: bool
+
+
+def _frame_at(data: bytes, offset: int) -> tuple[Any, int] | None:
+    """Decode the frame starting at ``offset``, or ``None`` if the
+    bytes there are not one (bad length, short payload, CRC mismatch).
+    """
+    if offset + _HEADER.size > len(data):
+        return None
+    length, crc = _HEADER.unpack_from(data, offset)
+    # length == 0 never occurs (payloads are pickles, >= 2 bytes) and
+    # would make a run of zero bytes look like valid empty frames.
+    if length == 0 or length > _MAX_FRAME:
+        return None
+    end = offset + _HEADER.size + length
+    if end > len(data):
+        return None
+    payload = data[offset + _HEADER.size : end]
+    if zlib.crc32(payload) != crc:
+        return None
+    return pickle.loads(payload), end
+
+
+def scan_frames(path: str | os.PathLike, *, strict: bool = False) -> JournalScan:
+    """Read a WAL-format file end to end, classifying any damage.
+
+    :func:`read_frames` stops at the first bad frame because a torn
+    tail -- the only damage a crashed append can cause -- is always
+    *last*.  But a flipped bit in the middle of a journal (bad disk,
+    truncation, an editor) also stops it, silently hiding every later
+    frame; a recovery claim built on that read under-counts with no
+    signal.  This scan tells the two apart: damage is *mid-file*
+    (``corrupt``) when CRC-intact frames exist after it, found by
+    resynchronizing on the next byte offset that parses as a valid
+    frame, and a *torn tail* (``torn_tail``) when nothing valid
+    follows.  With ``strict=True`` mid-file corruption raises
+    ``ValueError`` instead of being reported (torn tails never raise:
+    they are expected after any crash).  A missing file scans as
+    empty: an unwritten journal and an empty one claim the same
+    nothing.
+    """
+    try:
+        data = Path(path).read_bytes()
+    except FileNotFoundError:
+        data = b""
+    frames: list[Any] = []
+    offset = 0
+    discarded = 0
+    salvaged = 0
+    torn = False
+    corrupt = False
+    size = len(data)
+    while offset < size:
+        parsed = _frame_at(data, offset)
+        if parsed is not None:
+            frame, offset = parsed
+            frames.append(frame)
+            if corrupt:
+                salvaged += 1
+            continue
+        # Damage at `offset`: resynchronize on the next byte position
+        # that parses as a whole valid frame.  Found -> the damage was
+        # mid-file corruption; not found -> it is the torn tail.
+        resume = next(
+            (
+                pos
+                for pos in range(offset + 1, size - _HEADER.size + 1)
+                if _frame_at(data, pos) is not None
+            ),
+            None,
+        )
+        if resume is None:
+            torn = offset < size
+            break
+        if strict:
+            raise ValueError(
+                f"mid-file corruption in {path} at byte {offset}: "
+                f"{resume - offset} bytes unreadable before the next "
+                "valid frame"
+            )
+        corrupt = True
+        discarded += resume - offset
+        offset = resume
+    return JournalScan(
+        frames=tuple(frames),
+        total_bytes=size,
+        bytes_discarded=discarded,
+        frames_salvaged=salvaged,
+        torn_tail=torn,
+        corrupt=corrupt,
+    )
+
+
 def contiguous_prefix(
     frames: Iterable[tuple], after_tick: int
 ) -> tuple[list[tuple], int]:
@@ -140,6 +272,13 @@ def contiguous_prefix(
     tear), so the union may stop raggedly.  Only the contiguous prefix
     is a stream prefix the restored fleet can honestly claim; returns
     ``(frames_in_tick_order, last_covered_tick)``.
+
+    Exact-duplicate ticks are skipped, keeping the first copy: the
+    same frame can legitimately appear in two journals (a record
+    journaled under one worker, then re-journaled under another after
+    a ``migrate_shard`` or a recovery re-flush), and a duplicate is
+    *coverage*, not a gap -- only a genuinely missing tick ends the
+    claim.
     """
     ordered = sorted(
         (f for f in frames if f[0] > after_tick), key=lambda f: f[0]
@@ -147,6 +286,8 @@ def contiguous_prefix(
     prefix: list[tuple] = []
     tick = after_tick
     for frame in ordered:
+        if frame[0] == tick:
+            continue
         if frame[0] != tick + 1:
             break
         tick = frame[0]
@@ -197,11 +338,7 @@ class DurableStore:
             return
         with open(self.wal_path(worker_id), "ab") as fh:
             for frame in tail:
-                payload = pickle.dumps(
-                    frame, protocol=pickle.HIGHEST_PROTOCOL
-                )
-                fh.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
-                fh.write(payload)
+                fh.write(frame_bytes(frame))
             fh.flush()
             if self.fsync:
                 os.fsync(fh.fileno())
@@ -212,12 +349,33 @@ class DurableStore:
 
     def wal_frames(self, worker_id: int, after_tick: int) -> list[tuple]:
         """The worker's journal frames above ``after_tick`` (buffered
-        tail flushed first, so the answer is complete)."""
+        tail flushed first, so the answer is complete).
+
+        Reads via :func:`scan_frames`: a torn tail is dropped silently
+        (the expected crash leftover), but mid-file corruption --
+        committed frames lost, so any recovery claim built from this
+        journal may under-count -- raises a ``RuntimeWarning`` naming
+        the damage, and the frames salvaged past it are still
+        returned (:func:`contiguous_prefix` stops the claim at the
+        gap the damage left).
+        """
         self.flush(worker_id)
         path = self.wal_path(worker_id)
         if not path.exists():
             return []
-        return [f for f in read_frames(path) if f[0] > after_tick]
+        scan = scan_frames(path)
+        if scan.corrupt:
+            warnings.warn(
+                f"journal {path} has mid-file corruption: "
+                f"{scan.bytes_discarded} bytes unreadable, "
+                f"{scan.frames_salvaged} frames salvaged past the "
+                "damage; the recovery claim stops at the resulting "
+                "tick gap and may under-count -- re-feed from "
+                "fleet.ingested_records",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return [f for f in scan.frames if f[0] > after_tick]
 
     # -- checkpoints --------------------------------------------------
 

@@ -1,0 +1,35 @@
+"""The network ingestion plane: remote producers over sharded fronts.
+
+This package puts the parallel runtime behind a socket:
+
+* :mod:`repro.runtime.net.wire` -- length-prefixed CRC-checked frame
+  streaming (the WAL frame format of :mod:`repro.runtime.durable`,
+  reused verbatim on the network);
+* :mod:`repro.runtime.net.server` -- :class:`IngestServer`: an asyncio
+  stream server (TCP and/or Unix-domain) feeding N independent
+  ingestion fronts, each a :class:`~repro.runtime.parallel.
+  ParallelFleet` owning a disjoint slice of the shard space and a
+  disjoint interleaved slice of the global tick space, with
+  exactly-once producer resume and credit-window backpressure;
+* :mod:`repro.runtime.net.client` -- :class:`ProducerClient` (batching,
+  replay-on-reconnect, windowed) and :class:`DeltaSubscriber`;
+* :mod:`repro.runtime.net.deltas` -- :class:`DeltaStore` /
+  :class:`DeltaView`: delta-streaming observability, reconstructing
+  the fleet's aggregate reports from incremental updates alone.
+"""
+
+from repro.runtime.net.client import DeltaSubscriber, ProducerClient
+from repro.runtime.net.deltas import DeltaStore, DeltaView
+from repro.runtime.net.server import IngestServer
+from repro.runtime.net.wire import FrameSocket, ProtocolError, read_frame
+
+__all__ = [
+    "DeltaStore",
+    "DeltaSubscriber",
+    "DeltaView",
+    "FrameSocket",
+    "IngestServer",
+    "ProducerClient",
+    "ProtocolError",
+    "read_frame",
+]

@@ -195,6 +195,24 @@ class ParallelFleet:
             snapshot recovery plane -- see the module docstring.
         on_violation: ``callback(trace_id, witness)``, fired at sync
             barriers in the deterministic merged order.
+        shard_subset: restrict this fleet to a subset of the global
+            ``n_shards`` shard space (the *ingestion front* shape of
+            :mod:`repro.runtime.net`: N fronts, each a fleet over a
+            disjoint subset, together covering the space).  Routing is
+            untouched -- ``shard_of`` still hashes over the global
+            ``n_shards`` -- so a record whose trace hashes outside the
+            subset is rejected with ``ValueError``; the caller (the
+            ingest server) routes each trace to the front owning its
+            shard.  ``None`` (the default) means the full space.
+        tick_start / tick_step: the arithmetic progression of global
+            ingest ticks this fleet stamps (record ``k`` gets tick
+            ``tick_start + k*tick_step``).  Fronts interleave --
+            front ``f`` of ``N`` uses ``tick_start=f+1, tick_step=N``
+            -- so their tick ranges are disjoint and the merged
+            violation order across fronts is deterministic, while
+            idle ages keep global-stream meaning.  Durability
+            requires the default ``(1, 1)`` progression (journal
+            recovery claims assume +1 ticks).
     """
 
     def __init__(
@@ -218,16 +236,41 @@ class ParallelFleet:
         monitor_specs: MonitorSpec | dict[TraceId, MonitorSpec] | None = None,
         durability: Durability | str | os.PathLike | None = None,
         on_violation: Callable[[TraceId, CycleClassification], None] | None = None,
+        shard_subset: Iterable[int] | None = None,
+        tick_start: int = 1,
+        tick_step: int = 1,
         _restore: tuple[dict, dict] | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
         if n_shards is None:
             n_shards = max(8, n_workers)
-        if n_shards < n_workers:
+        if shard_subset is not None:
+            shard_subset = tuple(sorted(set(shard_subset)))
+            if not all(0 <= s < n_shards for s in shard_subset):
+                raise ValueError(
+                    f"shard_subset {shard_subset} must lie within "
+                    f"range({n_shards})"
+                )
+            if len(shard_subset) < n_workers:
+                raise ValueError(
+                    f"shard_subset holds {len(shard_subset)} shards; "
+                    f"every one of the {n_workers} workers needs one"
+                )
+        elif n_shards < n_workers:
             raise ValueError(
                 f"n_shards ({n_shards}) must be at least n_workers "
                 f"({n_workers}): every worker needs a shard"
+            )
+        if tick_step < 1:
+            raise ValueError("tick_step must be positive")
+        if tick_start < 1:
+            raise ValueError("tick_start must be positive")
+        if durability is not None and (tick_start != 1 or tick_step != 1):
+            raise ValueError(
+                "durability requires the default tick progression "
+                "(tick_start=1, tick_step=1): journal recovery claims "
+                "assume +1 ticks"
             )
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
@@ -298,16 +341,25 @@ class ParallelFleet:
             self._backend_kind = "thread"
         else:
             self._backend_kind = "custom"
-        self._tick = 0
+        self._tick_start = tick_start
+        self._tick_step = tick_step
+        self._tick = tick_start - tick_step
+        # Records accepted (== the tick only for the default +1
+        # progression; a front stamping every N-th tick still counts
+        # every record it accepted).
+        self._ingested = 0
         self._req = 0
         self._stopped = False
         self.dropped_records = 0
         # Explicit shard -> worker placement (initially the round-robin
-        # split; migration repoints entries live).
+        # split over the owned shard space; migration repoints live).
+        owned = (
+            tuple(range(n_shards)) if shard_subset is None else shard_subset
+        )
         self._placement: dict[int, int] = (
             {int(s): int(w) for s, w in _restore[0]["placement"].items()}
             if _restore is not None
-            else {s: s % n_workers for s in range(n_shards)}
+            else {s: i % n_workers for i, s in enumerate(owned)}
         )
         # The durability plane (None = PR 5 crash containment only).
         self._durability = durability
@@ -341,6 +393,10 @@ class ParallelFleet:
         # long-running fleet must not hold every witness walk forever.
         self._pending_notices: list[tuple] = []
         self._fired_notices: list[tuple[int, TraceId]] = []
+        # Worst-ratio updates piggybacked on worker messages, coalesced
+        # last-wins per trace (wire-encoded fractions); drained by the
+        # delta plane via drain_ratio_updates().
+        self._ratio_updates: dict[TraceId, tuple[int, int] | None] = {}
         # Per-shard outgoing buffers of (tick, trace_id, encoded record).
         self._buffers: dict[int, list[tuple]] = {}
         # trace id -> shard memo: routing hashes each id once, not once
@@ -386,6 +442,7 @@ class ParallelFleet:
         if _restore is not None:
             meta = _restore[0]
             self._tick = meta["tick"]
+            self._ingested = meta["tick"]
             self._ckpt_epoch = meta["epoch"]
             self._ckpt_tick = meta["tick"]
             self._fired_notices = list(meta["fired_notices"])
@@ -511,8 +568,9 @@ class ParallelFleet:
                 # telemetry -- and never let it escape as a protocol
                 # violation, which would crash the dispatcher inside
                 # the crash-containment path itself.
-                _k, _rid, _payload, notices, live, peak = message
+                _k, _rid, _payload, notices, ratios, live, peak = message
                 self._pending_notices.extend(notices)
+                self._ratio_updates.update(ratios)
                 self._live_cache[worker_id] = live
                 self._epoch_peak[worker_id] = peak
             else:
@@ -627,8 +685,9 @@ class ParallelFleet:
         """Handle one unsolicited outbound message."""
         kind = message[0]
         if kind == "notices":
-            _kind, notices, live, peak = message
+            _kind, notices, ratios, live, peak = message
             self._pending_notices.extend(notices)
+            self._ratio_updates.update(ratios)
             self._live_cache[worker_id] = live
             self._epoch_peak[worker_id] = peak
         elif kind == "crash":
@@ -667,8 +726,9 @@ class ParallelFleet:
                 self._mark_dead(worker_id, str(exc))
                 raise self._crash_error(worker_id) from None
             if message[0] == "reply":
-                _kind, rid, payload, notices, live, peak = message
+                _kind, rid, payload, notices, ratios, live, peak = message
                 self._pending_notices.extend(notices)
+                self._ratio_updates.update(ratios)
                 self._live_cache[worker_id] = live
                 self._epoch_peak[worker_id] = peak
                 if rid != req_id:  # pragma: no cover - protocol violation
@@ -719,25 +779,52 @@ class ParallelFleet:
         dropped_records`` reconciles against the ingest count instead
         of silently under-reporting in-flight loss.
         """
+        self.ingest_wire(trace_id, codec.encode_record(record))
+
+    def ingest_wire(self, trace_id: TraceId, wire_record: tuple) -> None:
+        """:meth:`ingest` for an already-encoded record: the zero-copy
+        entry of the network ingestion plane, where producers ship
+        codec wire tuples and the server hands them through without a
+        decode/re-encode round trip."""
         if self._stopped:
             raise RuntimeError("the fleet has been shut down")
-        self._tick += 1
         shard = self._route.get(trace_id)
         if shard is None:
-            if len(self._route) >= self._route_memo_max:
-                self._route.clear()
-            shard = self._route[trace_id] = self.shard_of(trace_id)
+            # Routing first: a subset-rejected record must not burn a
+            # tick (fronts share the global tick space).
+            shard = self._route_miss(trace_id)
+        self._tick += self._tick_step
+        self._ingested += 1
         buffer = self._buffers.setdefault(shard, [])
-        wire = codec.encode_record(record)
-        buffer.append((self._tick, trace_id, wire))
+        buffer.append((self._tick, trace_id, wire_record))
         if self._durable is not None:
             self._durable.append(
-                self._placement[shard], self._tick, shard, trace_id, wire
+                self._placement[shard],
+                self._tick,
+                shard,
+                trace_id,
+                wire_record,
             )
             self._records_since_ckpt += 1
         if len(buffer) >= self.wire_batch:
             self._ship(shard)
             self._maybe_checkpoint()
+
+    def _route_miss(self, trace_id: TraceId) -> int:
+        """Fill the routing memo for one trace, validating subset
+        ownership (a front must never silently buffer a record for a
+        shard another front owns)."""
+        if len(self._route) >= self._route_memo_max:
+            self._route.clear()
+        shard = self.shard_of(trace_id)
+        if shard not in self._placement:
+            raise ValueError(
+                f"trace {trace_id!r} hashes to shard {shard}, which this "
+                "fleet does not own -- route it to the front whose "
+                "shard_subset holds that shard"
+            )
+        self._route[trace_id] = shard
+        return shard
 
     def ingest_many(
         self, stream: Iterable[tuple[TraceId, ReceiveRecord]]
@@ -756,15 +843,16 @@ class ParallelFleet:
         wire_batch = self.wire_batch
         durable = self._durable
         placement = self._placement
+        step = self._tick_step
         tick = self._tick
+        accepted = 0
         try:
             for trace_id, record in stream:
-                tick += 1
                 shard = route.get(trace_id)
                 if shard is None:
-                    if len(route) >= self._route_memo_max:
-                        route.clear()
-                    shard = route[trace_id] = self.shard_of(trace_id)
+                    shard = self._route_miss(trace_id)
+                tick += step
+                accepted += 1
                 buffer = buffers.get(shard)
                 if buffer is None:
                     buffer = buffers[shard] = []
@@ -786,6 +874,50 @@ class ParallelFleet:
             # reissued -- duplicate ticks would corrupt idle ages and
             # the deterministic violation-merge keys.
             self._tick = tick
+            self._ingested += accepted
+
+    def ingest_wire_many(
+        self, rows: Iterable[tuple[TraceId, tuple]]
+    ) -> None:
+        """Bulk :meth:`ingest_wire`: consume ``(trace_id, wire_record)``
+        rows.  The ingestion front's hot loop -- produce frames arrive
+        as wire rows, and re-encoding (or even decoding) each record
+        on the dispatch path would pay the codec twice per record.
+        """
+        if self._stopped:
+            raise RuntimeError("the fleet has been shut down")
+        route = self._route
+        buffers = self._buffers
+        wire_batch = self.wire_batch
+        durable = self._durable
+        placement = self._placement
+        step = self._tick_step
+        tick = self._tick
+        accepted = 0
+        try:
+            for trace_id, wire in rows:
+                shard = route.get(trace_id)
+                if shard is None:
+                    shard = self._route_miss(trace_id)
+                tick += step
+                accepted += 1
+                buffer = buffers.get(shard)
+                if buffer is None:
+                    buffer = buffers[shard] = []
+                buffer.append((tick, trace_id, wire))
+                if durable is not None:
+                    durable.append(
+                        placement[shard], tick, shard, trace_id, wire
+                    )
+                    self._records_since_ckpt += 1
+                if len(buffer) >= wire_batch:
+                    self._tick = tick
+                    self._ship(shard)
+                    if durable is not None:
+                        self._maybe_checkpoint()
+        finally:
+            self._tick = tick
+            self._ingested += accepted
 
     def _ship(self, shard: int) -> None:
         batch = self._buffers.pop(shard, None)
@@ -940,10 +1072,12 @@ class ParallelFleet:
 
     @property
     def ingested_records(self) -> int:
-        """Records accepted so far (the global ingest tick).  After
-        :meth:`restore` this is the count the recovered state provably
-        covers -- the producer resumes feeding from here."""
-        return self._tick
+        """Records accepted so far.  After :meth:`restore` this is the
+        count the recovered state provably covers -- the producer
+        resumes feeding from here.  (Equal to the last stamped tick
+        only under the default +1 tick progression; an interleaved
+        front counts its own records.)"""
+        return self._ingested
 
     def _maybe_checkpoint(self) -> None:
         every = (
@@ -1132,6 +1266,7 @@ class ParallelFleet:
         for worker_id, req_id in acks.items():
             self._collect(worker_id, req_id)
         self._tick = last_tick
+        self._ingested = last_tick
         # Normalize the journals to the claimed prefix: frames beyond
         # the contiguous frontier carry ticks the resumed producer will
         # legitimately reissue, so they must not survive on disk.
@@ -1319,6 +1454,11 @@ class ParallelFleet:
             )
         return out
 
+    def all_ratios(self) -> list[tuple[TraceId, Fraction | None]]:
+        """(trace id, worst ratio) for every known trace, merged across
+        workers (a sync barrier; the serial fleet's ``all_ratios``)."""
+        return self._all_ratios()
+
     def worst_ratio_histogram(self) -> dict[Fraction | None, int]:
         return ratio_histogram(self._all_ratios())
 
@@ -1339,6 +1479,44 @@ class ParallelFleet:
             self._fired_notices, key=lambda n: (n[0], str(n[1]))
         )
         return tuple(dict.fromkeys(trace_id for _t, trace_id in ordered))
+
+    # ------------------------------------------------------------------
+    # the push-based delta surface (see repro.runtime.net.deltas)
+    # ------------------------------------------------------------------
+
+    def drain_ratio_updates(self) -> dict[TraceId, Fraction | None]:
+        """Worst-ratio changes accumulated since the last drain,
+        coalesced last-wins per trace.
+
+        Workers piggyback a row on every outbound message whenever a
+        trace's merged worst ratio grows (or a trace opens), so this is
+        a *push* feed: no barrier, no full scan -- the dispatcher only
+        reports what already arrived.  Values are exact and monotone
+        per trace; a consumer folding them into a map converges on
+        :meth:`worst_ratio`'s answers for every trace after a final
+        :meth:`flush`.  Draining transfers ownership: each update is
+        returned once."""
+        if not self._ratio_updates:
+            return {}
+        out = {
+            trace_id: codec.decode_fraction(wire)
+            for trace_id, wire in self._ratio_updates.items()
+        }
+        self._ratio_updates.clear()
+        return out
+
+    def violation_feed(self) -> tuple[tuple[int, TraceId], ...]:
+        """Every violation known so far -- fired *and* still pending --
+        as ``(tick, trace_id)`` rows in the deterministic merged order.
+
+        Unlike :meth:`violating_traces` this is barrier-free (pending
+        notices arrive unsolicited during ingest), so a delta publisher
+        can diff it incrementally without collapsing wire batching."""
+        rows = list(self._fired_notices)
+        rows.extend((t, tid) for t, tid, _w in self._pending_notices)
+        return tuple(
+            dict.fromkeys(sorted(rows, key=lambda n: (n[0], str(n[1]))))
+        )
 
     def report(self) -> FleetReport:
         """A merged :class:`FleetReport` (a sync barrier).

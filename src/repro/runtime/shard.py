@@ -501,6 +501,16 @@ class ShardGroup:
         self.monitor_factory = monitor_factory
         self.monitor_specs = monitor_specs
         self.emit_violation = emit_violation
+        # Optional delta hook: ``emit_ratio(trace_id, worst)`` fires on
+        # every worst-ratio growth (merged with the trace's pre-reopen
+        # retired maximum, so the value matches ``all_ratios``) and once
+        # at trace open with the starting value.  Installed
+        # post-construction by push-based consumers (the parallel
+        # worker feeding the network delta plane); ``None`` costs one
+        # attribute read per ratio increase.
+        self.emit_ratio: Callable[[TraceId, Fraction | None], None] | None = (
+            None
+        )
         self.shards: dict[int, FleetShard] = {
             index: FleetShard(index) for index in shard_indices
         }
@@ -537,8 +547,18 @@ class ShardGroup:
             # via the max-merge in close()).
             reopened = trace_id in shard.retired
             monitor = self._make_monitor(trace_id)
+            self._wire_monitor(shard, trace_id, monitor)
             state = TraceState(monitor, reopened=reopened)
             shard.traces[trace_id] = state
+            if self.emit_ratio is not None:
+                # The trace's starting value: None for a fresh trace,
+                # the retired maximum on a reopen (the floor the merge
+                # in `_wire_monitor` keeps).
+                summary = shard.retired.get(trace_id)
+                self.emit_ratio(
+                    trace_id,
+                    None if summary is None else summary.worst_ratio,
+                )
         return state
 
     def _spec_for(self, trace_id: TraceId) -> MonitorSpec | None:
@@ -570,17 +590,47 @@ class ShardGroup:
                     else spec.compact_threshold
                 ),
             )
-        self._wire_violation(trace_id, monitor)
         return monitor
+
+    def _wire_monitor(
+        self, shard: FleetShard, trace_id: TraceId, monitor: OnlineAbcMonitor
+    ) -> None:
+        """Attach this group's bookkeeping to a monitor: violation
+        recording plus -- for delta consumers -- push-based worst-ratio
+        updates.  Called for newly created monitors and for
+        imported/restored ones, which arrive with callbacks stripped
+        (they close over the *source* group and its shard objects) and
+        must be re-wired to their new owner."""
+        self._wire_violation(trace_id, monitor)
+        chained = monitor.on_ratio_increase
+
+        def on_increase(change) -> None:
+            emit = self.emit_ratio
+            if emit is not None:
+                # Emit the *merged* value (open-monitor worst vs the
+                # pre-reopen retired maximum): exactly what
+                # `all_ratios` reports, so a delta consumer's last-wins
+                # map converges to the pull-side answer.
+                summary = shard.retired.get(trace_id)
+                worst = change.worst
+                if (
+                    summary is not None
+                    and summary.worst_ratio is not None
+                    and summary.worst_ratio > worst
+                ):
+                    worst = summary.worst_ratio
+                emit(trace_id, worst)
+            if chained is not None:
+                chained(change)
+
+        monitor.on_ratio_increase = on_increase
 
     def _wire_violation(
         self, trace_id: TraceId, monitor: OnlineAbcMonitor
     ) -> None:
         """Attach this group's violation bookkeeping to a monitor,
-        chaining any caller-installed callback.  Factored out of
-        :meth:`_make_monitor` because imported and restored monitors
-        arrive with the callback stripped (it closes over the *source*
-        group) and must be re-wired to their new owner."""
+        chaining any caller-installed callback (the violation half of
+        :meth:`_wire_monitor`)."""
         chained = monitor.on_violation
 
         def note(witness: CycleClassification) -> None:
@@ -1005,10 +1055,19 @@ class ShardGroup:
         trace_id, state = codec.decode_trace_state(trace_frame)
         if trace_id in shard.traces:
             raise ValueError(f"trace {trace_id!r} already open here")
-        self._wire_violation(trace_id, state.monitor)
+        self._wire_monitor(shard, trace_id, state.monitor)
         shard.traces[trace_id] = state
         if summary_row is not None:
             shard.retired[trace_id] = codec.decode_summary(summary_row)
+        if self.emit_ratio is not None:
+            # Re-announce the migrated trace's current merged value so
+            # a delta consumer downstream of *this* group is complete
+            # without a full scan (last-wins, so the re-announcement
+            # is idempotent for consumers that already knew it).
+            self.emit_ratio(
+                trace_id,
+                self.merged_ratio(state, shard.retired.get(trace_id)),
+            )
         self._live_events += state.live_cached
         if state.last_touch > self.tick:
             self.tick = state.last_touch
@@ -1040,7 +1099,12 @@ class ShardGroup:
         if shard.index in self.shards:
             raise ValueError(f"shard {shard.index} already owned here")
         for trace_id, state in shard.traces.items():
-            self._wire_violation(trace_id, state.monitor)
+            self._wire_monitor(shard, trace_id, state.monitor)
+            if self.emit_ratio is not None:
+                self.emit_ratio(
+                    trace_id,
+                    self.merged_ratio(state, shard.retired.get(trace_id)),
+                )
             self._live_events += state.live_cached
             if state.last_touch > self.tick:
                 self.tick = state.last_touch
@@ -1081,7 +1145,12 @@ class ShardGroup:
         live = 0
         for shard in self.shards.values():
             for trace_id, state in shard.traces.items():
-                self._wire_violation(trace_id, state.monitor)
+                self._wire_monitor(shard, trace_id, state.monitor)
+                if self.emit_ratio is not None:
+                    self.emit_ratio(
+                        trace_id,
+                        self.merged_ratio(state, shard.retired.get(trace_id)),
+                    )
                 live += state.live_cached
         self.tick = tick
         self.violations = violations

@@ -48,14 +48,18 @@ inbound                meaning
 ``("stop", r)``                 graceful drain: flush, ack, exit
 =====================  ==============================================
 
-Replies are ``("reply", req_id, payload, notices, live, peak)`` where
-``payload`` is ``("ok", value)`` or ``("err", kind, message)`` (the
-dispatcher re-raises ``KeyError`` locally, preserving the serial
-surface), ``notices`` are the violation notices accumulated since the
-last send, and ``live``/``peak`` feed the dispatcher's budget
-rebalancing and epoch watermark.  ``ingest`` sends no reply; pending
-notices are pushed unsolicited as ``("notices", notices, live, peak)``
-so violations never wait for the next query.  Any exception escaping a
+Replies are ``("reply", req_id, payload, notices, ratio_rows, live,
+peak)`` where ``payload`` is ``("ok", value)`` or ``("err", kind,
+message)`` (the dispatcher re-raises ``KeyError`` locally, preserving
+the serial surface), ``notices`` are the violation notices accumulated
+since the last send, ``ratio_rows`` are the worst-ratio update rows
+accumulated since the last send (coalesced last-wins per trace --
+the push feed of the network delta plane, empty unless something's
+ratio actually moved), and ``live``/``peak`` feed the dispatcher's
+budget rebalancing and epoch watermark.  ``ingest`` sends no reply;
+pending notices and ratio rows are pushed unsolicited as
+``("notices", notices, ratio_rows, live, peak)`` so violations and
+delta updates never wait for the next query.  Any exception escaping a
 handler emits ``("crash", worker_id, traceback)`` and ends the worker:
 the dispatcher then surfaces the worker's shards as crashed/degraded
 instead of hanging on a silent peer.
@@ -76,6 +80,7 @@ def _build_group(
     shard_indices: tuple[int, ...],
     config: dict[str, Any],
     notices: list[tuple],
+    ratio_updates: dict[TraceId, tuple[int, int] | None],
 ) -> ShardGroup:
     group = ShardGroup(
         shard_indices,
@@ -105,7 +110,14 @@ def _build_group(
                 break
         notices.append(codec.encode_notice(tick, trace_id, witness))
 
+    def emit_ratio(trace_id: TraceId, worst) -> None:
+        # Last-wins per trace: ratios only grow, so only the newest
+        # value matters to a delta consumer -- a burst of increases
+        # between sends collapses to one row.
+        ratio_updates[trace_id] = codec.encode_fraction(worst)
+
     group.emit_violation = emit
+    group.emit_ratio = emit_ratio
     return group
 
 
@@ -123,11 +135,21 @@ def worker_main(
     what makes the worker backend-agnostic.
     """
     notices: list[tuple] = []
-    group = _build_group(tuple(shard_indices), config, notices)
+    ratio_updates: dict[TraceId, tuple[int, int] | None] = {}
+    group = _build_group(
+        tuple(shard_indices), config, notices, ratio_updates
+    )
 
     def drain_notices() -> list[tuple]:
         out = notices[:]
         notices.clear()
+        return out
+
+    def drain_ratios() -> tuple[tuple, ...]:
+        if not ratio_updates:
+            return ()
+        out = tuple(ratio_updates.items())
+        ratio_updates.clear()
         return out
 
     def reply(req_id: int, payload: tuple) -> None:
@@ -137,6 +159,7 @@ def worker_main(
                 req_id,
                 payload,
                 drain_notices(),
+                drain_ratios(),
                 group.live_events,
                 group.peak_live_events,
             )
@@ -163,11 +186,12 @@ def worker_main(
                 group.ingest_batch(
                     shard_index, codec.decode_records(wire_batch)
                 )
-                if notices:
+                if notices or ratio_updates:
                     outbox.put(
                         (
                             "notices",
                             drain_notices(),
+                            drain_ratios(),
                             group.live_events,
                             group.peak_live_events,
                         )

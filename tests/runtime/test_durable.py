@@ -23,7 +23,9 @@ from repro.runtime import Durability, ParallelFleet, WorkerCrashed
 from repro.runtime.durable import (
     DurableStore,
     contiguous_prefix,
+    frame_bytes,
     read_frames,
+    scan_frames,
     write_frames,
 )
 from repro.scenarios.generators import concurrent_workload
@@ -96,6 +98,112 @@ class TestContiguousPrefix:
 
     def test_empty_union_claims_nothing(self):
         assert contiguous_prefix([], after_tick=9) == ([], 9)
+
+    def test_duplicate_tick_is_coverage_not_a_gap(self):
+        """A record re-journaled after a crash-replay shows up as a
+        duplicate tick; the claim must skip the copy and keep going --
+        only a genuinely *missing* tick cuts the prefix."""
+        frames = [(t, 0, "tr", "w") for t in (1, 2, 2, 3, 4)]
+        prefix, tick = contiguous_prefix(frames, after_tick=0)
+        assert tick == 4
+        assert [f[0] for f in prefix] == [1, 2, 3, 4]
+
+    def test_duplicate_keeps_first_copy_and_gap_still_cuts(self):
+        frames = [
+            (1, 0, "tr", "first"),
+            (1, 0, "tr", "second"),
+            (2, 0, "tr", "w"),
+            (4, 0, "tr", "w"),  # 3 is missing: claim ends at 2
+        ]
+        prefix, tick = contiguous_prefix(frames, after_tick=0)
+        assert tick == 2
+        assert [f[3] for f in prefix] == ["first", "w"]
+
+
+# ----------------------------------------------------------------------
+# journal scanning: torn tail vs mid-file corruption
+# ----------------------------------------------------------------------
+
+
+class TestScanFrames:
+    def write(self, path, frames):
+        write_frames(path, frames)
+        with open(path, "rb") as fh:
+            return bytearray(fh.read())
+
+    def test_clean_file(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        frames = [(i, 0, f"t{i}", "w" * 20) for i in range(5)]
+        self.write(path, frames)
+        scan = scan_frames(path)
+        assert list(scan.frames) == frames
+        assert not scan.torn_tail and not scan.corrupt
+        assert scan.bytes_discarded == 0 and scan.frames_salvaged == 0
+
+    def test_torn_tail_is_not_corruption(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        frames = [(i, 0, f"t{i}", "w" * 20) for i in range(5)]
+        blob = self.write(path, frames)
+        path.write_bytes(bytes(blob[:-7]))  # crash mid-append
+        scan = scan_frames(path)
+        assert list(scan.frames) == frames[:4]
+        assert scan.torn_tail and not scan.corrupt
+        # Torn bytes are not "discarded": that counter flags damage.
+        assert scan.bytes_discarded == 0
+        # strict mode tolerates a torn tail: it is the expected shape
+        # of a crash, not damage.
+        assert list(scan_frames(path, strict=True).frames) == frames[:4]
+
+    def corrupt_mid_file(self, path, frames):
+        blob = self.write(path, frames)
+        # Flip a byte inside frame 1's payload: frames 2+ still follow
+        # as valid frames, so this is damage, not a torn tail.
+        offset = len(frame_bytes(frames[0])) + 12
+        blob[offset] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+    def test_mid_file_corruption_salvages_the_tail(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        frames = [(i, 0, f"t{i}", "w" * 30) for i in range(6)]
+        self.corrupt_mid_file(path, frames)
+        scan = scan_frames(path)
+        assert scan.corrupt and not scan.torn_tail
+        assert list(scan.frames) == [frames[0]] + frames[2:]
+        assert scan.frames_salvaged == 4
+        assert scan.bytes_discarded == len(frame_bytes(frames[1]))
+
+    def test_strict_mode_raises_on_corruption(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        frames = [(i, 0, f"t{i}", "w" * 30) for i in range(6)]
+        self.corrupt_mid_file(path, frames)
+        with pytest.raises(ValueError, match="mid-file corruption"):
+            scan_frames(path, strict=True)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        scan = scan_frames(tmp_path / "nope.bin")
+        assert scan.frames == () and not scan.corrupt
+
+    def test_wal_frames_warns_on_corruption(self, tmp_path):
+        """A corrupted journal must not silently shrink the recovery
+        claim: restore paths get a RuntimeWarning naming the damage and
+        the re-feed remedy, while the salvaged tail is still served."""
+        store = DurableStore(tmp_path)
+        for tick in range(1, 7):
+            store.append(0, tick, 0, "t", "w" * 30)
+        store.flush(0)
+        path = store.wal_path(0)
+        with open(path, "rb") as fh:
+            blob = bytearray(fh.read())
+        first = len(frame_bytes((1, 0, "t", "w" * 30)))
+        blob[first + 12] ^= 0xFF  # damage tick 2's frame
+        path.write_bytes(bytes(blob))
+        fresh = DurableStore(tmp_path)
+        with pytest.warns(RuntimeWarning, match="ingested_records"):
+            frames = fresh.wal_frames(0, after_tick=0)
+        assert [f[0] for f in frames] == [1, 3, 4, 5, 6]
+        # The contiguous claim then honestly stops before the hole.
+        prefix, tick = contiguous_prefix(frames, after_tick=0)
+        assert tick == 1 and [f[0] for f in prefix] == [1]
 
 
 # ----------------------------------------------------------------------
