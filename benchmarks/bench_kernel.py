@@ -1,0 +1,249 @@
+"""Detection-kernel shootout: ``flat_int`` vs the ``py_object`` reference.
+
+The acceptance benchmark of the kernel layer (:mod:`repro.core.kernel`).
+The 200-event growing-trace monitor workload of
+``bench_table_incremental`` -- the gate every incremental-checker PR has
+been measured on -- is replayed record by record through
+:class:`~repro.analysis.online.OnlineAbcMonitor` once per kernel, and
+two quantities are compared:
+
+* **end-to-end** -- full monitor replay wall clock per kernel.  This
+  includes graph ingestion, diff absorption, and ratio bookkeeping that
+  no kernel can touch, so it understates the kernel win.
+* **oracle-only** -- time spent inside
+  ``AdmissibilityChecker._has_negative_cycle`` (the kernel dispatch
+  point), accumulated by an identical timing shim installed for *both*
+  kernels, so the shim overhead cancels.  This is the quantity the
+  kernel actually owns, and the one the CI floor gates.
+
+Both runs are interleaved min-of-N (per-rep alternation absorbs CPU
+frequency drift) and every rep asserts the two kernels produced
+**bit-identical** per-record worst-ratio sequences and oracle-call
+counts -- the benchmark doubles as a 200-event differential test, and
+fails loudly if the kernels ever disagree.
+
+A per-profile sweep (storm / burst / idler / relay from
+:mod:`repro.scenarios.generators`) is reported alongside: the speedup
+is workload-shaped -- repin-heavy storm profiles (every record grows
+the worst ratio) sit well below message-dense burst profiles -- and the
+sweep keeps that spread visible instead of letting one shape hide in an
+average.
+
+CI gates **oracle-only >= 3x** (shared-runner floor); nominal on a
+quiet machine is ~3.5-4x oracle-only and ~3x end-to-end, recorded in
+the ``BENCH_kernel.json`` artifact.
+
+Also runnable as a script (CI smoke / the gate)::
+
+    python benchmarks/bench_kernel.py --events 40 --reps 2 --min-speedup 0
+    python benchmarks/bench_kernel.py --min-speedup 3 --json BENCH_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.analysis.online import OnlineAbcMonitor
+from repro.core.synchrony import AdmissibilityChecker
+from repro.scenarios.generators import profiled_trace_records
+from repro.sim.trace import Trace
+
+from bench_table_incremental import make_workload
+
+DEFAULT_EVENTS = 200
+DEFAULT_REPS = 5
+DEFAULT_MIN_SPEEDUP = 3.0
+PROFILES = ("storm", "burst", "idler", "relay")
+PROFILE_EVENTS = 150
+PROFILE_SEED = 3
+
+
+class _OracleTimer:
+    """Accumulates wall clock spent inside the kernel dispatch point.
+
+    Installed identically for both kernels (one extra function call and
+    two ``perf_counter`` reads per oracle query), so the shim's own
+    overhead cancels out of the speedup ratio.
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._original = AdmissibilityChecker._has_negative_cycle
+
+    def __enter__(self) -> "_OracleTimer":
+        original = self._original
+        timer = self
+
+        def timed(self, p, q, sources=None):
+            start = time.perf_counter()
+            try:
+                return original(self, p, q, sources)
+            finally:
+                timer.seconds += time.perf_counter() - start
+
+        AdmissibilityChecker._has_negative_cycle = timed
+        return self
+
+    def __exit__(self, *exc) -> None:
+        AdmissibilityChecker._has_negative_cycle = self._original
+
+
+def replay(trace: Trace, kernel: str):
+    """One monitor replay; returns (e2e_s, oracle_s, ratios, calls)."""
+    with _OracleTimer() as oracle:
+        start = time.perf_counter()
+        monitor = OnlineAbcMonitor(faulty=trace.faulty, kernel=kernel)
+        ratios = [monitor.observe(record) for record in trace.records]
+        e2e = time.perf_counter() - start
+    return e2e, oracle.seconds, ratios, monitor.oracle_calls
+
+
+def shootout(trace: Trace, reps: int) -> dict:
+    """Interleaved min-of-``reps`` for both kernels, identity-checked."""
+    best = {
+        "py_object": {"e2e_s": float("inf"), "oracle_s": float("inf")},
+        "flat_int": {"e2e_s": float("inf"), "oracle_s": float("inf")},
+    }
+    for _rep in range(reps):
+        for kernel in ("py_object", "flat_int"):
+            e2e, oracle_s, ratios, calls = replay(trace, kernel)
+            slot = best[kernel]
+            slot["e2e_s"] = min(slot["e2e_s"], e2e)
+            slot["oracle_s"] = min(slot["oracle_s"], oracle_s)
+            slot["ratios"] = ratios
+            slot["oracle_calls"] = calls
+        assert best["py_object"]["ratios"] == best["flat_int"]["ratios"], (
+            "kernels disagree on the per-record worst-ratio sequence"
+        )
+        assert (
+            best["py_object"]["oracle_calls"]
+            == best["flat_int"]["oracle_calls"]
+        ), "kernels disagree on oracle-call counts"
+    py, flat = best["py_object"], best["flat_int"]
+    return {
+        "records": len(trace.records),
+        "py_object_e2e_s": round(py["e2e_s"], 6),
+        "flat_int_e2e_s": round(flat["e2e_s"], 6),
+        "py_object_oracle_s": round(py["oracle_s"], 6),
+        "flat_int_oracle_s": round(flat["oracle_s"], 6),
+        "oracle_calls": py["oracle_calls"],
+        "e2e_speedup": round(py["e2e_s"] / flat["e2e_s"], 3),
+        "oracle_speedup": round(py["oracle_s"] / flat["oracle_s"], 3),
+        "bit_identical": True,
+    }
+
+
+def profile_trace(profile: str, n_events: int) -> Trace:
+    records = list(
+        profiled_trace_records(
+            random.Random(PROFILE_SEED), profile, n_events
+        )
+    )
+    processes = {record.event.process for record in records}
+    processes |= {
+        record.send_event.process
+        for record in records
+        if record.send_event is not None
+    }
+    return Trace(n=len(processes), faulty=frozenset(), records=records)
+
+
+def run(events: int, reps: int, profile_events: int, sweep: bool) -> dict:
+    trace, _prefixes = make_workload(events)
+    result = {"workload": f"monitor-{events}", **shootout(trace, reps)}
+    out = {"gate": result, "profiles": {}}
+    if sweep:
+        for profile in PROFILES:
+            out["profiles"][profile] = shootout(
+                profile_trace(profile, profile_events), max(2, reps // 2)
+            )
+    return out
+
+
+def test_kernel_bit_identity():
+    """Pytest entry: smoke-size shootout on the gate workload and every
+    profile.  Bit-identity (ratios + oracle-call counts) is asserted
+    inside :func:`shootout` every rep; no speed floor is applied --
+    wall-clock gating is the CLI's job, on quiet hardware or in the
+    dedicated CI step.
+    """
+    result = run(events=60, reps=2, profile_events=40, sweep=True)
+    assert result["gate"]["bit_identical"]
+    assert result["gate"]["oracle_calls"] > 0
+    for profile, row in result["profiles"].items():
+        assert row["bit_identical"], profile
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "flat_int vs py_object kernel shootout on the 200-event "
+            "monitor gate workload (bit-identity asserted every rep)"
+        )
+    )
+    parser.add_argument("--events", type=int, default=DEFAULT_EVENTS)
+    parser.add_argument(
+        "--reps", type=int, default=DEFAULT_REPS,
+        help="interleaved repetitions; min over reps is reported",
+    )
+    parser.add_argument(
+        "--profile-events", type=int, default=PROFILE_EVENTS,
+        help="events per profile in the per-profile sweep",
+    )
+    parser.add_argument(
+        "--no-sweep", action="store_true",
+        help="skip the per-profile sweep (smoke runs)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
+        help=(
+            "hard floor on the oracle-only speedup of the gate "
+            "workload (0 disables; CI uses 3, nominal is ~3.5-4)"
+        ),
+    )
+    parser.add_argument(
+        "--json", type=str, default=None,
+        help="write the metrics dict to this path",
+    )
+    args = parser.parse_args(argv)
+
+    result = run(
+        args.events, args.reps, args.profile_events, not args.no_sweep
+    )
+    gate = result["gate"]
+    print(
+        f"[bench_kernel] {gate['workload']}: "
+        f"e2e {gate['py_object_e2e_s'] * 1e3:.1f}ms -> "
+        f"{gate['flat_int_e2e_s'] * 1e3:.1f}ms "
+        f"({gate['e2e_speedup']:.2f}x), "
+        f"oracle {gate['py_object_oracle_s'] * 1e3:.1f}ms -> "
+        f"{gate['flat_int_oracle_s'] * 1e3:.1f}ms "
+        f"({gate['oracle_speedup']:.2f}x), "
+        f"{gate['oracle_calls']} oracle calls, bit-identical"
+    )
+    for profile, row in result["profiles"].items():
+        print(
+            f"[bench_kernel]   {profile:>6}: e2e {row['e2e_speedup']:.2f}x, "
+            f"oracle {row['oracle_speedup']:.2f}x "
+            f"({row['records']} records)"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+        print(f"wrote {args.json}")
+    if args.min_speedup and gate["oracle_speedup"] < args.min_speedup:
+        print(
+            f"[bench_kernel] FAIL: oracle speedup "
+            f"{gate['oracle_speedup']:.2f}x below the "
+            f"{args.min_speedup:.1f}x floor"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

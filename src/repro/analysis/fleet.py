@@ -150,6 +150,10 @@ class MonitorFleet:
         faulty: processes whose sent messages are dropped, applied to
             every trace (as in :class:`~repro.analysis.online.OnlineAbcMonitor`).
         drop_faulty: disable the faulty-sender filter when ``False``.
+        kernel: detection-kernel name for every default-constructed
+            monitor (``None`` follows the ambient ``REPRO_KERNEL``
+            environment; per-trace specs may override).  Every kernel
+            is exact -- a speed knob, never an answer change.
         monitor_factory: optional ``factory(trace_id) -> OnlineAbcMonitor``
             for per-trace monitor customization; the fleet chains its
             own violation bookkeeping onto the returned monitor's
@@ -182,6 +186,7 @@ class MonitorFleet:
         compact_threshold: float | None = None,
         faulty: frozenset[ProcessId] | set[ProcessId] = frozenset(),
         drop_faulty: bool = True,
+        kernel: str | None = None,
         monitor_factory: Callable[[TraceId], OnlineAbcMonitor] | None = None,
         monitor_specs: MonitorSpec | dict[TraceId, MonitorSpec] | None = None,
         on_violation: Callable[[TraceId, CycleClassification], None] | None = None,
@@ -212,6 +217,7 @@ class MonitorFleet:
             compact_threshold=compact_threshold,
             faulty=faulty,
             drop_faulty=drop_faulty,
+            kernel=kernel,
             monitor_factory=monitor_factory,
             monitor_specs=monitor_specs,
             emit_violation=self._emit_violation,
@@ -291,6 +297,20 @@ class MonitorFleet:
     @drop_faulty.setter
     def drop_faulty(self, value: bool) -> None:
         self._group.drop_faulty = value
+
+    @property
+    def kernel(self) -> str | None:
+        """Detection-kernel name for monitors this fleet creates from
+        here on (existing monitors keep their kernel until restored)."""
+        return self._group.kernel
+
+    @kernel.setter
+    def kernel(self, value: str | None) -> None:
+        if value is not None:
+            from repro.core.kernel import resolve_kernel_name
+
+            resolve_kernel_name(value)
+        self._group.kernel = value
 
     @property
     def peak_live_events(self) -> int:
@@ -469,6 +489,7 @@ class MonitorFleet:
             tuple(group.faulty),
             group.drop_faulty,
             codec.encode_specs(group.monitor_specs),
+            group.kernel,
         )
         frame = (
             _SNAPSHOT_MAGIC,
@@ -517,6 +538,8 @@ class MonitorFleet:
             )
         from repro.runtime import codec
 
+        # Pre-kernel frames are 9-tuples; tolerate them (their monitors
+        # then follow the restoring process's ambient kernel).
         (
             xi_wire,
             n_shards,
@@ -527,6 +550,7 @@ class MonitorFleet:
             faulty,
             drop_faulty,
             specs_wire,
+            *rest,
         ) = config
         fleet = cls(
             codec.decode_fraction(xi_wire),
@@ -537,6 +561,7 @@ class MonitorFleet:
             compact_threshold=compact_threshold,
             faulty=frozenset(faulty),
             drop_faulty=drop_faulty,
+            kernel=rest[0] if rest else None,
             monitor_factory=monitor_factory,
             monitor_specs=codec.decode_specs(specs_wire),
             on_violation=on_violation,

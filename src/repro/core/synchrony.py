@@ -125,6 +125,13 @@ from repro.core.execution_graph import (
     LocalEdge,
     MessageEdge,
 )
+from repro.core.kernel import (
+    Kernel,
+    find_negative_cycle_edges,
+    make_kernel,
+    resolve_kernel_name,
+)
+from repro.core import kernel as _kernel_mod
 
 __all__ = [
     "AdmissibilityChecker",
@@ -175,7 +182,9 @@ def as_xi(xi: Fraction | float | int | str) -> Fraction:
 
 
 def _as_ratio(xi: Fraction | float | int | str) -> Fraction:
-    ratio = Fraction(xi)
+    # The hot callers (Stern-Brocot probes) always pass a Fraction
+    # already; skip the re-normalizing constructor for those.
+    ratio = xi if type(xi) is Fraction else Fraction(xi)
     if ratio <= 0:
         raise ValueError(f"ratio must be positive, got {ratio}")
     return ratio
@@ -259,15 +268,18 @@ def farey_predecessor(value: Fraction, max_den: int) -> Fraction:
 
 
 # Edge kinds of the traversal digraph; weights per (p, q) query are
-# derived from the kind, so only these tags are stored per edge.
-_FWD_MESSAGE = 0
-_BWD_MESSAGE = 1
-_BWD_LOCAL = 2
+# derived from the kind, so only these tags are stored per edge.  The
+# canonical definitions live in :mod:`repro.core.kernel` (the kernels
+# read them without importing this module); these aliases keep the
+# checker's internals spelled the way they always were.
+_FWD_MESSAGE = _kernel_mod.FWD_MESSAGE
+_BWD_MESSAGE = _kernel_mod.BWD_MESSAGE
+_BWD_LOCAL = _kernel_mod.BWD_LOCAL
 # Kinds at or above _SUMMARY are summary edges: ``kind - _SUMMARY``
 # indexes the checker's deduplicated (forward, backward, local) profile
 # table, so resolving any edge's per-query weight stays one table lookup
 # in the detection hot loop.
-_SUMMARY = 3
+_SUMMARY = _kernel_mod.SUMMARY
 
 
 @dataclass(frozen=True)
@@ -377,12 +389,31 @@ class AdmissibilityChecker:
     trace or an :class:`~repro.core.execution_graph.ExecutionGraph`
     satisfy it by construction.
 
+    Negative-cycle detection itself is delegated to a pluggable *kernel*
+    (see :mod:`repro.core.kernel`): ``kernel=None`` follows the ambient
+    ``REPRO_KERNEL`` environment variable (default ``py_object``, the
+    reference SPFA), an explicit name pins one.  Every kernel is exact
+    and bit-identical on every query surface; the choice is purely a
+    speed/bookkeeping trade-off.  The kernel object itself is transient
+    state -- it is dropped on pickling and lazily re-created, so
+    snapshots restore under whatever kernel the restoring process
+    selects (kernel-portable checkpoints).
+
     Attributes:
         oracle_calls: number of negative-cycle runs issued so far (for
             benchmarks and incrementality tests).
     """
 
-    def __init__(self, graph: ExecutionGraph | None = None) -> None:
+    def __init__(
+        self,
+        graph: ExecutionGraph | None = None,
+        *,
+        kernel: str | None = None,
+    ) -> None:
+        if kernel is not None:
+            resolve_kernel_name(kernel)  # fail fast on unknown names
+        self._kernel_spec = kernel
+        self._kernel_obj: Kernel | None = None
         self._nodes: list[Event] = []
         self._index: dict[Event, int] = {}
         self._events_per_process: dict[ProcessId, int] = {}
@@ -419,6 +450,45 @@ class AdmissibilityChecker:
                     self.add_event(event)
             for message in graph.messages:
                 self.add_message(message.src, message.dst)
+
+    # ------------------------------------------------------------------
+    # kernel selection
+    # ------------------------------------------------------------------
+
+    @property
+    def _kernel(self) -> Kernel:
+        """The bound detection kernel, created lazily (and re-created
+        lazily after unpickling or :meth:`set_kernel`)."""
+        obj = self._kernel_obj
+        if obj is None:
+            obj = self._kernel_obj = make_kernel(self._kernel_spec, self)
+        return obj
+
+    @property
+    def kernel_name(self) -> str:
+        """The kernel this checker resolves to right now (an unpinned
+        checker follows the ``REPRO_KERNEL`` environment variable)."""
+        if self._kernel_obj is not None:
+            return self._kernel_obj.name
+        return resolve_kernel_name(self._kernel_spec)
+
+    def set_kernel(self, kernel: str | None) -> None:
+        """Re-pin the detection kernel (``None`` = follow the ambient
+        environment); any cached kernel state is discarded.  Purely a
+        strategy switch -- every subsequent answer is bit-identical to
+        what any other kernel would produce."""
+        if kernel is not None:
+            resolve_kernel_name(kernel)
+        self._kernel_spec = kernel
+        self._kernel_obj = None
+
+    def __getstate__(self) -> dict:
+        # The kernel object is transient (it may hold module references
+        # and derived caches); drop it so snapshots are kernel-portable
+        # and the restoring process re-resolves lazily.
+        state = self.__dict__.copy()
+        state["_kernel_obj"] = None
+        return state
 
     # ------------------------------------------------------------------
     # incremental construction
@@ -605,7 +675,14 @@ class AdmissibilityChecker:
             current = self.worst_relevant_ratio()
             return current if current is not None and current > previous else previous
         successor = farey_successor(previous, max_den)
-        if not self.has_ratio_at_least(successor):
+        # Inline the has_ratio_at_least probe: ``successor > previous >=
+        # 1`` already, so the clamp and re-normalization there are pure
+        # overhead on what is by far the most frequent oracle call of
+        # the online monitor (one probe per batch that changed nothing).
+        self.oracle_calls += 1
+        if not self._has_negative_cycle(
+            successor.numerator, successor.denominator
+        ):
             return previous
         return self.worst_relevant_ratio(at_least=successor)
 
@@ -681,6 +758,8 @@ class AdmissibilityChecker:
                 self._events_per_process[event.process] = remaining
             else:
                 del self._events_per_process[event.process]
+        if self._kernel_obj is not None:
+            self._kernel_obj.notify_rollback(token.n_nodes, token.n_edges)
 
     @contextmanager
     def speculate(self) -> Iterator["AdmissibilityChecker"]:
@@ -1136,6 +1215,8 @@ class AdmissibilityChecker:
             adj[tails[eidx]].append((heads[eidx], kinds[eidx]))
         self._adj = adj
         self._epoch += 1
+        if self._kernel_obj is not None:
+            self._kernel_obj.notify_compact()
 
     def removable_prefix(
         self, pinned: Iterable[Event] = ()
@@ -1211,10 +1292,6 @@ class AdmissibilityChecker:
             table.append(scale * (p * f - q * b) - loc)
         return table
 
-    def _weights(self, p: int, q: int) -> list[int]:
-        wtab = self._weight_table(p, q)
-        return [wtab[kind] for kind in self._kinds]
-
     def _has_negative_cycle(
         self, p: int, q: int, sources: list[int] | None = None
     ) -> bool:
@@ -1245,92 +1322,32 @@ class AdmissibilityChecker:
         must guarantee every possible negative cycle is reachable from
         the sources, e.g. because the graph without the speculative
         additions is known negative-cycle-free.
+
+        The detection run itself is delegated to the bound kernel (see
+        :mod:`repro.core.kernel`): the reference ``py_object`` kernel is
+        exactly the loop described above
+        (:func:`repro.core.kernel.spfa_has_negative_cycle`); the
+        ``flat_int`` kernel short-circuits most probes through an exact
+        integer potential certificate and falls back to a warm
+        relaxation -- every kernel answers bit-identically.
         """
-        n = len(self._nodes)
-        if n == 0 or (not self._messages and not self._n_summaries):
-            return False
-        wtab = self._weight_table(p, q)
-        adj = self._adj
-        chain = [0] * n  # edges in the walk realizing the current dist
-        queued = [False] * n
-        if sources is None:
-            dist: list[int | float] = [0] * n
-            active = [u for u in range(n) if adj[u]]
-        else:
-            dist = [float("inf")] * n
-            for u in sources:
-                dist[u] = 0
-            active = sorted({u for u in sources if adj[u]})
-        while active:
-            next_active: list[int] = []
-            push = next_active.append
-            for u in active:
-                du = dist[u]
-                cu = chain[u] + 1
-                for v, kind in adj[u]:
-                    nd = du + wtab[kind]
-                    if nd < dist[v]:
-                        if cu >= n:
-                            return True
-                        dist[v] = nd
-                        chain[v] = cu
-                        if not queued[v]:
-                            queued[v] = True
-                            push(v)
-            # Process the next frontier newest-first: every negative
-            # H-edge (message backward, local backward) points towards
-            # older events, and node ids follow arrival order, so a
-            # descending sweep cascades whole backward chains within one
-            # round instead of one hop per round.
-            next_active.sort(reverse=True)
-            active = next_active
-            for v in active:
-                queued[v] = False
-        return False
+        return self._kernel.has_negative_cycle(p, q, sources)
 
     def _negative_cycle_steps(self, p: int, q: int) -> list[Step] | None:
-        """Extract one simple negative cycle by round-based Bellman-Ford.
+        """Extract one simple negative cycle, as execution-graph steps.
 
-        Used only on the witness path (at most once per violation query):
-        after ``n`` full relaxation rounds, a node updated in the last
-        round is reachable from a negative cycle, and walking ``n``
-        predecessor links from it is guaranteed to land on the cycle.
+        Used only on the witness path (at most once per violation
+        query).  The detection-and-extraction run is the kernel-shared
+        :func:`repro.core.kernel.find_negative_cycle_edges` -- one
+        round-based Bellman-Ford that records predecessor edge indices
+        while detecting and pops the cycle out of the same run (the old
+        shape re-ran ``n`` full rounds after detection just to rebuild
+        the predecessors) -- so witnesses are identical across kernels
+        by construction.
         """
-        n = len(self._nodes)
-        if n == 0 or (not self._messages and not self._n_summaries):
+        cycle_edges = find_negative_cycle_edges(self, p, q)
+        if cycle_edges is None:
             return None
-        weights = self._weights(p, q)
-        tails, heads = self._tails, self._heads
-        dist = [0] * n
-        pred = [-1] * n  # H-edge index that last improved each node
-        updated_node = -1
-        for _ in range(n):
-            updated_node = -1
-            for eidx in range(len(tails)):
-                tail, head = tails[eidx], heads[eidx]
-                nd = dist[tail] + weights[eidx]
-                if nd < dist[head]:
-                    dist[head] = nd
-                    pred[head] = eidx
-                    updated_node = head
-            if updated_node < 0:
-                return None
-        node = updated_node
-        for _ in range(n):
-            eidx = pred[node]
-            assert eidx >= 0
-            node = tails[eidx]
-        # Collect the cycle through the predecessor links.
-        cycle_edges: list[int] = []
-        start = node
-        while True:
-            eidx = pred[node]
-            assert eidx >= 0
-            cycle_edges.append(eidx)
-            node = tails[eidx]
-            if node == start:
-                break
-        cycle_edges.reverse()
         # Summary edges expand into their realizing walks, so the
         # returned steps are always genuine execution-graph steps (the
         # expansion may revisit events; classification handles walks).

@@ -160,6 +160,7 @@ class IngestServer:
         inbox_capacity: int = 16,
         credit_window: int = 32,
         monitor_specs: Any = None,
+        kernel: str | None = None,
     ) -> None:
         if n_fronts < 1:
             raise ValueError("need at least one front")
@@ -200,6 +201,7 @@ class IngestServer:
                 wire_batch=wire_batch,
                 inbox_capacity=inbox_capacity,
                 monitor_specs=monitor_specs,
+                kernel=kernel,
                 shard_subset=tuple(
                     s for s in range(n_shards) if s % n_fronts == f
                 ),

@@ -123,6 +123,7 @@ from typing import Any, Callable, Iterable
 from repro.analysis.online import OnlineAbcMonitor
 from repro.core.cycles import CycleClassification
 from repro.core.events import ProcessId
+from repro.core.kernel import resolve_kernel_name
 from repro.runtime import codec
 from repro.runtime.backends import (
     ProcessBackend,
@@ -170,6 +171,10 @@ class ParallelFleet:
             module docstring's carve-out.
         compact_threshold: adaptive compaction cadence, per monitor.
         faulty / drop_faulty: per-monitor message filtering.
+        kernel: detection-kernel name shipped to every worker's shard
+            group (``None`` lets each worker follow its own
+            ``REPRO_KERNEL`` environment).  Every kernel is exact, so
+            mixed-kernel fleets stay bit-identical to serial runs.
         backend: ``"process"`` (default), ``"thread"``, or a backend
             instance (anything with ``spawn(...) -> WorkerHandle``).
         start_method: multiprocessing start method for the default
@@ -227,6 +232,7 @@ class ParallelFleet:
         compact_threshold: float | None = None,
         faulty: frozenset[ProcessId] | set[ProcessId] = frozenset(),
         drop_faulty: bool = True,
+        kernel: str | None = None,
         backend: str | Any = "process",
         start_method: str | None = None,
         wire_batch: int = 256,
@@ -328,6 +334,9 @@ class ParallelFleet:
         self._compact_threshold = compact_threshold
         self._faulty = frozenset(faulty)
         self._drop_faulty = drop_faulty
+        if kernel is not None:
+            resolve_kernel_name(kernel)  # fail in the caller, not a worker
+        self._kernel = kernel
         self._monitor_factory = monitor_factory
         self._monitor_specs = monitor_specs
         self._inbox_capacity = inbox_capacity
@@ -470,6 +479,7 @@ class ParallelFleet:
             "compact_threshold": self._compact_threshold,
             "faulty": tuple(self._faulty),
             "drop_faulty": self._drop_faulty,
+            "kernel": self._kernel,
             "monitor_specs": codec.encode_specs(self._monitor_specs),
         }
         if self._monitor_factory is not None:
@@ -504,6 +514,10 @@ class ParallelFleet:
     @property
     def event_budget(self) -> int | None:
         return self._event_budget
+
+    @property
+    def kernel(self) -> str | None:
+        return self._kernel
 
     # ------------------------------------------------------------------
     # routing and low-level messaging
@@ -1156,6 +1170,7 @@ class ParallelFleet:
             "compact_threshold": self._compact_threshold,
             "faulty": tuple(self._faulty),
             "drop_faulty": self._drop_faulty,
+            "kernel": self._kernel,
             "backend": self._backend_kind,
             "wire_batch": self.wire_batch,
             "inbox_capacity": self._inbox_capacity,
@@ -1222,6 +1237,7 @@ class ParallelFleet:
             compact_threshold=cfg["compact_threshold"],
             faulty=frozenset(cfg["faulty"]),
             drop_faulty=cfg["drop_faulty"],
+            kernel=cfg.get("kernel"),
             backend=backend,
             start_method=start_method,
             wire_batch=cfg["wire_batch"],
