@@ -78,7 +78,12 @@ from repro.core.cycles import CycleClassification
 from repro.core.events import Event, ProcessId
 from repro.core.execution_graph import ExecutionGraph, MessageEdge
 from repro.core.synchrony import AdmissibilityChecker, AdmissibilityResult, as_xi
-from repro.sim.trace import ReceiveRecord, Trace, message_kept
+from repro.sim.trace import (
+    ReceiveRecord,
+    RecordColumns,
+    Trace,
+    message_kept,
+)
 
 __all__ = [
     "OnlineAbcMonitor",
@@ -329,6 +334,63 @@ class OnlineAbcMonitor:
             self.maybe_compact()
         return self._worst
 
+    def observe_batch_columnar(
+        self, cols: RecordColumns
+    ) -> Fraction | None:
+        """Columnar twin of :meth:`observe_batch`: absorb a batch of
+        parallel columns without materializing a single record object.
+
+        One pass over the columns replicates the
+        :func:`~repro.sim.trace.message_kept` / forgotten-prefix
+        filtering into an aligned origin column, which
+        :meth:`~repro.core.synchrony.AdmissibilityChecker.absorb_batch`
+        bulk-appends (H-edge order per record preserved); one more pass
+        (:meth:`_track_columns`) replicates the in-flight bookkeeping
+        behind adaptive compaction.  Everything observable -- ratios,
+        :attr:`changes`, :attr:`violation`, oracle-call counts,
+        :attr:`forgotten_message_edges`, compaction cadence -- is
+        bit-identical to :meth:`observe_batch` on the same records.
+
+        A ``keep_message`` filter is a predicate over *record objects*,
+        so monitors carrying one fall back to the object path.
+        """
+        if self.keep_message is not None:
+            return self.observe_batch(cols.to_records())
+        checker = self._checker
+        senders = cols.senders
+        send_processes = cols.send_processes
+        send_indexes = cols.send_indexes
+        faulty = self.faulty
+        drop = self.drop_faulty
+        first_live = checker.first_live_index
+        n = len(cols)
+        messages: list[tuple[ProcessId, int] | None] = [None] * n
+        forgotten = 0
+        for k in range(n):
+            sender = senders[k]
+            sp = send_processes[k]
+            if sender is None or sp is None:
+                continue
+            if drop and sender in faulty:
+                continue
+            si = send_indexes[k]
+            if si < first_live(sp):
+                forgotten += 1
+                continue
+            messages[k] = (sp, si)
+        added = checker.absorb_batch(
+            (cols.processes, cols.indexes), messages
+        )
+        self.forgotten_message_edges += forgotten
+        track = self.compact_threshold is not None
+        if track:
+            self._track_columns(cols)
+        if added:
+            self._refresh()
+        if track:
+            self.maybe_compact()
+        return self._worst
+
     def observe_event(self, event: Event) -> None:
         """Append a receive event (and its implied local edge).
 
@@ -493,6 +555,42 @@ class OnlineAbcMonitor:
         for send in record.sends:
             dst_key = (record.event, send.dest)
             in_flight[dst_key] = in_flight.get(dst_key, 0) + 1
+
+    def _track_columns(self, cols: RecordColumns) -> None:
+        """Columnar twin of a :meth:`_track_record` loop.
+
+        Keys still use :class:`Event` (they must compare equal to the
+        object path's keys across compaction decisions), but the events
+        are fast-constructed from the columns -- two dict stores instead
+        of a validated dataclass ``__init__``.
+        """
+        in_flight = self._in_flight
+        processes = cols.processes
+        indexes = cols.indexes
+        senders = cols.senders
+        send_processes = cols.send_processes
+        send_indexes = cols.send_indexes
+        sends = cols.sends
+        new_event = Event.__new__
+        for k in range(len(processes)):
+            sp = send_processes[k]
+            if senders[k] is not None and sp is not None:
+                src = new_event(Event)
+                src.__dict__["process"] = sp
+                src.__dict__["index"] = send_indexes[k]
+                key = (src, processes[k])
+                if in_flight.get(key, 0) > 0:
+                    in_flight[key] -= 1
+                    if not in_flight[key]:
+                        del in_flight[key]
+            rows = sends[k]
+            if rows:
+                event = new_event(Event)
+                event.__dict__["process"] = processes[k]
+                event.__dict__["index"] = indexes[k]
+                for row in rows:
+                    dst_key = (event, row[0])
+                    in_flight[dst_key] = in_flight.get(dst_key, 0) + 1
 
     def _pinned_in_flight(self) -> list[Event]:
         return [key[0] for key, n in self._in_flight.items() if n > 0]

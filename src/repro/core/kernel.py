@@ -530,9 +530,19 @@ class FlatIntKernel(Kernel):
         if not touched_nodes:
             return
         touched: set[int] = set()
-        for v in touched_nodes:
-            touched.update(e for e in self._out[v] if e < limit)
-            touched.update(e for e in self._in[v] if e < limit)
+        out, into = self._out, self._in
+        if limit >= len(self._et):
+            # Every indexed edge is below the limit (the case on the
+            # one live call site, ``_sync``, which passes the post-
+            # append edge count): update straight from the adjacency
+            # lists at C speed instead of filtering element-wise.
+            for v in set(touched_nodes):
+                touched.update(out[v])
+                touched.update(into[v])
+        else:
+            for v in set(touched_nodes):
+                touched.update(e for e in out[v] if e < limit)
+                touched.update(e for e in into[v] if e < limit)
         pf, pb, pl = self._pf, self._pb, self._pl
         sf, sb, sl = self._sf, self._sb, self._sl
         et, eh = self._et, self._eh

@@ -108,7 +108,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.cycles import (
     AGAINST,
@@ -610,6 +610,189 @@ class AdmissibilityChecker:
         self._add_h_edge(u, v, _FWD_MESSAGE, Step(message, ALONG))
         self._add_h_edge(v, u, _BWD_MESSAGE, Step(message, AGAINST))
         return True
+
+    def absorb_batch(
+        self,
+        events: tuple[Sequence[ProcessId], Sequence[int]],
+        messages: Sequence[tuple[ProcessId, int] | None] | None = None,
+    ) -> int:
+        """Bulk-append a batch of events (and their triggering messages).
+
+        The columnar twin of a per-record :meth:`add_event` /
+        :meth:`add_message` loop, for the zero-object ingest path:
+
+        * ``events`` is a pair of parallel columns ``(processes,
+          indexes)`` -- row ``k`` is the next receive event of
+          ``processes[k]``, in arrival order.
+        * ``messages``, when given, is a column *aligned with the
+          events*: entry ``k`` is ``None`` (wake-up / filtered message)
+          or ``(src_process, src_index)``, the send event whose message
+          triggered event ``k``.  The destination is always event ``k``
+          itself -- exactly the shape of a receive-record stream.
+
+        Semantics are bit-identical to the per-record loop, including
+        H-edge insertion order (event ``k``'s local edge, then event
+        ``k``'s message edges) -- the negative-cycle witness the kernels
+        report depends on edge order, so the interleaving is part of the
+        contract.  Local-order violations are detected in a validation
+        pre-pass over the whole batch *before any mutation*, so a bad
+        event column leaves the checker untouched; message errors
+        (unknown endpoint, self loop) surface mid-apply exactly as they
+        would mid-stream.  Exact duplicate messages are dropped, as in
+        :meth:`add_message`.
+
+        Appends happen on the flat digraph arrays once per batch; any
+        attached kernel discovers them lazily (one ``extend``) at the
+        next oracle probe.  Returns the number of message edges added.
+        """
+        processes, indexes = events
+        n = len(processes)
+        if len(indexes) != n or (messages is not None and len(messages) != n):
+            raise ValueError(
+                "absorb_batch columns must have equal lengths: "
+                f"{n} processes, {len(indexes)} indexes"
+                + (
+                    f", {len(messages)} messages"
+                    if messages is not None
+                    else ""
+                )
+            )
+        # Validation pre-pass: local order per process across the batch,
+        # seeded from the observed prefix.  Nothing is mutated before
+        # the whole event column is known good.
+        epp = self._events_per_process
+        expected: dict[ProcessId, int] = {}
+        for k in range(n):
+            p = processes[k]
+            want = expected.get(p)
+            if want is None:
+                want = epp.get(p, 0)
+            if indexes[k] != want:
+                bad = Event.__new__(Event)
+                bad.__dict__["process"] = p
+                bad.__dict__["index"] = indexes[k]
+                raise ValueError(
+                    f"events of process {p} must arrive in local "
+                    f"order: expected index {want}, got {bad!r}"
+                )
+            expected[p] = want + 1
+        # Fused apply pass, locals bound once.  Every object on this
+        # path -- events, edges, traversal steps -- is built from
+        # values the validation pre-pass (or the digraph itself)
+        # already vouched for, so the frozen dataclasses are
+        # fast-constructed via ``__new__`` + direct ``__dict__``
+        # stores, skipping checked ``__init__``/``__post_init__``
+        # exactly as the wire decoder does.  Equality and hash derive
+        # from the fields, so the instances are indistinguishable from
+        # per-record ones.
+        #
+        # Two batch-local shortcuts the per-record loop cannot take:
+        #
+        # * ``batch_ids`` maps the batch's own ``(process, index)``
+        #   pairs to node ids with C-speed tuple hashing, so local
+        #   predecessors and (in dense streams, nearly all) message
+        #   sources resolve without constructing a probe ``Event`` or
+        #   paying its Python-level ``__hash__``.
+        # * The duplicate-message check of :meth:`add_message` is
+        #   skipped outright: row ``k``'s destination is row ``k``'s
+        #   *own just-appended event* -- validation guarantees it is
+        #   new -- so no message to it can already exist.  Self loops
+        #   reduce to ``src_id == node_id`` for the same reason.
+        epp.update(expected)
+        nodes = self._nodes
+        index = self._index
+        adj = self._adj
+        tails = self._tails
+        heads = self._heads
+        kinds = self._kinds
+        steps = self._steps
+        msgs = self._messages
+        new_event = Event.__new__
+        new_step = Step.__new__
+        new_local = LocalEdge.__new__
+        new_message = MessageEdge.__new__
+        batch_ids: dict[tuple[ProcessId, int], int] = {}
+        batch_hit = batch_ids.get
+        added = 0
+        for k in range(n):
+            p = processes[k]
+            i = indexes[k]
+            event = new_event(Event)
+            event.__dict__["process"] = p
+            event.__dict__["index"] = i
+            node_id = len(nodes)
+            index[event] = node_id
+            batch_ids[(p, i)] = node_id
+            nodes.append(event)
+            adj.append([])
+            if i > 0:
+                prev_id = batch_hit((p, i - 1))
+                if prev_id is not None:
+                    prev = nodes[prev_id]
+                else:
+                    prev = new_event(Event)
+                    prev.__dict__["process"] = p
+                    prev.__dict__["index"] = i - 1
+                    prev_id = index.get(prev)
+                # A tombstoned predecessor leaves the new event without
+                # a local edge, exactly as in add_event.
+                if prev_id is not None:
+                    edge = new_local(LocalEdge)
+                    edge.__dict__["src"] = prev
+                    edge.__dict__["dst"] = event
+                    step = new_step(Step)
+                    step.__dict__["edge"] = edge
+                    step.__dict__["direction"] = AGAINST
+                    tails.append(node_id)
+                    heads.append(prev_id)
+                    kinds.append(_BWD_LOCAL)
+                    steps.append(step)
+                    adj[node_id].append((prev_id, _BWD_LOCAL))
+                    self._n_locals += 1
+            if messages is None:
+                continue
+            origin = messages[k]
+            if origin is None:
+                continue
+            src_id = batch_hit(origin)
+            if src_id is not None:
+                src = nodes[src_id]
+            else:
+                src = new_event(Event)
+                src.__dict__["process"] = origin[0]
+                src.__dict__["index"] = origin[1]
+                src_id = index.get(src)
+                if src_id is None:
+                    raise KeyError(
+                        f"event {src!r} not in the checker (never "
+                        "added, or tombstoned)"
+                    )
+            message = new_message(MessageEdge)
+            message.__dict__["src"] = src
+            message.__dict__["dst"] = event
+            if src_id == node_id:
+                raise ValueError(
+                    f"message {message!r} may not be a self loop"
+                )
+            msgs.add(message)
+            fwd = new_step(Step)
+            fwd.__dict__["edge"] = message
+            fwd.__dict__["direction"] = ALONG
+            bwd = new_step(Step)
+            bwd.__dict__["edge"] = message
+            bwd.__dict__["direction"] = AGAINST
+            tails.append(src_id)
+            heads.append(node_id)
+            kinds.append(_FWD_MESSAGE)
+            steps.append(fwd)
+            adj[src_id].append((node_id, _FWD_MESSAGE))
+            tails.append(node_id)
+            heads.append(src_id)
+            kinds.append(_BWD_MESSAGE)
+            steps.append(bwd)
+            adj[node_id].append((src_id, _BWD_MESSAGE))
+            added += 1
+        return added
 
     def extends(self, graph: ExecutionGraph) -> bool:
         """Whether ``graph`` extends the prefix this checker has seen

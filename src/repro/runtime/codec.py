@@ -64,7 +64,7 @@ from repro.runtime.shard import (
     TraceState,
     TraceSummary,
 )
-from repro.sim.trace import ReceiveRecord, SendRecord
+from repro.sim.trace import ReceiveRecord, RecordColumns, SendRecord
 
 if TYPE_CHECKING:
     from repro.analysis.online import OnlineAbcMonitor
@@ -80,6 +80,7 @@ __all__ = [
     "decode_ratio_rows",
     "decode_record",
     "decode_records",
+    "decode_records_columnar",
     "decode_shard_image",
     "decode_spec",
     "decode_specs",
@@ -233,6 +234,41 @@ def decode_records(
         (tick, trace_id, decode_record(record))
         for tick, trace_id, record in wire
     ]
+
+
+def decode_records_columnar(
+    wire: list[tuple],
+) -> tuple[tuple, tuple, RecordColumns]:
+    """A shard batch decoded into parallel columns -- zero record objects.
+
+    The columnar twin of :func:`decode_records` and the entry of the
+    zero-object ingest path: the same ``(tick, trace_id, record)`` wire
+    rows are transposed (two C-speed ``zip`` passes, no per-record
+    Python loop body) into ``(ticks, trace_ids, columns)`` where
+    ``columns`` is a :class:`~repro.sim.trace.RecordColumns` holding the
+    ten record fields as parallel tuples -- exact ``(process, index)``
+    pairs for sender events, untouched payloads (big-int Fractions
+    survive exactly), and sends metadata as plain wire rows.
+
+    The object-building :func:`decode_records` remains the reference
+    decode (and the path degraded/reopened traces fall back to).
+    Malformed frames -- ragged batch rows or record tuples whose arity
+    is not the ten wire fields -- raise ``ValueError`` here, in the
+    caller, rather than desynchronizing columns downstream.
+    """
+    if not wire:
+        return ((), (), RecordColumns())
+    try:
+        ticks, trace_ids, records = zip(*wire, strict=True)
+        field_cols = tuple(zip(*records, strict=True))
+    except ValueError as exc:
+        raise ValueError(f"ragged columnar batch: {exc}") from None
+    if len(field_cols) != 10:
+        raise ValueError(
+            "ragged columnar batch: records carry "
+            f"{len(field_cols)} fields, expected 10"
+        )
+    return (ticks, trace_ids, RecordColumns(*field_cols))
 
 
 # ----------------------------------------------------------------------

@@ -57,6 +57,11 @@ frame                                        direction / meaning
 ``("welcome", ver, n_fronts, n_shards,      server reply: resume
 ``  ``acked, credit_window)``               point + credit window
 ``("produce", seq, rows)``                  numbered row batch
+``("produce", seq, cols, "cols")``          columnar batch: ``cols``
+                                            is ``(trace_ids,
+                                            wire_records)`` parallel
+                                            columns (old frames keep
+                                            decoding via ``*rest``)
 ``("ack", acked)``                          highest contiguous
                                             absorbed seq
 ``("bye",)``                                clean producer exit
@@ -382,6 +387,15 @@ class IngestServer:
                 finally:
                     done()
                 self._stage_deltas(fleet)
+            elif kind == "cols":
+                _kind, trace_ids, records, done = item
+                try:
+                    fleet.ingest_wire_columns(trace_ids, records)
+                except Exception:  # keep the front alive; surface it
+                    front.error = traceback.format_exc()
+                finally:
+                    done()
+                self._stage_deltas(fleet)
             elif kind == "call":
                 _kind, fn, box, event = item
                 try:
@@ -509,7 +523,27 @@ class IngestServer:
                         writer, ("error", f"unexpected {frame[0]!r}")
                     )
                     return
-                _kind, seq, rows = frame
+                # Forward-compatible decode, as for the spec frames:
+                # old producers send ("produce", seq, rows); columnar
+                # producers append a "cols" marker and ship the rows as
+                # two parallel columns ``(trace_ids, wire_records)``.
+                _kind, seq, rows, *rest = frame
+                mode = rest[0] if rest else "rows"
+                if mode not in ("rows", "cols"):
+                    await self._send(
+                        writer,
+                        ("error", f"unknown produce mode {mode!r}"),
+                    )
+                    return
+                if mode == "cols" and not (
+                    isinstance(rows, tuple)
+                    and len(rows) == 2
+                    and len(rows[0]) == len(rows[1])
+                ):
+                    await self._send(
+                        writer, ("error", "ragged columnar produce frame")
+                    )
+                    return
                 if seq <= producer.seen:
                     continue  # replay of an already-enqueued frame
                 if seq != producer.seen + 1:
@@ -523,29 +557,56 @@ class IngestServer:
                     )
                     return
                 producer.seen = seq
-                self._dispatch(producer, seq, rows)
+                self._dispatch(producer, seq, rows, mode)
         finally:
             if producer.writer is writer:
                 producer.writer = None
 
     def _dispatch(
-        self, producer: _Producer, seq: int, rows: Iterable[tuple]
+        self,
+        producer: _Producer,
+        seq: int,
+        rows: Iterable[tuple],
+        mode: str = "rows",
     ) -> None:
         """Route a produce frame's rows to their fronts (loop thread).
 
         The ack for ``seq`` is released only once every front involved
         has absorbed its slice; per-front FIFO queues preserve the
-        producer's per-trace row order."""
-        by_front: dict[int, list[tuple]] = {}
+        producer's per-trace row order.  Columnar frames
+        (``mode == "cols"``) route the same way -- per-trace front
+        assignment is row-shaped either way -- but each front's slice
+        stays a pair of parallel columns, feeding the fleet's columnar
+        ingest entry."""
         n_fronts, n_shards = len(self._fronts), self._n_shards
-        for row in rows:
-            front_index = shard_index_of(row[0], n_shards) % n_fronts
-            by_front.setdefault(front_index, []).append(row)
         self._inflight += 1
-        if not by_front:  # an empty frame still advances the seq line
+        if mode == "cols":
+            trace_ids, records = rows
+            by_cols: dict[int, tuple[list, list]] = {}
+            for i, trace_id in enumerate(trace_ids):
+                front_index = shard_index_of(trace_id, n_shards) % n_fronts
+                slot = by_cols.get(front_index)
+                if slot is None:
+                    slot = by_cols[front_index] = ([], [])
+                slot[0].append(trace_id)
+                slot[1].append(records[i])
+            items = [
+                (index, ("cols", ids, recs))
+                for index, (ids, recs) in by_cols.items()
+            ]
+        else:
+            by_front: dict[int, list[tuple]] = {}
+            for row in rows:
+                front_index = shard_index_of(row[0], n_shards) % n_fronts
+                by_front.setdefault(front_index, []).append(row)
+            items = [
+                (index, ("rows", front_rows))
+                for index, front_rows in by_front.items()
+            ]
+        if not items:  # an empty frame still advances the seq line
             self._complete(producer, seq)
             return
-        remaining = len(by_front)
+        remaining = len(items)
         loop = self._loop
         assert loop is not None
 
@@ -558,10 +619,8 @@ class IngestServer:
             if remaining == 0:
                 self._complete(producer, seq)
 
-        for front_index, front_rows in by_front.items():
-            self._fronts[front_index].queue.put(
-                ("rows", front_rows, absorbed)
-            )
+        for front_index, payload in items:
+            self._fronts[front_index].queue.put((*payload, absorbed))
 
     def _complete(self, producer: _Producer, seq: int) -> None:
         self._inflight -= 1

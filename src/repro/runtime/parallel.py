@@ -118,7 +118,7 @@ from __future__ import annotations
 
 import os
 from fractions import Fraction
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.analysis.online import OnlineAbcMonitor
 from repro.core.cycles import CycleClassification
@@ -932,6 +932,30 @@ class ParallelFleet:
         finally:
             self._tick = tick
             self._ingested += accepted
+
+    def ingest_wire_columns(
+        self,
+        trace_ids: Sequence[TraceId],
+        wire_records: Sequence[tuple],
+    ) -> None:
+        """Columnar :meth:`ingest_wire_many`: two parallel columns, as
+        carried by the columnar produce frame of the network plane.
+
+        Routing and per-shard buffering are inherently row-oriented
+        (each record joins its shard's ``(tick, trace_id, wire)``
+        batch), so the columns are re-paired with one C-speed ``zip``;
+        the zero-object payoff happens on the worker side, where the
+        shard batch is transposed back into columns and absorbed
+        without building a single record.  A ragged frame (column
+        lengths disagree) raises ``ValueError`` here, before any row
+        is buffered.
+        """
+        if len(trace_ids) != len(wire_records):
+            raise ValueError(
+                f"ragged columnar frame: {len(trace_ids)} trace ids, "
+                f"{len(wire_records)} records"
+            )
+        self.ingest_wire_many(zip(trace_ids, wire_records))
 
     def _ship(self, shard: int) -> None:
         batch = self._buffers.pop(shard, None)

@@ -42,12 +42,12 @@ import zlib
 from collections import Counter
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import TYPE_CHECKING, Callable, Iterable, Protocol
+from typing import TYPE_CHECKING, Callable, Iterable, Protocol, Sequence
 
 from repro.core.cycles import CycleClassification
 from repro.core.events import Event, ProcessId
 from repro.core.kernel import resolve_kernel_name
-from repro.sim.trace import ReceiveRecord
+from repro.sim.trace import ReceiveRecord, RecordColumns
 
 if TYPE_CHECKING:  # runtime import is lazy: repro.analysis imports the
     # fleet facade, which imports this module -- a module-level import
@@ -703,7 +703,15 @@ class ShardGroup:
         # Keep shard.traces in ingest order (LRU): the auto-retire sweep
         # only ever probes each shard's first entry.
         shard.traces[trace_id] = shard.traces.pop(trace_id)
-        state.pending.append(record)
+        pending = state.pending
+        if type(pending) is list:
+            pending.append(record)
+        else:
+            # The trace's buffer is mid-batch columnar (the two ingest
+            # surfaces may interleave on one trace, e.g. a metadata-free
+            # fallback batch between columnar ones); fold the record in
+            # rather than forcing a flush.
+            pending.append_record(record)
         shard.records += 1
         return state
 
@@ -750,6 +758,71 @@ class ShardGroup:
         self.auto_retire()
         for trace_id, state in pending_over.items():
             if shard.traces.get(trace_id) is state:
+                self.flush_state(shard, state)
+        self.enforce_budget()
+
+    def ingest_batch_columnar(
+        self,
+        shard_index: int,
+        ticks: Sequence[int],
+        trace_ids: Sequence[TraceId],
+        cols: RecordColumns,
+    ) -> None:
+        """Columnar twin of :meth:`ingest_batch`: absorb a shard batch
+        of parallel columns without materializing record objects.
+
+        Row ``k`` of ``ticks`` / ``trace_ids`` / ``cols`` is one
+        receive record; each row is copied (:meth:`~repro.sim.trace.RecordColumns.append_from`,
+        plain column stores) onto its trace's columnar pending builder,
+        and watermark-crossing traces flush once per batch exactly as
+        in :meth:`ingest_batch`.  Flushing a columnar buffer takes the
+        zero-object path (:meth:`_flush_columns`) for healthy traces
+        and falls back to materialized records for reopened or
+        degraded ones, so everything observable -- ratios, flags,
+        violation order, flush cadence, counters -- is bit-identical
+        to object-path ingestion of the same rows.
+
+        A trace whose pending buffer is a non-empty object list (the
+        two ingest surfaces may interleave on one trace) folds this
+        row in as a record instead; the fast path resumes after its
+        next flush.
+        """
+        n = len(cols)
+        if len(ticks) != n or len(trace_ids) != n:
+            raise ValueError(
+                f"ragged columnar batch: {len(ticks)} ticks, "
+                f"{len(trace_ids)} trace ids, {n} record rows"
+            )
+        shard = self.shards[shard_index]
+        traces = shard.traces
+        batch_size = self.batch_size
+        pending_over: dict[TraceId, TraceState] = {}
+        for k in range(n):
+            trace_id = trace_ids[k]
+            state = self.state_of(shard, trace_id)
+            tick = ticks[k]
+            if tick is None:
+                self.tick = tick = self.tick + 1
+            elif tick > self.tick:
+                self.tick = tick
+            state.last_touch = tick
+            traces[trace_id] = traces.pop(trace_id)
+            pending = state.pending
+            if type(pending) is list:
+                if pending:
+                    pending.append(cols.record_at(k))
+                else:
+                    fresh = RecordColumns()
+                    fresh.append_from(cols, k)
+                    state.pending = fresh
+            else:
+                pending.append_from(cols, k)
+            shard.records += 1
+            if len(state.pending) >= batch_size:
+                pending_over[trace_id] = state
+        self.auto_retire()
+        for trace_id, state in pending_over.items():
+            if traces.get(trace_id) is state:
                 self.flush_state(shard, state)
         self.enforce_budget()
 
@@ -847,6 +920,17 @@ class ShardGroup:
             return
         batch = state.pending
         state.pending = []
+        if type(batch) is not list:
+            if state.reopened or state.monitor.forgotten_message_edges:
+                # The gap-fill path needs record objects, and degraded
+                # streams (an unsafe cut already happened) stay on the
+                # reference path wholesale -- rare by construction, and
+                # it keeps the columnar fast path free of the two
+                # hairiest regimes.
+                batch = batch.to_records()
+            else:
+                self._flush_columns(shard, state, batch)
+                return
         if state.reopened:
             self._fill_gaps(state.monitor, batch)
         for record in batch:
@@ -872,6 +956,58 @@ class ShardGroup:
         self._futile_at = None
         # Bookkeeping is consistent from here on: violation callbacks
         # recorded by the batch may now re-enter the group.
+        self._fire_deferred_violations()
+
+    def _flush_columns(
+        self, shard: FleetShard, state: TraceState, cols: RecordColumns
+    ) -> None:
+        """The columnar half of :meth:`flush_state`: one pass over the
+        columns replicates the per-record frontier / in-flight
+        bookkeeping (``Event`` keys fast-constructed from the columns,
+        so they compare equal to the object path's keys), then the
+        monitor absorbs the batch through
+        :meth:`~repro.analysis.online.OnlineAbcMonitor.observe_batch_columnar`.
+        Counters and memo invalidation mirror the object path line for
+        line -- :meth:`flush_state` already routed reopened and
+        degraded traces away from here.
+        """
+        frontier = state.frontier
+        in_flight = state.in_flight
+        processes = cols.processes
+        indexes = cols.indexes
+        senders = cols.senders
+        send_processes = cols.send_processes
+        send_indexes = cols.send_indexes
+        sends = cols.sends
+        new_event = Event.__new__
+        for k in range(len(processes)):
+            p = processes[k]
+            frontier[p] = indexes[k]
+            sp = send_processes[k]
+            if senders[k] is not None and sp is not None:
+                src = new_event(Event)
+                src.__dict__["process"] = sp
+                src.__dict__["index"] = send_indexes[k]
+                key = (src, p)
+                if in_flight.get(key, 0) > 0:
+                    in_flight[key] -= 1
+                    if in_flight[key] == 0:
+                        del in_flight[key]
+            rows = sends[k]
+            if rows:
+                event = new_event(Event)
+                event.__dict__["process"] = p
+                event.__dict__["index"] = indexes[k]
+                for row in rows:
+                    in_flight[(event, row[0])] += 1
+        state.monitor.observe_batch_columnar(cols)
+        state.n_records += len(cols)
+        shard.flushes += 1
+        self._live_events += state.monitor.n_events - state.live_cached
+        state.live_cached = state.monitor.n_events
+        # Same memo invalidation as the object path (see flush_state).
+        state.evict_marker = None
+        self._futile_at = None
         self._fire_deferred_violations()
 
     @staticmethod

@@ -184,8 +184,18 @@ def worker_main(
             cmd = message[0]
             if cmd == "ingest":
                 _cmd, shard_index, wire_batch = message
-                group.ingest_batch(
-                    shard_index, codec.decode_records(wire_batch)
+                # Columnar decode: two C-speed transposes instead of a
+                # per-record object build; the shard engine keeps the
+                # batch columnar all the way into the checker (reopened
+                # or degraded traces fall back to materialized records
+                # at flush time).  Malformed (ragged) frames raise here
+                # and surface through crash containment, like any other
+                # poison message.
+                ticks, trace_ids, cols = codec.decode_records_columnar(
+                    wire_batch
+                )
+                group.ingest_batch_columnar(
+                    shard_index, ticks, trace_ids, cols
                 )
                 if notices or ratio_updates:
                     outbox.put(

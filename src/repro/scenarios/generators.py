@@ -557,11 +557,47 @@ def _relay_skeleton(
     return skeleton
 
 
+def _firehose_skeleton(
+    rng: random.Random, n_records: int, n_processes: int = 4
+) -> list[tuple[Event, float, Event | None]]:
+    """A dense all-to-all firehose: after one wake-up per process,
+    every event is triggered by a message from a recent event and
+    fans out immediately.
+
+    Inter-arrival gaps are tiny and there are no silences, so records
+    arrive in dense batches; every record past the wake-ups carries a
+    triggering message and sends metadata.  A sliding window of recent
+    events keeps message spans short (ratios stay near 1 and the
+    frontier dense) -- the best case for columnar batch absorption,
+    where per-record object overhead, not oracle time, dominates.
+    """
+    skeleton: list[tuple[Event, float, Event | None]] = []
+    next_index = [0] * n_processes
+    now = 0.0
+
+    def emit(process: int, src: Event | None) -> Event:
+        nonlocal now
+        now += rng.uniform(0.0001, 0.001)
+        event = Event(process, next_index[process])
+        next_index[process] += 1
+        skeleton.append((event, now, src))
+        return event
+
+    recent = [emit(p, None) for p in range(n_processes)]
+    while len(skeleton) < n_records:
+        src = recent[rng.randrange(len(recent))]
+        recent.append(emit(rng.randrange(n_processes), src))
+        if len(recent) > 2 * n_processes:
+            recent.pop(0)
+    return skeleton
+
+
 _PROFILES = {
     "storm": _storm_skeleton,
     "burst": _burst_skeleton,
     "idler": _idler_skeleton,
     "relay": _relay_skeleton,
+    "firehose": _firehose_skeleton,
 }
 
 
@@ -581,7 +617,10 @@ def profiled_trace_records(
       settled history);
     * ``"relay"``  -- one long relay chain around three processes with
       slow cross echoes (see :func:`relay_chain_workload` -- no prefix
-      is ever exactly removable, the summary-compaction stress shape).
+      is ever exactly removable, the summary-compaction stress shape);
+    * ``"firehose"`` -- dense all-to-all exchange with no silences
+      (message-dense batches, short spans -- the columnar ingest
+      path's best case, and ``bench_e2e.py``'s workload).
 
     Every prefix of the returned list is a valid growing execution, and
     ``sends`` metadata is complete (each message appears in its send

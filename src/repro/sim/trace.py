@@ -26,6 +26,7 @@ from repro.core.events import Event, ProcessId
 from repro.core.execution_graph import ExecutionGraph, MessageEdge
 
 __all__ = [
+    "RecordColumns",
     "SendRecord",
     "ReceiveRecord",
     "Trace",
@@ -71,6 +72,179 @@ class ReceiveRecord:
     payload: Any
     processed: bool
     sends: tuple[SendRecord, ...]
+
+
+class RecordColumns:
+    """A struct-of-arrays twin of a ``list[ReceiveRecord]``.
+
+    The columnar ingest path (wire frame -> shard buffer -> monitor ->
+    checker) carries batches as ten parallel columns instead of record
+    objects, so the hot loop never constructs ``ReceiveRecord`` /
+    ``Event`` / ``SendRecord`` instances.  Column ``k`` of every
+    sequence describes the same receive record:
+
+    * ``processes[k]`` / ``indexes[k]`` -- the event identity.
+    * ``times[k]`` -- occurrence time.
+    * ``senders[k]`` / ``send_processes[k]`` / ``send_indexes[k]`` /
+      ``send_times[k]`` -- the triggering message's origin (all three
+      event fields ``None`` for wake-ups, matching the wire encoding).
+    * ``payloads[k]`` / ``processed[k]`` -- step content.
+    * ``sends[k]`` -- a tuple of *plain* wire rows
+      ``(dest, payload, delay, deliver_time)``, **not**
+      :class:`SendRecord` objects; the columns hold exactly what the
+      wire carries, and :meth:`record_at` rebuilds objects on demand.
+
+    All ten columns must have equal length -- a ragged columnar frame
+    (truncated or corrupted in transit) raises ``ValueError`` at
+    construction, in the caller, instead of desynchronizing silently.
+
+    Iteration materializes records (so snapshot encoding of a columnar
+    pending buffer reuses the object encoder unchanged); the builder
+    methods (:meth:`append_record`, :meth:`append_from`) require the
+    columns to be lists, which is how fresh instances are created.
+    """
+
+    __slots__ = (
+        "processes",
+        "indexes",
+        "times",
+        "senders",
+        "send_processes",
+        "send_indexes",
+        "send_times",
+        "payloads",
+        "processed",
+        "sends",
+    )
+
+    def __init__(
+        self,
+        processes=None,
+        indexes=None,
+        times=None,
+        senders=None,
+        send_processes=None,
+        send_indexes=None,
+        send_times=None,
+        payloads=None,
+        processed=None,
+        sends=None,
+    ) -> None:
+        self.processes = [] if processes is None else processes
+        self.indexes = [] if indexes is None else indexes
+        self.times = [] if times is None else times
+        self.senders = [] if senders is None else senders
+        self.send_processes = (
+            [] if send_processes is None else send_processes
+        )
+        self.send_indexes = [] if send_indexes is None else send_indexes
+        self.send_times = [] if send_times is None else send_times
+        self.payloads = [] if payloads is None else payloads
+        self.processed = [] if processed is None else processed
+        self.sends = [] if sends is None else sends
+        n = len(self.processes)
+        for name in self.__slots__:
+            if len(getattr(self, name)) != n:
+                raise ValueError(
+                    f"ragged columnar batch: column {name!r} has "
+                    f"{len(getattr(self, name))} entries, expected {n}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.processes)
+
+    def __bool__(self) -> bool:
+        return bool(self.processes)
+
+    def __iter__(self) -> Iterator[ReceiveRecord]:
+        return (self.record_at(k) for k in range(len(self.processes)))
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[ReceiveRecord]
+    ) -> "RecordColumns":
+        cols = cls()
+        for record in records:
+            cols.append_record(record)
+        return cols
+
+    def append_record(self, record: ReceiveRecord) -> None:
+        event = record.event
+        send_event = record.send_event
+        self.processes.append(event.process)
+        self.indexes.append(event.index)
+        self.times.append(record.time)
+        self.senders.append(record.sender)
+        if send_event is None:
+            self.send_processes.append(None)
+            self.send_indexes.append(None)
+        else:
+            self.send_processes.append(send_event.process)
+            self.send_indexes.append(send_event.index)
+        self.send_times.append(record.send_time)
+        self.payloads.append(record.payload)
+        self.processed.append(record.processed)
+        self.sends.append(
+            tuple(
+                (s.dest, s.payload, s.delay, s.deliver_time)
+                for s in record.sends
+            )
+        )
+
+    def append_from(self, other: "RecordColumns", k: int) -> None:
+        """Copy row ``k`` of ``other`` onto this builder (no objects)."""
+        self.processes.append(other.processes[k])
+        self.indexes.append(other.indexes[k])
+        self.times.append(other.times[k])
+        self.senders.append(other.senders[k])
+        self.send_processes.append(other.send_processes[k])
+        self.send_indexes.append(other.send_indexes[k])
+        self.send_times.append(other.send_times[k])
+        self.payloads.append(other.payloads[k])
+        self.processed.append(other.processed[k])
+        self.sends.append(other.sends[k])
+
+    def record_at(self, k: int) -> ReceiveRecord:
+        """Materialize row ``k`` as a :class:`ReceiveRecord`.
+
+        Uses the same trusted fast construction as the codec's
+        ``decode_record``: the columns only ever hold values produced
+        by an encoded record (or validated wire frame), so the frozen
+        dataclasses' ``__init__``/``__post_init__`` re-validation is
+        skipped.
+        """
+        event = Event.__new__(Event)
+        event.__dict__["process"] = self.processes[k]
+        event.__dict__["index"] = self.indexes[k]
+        sp = self.send_processes[k]
+        if sp is None:
+            send_event = None
+        else:
+            send_event = Event.__new__(Event)
+            send_event.__dict__["process"] = sp
+            send_event.__dict__["index"] = self.send_indexes[k]
+        sends = []
+        for dest, payload, delay, deliver_time in self.sends[k]:
+            send = SendRecord.__new__(SendRecord)
+            send.__dict__["dest"] = dest
+            send.__dict__["payload"] = payload
+            send.__dict__["delay"] = delay
+            send.__dict__["deliver_time"] = deliver_time
+            sends.append(send)
+        record = ReceiveRecord.__new__(ReceiveRecord)
+        d = record.__dict__
+        d["event"] = event
+        d["time"] = self.times[k]
+        d["sender"] = self.senders[k]
+        d["send_event"] = send_event
+        d["send_time"] = self.send_times[k]
+        d["payload"] = self.payloads[k]
+        d["processed"] = self.processed[k]
+        d["sends"] = tuple(sends)
+        return record
+
+    def to_records(self) -> list[ReceiveRecord]:
+        return [self.record_at(k) for k in range(len(self.processes))]
 
 
 @dataclass

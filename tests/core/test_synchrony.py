@@ -292,3 +292,139 @@ def test_admissible_iff_xi_above_worst_ratio(seed):
     assert check_abc(graph, above).admissible
     if worst > 1:
         assert not check_abc(graph, worst).admissible
+
+
+class TestAbsorbBatch:
+    """The bulk twin of add_event/add_message: bit-identical behavior,
+    batch-atomic event validation, per-record message errors."""
+
+    @staticmethod
+    def columns_from(records, faulty=frozenset()):
+        """Transpose records into absorb_batch columns, applying the
+        monitor's message filter (faulty senders, forgotten prefixes
+        are irrelevant here: nothing is tombstoned)."""
+        processes = [r.event.process for r in records]
+        indexes = [r.event.index for r in records]
+        messages = [
+            None
+            if r.send_event is None or r.sender in faulty
+            else (r.send_event.process, r.send_event.index)
+            for r in records
+        ]
+        return processes, indexes, messages
+
+    @staticmethod
+    def absorb_per_record(checker, records, faulty=frozenset()):
+        added = 0
+        for r in records:
+            checker.add_event(r.event)
+            if r.send_event is None or r.sender in faulty:
+                continue
+            if checker.add_message(r.send_event, r.event):
+                added += 1
+        return added
+
+    @pytest.mark.parametrize("profile", ("storm", "burst", "firehose"))
+    @pytest.mark.parametrize("batch", (1, 5, 32))
+    def test_matches_per_record_loop(self, profile, batch):
+        """Every observable -- event/message counts, worst-ratio
+        refresh sequence, oracle-call counts -- must match the
+        per-record loop at every batch boundary.  In-batch message
+        sources (the firehose norm) exercise the batch-local id cache."""
+        from repro.scenarios.generators import profiled_trace_records
+
+        records = profiled_trace_records(random.Random(13), profile, 70)
+        loop = AdmissibilityChecker()
+        bulk = AdmissibilityChecker()
+        loop_worst = bulk_worst = None
+        for i in range(0, len(records), batch):
+            chunk = records[i : i + batch]
+            n_loop = self.absorb_per_record(loop, chunk)
+            n_bulk = bulk.absorb_batch(*_split_cols(self.columns_from(chunk)))
+            assert n_bulk == n_loop
+            assert bulk.n_events == loop.n_events
+            assert bulk.n_messages == loop.n_messages
+            loop_worst = loop.updated_worst_ratio(loop_worst)
+            bulk_worst = bulk.updated_worst_ratio(bulk_worst)
+            assert bulk_worst == loop_worst
+            assert bulk.oracle_calls == loop.oracle_calls
+
+    def test_witness_identical_to_per_record(self):
+        """H-edge insertion order is part of the contract: the witness
+        cycle the kernels report depends on it, so the violating cycle
+        must be step-for-step identical."""
+        from repro.scenarios.generators import profiled_trace_records
+
+        records = profiled_trace_records(random.Random(1), "storm", 80)
+        loop = AdmissibilityChecker()
+        bulk = AdmissibilityChecker()
+        self.absorb_per_record(loop, records)
+        bulk.absorb_batch(*_split_cols(self.columns_from(records)))
+        xi = Fraction(2)
+        loop_cycle = loop.violating_cycle(xi)
+        bulk_cycle = bulk.violating_cycle(xi)
+        assert loop_cycle is not None, "storm workloads must violate Xi=2"
+        assert bulk_cycle.cycle.steps == loop_cycle.cycle.steps
+        assert bulk_cycle.ratio == loop_cycle.ratio
+
+    def test_returns_message_edge_count(self):
+        ch = AdmissibilityChecker()
+        added = ch.absorb_batch(
+            ([0, 1, 1], [0, 0, 1]), [None, (0, 0), None]
+        )
+        assert added == 1
+        assert (ch.n_events, ch.n_messages) == (3, 1)
+
+    def test_out_of_order_event_leaves_checker_untouched(self):
+        """Validation is a pre-pass: a bad event column must reject the
+        whole batch before any mutation, unlike message errors."""
+        ch = AdmissibilityChecker()
+        ch.add_event(Event(0, 0))
+        with pytest.raises(ValueError, match="local order"):
+            ch.absorb_batch(([0, 0], [1, 3]), None)  # gap after index 1
+        assert ch.n_events == 1
+        assert ch.n_events_of(0) == 1
+        # The checker is still usable and order still enforced.
+        ch.absorb_batch(([0], [1]), None)
+        assert ch.n_events == 2
+
+    def test_ragged_columns_rejected(self):
+        ch = AdmissibilityChecker()
+        with pytest.raises(ValueError, match="equal lengths"):
+            ch.absorb_batch(([0, 0], [0]), None)
+        with pytest.raises(ValueError, match="equal lengths"):
+            ch.absorb_batch(([0], [0]), [None, None])
+
+    def test_unknown_message_source_raises(self):
+        ch = AdmissibilityChecker()
+        with pytest.raises(KeyError, match="not in the checker"):
+            ch.absorb_batch(([0], [0]), [(7, 0)])
+
+    def test_self_loop_raises(self):
+        ch = AdmissibilityChecker()
+        with pytest.raises(ValueError, match="self loop"):
+            ch.absorb_batch(([0], [0]), [(0, 0)])
+
+    def test_tombstoned_predecessor_skips_local_edge(self):
+        """After an exact compaction, the next event of a process whose
+        frontier was removed must attach without a local edge --
+        exactly as add_event handles it."""
+        loop = AdmissibilityChecker()
+        bulk = AdmissibilityChecker()
+        prefix = [Event(0, 0), Event(0, 1), Event(1, 0)]
+        for ch in (loop, bulk):
+            for event in prefix:
+                ch.add_event(event)
+            ch.compact_prefix([Event(0, 0), Event(0, 1)], mode="exact")
+        loop.add_event(Event(0, 2))
+        bulk.absorb_batch(([0], [2]), None)
+        assert bulk.n_events == loop.n_events
+        assert bulk.first_live_index(0) == loop.first_live_index(0) == 2
+        assert bulk.updated_worst_ratio(None) == loop.updated_worst_ratio(
+            None
+        )
+
+
+def _split_cols(cols):
+    processes, indexes, messages = cols
+    return (processes, indexes), messages

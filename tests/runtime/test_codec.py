@@ -22,6 +22,7 @@ from repro.runtime.codec import (
     decode_notice,
     decode_record,
     decode_records,
+    decode_records_columnar,
     decode_spec,
     decode_specs,
     decode_stats,
@@ -400,3 +401,133 @@ class TestGroupSnapshot:
         original_stats = {s.shard: s for s in original.shard_stats()}
         for stats in restored.shard_stats():
             assert stats == original_stats[stats.shard]
+
+
+# ----------------------------------------------------------------------
+# columnar decode: the zero-object twin of decode_records
+# ----------------------------------------------------------------------
+
+
+def wire_batch(records):
+    return encode_records(
+        [(i + 1, f"trace-{i % 3}", r) for i, r in enumerate(records)]
+    )
+
+
+class TestColumnarDecode:
+    @pytest.mark.parametrize("profile", PROFILES + ("firehose",))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_object_decode_record_for_record(self, profile, seed):
+        """The columnar transpose must agree with the object decoder on
+        every field of every row -- ticks, ids, and materialized
+        records -- including sends metadata."""
+        records = profiled_trace_records(random.Random(seed), profile, 60)
+        wire = wire_batch(records)
+        reference = decode_records(wire)
+        ticks, trace_ids, cols = decode_records_columnar(wire)
+        assert list(ticks) == [tick for tick, _, _ in reference]
+        assert list(trace_ids) == [tid for _, tid, _ in reference]
+        assert len(cols) == len(reference)
+        for k, (_, _, record) in enumerate(reference):
+            materialized = cols.record_at(k)
+            assert materialized == record
+            assert materialized.sends == record.sends
+        # Iteration is the snapshot path: it must materialize the same
+        # record objects in order.
+        assert list(cols) == [record for _, _, record in reference]
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_metadata_free_streams_stay_empty(self, profile):
+        """Degraded streams (sends stripped at the producer) must come
+        out of the columnar path as genuinely empty metadata."""
+        records = strip_sends_metadata(
+            profiled_trace_records(random.Random(7), profile, 40)
+        )
+        wire = wire_batch(records)
+        _ticks, _ids, cols = decode_records_columnar(wire)
+        assert all(row == () for row in cols.sends)
+        assert [r for _, _, r in decode_records(wire)] == list(cols)
+
+    @given(
+        payload_num=st.integers(min_value=-(10**40), max_value=10**40),
+        payload_den=st.integers(min_value=1, max_value=10**40),
+        n_sends=st.integers(min_value=0, max_value=3),
+        processed=st.booleans(),
+        wakeup=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_payloads_survive_both_paths(
+        self, payload_num, payload_den, n_sends, processed, wakeup
+    ):
+        """Big-int Fraction payloads (the exact-arithmetic plane's
+        currency) pass through the columnar transpose untouched --
+        the columns hold the very objects the wire row held."""
+        from repro.core.events import Event
+        from repro.sim.trace import ReceiveRecord, SendRecord
+
+        payload = Fraction(payload_num, payload_den)
+        record = ReceiveRecord(
+            event=Event(process=2, index=5),
+            time=1.5,
+            sender=None if wakeup else 1,
+            send_event=None if wakeup else Event(process=1, index=4),
+            send_time=None if wakeup else 1.25,
+            payload=payload,
+            processed=processed,
+            sends=tuple(
+                SendRecord(
+                    dest=d, payload=payload + d, delay=0.1, deliver_time=2.0
+                )
+                for d in range(n_sends)
+            ),
+        )
+        wire = [(1, "t", encode_record(record))]
+        [(_, _, via_object)] = decode_records(wire)
+        _ticks, _ids, cols = decode_records_columnar(wire)
+        via_columns = cols.record_at(0)
+        assert via_columns == via_object == record
+        assert via_columns.payload == payload
+        assert [s.payload for s in via_columns.sends] == [
+            s.payload for s in record.sends
+        ]
+
+    def test_empty_batch(self):
+        ticks, trace_ids, cols = decode_records_columnar([])
+        assert ticks == () and trace_ids == ()
+        assert len(cols) == 0 and not cols
+
+    def test_ragged_batch_rows_raise(self):
+        """A truncated frame row must fail loudly in the decoder, not
+        desynchronize columns downstream."""
+        records = profiled_trace_records(random.Random(0), "burst", 6)
+        wire = wire_batch(records)
+        wire[3] = wire[3][:2]  # drop the record cell
+        with pytest.raises(ValueError, match="ragged columnar batch"):
+            decode_records_columnar(wire)
+
+    def test_ragged_record_arity_raises(self):
+        """A record tuple with the wrong field count (old producer,
+        corrupted frame) must raise, not shift every later column."""
+        records = profiled_trace_records(random.Random(0), "burst", 6)
+        wire = wire_batch(records)
+        tick, tid, rec = wire[2]
+        wire[2] = (tick, tid, rec[:9])  # nine fields, not ten
+        with pytest.raises(ValueError, match="ragged columnar batch"):
+            decode_records_columnar(wire)
+
+    def test_ragged_columns_raise_at_construction(self):
+        from repro.sim.trace import RecordColumns
+
+        with pytest.raises(ValueError, match="ragged columnar batch"):
+            RecordColumns(
+                processes=[1, 2],
+                indexes=[0],  # short column
+                times=[0.0, 1.0],
+                senders=[None, None],
+                send_processes=[None, None],
+                send_indexes=[None, None],
+                send_times=[None, None],
+                payloads=[None, None],
+                processed=[True, True],
+                sends=[(), ()],
+            )

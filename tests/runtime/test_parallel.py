@@ -891,3 +891,77 @@ class TestMixedKernelMatrix:
             ParallelFleet(n_workers=1, backend="thread", kernel="nope")
         with pytest.raises(ValueError, match="unknown kernel"):
             MonitorSpec(kernel="nope")
+
+
+class TestCountersPurity:
+    """The counters telemetry (``live_events`` / ``open_traces`` /
+    ``retired_traces``) is documented as a pure read: polling it
+    mid-stream must not ship buffers, force worker flushes, or change
+    the flush cadence.  Regression guard for the columnar wire path,
+    whose batching would silently collapse if a poll started flushing."""
+
+    @staticmethod
+    def drive(poll_every, stream, **fleet_kw):
+        polls = []
+        with ParallelFleet(
+            n_shards=8,
+            n_workers=2,
+            batch_size=8,
+            backend="thread",
+            wire_batch=32,
+            **fleet_kw,
+        ) as fleet:
+            for i, (trace_id, record) in enumerate(stream):
+                fleet.ingest(trace_id, record)
+                if poll_every and i % poll_every == 0:
+                    polls.append(
+                        (
+                            fleet.live_events,
+                            fleet.open_traces,
+                            fleet.retired_traces,
+                        )
+                    )
+            fleet.flush()
+            report = fleet.report()
+            ratios = {
+                tid: fleet.worst_ratio(tid)
+                for tid in sorted({t for t, _ in stream}, key=str)
+            }
+        return polls, report, ratios
+
+    def test_polling_does_not_change_flush_cadence(self):
+        stream = list(
+            concurrent_workload(
+                random.Random(19), n_traces=10, records_per_trace=(20, 40)
+            )
+        )
+        _no_polls, quiet_report, quiet_ratios = self.drive(0, stream)
+        polls, polled_report, polled_ratios = self.drive(7, stream)
+        assert polls, "the polled twin must actually poll"
+        assert polled_ratios == quiet_ratios
+        assert polled_report.records == quiet_report.records
+        assert polled_report.violating_traces == quiet_report.violating_traces
+        # The load-bearing assertion: identical per-shard flush counts
+        # and record counts -- a poll that shipped buffers or forced a
+        # flush would break the cadence.
+        assert [
+            (s.shard, s.flushes, s.records) for s in polled_report.shards
+        ] == [(s.shard, s.flushes, s.records) for s in quiet_report.shards]
+        assert polled_report.live_events == quiet_report.live_events
+
+    def test_counts_reflect_absorbed_not_buffered(self):
+        """Mid-stream counter reads are bounded by what was absorbed:
+        they never exceed the records ingested so far, and the final
+        read (after flush) accounts for every open trace."""
+        stream = list(
+            concurrent_workload(
+                random.Random(23), n_traces=6, records_per_trace=(10, 20)
+            )
+        )
+        polls, report, _ratios = self.drive(5, stream)
+        n_traces = len({tid for tid, _ in stream})
+        for live, opened, retired in polls:
+            assert 0 <= opened <= n_traces
+            assert retired == 0
+            assert live <= len(stream)
+        assert report.open_traces == n_traces

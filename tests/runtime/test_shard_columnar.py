@@ -1,0 +1,216 @@
+"""Shard-engine lockstep tests for columnar batch ingestion.
+
+``ShardGroup.ingest_batch_columnar`` promises everything observable --
+per-trace worst ratios, degraded flags, violation merge order, flush
+cadence, oracle-call counts, live-event accounting -- bit-identical to
+``ingest_batch`` over the same wire rows, including the regimes where
+it must *leave* the zero-object fast path: metadata-free degraded
+traces, traces reopened after retirement, and batches interleaving the
+two ingest surfaces on one trace.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.runtime import codec
+from repro.runtime.shard import ShardGroup, shard_index_of
+from repro.scenarios.generators import (
+    concurrent_workload,
+    strip_sends_metadata,
+)
+
+XI = Fraction(3)
+N_SHARDS = 4
+
+
+def wire_stream(seed=1, n_traces=24, metadata_free=False, **kw):
+    kw.setdefault("records_per_trace", (20, 40))
+    stream = list(
+        concurrent_workload(random.Random(seed), n_traces=n_traces, **kw)
+    )
+    if metadata_free:
+        by_trace = {}
+        for tid, record in stream:
+            by_trace.setdefault(tid, []).append(record)
+        stripped = {
+            tid: iter(strip_sends_metadata(records))
+            for tid, records in by_trace.items()
+        }
+        stream = [(tid, next(stripped[tid])) for tid, _ in stream]
+    return [
+        (tick, tid, codec.encode_record(record))
+        for tick, (tid, record) in enumerate(stream, 1)
+    ]
+
+
+def shard_batches(rows, wire_batch=32):
+    """Cut an interleaved stream into per-shard wire batches, exactly
+    as the parallel dispatcher does."""
+    buffers: dict[int, list[tuple]] = {}
+    out = []
+    for row in rows:
+        shard = shard_index_of(row[1], N_SHARDS)
+        pending = buffers.setdefault(shard, [])
+        pending.append(row)
+        if len(pending) >= wire_batch:
+            out.append((shard, pending))
+            buffers[shard] = []
+    for shard, pending in sorted(buffers.items()):
+        if pending:
+            out.append((shard, pending))
+    return out
+
+
+def make_group(**kw):
+    kw.setdefault("xi", XI)
+    kw.setdefault("batch_size", 8)
+    return ShardGroup(range(N_SHARDS), **kw)
+
+
+def feed_object(group, shard, rows):
+    group.ingest_batch(shard, codec.decode_records(rows))
+
+
+def feed_columnar(group, shard, rows):
+    ticks, ids, cols = codec.decode_records_columnar(rows)
+    group.ingest_batch_columnar(shard, ticks, ids, cols)
+
+
+def observables(group, rows):
+    ids = sorted({tid for _, tid, _ in rows}, key=str)
+    return {
+        "ratios": {
+            tid: group.worst_ratio(shard_index_of(tid, N_SHARDS), tid)
+            for tid in ids
+        },
+        "degraded": {
+            tid: group.is_degraded(shard_index_of(tid, N_SHARDS), tid)
+            for tid in ids
+        },
+        "violations": list(group.violations),
+        "flushes": [
+            (s.index, s.flushes, s.records) for s in group.shards.values()
+        ],
+        "oracle_calls": sum(
+            state.monitor.oracle_calls
+            for shard in group.shards.values()
+            for state in shard.traces.values()
+        ),
+        "live_events": group.live_events,
+        "stats": group.shard_stats(),
+    }
+
+
+def assert_groups_agree(rows, drive_obj, drive_col, **group_kw):
+    obj_group = make_group(**group_kw)
+    col_group = make_group(**group_kw)
+    drive_obj(obj_group)
+    drive_col(col_group)
+    obj_group.flush_all()
+    col_group.flush_all()
+    obj = observables(obj_group, rows)
+    col = observables(col_group, rows)
+    assert col["ratios"] == obj["ratios"]
+    assert col["degraded"] == obj["degraded"]
+    assert col["violations"] == obj["violations"], "violation merge order"
+    assert col["flushes"] == obj["flushes"], "flush cadence"
+    assert col["oracle_calls"] == obj["oracle_calls"]
+    assert col["live_events"] == obj["live_events"]
+    assert col["stats"] == obj["stats"]
+    return obj
+
+
+class TestShardLockstep:
+    @pytest.mark.parametrize("wire_batch", (8, 32, 128))
+    def test_columnar_matches_object_ingest(self, wire_batch):
+        rows = wire_stream(seed=5)
+        batches = shard_batches(rows, wire_batch)
+
+        def obj(group):
+            for shard, chunk in batches:
+                feed_object(group, shard, chunk)
+
+        def col(group):
+            for shard, chunk in batches:
+                feed_columnar(group, shard, chunk)
+
+        result = assert_groups_agree(rows, obj, col)
+        assert result["violations"], "workload must violate Xi=3"
+
+    def test_metadata_free_degraded_traces_agree(self):
+        """Stripped sends metadata degrades traces (forgotten edges);
+        the columnar flush must fall back to the object path for them
+        and still agree on every flag and ratio."""
+        rows = wire_stream(seed=9, metadata_free=True)
+        batches = shard_batches(rows)
+
+        def obj(group):
+            for shard, chunk in batches:
+                feed_object(group, shard, chunk)
+
+        def col(group):
+            for shard, chunk in batches:
+                feed_columnar(group, shard, chunk)
+
+        result = assert_groups_agree(
+            rows, obj, col, event_budget=300, compact_threshold=3.0
+        )
+        assert any(result["degraded"].values()), (
+            "workload must exercise the degraded fallback"
+        )
+
+    def test_mixed_surfaces_interleave_on_one_group(self):
+        """Alternating object and columnar batches into the *same*
+        group -- the mid-stream fallback shape -- must match a pure
+        object-path group."""
+        rows = wire_stream(seed=3)
+        batches = shard_batches(rows, 16)
+
+        def obj(group):
+            for shard, chunk in batches:
+                feed_object(group, shard, chunk)
+
+        def mixed(group):
+            for k, (shard, chunk) in enumerate(batches):
+                if k % 2:
+                    feed_object(group, shard, chunk)
+                else:
+                    feed_columnar(group, shard, chunk)
+
+        assert_groups_agree(rows, obj, mixed)
+
+    def test_reopened_trace_takes_fallback_and_agrees(self):
+        """A trace closed mid-stream and reopened by later records is
+        permanently degraded; columnar ingestion of its later batches
+        must agree with object ingestion record for record."""
+        rows = wire_stream(seed=7, n_traces=6)
+        cut = len(rows) // 2
+        victim = rows[0][1]
+        shard = shard_index_of(victim, N_SHARDS)
+
+        def drive(feed):
+            def go(group):
+                for s, chunk in shard_batches(rows[:cut], 16):
+                    feed(group, s, chunk)
+                group.flush_trace(shard, victim)
+                group.close(shard, victim)
+                for s, chunk in shard_batches(rows[cut:], 16):
+                    feed(group, s, chunk)
+
+            return go
+
+        result = assert_groups_agree(
+            rows, drive(feed_object), drive(feed_columnar)
+        )
+        assert result["degraded"][victim], "victim must reopen degraded"
+
+    def test_ragged_columnar_batch_rejected(self):
+        group = make_group()
+        rows = wire_stream(seed=1, n_traces=2)[:4]
+        ticks, ids, cols = codec.decode_records_columnar(rows)
+        with pytest.raises(ValueError, match="ragged columnar batch"):
+            group.ingest_batch_columnar(0, ticks[:-1], ids, cols)
+        with pytest.raises(ValueError, match="ragged columnar batch"):
+            group.ingest_batch_columnar(0, ticks, ids[:-1], cols)

@@ -86,7 +86,9 @@ def test_theta_band_trace_is_abc_admissible():
 # ----------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("profile", ["storm", "burst", "idler", "relay"])
+@pytest.mark.parametrize(
+    "profile", ["storm", "burst", "idler", "relay", "firehose"]
+)
 def test_profiled_traces_are_valid_growing_executions(profile):
     records = profiled_trace_records(random.Random(3), profile, 50)
     assert len(records) == 50
@@ -98,7 +100,9 @@ def test_profiled_traces_are_valid_growing_executions(profile):
         build_execution_graph(Trace(n, frozenset(), records[:k]))
 
 
-@pytest.mark.parametrize("profile", ["storm", "burst", "idler", "relay"])
+@pytest.mark.parametrize(
+    "profile", ["storm", "burst", "idler", "relay", "firehose"]
+)
 def test_profiled_traces_carry_complete_sends_metadata(profile):
     """Every message must appear in its send event's ``sends`` -- the
     in-flight knowledge that keeps fleet eviction exact."""
@@ -186,3 +190,34 @@ def test_relay_chain_validation():
         relay_chain_workload(random.Random(0), 10, n_processes=1)
     with pytest.raises(ValueError):
         relay_chain_workload(random.Random(0), 0)
+
+
+def test_firehose_traces_are_dense_message_streams():
+    """The firehose profile (the columnar benchmark's gate shape):
+    one wake-up per process, then *every* record carries a triggering
+    message from a recent event, with no silences between arrivals."""
+    records = profiled_trace_records(random.Random(5), "firehose", 80)
+    n_processes = max(r.event.process for r in records) + 1
+    wakeups = [r for r in records if r.send_event is None]
+    assert len(wakeups) == n_processes
+    assert all(r.event.index == 0 for r in wakeups)
+    triggered = [r for r in records if r.send_event is not None]
+    assert len(triggered) == len(records) - n_processes
+    # Dense arrivals: no gap resembling an idle period.
+    times = [r.time for r in records]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert max(gaps) < 0.01
+    # Dense all-to-all traffic closes relevant cycles, so the monitor
+    # has real ratio work on every batch.
+    graph = build_execution_graph(
+        Trace(n_processes, frozenset(), records)
+    )
+    from repro.core.synchrony import worst_relevant_ratio
+
+    assert worst_relevant_ratio(graph) is not None
+
+
+def test_firehose_determinism():
+    one = profiled_trace_records(random.Random(42), "firehose", 60)
+    two = profiled_trace_records(random.Random(42), "firehose", 60)
+    assert one == two
