@@ -22,6 +22,10 @@ The package is organized as:
   backends, and the :class:`~repro.runtime.ParallelFleet` dispatcher.
 * :mod:`repro.scenarios` -- the paper's figures as executable
   constructions, plus random workload generators.
+* :mod:`repro.obs` -- the telemetry plane: the metrics registry
+  (counters, gauges, deterministic-merge histograms), record-lifecycle
+  tracing spans, and the Prometheus/JSON export surfaces.  Enabled by
+  ``REPRO_OBS=1``; near-zero cost when off.
 
 Quickstart::
 
@@ -38,6 +42,14 @@ Quickstart::
     assert check_abc(build_execution_graph(trace), xi).admissible
 """
 
+import logging as _logging
+
 __version__ = "1.0.0"
 
 __all__ = ["__version__"]
+
+# Library logging etiquette: everything under the "repro" logger tree
+# is silent unless the application configures handlers (the runtime
+# logs worker crashes, recoveries, journal damage, and reconnect
+# backoff at the usual levels).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())

@@ -70,6 +70,7 @@ observation (the ratio is a function of the observed graph alone).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Iterable
@@ -78,6 +79,42 @@ from repro.core.cycles import CycleClassification
 from repro.core.events import Event, ProcessId
 from repro.core.execution_graph import ExecutionGraph, MessageEdge
 from repro.core.synchrony import AdmissibilityChecker, AdmissibilityResult, as_xi
+from repro.obs import metrics as _obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import STAGE_METRIC
+
+
+class MonitorObs:
+    """The monitor's instrument bundle on some registry.
+
+    Oracle-call and compaction counters are *deterministic*: both are
+    functions of the observed record stream (the kernel conformance
+    gate already asserts oracle-call counts bit-identical), so they
+    merge identically across process and thread backends.  Refresh
+    latency is wall clock and is not.  The refresh histogram doubles as
+    the ``kernel_sweep`` lifecycle stage.
+    """
+
+    __slots__ = ("oracle_calls", "compactions", "refresh_ns", "sweep_ns")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.oracle_calls = registry.counter(
+            "repro_monitor_oracle_calls_total",
+            help="negative-cycle oracle runs issued by monitor refreshes",
+        )
+        self.compactions = registry.counter(
+            "repro_monitor_compaction_passes_total",
+            help="threshold-triggered summary compactions (maybe_compact)",
+        )
+        self.refresh_ns = registry.histogram(
+            "repro_monitor_refresh_ns",
+            help="incremental worst-ratio refresh latency",
+        )
+        self.sweep_ns = registry.histogram(
+            STAGE_METRIC,
+            (("stage", "kernel_sweep"),),
+            help="per-stage record-lifecycle latency",
+        )
 from repro.sim.trace import (
     ReceiveRecord,
     RecordColumns,
@@ -180,6 +217,26 @@ class OnlineAbcMonitor:
         self.kernel = kernel
         self._checker = AdmissibilityChecker(kernel=kernel)
         self._worst: Fraction | None = None
+        # Telemetry handle: ``None`` when disabled (one attribute read
+        # per refresh, the emit_ratio contract).  Standalone monitors
+        # bind the process-global registry; a ShardGroup re-binds its
+        # monitors to the group's own registry (see ``_wire_monitor``),
+        # which is what keeps thread-backend workers from sharing
+        # instruments.
+        self._obs: MonitorObs | None = (
+            MonitorObs(_obs_metrics.global_registry())
+            if _obs_metrics.enabled()
+            else None
+        )
+
+    def __getstate__(self) -> dict:
+        # Instruments are process-local live objects (locks, shared
+        # registries): never serialized, so snapshot blobs stay
+        # bit-identical with telemetry on or off.  The restoring side
+        # re-binds (``ShardGroup._wire_monitor``).
+        state = self.__dict__.copy()
+        state["_obs"] = None
+        return state
 
     # ------------------------------------------------------------------
     # state
@@ -650,6 +707,8 @@ class OnlineAbcMonitor:
         removed = self.forget_prefix(cut, summarize=True)
         if removed:
             self.auto_compactions += 1
+            if self._obs is not None:
+                self._obs.compactions.inc()
         return removed
 
     @classmethod
@@ -678,8 +737,20 @@ class OnlineAbcMonitor:
         callbacks when the ratio moved.
         """
         checker = self._checker
+        obs = self._obs
         previous = self._worst
-        self._worst = checker.updated_worst_ratio(previous)
+        if obs is not None:
+            start = time.perf_counter_ns()
+            calls_before = checker.oracle_calls
+            self._worst = checker.updated_worst_ratio(previous)
+            duration = time.perf_counter_ns() - start
+            obs.refresh_ns.observe(duration)
+            obs.sweep_ns.observe(duration)
+            issued = checker.oracle_calls - calls_before
+            if issued:
+                obs.oracle_calls.inc(issued)
+        else:
+            self._worst = checker.updated_worst_ratio(previous)
         if self._worst is None or self._worst == previous:
             return
         change = RatioChange(

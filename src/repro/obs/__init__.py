@@ -1,0 +1,63 @@
+"""repro.obs: the fleet telemetry plane (stdlib only).
+
+Metrics (:mod:`repro.obs.metrics`): a per-component
+:class:`MetricsRegistry` of counters, gauges, and fixed-bucket
+integer-nanosecond histograms that serialize to plain tuples, merge
+deterministically across workers, and export as Prometheus text or
+JSON.  Tracing (:mod:`repro.obs.trace`): :class:`TraceContext` /
+:class:`Span` stage timing over the record lifecycle.
+
+Everything is gated on ``REPRO_OBS`` (or :func:`set_enabled`): with
+telemetry off, components bind ``None`` instead of instrument bundles
+and the whole plane costs one attribute load per call site.
+
+Metric naming follows ``repro_<component>_<what>[_total|_ns]``:
+``_total`` for counters, ``_ns`` for nanosecond histograms, bare names
+for gauges; see ``docs/architecture.md`` for the full scheme.
+"""
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_NS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    enabled,
+    global_registry,
+    merge_row_sets,
+    registry_if_enabled,
+    reset_global_registry,
+    rows_to_json,
+    set_enabled,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    STAGE_METRIC,
+    STAGES,
+    Span,
+    TraceContext,
+    new_context,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "DEFAULT_NS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "enabled",
+    "set_enabled",
+    "global_registry",
+    "registry_if_enabled",
+    "reset_global_registry",
+    "merge_row_sets",
+    "rows_to_json",
+    "NULL_SPAN",
+    "STAGE_METRIC",
+    "STAGES",
+    "Span",
+    "TraceContext",
+    "new_context",
+]

@@ -25,10 +25,12 @@ block into :class:`WorkerCrashed` instead of a hang.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import queue
 import threading
 import time
+from collections import deque
 from typing import Any, Callable, Iterable
 
 from repro.runtime.worker import worker_main
@@ -40,6 +42,8 @@ __all__ = [
     "WorkerHandle",
 ]
 
+logger = logging.getLogger(__name__)
+
 # Seconds between liveness probes while blocked on a full inbox or an
 # empty outbox; purely an upper bound on crash-detection latency.
 _PROBE_INTERVAL = 0.05
@@ -47,8 +51,19 @@ _PROBE_INTERVAL = 0.05
 
 class WorkerCrashed(RuntimeError):
     """A worker died (crash message received, or its process/thread is
-    gone); the message names the worker, its shards, and -- when the
-    worker managed to send one -- the original traceback."""
+    gone); the message names the worker and -- whenever the worker
+    managed to send one -- carries the original traceback, both in the
+    message text and as :attr:`worker_traceback`."""
+
+    def __init__(
+        self,
+        message: str,
+        worker_id: int | None = None,
+        worker_traceback: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.worker_traceback = worker_traceback
 
 
 class WorkerHandle:
@@ -67,9 +82,72 @@ class WorkerHandle:
         self.outbox = outbox
         self._is_alive = is_alive
         self._join = join
+        # Messages salvaged from the outbox while building a crash
+        # diagnosis; served to the dispatcher ahead of the queue so the
+        # salvage never steals replies or notices.
+        self._salvaged: deque[tuple] = deque()
+        # The worker's crash traceback, once seen (crash frames are
+        # recorded on every read path, then *also* delivered).
+        self.crash_traceback: str | None = None
+        self._crash_logged = False
+        # Backpressure accounting, always on (the Full branch is the
+        # slow path already): ship attempts that blocked, and for how
+        # long.  The dispatcher folds these into its metrics registry.
+        self.stall_count = 0
+        self.stall_ns = 0
 
     def alive(self) -> bool:
         return self._is_alive()
+
+    def depth(self) -> int:
+        """Best-effort inbox depth (0 where the platform's queue cannot
+        say, e.g. ``qsize`` on macOS)."""
+        try:
+            return self.inbox.qsize()
+        except (NotImplementedError, OSError):
+            return 0
+
+    def _note(self, message: tuple) -> tuple:
+        if message and message[0] == "crash":
+            self.crash_traceback = message[2]
+        return message
+
+    def _crashed(self, context: str) -> WorkerCrashed:
+        """Build the crash exception, always with the worker's traceback
+        when one exists: drain whatever the outbox holds into the
+        salvage buffer (crash frames are recorded *and* kept for the
+        dispatcher's own accounting), log once at ERROR, and attach.
+        """
+        while True:
+            try:
+                message = self.outbox.get_nowait()
+            except queue.Empty:
+                break
+            self._salvaged.append(self._note(message))
+        if self.crash_traceback is None and not self.alive():
+            # One short grace read: the crash frame may still be in a
+            # process queue's feeder thread (the _grace_read lag).
+            try:
+                self._salvaged.append(
+                    self._note(self.outbox.get(timeout=0.25))
+                )
+            except queue.Empty:
+                pass
+        detail = self.crash_traceback
+        message = f"worker {self.worker_id} {context}"
+        if detail is not None:
+            message = f"{message}\nworker traceback:\n{detail}"
+        if not self._crash_logged:
+            self._crash_logged = True
+            logger.error(
+                "worker %d crashed (%s)%s",
+                self.worker_id,
+                context,
+                "" if detail is None else f":\n{detail}",
+            )
+        return WorkerCrashed(
+            message, worker_id=self.worker_id, worker_traceback=detail
+        )
 
     def put(self, message: tuple, timeout: float | None = None) -> None:
         """Enqueue with backpressure: block while the inbox is full,
@@ -83,28 +161,36 @@ class WorkerHandle:
         deadline -- the crash is the truer diagnosis.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
-        while True:
-            wait = _PROBE_INTERVAL
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    if not self.alive():
-                        raise WorkerCrashed(
-                            f"worker {self.worker_id} died with a full inbox"
+        stalled_at: int | None = None
+        try:
+            while True:
+                wait = _PROBE_INTERVAL
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        if not self.alive():
+                            raise self._crashed(
+                                "died with a full inbox"
+                            ) from None
+                        raise TimeoutError(
+                            f"worker {self.worker_id} inbox full for "
+                            f"{timeout:.1f}s"
                         ) from None
-                    raise TimeoutError(
-                        f"worker {self.worker_id} inbox full for "
-                        f"{timeout:.1f}s"
-                    ) from None
-                wait = min(wait, remaining)
-            try:
-                self.inbox.put(message, timeout=wait)
-                return
-            except queue.Full:
-                if not self.alive():
-                    raise WorkerCrashed(
-                        f"worker {self.worker_id} died with a full inbox"
-                    ) from None
+                    wait = min(wait, remaining)
+                try:
+                    self.inbox.put(message, timeout=wait)
+                    return
+                except queue.Full:
+                    if stalled_at is None:
+                        stalled_at = time.perf_counter_ns()
+                        self.stall_count += 1
+                    if not self.alive():
+                        raise self._crashed(
+                            "died with a full inbox"
+                        ) from None
+        finally:
+            if stalled_at is not None:
+                self.stall_ns += time.perf_counter_ns() - stalled_at
 
     def get(self, timeout: float | None = None) -> tuple:
         """Dequeue one outbound message, probing liveness while empty.
@@ -112,6 +198,8 @@ class WorkerHandle:
         Same monotonic-deadline semantics as :meth:`put`; on a dead
         worker one final grace read drains a reply that raced the exit.
         """
+        if self._salvaged:
+            return self._salvaged.popleft()
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             wait = _PROBE_INTERVAL
@@ -125,7 +213,7 @@ class WorkerHandle:
                     ) from None
                 wait = min(wait, remaining)
             try:
-                return self.outbox.get(timeout=wait)
+                return self._note(self.outbox.get(timeout=wait))
             except queue.Empty:
                 if not self.alive():
                     return self._grace_read()
@@ -135,16 +223,16 @@ class WorkerHandle:
         its crash notice and exited between probes (a process queue's
         feeder thread can lag the exit)."""
         try:
-            return self.outbox.get(timeout=0.25)
+            return self._note(self.outbox.get(timeout=0.25))
         except queue.Empty:
-            raise WorkerCrashed(
-                f"worker {self.worker_id} died without replying"
-            ) from None
+            raise self._crashed("died without replying") from None
 
     def get_nowait(self) -> tuple | None:
         """Opportunistic drain: one message if immediately available."""
+        if self._salvaged:
+            return self._salvaged.popleft()
         try:
-            return self.outbox.get_nowait()
+            return self._note(self.outbox.get_nowait())
         except queue.Empty:
             return None
 

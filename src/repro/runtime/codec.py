@@ -408,6 +408,35 @@ def decode_ratio_rows(
     }
 
 
+def encode_metrics_rows(rows: tuple[tuple, ...]) -> tuple[tuple, ...]:
+    """Serialized telemetry rows (see
+    :meth:`~repro.obs.metrics.MetricsRegistry.to_rows`) as a wire
+    payload.  Rows are already plain tuples of ints/strings; encoding
+    normalizes nested sequences to tuples so the frame is hashable and
+    pickles canonically."""
+    out = []
+    for row in rows:
+        kind, name, labels, deterministic, payload, *rest = row
+        if kind == "histogram":
+            bounds, counts, count, total = payload
+            payload = (tuple(bounds), tuple(counts), count, total)
+        out.append(
+            (kind, name, tuple(tuple(pair) for pair in labels),
+             deterministic, payload, *rest)
+        )
+    return tuple(out)
+
+
+def decode_metrics_rows(wire: tuple[tuple, ...]) -> tuple[tuple, ...]:
+    """Validate and return telemetry rows; tolerates trailing row
+    extensions (``*rest``) from newer peers, like every other frame."""
+    rows = []
+    for row in wire:
+        kind, name, labels, deterministic, payload, *rest = row
+        rows.append((kind, name, labels, deterministic, payload, *rest))
+    return tuple(rows)
+
+
 # ----------------------------------------------------------------------
 # monitor specs
 # ----------------------------------------------------------------------

@@ -45,14 +45,18 @@ Frame format (all integers big-endian): ``[length u32][crc32 u32]
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import struct
+import time
 import warnings
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Iterator
+
+from repro.obs import metrics as _obs_metrics
 
 __all__ = [
     "Durability",
@@ -65,9 +69,41 @@ __all__ = [
     "write_frames",
 ]
 
+logger = logging.getLogger(__name__)
+
 _HEADER = struct.Struct(">II")
 _MAX_FRAME = 1 << 31
 _META_NAME = "meta.bin"
+
+
+class _StoreObs:
+    """The store's instrument bundle (all wall-clock, none deterministic:
+    flush/checkpoint timing depends on the host, and frame counts depend
+    on ship batching)."""
+
+    __slots__ = ("flush_ns", "fsync_ns", "checkpoint_ns", "frames")
+
+    def __init__(self, registry: "_obs_metrics.MetricsRegistry") -> None:
+        self.flush_ns = registry.histogram(
+            "repro_durable_flush_ns",
+            deterministic=False,
+            help="journal flush latency (write + flush + optional fsync)",
+        )
+        self.fsync_ns = registry.histogram(
+            "repro_durable_fsync_ns",
+            deterministic=False,
+            help="os.fsync latency on journal flushes",
+        )
+        self.checkpoint_ns = registry.histogram(
+            "repro_durable_checkpoint_ns",
+            deterministic=False,
+            help="full checkpoint commit duration",
+        )
+        self.frames = registry.counter(
+            "repro_durable_journal_frames_total",
+            deterministic=False,
+            help="WAL frames written to disk",
+        )
 
 
 @dataclass(frozen=True)
@@ -310,10 +346,17 @@ class DurableStore:
     :mod:`repro.runtime.parallel`).
     """
 
-    def __init__(self, root: str | os.PathLike, *, fsync: bool = False) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        fsync: bool = False,
+        metrics: "_obs_metrics.MetricsRegistry | None" = None,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
+        self._obs = None if metrics is None else _StoreObs(metrics)
         # Per-worker in-memory journal tails, appended at ingest time
         # (hence tick-ordered), written out by flush().
         self._pending: dict[int, list[tuple]] = {}
@@ -336,12 +379,22 @@ class DurableStore:
         tail = self._pending.pop(worker_id, None)
         if not tail:
             return
+        obs = self._obs
+        start = 0 if obs is None else time.perf_counter_ns()
         with open(self.wal_path(worker_id), "ab") as fh:
             for frame in tail:
                 fh.write(frame_bytes(frame))
             fh.flush()
             if self.fsync:
+                sync_start = 0 if obs is None else time.perf_counter_ns()
                 os.fsync(fh.fileno())
+                if obs is not None:
+                    obs.fsync_ns.observe(
+                        time.perf_counter_ns() - sync_start
+                    )
+        if obs is not None:
+            obs.flush_ns.observe(time.perf_counter_ns() - start)
+            obs.frames.inc(len(tail))
 
     def flush_all(self) -> None:
         for worker_id in list(self._pending):
@@ -365,6 +418,13 @@ class DurableStore:
             return []
         scan = scan_frames(path)
         if scan.corrupt:
+            logger.warning(
+                "journal %s has mid-file corruption: %d bytes "
+                "unreadable, %d frames salvaged past the damage",
+                path,
+                scan.bytes_discarded,
+                scan.frames_salvaged,
+            )
             warnings.warn(
                 f"journal {path} has mid-file corruption: "
                 f"{scan.bytes_discarded} bytes unreadable, "
@@ -394,6 +454,8 @@ class DurableStore:
         next commit); a crash after it leaves stale journal frames,
         which replay skips by tick.
         """
+        obs = self._obs
+        start = 0 if obs is None else time.perf_counter_ns()
         epoch = meta["epoch"]
         for worker_id, frame in snapshots.items():
             path = self.snapshot_path(epoch, worker_id)
@@ -413,6 +475,14 @@ class DurableStore:
         for path in self.root.glob("snap-*-w*.bin"):
             if not path.name.startswith(f"snap-{epoch:08d}-"):
                 path.unlink()
+        if obs is not None:
+            obs.checkpoint_ns.observe(time.perf_counter_ns() - start)
+        logger.debug(
+            "checkpoint committed: epoch %d, tick %d, %d snapshots",
+            epoch,
+            meta.get("tick", -1),
+            len(snapshots),
+        )
 
     def load(self) -> tuple[dict[str, Any], dict[int, tuple]] | None:
         """The committed checkpoint: ``(meta, {worker_id: snapshot})``,

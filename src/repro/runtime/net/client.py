@@ -29,10 +29,13 @@ Unix-domain socket.
 
 from __future__ import annotations
 
+import logging
 import socket
 import time
 from typing import Any
 
+from repro.obs import metrics as _obs_metrics
+from repro.obs.trace import new_context
 from repro.runtime import codec
 from repro.runtime.net.deltas import DeltaView
 from repro.runtime.net.wire import (
@@ -42,7 +45,9 @@ from repro.runtime.net.wire import (
 )
 from repro.runtime.shard import TraceId
 
-__all__ = ["DeltaSubscriber", "ProducerClient"]
+__all__ = ["DeltaSubscriber", "ProducerClient", "fetch_metrics"]
+
+logger = logging.getLogger(__name__)
 
 Address = "tuple[str, int] | str"
 
@@ -72,7 +77,18 @@ def _handshake(
     last_exc: Exception | None = None
     for attempt in range(retries + 1):
         if attempt:
-            time.sleep(retry_delay * (2 ** (attempt - 1)))
+            delay = retry_delay * (2 ** (attempt - 1))
+            logger.warning(
+                "retrying %s handshake with %r in %.3fs "
+                "(attempt %d of %d): %s",
+                role,
+                address,
+                delay,
+                attempt + 1,
+                retries + 1,
+                last_exc,
+            )
+            time.sleep(delay)
         try:
             fs = _open(address, timeout)
         except OSError as exc:
@@ -154,6 +170,10 @@ class ProducerClient:
         self.n_fronts = 0
         self.n_shards = 0
         self._window = 0
+        # Record-lifecycle tracing: encode latency lands in the
+        # client's process-global registry as the client_encode stage
+        # (None when telemetry is off -- one attribute test per send).
+        self._ctx = new_context(name=f"p.{producer_id}")
         self._connect()
 
     # -- connection management -----------------------------------------
@@ -184,6 +204,12 @@ class ProducerClient:
             fs.send(self._unacked[seq])
 
     def _reconnect(self) -> None:
+        logger.info(
+            "reconnecting producer %r to %r (%d frames unacked)",
+            self.producer_id,
+            self.address,
+            len(self._unacked),
+        )
         if self._fs is not None:
             self._fs.close()
             self._fs = None
@@ -232,7 +258,13 @@ class ProducerClient:
 
     def send(self, trace_id: TraceId, record: Any) -> None:
         """Buffer one record; ships a frame when the batch fills."""
-        self.send_wire(trace_id, codec.encode_record(record))
+        ctx = self._ctx
+        if ctx is None:
+            self.send_wire(trace_id, codec.encode_record(record))
+            return
+        with ctx.span("client_encode"):
+            wire = codec.encode_record(record)
+        self.send_wire(trace_id, wire)
 
     def send_wire(self, trace_id: TraceId, wire_record: tuple) -> None:
         """Buffer one already-encoded record (the re-publishing path:
@@ -355,3 +387,27 @@ class DeltaSubscriber:
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+
+def fetch_metrics(
+    address: Any,
+    *,
+    name: str = "scrape",
+    timeout: float = 30.0,
+    retries: int = 0,
+    retry_delay: float = 0.05,
+) -> tuple[tuple, ...]:
+    """One-shot telemetry scrape: the server's latest staged instrument
+    rows (see :meth:`IngestServer.staged_metrics_rows`).  Decode with
+    :func:`repro.obs.metrics.rows_to_json` or fold into a
+    :class:`repro.obs.metrics.MetricsRegistry`.  Empty on a
+    telemetry-disabled server."""
+    fs, reply = _handshake(
+        address, "metrics", name, timeout, retries, retry_delay
+    )
+    try:
+        if reply[0] != "metrics":
+            raise ProtocolError(f"expected metrics, got {reply[0]!r}")
+        return tuple(reply[1])
+    finally:
+        fs.close()

@@ -14,15 +14,22 @@ answers every aggregate query *locally*, from the stream alone.
 
 Frames (plain tuples, like everything on this wire):
 
-``("snapshot", seq, ratio_rows, violation_rows)``
+``("snapshot", seq, ratio_rows, violation_rows, metrics_rows)``
     full state at subscribe time; ``ratio_rows`` are ``(trace_id,
     wire_fraction)`` pairs, ``violation_rows`` are ``(tick,
-    trace_id)`` pairs.
-``("delta", seq, ratio_rows, violation_rows)``
+    trace_id)`` pairs, ``metrics_rows`` are serialized instrument
+    rows (:meth:`repro.obs.metrics.MetricsRegistry.to_rows`).
+``("delta", seq, ratio_rows, violation_rows, metrics_rows)``
     what changed since ``seq - 1``: ratio rows are last-wins per
-    trace, violation rows are new.
+    trace, violation rows are new, metrics rows are last-wins per
+    instrument (each row is a *cumulative* reading, not an
+    increment, so last-wins loses nothing).
 ``("end", seq)``
     the publisher shut down; nothing follows.
+
+Both sides decode with ``*rest`` tolerance: a view reading an older
+publisher's four-element frames sees no metrics rows, and an older
+view reading these frames ignores the fifth element.
 
 Sequence numbers are contiguous per store, and a snapshot at ``seq``
 is followed by deltas ``seq+1, seq+2, ...`` -- a view can therefore
@@ -43,10 +50,16 @@ import threading
 from fractions import Fraction
 from typing import Any, Callable, Iterable
 
+from repro.obs import metrics as _obs_metrics
 from repro.runtime import codec
 from repro.runtime.shard import TraceId, ratio_histogram, top_k_riskiest
 
 __all__ = ["DeltaStore", "DeltaView"]
+
+
+def _metric_key(row: tuple) -> tuple:
+    """Identity of a serialized instrument row: ``(kind, name, labels)``."""
+    return (row[0], row[1], row[2])
 
 
 class DeltaStore:
@@ -71,9 +84,12 @@ class DeltaStore:
         self._ratios: dict[TraceId, tuple[int, int] | None] = {}
         self._violations: list[tuple[int, TraceId]] = []
         self._seen_violations: set[tuple[int, TraceId]] = set()
+        # metrics: cumulative instrument readings, last-wins per key
+        self._metrics: dict[tuple, tuple] = {}
         # staged-but-unpublished changes
         self._pending_ratios: dict[TraceId, tuple[int, int] | None] = {}
         self._pending_violations: list[tuple[int, TraceId]] = []
+        self._pending_metrics: dict[tuple, tuple] = {}
         self._seq = 0
         self._sinks: list[Callable[[tuple], None]] = []
         self._closed = False
@@ -102,11 +118,39 @@ class DeltaStore:
                     self._violations.append(row)
                     self._pending_violations.append(row)
 
+    def update_metrics(self, rows: Iterable[tuple]) -> None:
+        """Stage instrument readings (last-wins per instrument).
+
+        ``rows`` are serialized cumulative readings (the shape
+        :meth:`repro.obs.metrics.MetricsRegistry.to_rows` emits), so a
+        newer reading simply replaces the older one; rows from
+        different sources (fronts, the server's own registry) coexist
+        as long as their instrument names or labels differ."""
+        with self._lock:
+            for row in rows:
+                key = _metric_key(row)
+                if self._metrics.get(key) != row:
+                    self._metrics[key] = row
+                    self._pending_metrics[key] = row
+
+    def metrics_rows(self) -> tuple[tuple, ...]:
+        """The latest staged instrument readings, deterministically
+        ordered (the rows a ``metrics`` request frame is answered
+        from, without touching any front)."""
+        with self._lock:
+            rows = list(self._metrics.values())
+        rows.sort(key=lambda row: (row[1], row[2], row[0]))
+        return tuple(rows)
+
     @property
     def dirty(self) -> bool:
         """Whether staged changes are waiting for a :meth:`publish`."""
         with self._lock:
-            return bool(self._pending_ratios or self._pending_violations)
+            return bool(
+                self._pending_ratios
+                or self._pending_violations
+                or self._pending_metrics
+            )
 
     def subscribe(self, sink: Callable[[tuple], None]) -> tuple:
         """Register ``sink`` and return its snapshot frame.  Atomic:
@@ -119,6 +163,12 @@ class DeltaStore:
                 self._seq,
                 tuple(self._ratios.items()),
                 tuple(self._violations),
+                tuple(
+                    sorted(
+                        self._metrics.values(),
+                        key=lambda row: (row[1], row[2], row[0]),
+                    )
+                ),
             )
             # On a closed store, hand the final state plus the end
             # marker the live stream would have delivered.
@@ -136,7 +186,11 @@ class DeltaStore:
         """Cut staged changes into one delta frame and fan it out.
         Returns the frame, or ``None`` if nothing was staged."""
         with self._lock:
-            if not self._pending_ratios and not self._pending_violations:
+            if (
+                not self._pending_ratios
+                and not self._pending_violations
+                and not self._pending_metrics
+            ):
                 return None
             self._seq += 1
             frame = (
@@ -144,9 +198,16 @@ class DeltaStore:
                 self._seq,
                 tuple(self._pending_ratios.items()),
                 tuple(self._pending_violations),
+                tuple(
+                    sorted(
+                        self._pending_metrics.values(),
+                        key=lambda row: (row[1], row[2], row[0]),
+                    )
+                ),
             )
             self._pending_ratios = {}
             self._pending_violations = []
+            self._pending_metrics = {}
             sinks = tuple(self._sinks)
         for sink in sinks:
             sink(frame)
@@ -184,22 +245,26 @@ class DeltaView:
         self.ratios: dict[TraceId, Fraction | None] = {}
         self._rows: list[tuple[int, TraceId]] = []
         self._seen: set[tuple[int, TraceId]] = set()
+        self._metrics: dict[tuple, tuple] = {}
         self.seq = -1
         self.closed = False
 
     def apply(self, frame: Any) -> None:
         kind = frame[0]
         if kind == "snapshot":
-            _kind, seq, ratio_rows, violation_rows = frame
+            _kind, seq, ratio_rows, violation_rows, *rest = frame
             self.ratios = {
                 trace_id: codec.decode_fraction(wire)
                 for trace_id, wire in ratio_rows
             }
             self._rows = list(violation_rows)
             self._seen = set(violation_rows)
+            self._metrics = (
+                {_metric_key(row): row for row in rest[0]} if rest else {}
+            )
             self.seq = seq
         elif kind == "delta":
-            _kind, seq, ratio_rows, violation_rows = frame
+            _kind, seq, ratio_rows, violation_rows, *rest = frame
             if self.seq < 0:
                 raise ValueError("delta before snapshot")
             if seq != self.seq + 1:
@@ -212,6 +277,9 @@ class DeltaView:
                 if row not in self._seen:
                     self._seen.add(row)
                     self._rows.append(row)
+            if rest:
+                for row in rest[0]:
+                    self._metrics[_metric_key(row)] = row
             self.seq = seq
         elif kind == "end":
             self.seq = max(self.seq, frame[1])
@@ -244,4 +312,19 @@ class DeltaView:
     def violating_traces(self) -> tuple[TraceId, ...]:
         return tuple(
             dict.fromkeys(tid for _t, tid in self.violation_feed())
+        )
+
+    def metrics_rows(self) -> tuple[tuple, ...]:
+        """The latest instrument readings carried by the stream,
+        deterministically ordered (empty from a pre-telemetry
+        publisher or a telemetry-disabled server)."""
+        rows = list(self._metrics.values())
+        rows.sort(key=lambda row: (row[1], row[2], row[0]))
+        return tuple(rows)
+
+    def metrics_snapshot(self, *, deterministic_only: bool = False) -> dict:
+        """The stream-carried metrics as a JSON-able dict (the
+        :meth:`repro.obs.metrics.MetricsRegistry.to_json` shape)."""
+        return _obs_metrics.rows_to_json(
+            self.metrics_rows(), deterministic_only=deterministic_only
         )

@@ -72,6 +72,16 @@ Subscribers send ``("hello", ver, "subscribe", name)`` and then just
 read: a ``snapshot`` frame, ``delta`` frames as ingestion progresses,
 and ``end`` at shutdown (:mod:`repro.runtime.net.deltas`).
 
+A third role, ``("hello", ver, "metrics", name)``, is a one-shot
+telemetry scrape: the server answers ``("metrics", rows)`` -- the
+latest staged instrument readings (see
+:meth:`IngestServer.staged_metrics_rows`) -- and closes.  Answered
+inline on the loop thread from the delta store's staged copy, so a
+scrape never blocks on (or barriers) a front.  Delta frames also
+carry the same readings as their fifth element, refreshed every
+``metrics_interval`` seconds per front, so long-lived subscribers
+get metrics pushed rather than polling.
+
 The query surface (``worst_ratio``, ``violating_traces``,
 ``report()``, ...) marshals each call onto the owning front's thread,
 so callers on any thread get the fleet's answers without data races.
@@ -80,12 +90,15 @@ so callers on any thread get the fleet's answers without data races.
 from __future__ import annotations
 
 import asyncio
+import logging
 import queue
 import threading
+import time
 import traceback
 from fractions import Fraction
 from typing import Any, Callable, Iterable
 
+from repro.obs import metrics as _obs_metrics
 from repro.runtime.net.deltas import DeltaStore
 from repro.runtime.net.wire import (
     PROTOCOL_VERSION,
@@ -104,24 +117,64 @@ from repro.runtime.shard import (
 
 __all__ = ["IngestServer"]
 
+logger = logging.getLogger(__name__)
+
+
+class _ProducerObs:
+    """Per-producer ingest instruments (``producer`` label).
+
+    All wall-clock shaped -- frame arrival, replay and dedup depend on
+    the network -- so none are in the deterministic dump."""
+
+    __slots__ = ("frames", "records", "credit")
+
+    def __init__(
+        self, registry: "_obs_metrics.MetricsRegistry", name: str
+    ) -> None:
+        labels = (("producer", name),)
+        self.frames = registry.counter(
+            "repro_net_produced_frames_total",
+            labels,
+            deterministic=False,
+            help="produce frames accepted (replays excluded)",
+        )
+        self.records = registry.counter(
+            "repro_net_produced_records_total",
+            labels,
+            deterministic=False,
+            help="records accepted from this producer",
+        )
+        self.credit = registry.gauge(
+            "repro_net_credit_inflight",
+            labels,
+            help="unacked produce frames (credit-window occupancy)",
+        )
+
 
 class _Producer:
     """Per-producer-id ingestion bookkeeping (survives reconnects)."""
 
-    __slots__ = ("name", "seen", "acked", "completed", "writer")
+    __slots__ = ("name", "seen", "acked", "completed", "writer", "obs")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        registry: "_obs_metrics.MetricsRegistry | None" = None,
+    ) -> None:
         self.name = name
         self.seen = 0  # highest seq ever enqueued (dedup floor)
         self.acked = 0  # highest contiguously absorbed seq
         self.completed: set[int] = set()  # absorbed above the ack line
         self.writer: asyncio.StreamWriter | None = None
+        self.obs = (
+            None if registry is None else _ProducerObs(registry, name)
+        )
 
 
 class _Front:
     """One ingestion front: a fleet plus the thread that owns it."""
 
-    __slots__ = ("index", "fleet", "queue", "thread", "error")
+    __slots__ = ("index", "fleet", "queue", "thread", "error", "metrics_at")
 
     def __init__(self, index: int, fleet: ParallelFleet) -> None:
         self.index = index
@@ -129,6 +182,20 @@ class _Front:
         self.queue: queue.Queue[tuple] = queue.Queue()
         self.thread: threading.Thread | None = None
         self.error: str | None = None
+        self.metrics_at = 0.0  # monotonic time of the last staging
+
+
+def _label_rows(rows: Iterable[tuple], key: str, value: str) -> tuple:
+    """Re-key serialized instrument rows with an extra label pair, so
+    identically named instruments from different sources (fronts)
+    stay distinct series instead of clobbering each other."""
+    labeled = []
+    for kind, name, labels, deterministic, payload, *rest in rows:
+        new_labels = tuple(sorted((*labels, (key, value))))
+        labeled.append(
+            (kind, name, new_labels, deterministic, payload, *rest)
+        )
+    return tuple(labeled)
 
 
 class IngestServer:
@@ -140,7 +207,9 @@ class IngestServer:
     listener (``port=0`` picks a free port; ``host=None`` disables
     TCP), ``unix_path`` additionally/instead serves a Unix-domain
     socket.  ``credit_window`` is the max unacked frames advertised to
-    each producer.
+    each producer.  ``metrics_interval`` throttles how often each
+    front's telemetry is staged into the delta stream (only relevant
+    with ``REPRO_OBS`` on).
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`.
     """
@@ -166,6 +235,7 @@ class IngestServer:
         credit_window: int = 32,
         monitor_specs: Any = None,
         kernel: str | None = None,
+        metrics_interval: float = 0.5,
     ) -> None:
         if n_fronts < 1:
             raise ValueError("need at least one front")
@@ -215,6 +285,28 @@ class IngestServer:
             )
             self._fronts.append(_Front(f, fleet))
         self.deltas = DeltaStore()
+        # The server's own registry (per-producer counters, credit
+        # occupancy, subscriber gauge, front_accept spans); None keeps
+        # every hook one attribute test when telemetry is off.
+        self._metrics = _obs_metrics.registry_if_enabled()
+        self._metrics_interval = metrics_interval
+        self._accept_ns = (
+            None
+            if self._metrics is None
+            else self._metrics.histogram(
+                "repro_stage_ns",
+                (("stage", "front_accept"),),
+                help="per-stage record-lifecycle latency",
+            )
+        )
+        self._subscribers_gauge = (
+            None
+            if self._metrics is None
+            else self._metrics.gauge(
+                "repro_net_subscribers",
+                help="connected delta-stream subscribers",
+            )
+        )
         self.address: tuple[str, int] | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._loop_thread: threading.Thread | None = None
@@ -384,18 +476,28 @@ class IngestServer:
                     fleet.ingest_wire_many(rows)
                 except Exception:  # keep the front alive; surface it
                     front.error = traceback.format_exc()
+                    logger.error(
+                        "ingest batch failed on front %d:\n%s",
+                        front.index,
+                        front.error,
+                    )
                 finally:
                     done()
-                self._stage_deltas(fleet)
+                self._stage_deltas(front)
             elif kind == "cols":
                 _kind, trace_ids, records, done = item
                 try:
                     fleet.ingest_wire_columns(trace_ids, records)
                 except Exception:  # keep the front alive; surface it
                     front.error = traceback.format_exc()
+                    logger.error(
+                        "columnar ingest batch failed on front %d:\n%s",
+                        front.index,
+                        front.error,
+                    )
                 finally:
                     done()
-                self._stage_deltas(fleet)
+                self._stage_deltas(front)
             elif kind == "call":
                 _kind, fn, box, event = item
                 try:
@@ -404,15 +506,28 @@ class IngestServer:
                     box["error"] = exc
                 finally:
                     event.set()
-                self._stage_deltas(fleet)
+                self._stage_deltas(front)
             elif kind == "stop":
                 return
 
-    def _stage_deltas(self, fleet: ParallelFleet) -> None:
+    def _stage_deltas(self, front: _Front) -> None:
+        fleet = front.fleet
         updates = fleet.drain_ratio_updates()
         if updates:
             self.deltas.update_ratios(updates)
         self.deltas.extend_violations(fleet.violation_feed())
+        if self._metrics is not None:
+            # Periodic metrics staging (throttled per front): cumulative
+            # readings ride the delta stream and answer "metrics"
+            # request frames without touching any front thread.
+            now = time.monotonic()
+            if now - front.metrics_at >= self._metrics_interval:
+                front.metrics_at = now
+                self.deltas.update_metrics(
+                    _label_rows(
+                        fleet.metrics_rows(), "front", str(front.index)
+                    )
+                )
         if updates or self.deltas.dirty:
             self._schedule_publish()
 
@@ -475,6 +590,13 @@ class IngestServer:
                 await self._serve_producer(str(name), reader, writer)
             elif role == "subscribe":
                 await self._serve_subscriber(writer)
+            elif role == "metrics":
+                # One-shot: the latest staged readings (plus the
+                # server's own registry), answered inline from the
+                # loop thread -- no front round trip, no blocking.
+                await self._send(
+                    writer, ("metrics", self.staged_metrics_rows())
+                )
             else:
                 await self._send(writer, ("error", f"unknown role {role!r}"))
         except (ProtocolError, ConnectionError, OSError):
@@ -497,7 +619,9 @@ class IngestServer:
             return
         producer = self._producers.get(name)
         if producer is None:
-            producer = self._producers[name] = _Producer(name)
+            producer = self._producers[name] = _Producer(
+                name, self._metrics
+            )
         # Newest connection wins: preempt any stale one for this id.
         if producer.writer is not None:
             producer.writer.close()
@@ -557,7 +681,18 @@ class IngestServer:
                     )
                     return
                 producer.seen = seq
+                obs = producer.obs
+                start = 0 if obs is None else time.perf_counter_ns()
                 self._dispatch(producer, seq, rows, mode)
+                if obs is not None:
+                    self._accept_ns.observe(
+                        time.perf_counter_ns() - start
+                    )
+                    obs.frames.inc()
+                    obs.records.inc(
+                        len(rows[0]) if mode == "cols" else len(rows)
+                    )
+                    obs.credit.set(producer.seen - producer.acked)
         finally:
             if producer.writer is writer:
                 producer.writer = None
@@ -630,6 +765,8 @@ class IngestServer:
             producer.completed.remove(producer.acked + 1)
             producer.acked += 1
             advanced = True
+        if advanced and producer.obs is not None:
+            producer.obs.credit.set(producer.seen - producer.acked)
         writer = producer.writer
         if advanced and writer is not None and not writer.is_closing():
             # write() only buffers; ack frames are tiny and the
@@ -642,6 +779,8 @@ class IngestServer:
         frames: asyncio.Queue[tuple] = asyncio.Queue()
         sink = frames.put_nowait  # publishes happen on this loop
         self._n_subscribers += 1
+        if self._subscribers_gauge is not None:
+            self._subscribers_gauge.inc()
         snapshot = self.deltas.subscribe(sink)
         try:
             await self._send(writer, snapshot)
@@ -653,6 +792,8 @@ class IngestServer:
         finally:
             self.deltas.unsubscribe(sink)
             self._n_subscribers -= 1
+            if self._subscribers_gauge is not None:
+                self._subscribers_gauge.dec()
 
     # ------------------------------------------------------------------
     # the marshaled query surface
@@ -791,3 +932,45 @@ class IngestServer:
                 s for r in reports for s in r.crashed_shards
             ),
         )
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def staged_metrics_rows(self) -> tuple[tuple, ...]:
+        """The latest *staged* readings -- what a ``metrics`` request
+        frame is answered from: front rows last staged into the delta
+        store (front-labeled) plus the server's own registry.  Never
+        blocks on a front thread; may lag by ``metrics_interval``."""
+        row_sets = [self.deltas.metrics_rows()]
+        if self._metrics is not None:
+            row_sets.append(self._metrics.to_rows())
+        return _obs_metrics.merge_row_sets(row_sets)
+
+    def metrics_rows(self) -> tuple[tuple, ...]:
+        """Fresh merged readings: every front's fleet is polled on its
+        own thread (each worker contributes its registry), rows are
+        labeled ``front=<index>`` so identically named per-front
+        instruments stay distinct series, and the server's own
+        registry rides along.  Also refreshes the staged copy the
+        delta stream and ``metrics`` frames serve."""
+        for front in self._fronts:
+            rows = self._call(front, lambda fl: fl.metrics_rows())
+            self.deltas.update_metrics(
+                _label_rows(rows, "front", str(front.index))
+            )
+        return self.staged_metrics_rows()
+
+    def metrics_snapshot(self, *, deterministic_only: bool = False) -> dict:
+        """Fresh merged readings as a JSON-able dict (the
+        :meth:`repro.obs.metrics.MetricsRegistry.to_json` shape)."""
+        return _obs_metrics.rows_to_json(
+            self.metrics_rows(), deterministic_only=deterministic_only
+        )
+
+    def render_prometheus(self) -> str:
+        """Fresh merged readings in Prometheus text exposition format
+        (empty when telemetry is disabled)."""
+        registry = _obs_metrics.MetricsRegistry()
+        registry.merge_rows(self.metrics_rows())
+        return registry.render_prometheus()

@@ -116,7 +116,9 @@ checkpoint, keeping journals and snapshots placement-consistent.
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 from fractions import Fraction
 from typing import Any, Callable, Iterable, Sequence
 
@@ -124,6 +126,8 @@ from repro.analysis.online import OnlineAbcMonitor
 from repro.core.cycles import CycleClassification
 from repro.core.events import ProcessId
 from repro.core.kernel import resolve_kernel_name
+from repro.obs import metrics as _obs_metrics
+from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry
 from repro.runtime import codec
 from repro.runtime.backends import (
     ProcessBackend,
@@ -150,6 +154,75 @@ from repro.runtime.shard import (
 from repro.sim.trace import ReceiveRecord
 
 __all__ = ["ParallelFleet"]
+
+logger = logging.getLogger(__name__)
+
+
+class _DispatcherObs:
+    """The dispatcher's instrument bundle on its own registry.
+
+    Shipped-record and dispatch counters are deterministic (functions
+    of the ingested stream for a fixed configuration); backpressure
+    stalls, queue depths, and recovery counters are scheduling-shaped
+    wall-clock facts and are not.
+    """
+
+    __slots__ = (
+        "shipped",
+        "batches",
+        "batch_records",
+        "route_ns",
+        "ship_stalls",
+        "stall_ns",
+        "queue_depth",
+        "recoveries",
+        "replayed",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.shipped = registry.counter(
+            "repro_dispatcher_shipped_records_total",
+            help="records shipped to workers (wire rows)",
+        )
+        self.batches = registry.counter(
+            "repro_dispatcher_shipped_batches_total",
+            help="shard batches shipped to workers",
+        )
+        self.batch_records = registry.histogram(
+            "repro_dispatcher_batch_records",
+            deterministic=True,
+            bounds=COUNT_BUCKETS,
+            help="records per shipped shard batch",
+        )
+        self.route_ns = registry.histogram(
+            "repro_stage_ns",
+            (("stage", "dispatch_route"),),
+            help="per-stage record-lifecycle latency",
+        )
+        self.ship_stalls = registry.counter(
+            "repro_dispatcher_ship_stalls_total",
+            deterministic=False,
+            help="ship attempts that blocked on a full worker inbox",
+        )
+        self.stall_ns = registry.counter(
+            "repro_dispatcher_stall_ns_total",
+            deterministic=False,
+            help="total time spent blocked on full worker inboxes",
+        )
+        self.queue_depth = registry.gauge(
+            "repro_dispatcher_queue_depth",
+            help="sum of worker inbox depths at the last snapshot",
+        )
+        self.recoveries = registry.counter(
+            "repro_dispatcher_recoveries_total",
+            deterministic=False,
+            help="successful worker recoveries from the durability plane",
+        )
+        self.replayed = registry.counter(
+            "repro_durable_replayed_records_total",
+            deterministic=False,
+            help="journal records replayed during worker recovery",
+        )
 
 
 class ParallelFleet:
@@ -360,6 +433,20 @@ class ParallelFleet:
         self._req = 0
         self._stopped = False
         self.dropped_records = 0
+        # Telemetry: the dispatcher's own registry (None when disabled)
+        # plus a per-worker cache of the last collected rows, so a
+        # crashed worker's contribution survives in merged snapshots
+        # (the _last_report pattern).
+        self._metrics: MetricsRegistry | None = (
+            _obs_metrics.MetricsRegistry() if _obs_metrics.enabled() else None
+        )
+        self._obs: _DispatcherObs | None = (
+            _DispatcherObs(self._metrics) if self._metrics is not None else None
+        )
+        self._last_metrics: dict[int, tuple] = {}
+        # Handle stall counters already folded into the registry (the
+        # handles keep cumulative counts; folding takes deltas).
+        self._stall_folded: dict[int, tuple[int, int]] = {}
         # Explicit shard -> worker placement (initially the round-robin
         # split over the owned shard space; migration repoints live).
         owned = (
@@ -373,7 +460,11 @@ class ParallelFleet:
         # The durability plane (None = PR 5 crash containment only).
         self._durability = durability
         self._durable = (
-            DurableStore(durability.root, fsync=durability.fsync)
+            DurableStore(
+                durability.root,
+                fsync=durability.fsync,
+                metrics=self._metrics,
+            )
             if durability is not None
             else None
         )
@@ -481,6 +572,10 @@ class ParallelFleet:
             "drop_faulty": self._drop_faulty,
             "kernel": self._kernel,
             "monitor_specs": codec.encode_specs(self._monitor_specs),
+            # Pin the parent's telemetry setting in the child: fork
+            # inherits it anyway, spawn would re-read only REPRO_OBS
+            # and miss a programmatic set_enabled().
+            "obs": _obs_metrics.enabled(),
         }
         if self._monitor_factory is not None:
             config["monitor_factory"] = self._monitor_factory
@@ -590,6 +685,12 @@ class ParallelFleet:
             else:
                 self._absorb(worker_id, message)
         self._dead[worker_id] = reason
+        logger.error(
+            "containing crash of worker %d (shards %s): %s",
+            worker_id,
+            ",".join(map(str, self.shards_of_worker(worker_id))),
+            reason,
+        )
         # Batches already handed to the queue but never absorbed are
         # gone with the worker; account them so records +
         # dropped_records reconciles against the ingest count.  The
@@ -638,6 +739,12 @@ class ParallelFleet:
         self._recoveries[worker_id] = (
             self._recoveries.get(worker_id, 0) + 1
         )
+        logger.info(
+            "recovering worker %d (attempt %d of %d)",
+            worker_id,
+            self._recoveries[worker_id],
+            self._durability.max_recoveries,
+        )
         shards = self.shards_of_worker(worker_id)
         handle = self._backend.spawn(
             worker_id,
@@ -649,6 +756,8 @@ class ParallelFleet:
         del self._dead[worker_id]
         self._live_cache[worker_id] = 0
         self._epoch_peak[worker_id] = 0
+        self._stall_folded[worker_id] = (0, 0)
+        replayed = 0
         try:
             snap = self._snap_cache.get(worker_id)
             if snap is not None:
@@ -664,11 +773,15 @@ class ParallelFleet:
                     (tick, trace_id, wire)
                 )
             for shard in sorted(by_shard):
+                replayed += len(by_shard[shard])
                 handle.put(("ingest", shard, by_shard[shard]))
             for shard in shards:
                 self._buffers.pop(shard, None)
             self._request(worker_id, ("fence", self._tick))
         except WorkerCrashed:
+            logger.warning(
+                "recovery of worker %d crashed during replay", worker_id
+            )
             return False
         # Replay re-detects violations whose first notice already fired
         # before the crash (the snapshot predates the detection); keep
@@ -693,6 +806,14 @@ class ParallelFleet:
             codec.decode_stats(row).records for row in reply[0]
         )
         self._pending_drop.pop(worker_id, None)
+        logger.info(
+            "worker %d recovered: %d journal records replayed",
+            worker_id,
+            replayed,
+        )
+        if self._obs is not None:
+            self._obs.recoveries.inc()
+            self._obs.replayed.inc(replayed)
         return True
 
     def _absorb(self, worker_id: int, message: tuple) -> None:
@@ -961,6 +1082,8 @@ class ParallelFleet:
         batch = self._buffers.pop(shard, None)
         if not batch:
             return
+        obs = self._obs
+        route_start = 0 if obs is None else time.perf_counter_ns()
         worker_id = self.worker_of(shard)
         if worker_id in self._dead:
             if self._try_recover(worker_id):
@@ -985,6 +1108,11 @@ class ParallelFleet:
         self._shipped[worker_id] = self._shipped.get(worker_id, 0) + len(
             batch
         )
+        if obs is not None:
+            obs.route_ns.observe(time.perf_counter_ns() - route_start)
+            obs.shipped.inc(len(batch))
+            obs.batches.inc()
+            obs.batch_records.observe(len(batch))
         # Opportunistic drain keeps violation notices (and live-event
         # telemetry) flowing during long pure-ingest phases.
         self._drain(worker_id)
@@ -1632,6 +1760,90 @@ class ParallelFleet:
             opened += w_open
             retired += w_retired
         return live, opened, retired
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def _fold_stalls(self) -> None:
+        """Fold per-handle backpressure deltas into dispatcher counters.
+
+        Handles accumulate plain ints (always on, slow path only); the
+        registry sees them as deltas since the last fold, so a handle
+        replaced by recovery (counters reset to zero, ``_stall_folded``
+        reset alongside) never under- or double-counts."""
+        obs = self._obs
+        if obs is None:
+            return
+        for worker_id, handle in enumerate(self._handles):
+            seen_count, seen_ns = self._stall_folded.get(worker_id, (0, 0))
+            d_count = handle.stall_count - seen_count
+            d_ns = handle.stall_ns - seen_ns
+            if d_count > 0 or d_ns > 0:
+                self._stall_folded[worker_id] = (
+                    handle.stall_count,
+                    handle.stall_ns,
+                )
+                if d_count > 0:
+                    obs.ship_stalls.inc(d_count)
+                if d_ns > 0:
+                    obs.stall_ns.inc(d_ns)
+        obs.queue_depth.set(
+            sum(
+                handle.depth()
+                for worker_id, handle in enumerate(self._handles)
+                if worker_id not in self._dead
+            )
+        )
+
+    def metrics_rows(self) -> tuple[tuple, ...]:
+        """Merged metric rows: every worker's registry plus the
+        dispatcher's own, as plain wire tuples.
+
+        Crash-tolerant the same way :meth:`report` is: each alive
+        worker is polled (a pure counter read, no flushes or barriers)
+        and its rows cached; a crashed worker contributes its
+        last-synced rows.  Empty when telemetry is disabled."""
+        if self._metrics is None:
+            return ()
+        self._fold_stalls()
+        if not self._stopped:
+            posted: dict[int, int] = {}
+            for worker_id in self._alive_workers():
+                try:
+                    posted[worker_id] = self._post(worker_id, ("metrics",))
+                except WorkerCrashed:
+                    continue
+            for worker_id, req_id in posted.items():
+                try:
+                    wire = self._collect(worker_id, req_id)
+                except WorkerCrashed:
+                    continue
+                self._last_metrics[worker_id] = codec.decode_metrics_rows(
+                    wire
+                )
+        row_sets = [
+            self._last_metrics[worker_id]
+            for worker_id in sorted(self._last_metrics)
+        ]
+        row_sets.append(self._metrics.to_rows())
+        return _obs_metrics.merge_row_sets(row_sets)
+
+    def metrics_snapshot(self, *, deterministic_only: bool = False) -> dict:
+        """The merged fleet metrics as a JSON-able dict (see
+        :meth:`repro.obs.metrics.MetricsRegistry.to_json`); with
+        ``deterministic_only`` restricted to the cross-backend
+        bit-identical subset."""
+        return _obs_metrics.rows_to_json(
+            self.metrics_rows(), deterministic_only=deterministic_only
+        )
+
+    def render_prometheus(self) -> str:
+        """The merged fleet metrics in Prometheus text exposition
+        format (empty string when telemetry is disabled)."""
+        registry = MetricsRegistry()
+        registry.merge_rows(self.metrics_rows())
+        return registry.render_prometheus()
 
     @property
     def live_events(self) -> int:

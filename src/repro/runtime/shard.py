@@ -47,6 +47,8 @@ from typing import TYPE_CHECKING, Callable, Iterable, Protocol, Sequence
 from repro.core.cycles import CycleClassification
 from repro.core.events import Event, ProcessId
 from repro.core.kernel import resolve_kernel_name
+from repro.obs import metrics as _obs_metrics
+from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry
 from repro.sim.trace import ReceiveRecord, RecordColumns
 
 if TYPE_CHECKING:  # runtime import is lazy: repro.analysis imports the
@@ -434,6 +436,59 @@ class ShardRuntime(Protocol):
     def shard_stats(self) -> list[ShardStats]: ...
 
 
+class _GroupObs:
+    """The shard engine's instrument bundle on the group's registry.
+
+    Everything here is a function of the protocol-call sequence the
+    group receives (the module's determinism contract), so all of it is
+    declared deterministic: two workers fed the same stream report
+    bit-identical rows on the process and thread backends alike.
+    """
+
+    __slots__ = (
+        "flushes",
+        "batch_records",
+        "evictions",
+        "summary_compactions",
+        "tombstoned",
+        "budget_overruns",
+        "live_events",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.flushes = registry.counter(
+            "repro_shard_flushes_total",
+            help="per-trace pending-buffer flushes absorbed by monitors",
+        )
+        self.batch_records = registry.histogram(
+            "repro_shard_batch_records",
+            deterministic=True,
+            bounds=COUNT_BUCKETS,
+            help="records per flushed batch",
+        )
+        self.evictions = registry.counter(
+            "repro_shard_evictions_total",
+            help="budget-driven eviction passes that removed events",
+        )
+        self.summary_compactions = registry.counter(
+            "repro_shard_summary_compactions_total",
+            help="eviction passes that fell back to summary compaction",
+        )
+        self.tombstoned = registry.counter(
+            "repro_shard_tombstoned_events_total",
+            help="live digraph events reclaimed by eviction/compaction",
+        )
+        self.budget_overruns = registry.counter(
+            "repro_shard_budget_overruns_total",
+            help="enforcement passes that could not reach the budget",
+        )
+        self.live_events = registry.gauge(
+            "repro_shard_live_events",
+            deterministic=True,
+            help="live digraph events after the last enforcement pass",
+        )
+
+
 class ShardGroup:
     """A set of shards driven as one unit: the engine of every fleet.
 
@@ -525,6 +580,18 @@ class ShardGroup:
         self.emit_ratio: Callable[[TraceId, Fraction | None], None] | None = (
             None
         )
+        # Telemetry: each group owns its *own* registry (None when
+        # disabled), so thread-backend workers never share instruments
+        # and per-worker rows merge at the dispatcher like any other
+        # counter.  Monitors built for this group re-bind to it in
+        # ``_wire_monitor``.
+        self.metrics: MetricsRegistry | None = (
+            _obs_metrics.MetricsRegistry() if _obs_metrics.enabled() else None
+        )
+        self._obs: _GroupObs | None = (
+            _GroupObs(self.metrics) if self.metrics is not None else None
+        )
+        self._monitor_obs = None
         self.shards: dict[int, FleetShard] = {
             index: FleetShard(index) for index in shard_indices
         }
@@ -627,6 +694,16 @@ class ShardGroup:
             monitor.set_kernel(
                 self.kernel if spec.kernel is None else spec.kernel
             )
+        if self.metrics is not None:
+            # Re-bind the monitor's instruments (global registry by
+            # default, stripped entirely on import/restore) to this
+            # group's registry; one shared bundle serves every monitor
+            # the group owns.
+            if self._monitor_obs is None:
+                from repro.analysis.online import MonitorObs
+
+                self._monitor_obs = MonitorObs(self.metrics)
+            monitor._obs = self._monitor_obs
         self._wire_violation(trace_id, monitor)
         chained = monitor.on_ratio_increase
 
@@ -946,6 +1023,9 @@ class ShardGroup:
         state.monitor.observe_batch(batch)
         state.n_records += len(batch)
         shard.flushes += 1
+        if self._obs is not None:
+            self._obs.flushes.inc()
+            self._obs.batch_records.observe(len(batch))
         self._live_events += state.monitor.n_events - state.live_cached
         state.live_cached = state.monitor.n_events
         # Absorbing records invalidates every "retrying is futile" memo:
@@ -1003,6 +1083,9 @@ class ShardGroup:
         state.monitor.observe_batch_columnar(cols)
         state.n_records += len(cols)
         shard.flushes += 1
+        if self._obs is not None:
+            self._obs.flushes.inc()
+            self._obs.batch_records.observe(len(cols))
         self._live_events += state.monitor.n_events - state.live_cached
         state.live_cached = state.monitor.n_events
         # Same memo invalidation as the object path (see flush_state).
@@ -1140,6 +1223,8 @@ class ShardGroup:
                         )
                         if summarized:
                             shard.summary_compactions += 1
+                            if self._obs is not None:
+                                self._obs.summary_compactions.inc()
                             removed += summarized
                 if removed:
                     state.evict_marker = None
@@ -1147,10 +1232,15 @@ class ShardGroup:
                     shard.tombstoned += removed
                     self._live_events -= removed
                     state.live_cached = state.monitor.n_events
+                    if self._obs is not None:
+                        self._obs.evictions.inc()
+                        self._obs.tombstoned.inc(removed)
                 else:
                     state.evict_marker = state.monitor.n_events
             if self._live_events > budget:
                 self.budget_overruns += 1
+                if self._obs is not None:
+                    self._obs.budget_overruns.inc()
                 self._futile_at = self._live_events
             else:
                 self._futile_at = None
@@ -1161,6 +1251,14 @@ class ShardGroup:
     def _note_peak(self) -> None:
         if self._live_events > self.peak_live_events:
             self.peak_live_events = self._live_events
+        if self._obs is not None:
+            self._obs.live_events.set(self._live_events)
+
+    def metrics_rows(self) -> tuple[tuple, ...]:
+        """This group's serialized telemetry rows (``()`` when
+        disabled): the worker ships these over the reply protocol and
+        the dispatcher sum-merges them across workers."""
+        return self.metrics.to_rows() if self.metrics is not None else ()
 
     # ------------------------------------------------------------------
     # export / import / snapshot: traces as movable, durable units

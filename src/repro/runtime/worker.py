@@ -41,6 +41,10 @@ inbound                meaning
 ``("restore", r, f)``           replace the group's state with a
                                 snapshot frame (worker recovery /
                                 fleet restore)
+``("metrics", r)``              the group's serialized telemetry rows
+                                (``()`` when telemetry is disabled) --
+                                pure read, no flush; the dispatcher
+                                sum-merges rows across workers
 ``("export_trace", r, tid)``    detach one trace -> codec frame
 ``("import_trace", r, f)``      install an exported trace
 ``("export_shard", r, s)``      detach one whole shard -> codec frame
@@ -67,13 +71,18 @@ instead of hanging on a silent peer.
 
 from __future__ import annotations
 
+import logging
 import traceback
 from typing import Any
 
+from repro.obs import metrics as _obs_metrics
+from repro.obs.trace import TraceContext, new_context
 from repro.runtime import codec
 from repro.runtime.shard import ShardGroup, TraceId
 
 __all__ = ["worker_main"]
+
+logger = logging.getLogger(__name__)
 
 
 def _build_group(
@@ -135,10 +144,22 @@ def worker_main(
     ``queue.Queue``); the loop never touches anything else, which is
     what makes the worker backend-agnostic.
     """
+    if "obs" in config:
+        # The dispatcher pins telemetry explicitly: a programmatic
+        # set_enabled() in the parent must bind in children even under
+        # a spawn start method (fork inherits it for free).
+        _obs_metrics.set_enabled(bool(config["obs"]))
     notices: list[tuple] = []
     ratio_updates: dict[TraceId, tuple[int, int] | None] = {}
     group = _build_group(
         tuple(shard_indices), config, notices, ratio_updates
+    )
+    # Lifecycle tracing for the absorb stage; None when disabled (the
+    # ingest hot path then pays one is-None test per *batch*).
+    ctx: TraceContext | None = (
+        new_context(group.metrics, name=f"w{worker_id}")
+        if group.metrics is not None
+        else None
     )
 
     def drain_notices() -> list[tuple]:
@@ -191,12 +212,15 @@ def worker_main(
                 # at flush time).  Malformed (ragged) frames raise here
                 # and surface through crash containment, like any other
                 # poison message.
+                span = None if ctx is None else ctx.span("worker_absorb")
                 ticks, trace_ids, cols = codec.decode_records_columnar(
                     wire_batch
                 )
                 group.ingest_batch_columnar(
                     shard_index, ticks, trace_ids, cols
                 )
+                if span is not None:
+                    span.end()
                 if notices or ratio_updates:
                     outbox.put(
                         (
@@ -261,6 +285,12 @@ def worker_main(
                         ),
                     ),
                 )
+            elif cmd == "metrics":
+                _cmd, req_id = message
+                reply(
+                    req_id,
+                    ("ok", codec.encode_metrics_rows(group.metrics_rows())),
+                )
             elif cmd == "report":
                 _cmd, req_id, tick = message
                 advance(tick)
@@ -324,8 +354,10 @@ def worker_main(
     except BaseException:
         # Surface the failure instead of dying silently: the dispatcher
         # turns this into degraded shards, never a hung fleet.
+        tb = traceback.format_exc()
+        logger.error("worker %d crashed:\n%s", worker_id, tb)
         try:
-            outbox.put(("crash", worker_id, traceback.format_exc()))
+            outbox.put(("crash", worker_id, tb))
         except Exception:  # pragma: no cover - outbox itself broken
             pass
         return

@@ -1,0 +1,103 @@
+"""Tests for record-lifecycle tracing spans and contexts."""
+
+import pytest
+
+from repro.obs import metrics as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NULL_SPAN,
+    STAGE_METRIC,
+    STAGES,
+    TraceContext,
+    new_context,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_module_state():
+    previous = obs.set_enabled(False)
+    obs.reset_global_registry()
+    yield
+    obs.set_enabled(previous)
+    obs.reset_global_registry()
+
+
+def test_stages_cover_the_record_lifecycle_in_order():
+    assert STAGES == (
+        "client_encode",
+        "front_accept",
+        "dispatch_route",
+        "worker_absorb",
+        "kernel_sweep",
+    )
+
+
+def test_new_context_is_none_when_disabled():
+    assert new_context() is None
+    # The guard is on the ambient flag, not on having a registry.
+    assert new_context(MetricsRegistry()) is None
+
+
+def test_new_context_binds_global_registry_and_unique_ids():
+    obs.set_enabled(True)
+    a = new_context(name="p1")
+    b = new_context(name="p1")
+    assert a.registry is obs.global_registry()
+    assert a.ctx_id != b.ctx_id
+    assert a.ctx_id.endswith("-p1")
+    assert a.stamp() == (a.ctx_id,)
+
+
+def test_span_records_histogram_and_event():
+    registry = MetricsRegistry()
+    ctx = TraceContext("ctx-1", registry)
+    with ctx.span("worker_absorb"):
+        pass
+    hist = registry.histogram(STAGE_METRIC, (("stage", "worker_absorb"),))
+    assert hist.count == 1
+    assert hist.sum >= 0
+    events = registry.drain_events()
+    assert len(events) == 1
+    ctx_id, stage, duration_ns = events[0]
+    assert (ctx_id, stage) == ("ctx-1", "worker_absorb")
+    assert duration_ns >= 0
+
+
+def test_span_end_returns_duration_and_observes_once():
+    registry = MetricsRegistry()
+    ctx = TraceContext("ctx-2", registry)
+    span = ctx.span("dispatch_route")
+    duration = span.end()
+    assert duration >= 0
+    hist = registry.histogram(STAGE_METRIC, (("stage", "dispatch_route"),))
+    assert hist.count == 1
+
+
+def test_observe_records_exact_duration():
+    registry = MetricsRegistry()
+    ctx = TraceContext("ctx-3", registry)
+    ctx.observe("kernel_sweep", 1024)
+    ctx.observe("kernel_sweep", 4096)
+    hist = registry.histogram(STAGE_METRIC, (("stage", "kernel_sweep"),))
+    assert (hist.count, hist.sum) == (2, 5120)
+    # per-stage instruments are cached: same object on the second hit
+    assert ctx._stage_hists["kernel_sweep"] is hist
+
+
+def test_stage_histograms_are_per_stage_series():
+    registry = MetricsRegistry()
+    ctx = TraceContext("ctx-4", registry)
+    for stage in STAGES:
+        ctx.observe(stage, 1)
+    names = {
+        (row[1], row[2]) for row in registry.to_rows()
+    }
+    assert names == {
+        (STAGE_METRIC, (("stage", stage),)) for stage in STAGES
+    }
+
+
+def test_null_span_is_inert():
+    with NULL_SPAN as span:
+        assert span is NULL_SPAN
+    assert NULL_SPAN.end() == 0

@@ -1,0 +1,134 @@
+"""Terminal viewer for the fleet telemetry plane.
+
+Scrapes a running :class:`~repro.runtime.net.server.IngestServer` (the
+one-shot ``metrics`` hello role -- answered from the server's staged
+readings, so a scrape never barriers a front) and renders the readings
+as a sorted table: counters and gauges with values, histograms with
+count / mean / an ASCII bucket sparkline.  With ``--watch`` it
+re-scrapes on an interval and redraws, ``top``-style.
+
+Usage::
+
+    python tools/obs_top.py HOST:PORT                # one scrape
+    python tools/obs_top.py /path/to/unix.sock       # unix socket
+    python tools/obs_top.py HOST:PORT --watch 2      # redraw every 2s
+    python tools/obs_top.py HOST:PORT --prometheus   # exposition text
+    python tools/obs_top.py HOST:PORT --json         # to_json dict
+
+Only useful against a server started with ``REPRO_OBS=1`` (a disabled
+server answers with zero rows, which is rendered as exactly that).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.metrics import MetricsRegistry, rows_to_json  # noqa: E402
+from repro.runtime.net.client import fetch_metrics  # noqa: E402
+
+SPARKS = " .:-=+*#%@"
+
+
+def parse_address(raw: str):
+    if ":" in raw and not raw.startswith("/"):
+        host, _colon, port = raw.rpartition(":")
+        return (host or "127.0.0.1", int(port))
+    return raw  # unix socket path
+
+
+def sparkline(counts) -> str:
+    peak = max(counts) if counts else 0
+    if peak == 0:
+        return " " * len(counts)
+    return "".join(
+        SPARKS[min(len(SPARKS) - 1, (c * (len(SPARKS) - 1) + peak - 1) // peak)]
+        for c in counts
+    )
+
+
+def render_table(rows) -> str:
+    if not rows:
+        return "(no metrics -- is the server running with REPRO_OBS=1?)\n"
+    snapshot = rows_to_json(rows)
+    name_width = min(72, max(len(name) for name in snapshot))
+    lines = [f"{'metric':<{name_width}}  {'value':>14}  detail"]
+    lines.append("-" * (name_width + 30))
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        marker = "=" if entry["deterministic"] else "~"
+        if entry["kind"] == "histogram":
+            count = entry["count"]
+            mean = entry["sum"] / count if count else 0.0
+            counts = [c for _bound, c in entry["buckets"]]
+            counts.append(entry["overflow"])
+            lines.append(
+                f"{name:<{name_width}}  {count:>14}  "
+                f"{marker} mean={mean:,.0f} [{sparkline(counts)}]"
+            )
+        else:
+            lines.append(
+                f"{name:<{name_width}}  {entry['value']:>14}  "
+                f"{marker} {entry['kind']}"
+            )
+    lines.append("")
+    lines.append("(= deterministic across backends, ~ wall-clock shaped)")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="scrape and render a fleet's telemetry"
+    )
+    parser.add_argument("address", help="HOST:PORT or a unix socket path")
+    parser.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-scrape and redraw on this interval",
+    )
+    parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print Prometheus exposition text instead of the table",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSON snapshot instead of the table",
+    )
+    args = parser.parse_args(argv)
+    address = parse_address(args.address)
+
+    def render() -> str:
+        rows = fetch_metrics(address)
+        if args.prometheus:
+            registry = MetricsRegistry()
+            registry.merge_rows(rows)
+            return registry.render_prometheus()
+        if args.json:
+            return json.dumps(rows_to_json(rows), indent=2, sort_keys=True)
+        return render_table(rows)
+
+    if args.watch is None:
+        sys.stdout.write(render())
+        return 0
+    try:
+        while True:
+            output = render()
+            sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+            sys.stdout.write(output)
+            sys.stdout.flush()
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
